@@ -1,0 +1,18 @@
+// Command elpc generates, maps, simulates, and probes pipeline-mapping
+// instances. See 'elpc help' for subcommands.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"elpc/internal/cli"
+)
+
+func main() {
+	env := cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}
+	if err := cli.Main(env, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "elpc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,178 @@
+// Command pipebench regenerates every table and figure of the paper's
+// evaluation (Section 4) from the deterministic case suite:
+//
+//	pipebench -fig 2          # Figure 2 comparison table (Markdown)
+//	pipebench -fig 3          # Figure 3 min-delay path (DOT + text)
+//	pipebench -fig 4          # Figure 4 max-frame-rate path (DOT + text)
+//	pipebench -fig 5          # Figure 5 delay series (CSV)
+//	pipebench -fig 6          # Figure 6 frame-rate series (CSV)
+//	pipebench -fig ablation   # reuse-extension ablation (E12)
+//	pipebench -fig mld        # MLD cost-term ablation
+//	pipebench -fig replicated # Monte-Carlo replication of Figure 2
+//	pipebench -fig all -out results/
+//
+// With -out, artifacts are written into the directory (fig2.md, fig3.dot,
+// fig3.txt, fig4.dot, fig4.txt, fig5.csv, fig6.csv, ablation.md,
+// summary.txt); they are always echoed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"elpc/internal/gen"
+	"elpc/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, or all")
+	out := flag.String("out", "", "directory to write artifacts into (optional)")
+	workers := flag.Int("workers", 0, "parallel workers for the case suite (0 = GOMAXPROCS)")
+	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
+	replicas := flag.Int("replicas", 5, "replicas per case for -fig replicated")
+	flag.Parse()
+
+	if err := run(*fig, *out, *workers, *cases, *replicas); err != nil {
+		fmt.Fprintln(os.Stderr, "pipebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, out string, workers, cases, replicas int) error {
+	if cases < 1 || cases > 20 {
+		return fmt.Errorf("cases must be in [1,20], got %d", cases)
+	}
+	specs := gen.Suite20()[:cases]
+
+	emit := func(name, content string) error {
+		fmt.Printf("==== %s ====\n%s\n", name, content)
+		if out == "" {
+			return nil
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(out, name), []byte(content), 0o644)
+	}
+
+	needSuite := fig == "all" || fig == "2" || fig == "5" || fig == "6"
+	var results []harness.CaseResult
+	if needSuite {
+		start := time.Now()
+		var err error
+		results, err = harness.RunSuite(specs, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "suite of %d cases completed in %v\n", len(specs), time.Since(start).Round(time.Millisecond))
+	}
+
+	if fig == "all" || fig == "2" {
+		if err := emit("fig2.md", harness.Fig2Table(results)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "3" || fig == "4" {
+		f34, err := harness.RunFigure34()
+		if err != nil {
+			return err
+		}
+		if fig != "4" {
+			if err := emit("fig3.dot", f34.Fig3Dot); err != nil {
+				return err
+			}
+			if err := emit("fig3.txt", f34.Fig3Text); err != nil {
+				return err
+			}
+		}
+		if fig != "3" {
+			if err := emit("fig4.dot", f34.Fig4Dot); err != nil {
+				return err
+			}
+			if err := emit("fig4.txt", f34.Fig4Text); err != nil {
+				return err
+			}
+		}
+	}
+	if fig == "all" || fig == "5" {
+		if err := emit("fig5.csv", harness.SeriesCSV(results, false)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "6" {
+		if err := emit("fig6.csv", harness.SeriesCSV(results, true)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "ablation" {
+		rows, err := harness.RunReuseAblation(specs, workers)
+		if err != nil {
+			return err
+		}
+		if err := emit("ablation.md", harness.ReuseAblationTable(rows)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "mld" {
+		rows, err := harness.RunMLDAblation(specs, workers)
+		if err != nil {
+			return err
+		}
+		if err := emit("mld.md", harness.MLDAblationTable(rows)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "pareto" {
+		// The small case plus a mid-size case give representative fronts.
+		for _, idx := range []int{0, 7} {
+			if idx >= len(specs) {
+				continue
+			}
+			csv, err := harness.ParetoCSV(specs[idx], 10)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pareto case %d: %v\n", specs[idx].ID, err)
+				continue
+			}
+			if err := emit(fmt.Sprintf("pareto_case%d.csv", specs[idx].ID), csv); err != nil {
+				return err
+			}
+		}
+	}
+	if needSuite {
+		if err := emit("runtimes.md", harness.RuntimeTable(results)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "jitter" {
+		csv, err := harness.JitterSweepCSV(specs[0], []float64{0, 0.1, 0.2, 0.4, 0.8}, 400)
+		if err != nil {
+			return err
+		}
+		if err := emit("jitter.csv", csv); err != nil {
+			return err
+		}
+	}
+	if fig == "replicated" {
+		rows, err := harness.RunReplicated(specs, replicas, workers)
+		if err != nil {
+			return err
+		}
+		if err := emit("replicated.md", harness.ReplicatedTable(rows)); err != nil {
+			return err
+		}
+	}
+	if needSuite {
+		if err := emit("summary.txt", harness.Summarize(results).SummaryText()); err != nil {
+			return err
+		}
+	}
+	switch fig {
+	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter":
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+}

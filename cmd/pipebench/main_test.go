@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("2", dir, 0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig2.md", "summary.txt", "runtimes.md"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestRunFigures34(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("3", dir, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3.dot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("fig3.dot malformed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4.dot")); err == nil {
+		t.Error("-fig 3 should not emit fig4")
+	}
+	if err := run("4", dir, 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4.txt")); err != nil {
+		t.Error("fig4.txt missing")
+	}
+}
+
+func TestRunSeriesAndAblations(t *testing.T) {
+	dir := t.TempDir()
+	for _, fig := range []string{"5", "6", "mld", "jitter", "pareto"} {
+		if err := run(fig, dir, 0, 2, 1); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+	}
+	for _, f := range []string{"fig5.csv", "fig6.csv", "mld.md", "jitter.csv", "pareto_case1.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s missing: %v", f, err)
+		}
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("replicated", dir, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "replicated.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "±") {
+		t.Error("replicated table missing ± cells")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "", 0, 1, 1); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if err := run("2", "", 0, 0, 1); err == nil {
+		t.Error("cases=0 should error")
+	}
+	if err := run("2", "", 0, 21, 1); err == nil {
+		t.Error("cases=21 should error")
+	}
+}
+
+func TestRunStdoutOnly(t *testing.T) {
+	// No -out directory: artifacts go to stdout only; must not error.
+	if err := run("ablation", "", 0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

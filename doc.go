@@ -1,0 +1,27 @@
+// Package elpc is a Go reproduction of "Optimizing Network Performance of
+// Computing Pipelines in Distributed Environments" (Wu, Gu, Zhu, Rao —
+// IEEE IPDPS 2008): the Efficient Linear Pipeline Configuration (ELPC)
+// algorithms that map a linear computing pipeline onto an arbitrary
+// heterogeneous network to minimize end-to-end delay (interactive
+// applications, node reuse allowed — optimal dynamic program) or maximize
+// frame rate (streaming applications, no node reuse — NP-complete, DP
+// heuristic), together with the Streamline and Greedy comparison
+// algorithms, a discrete-event simulator that validates the analytical cost
+// models, a regression-based network measurement substrate, deterministic
+// workload generators, and the full experiment harness regenerating every
+// table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	p, _ := elpc.BuildCase(elpc.SmallCase())        // 5 modules on 6 nodes
+//	m, _ := elpc.MinDelayMapping(p)                 // optimal DP mapping
+//	fmt.Println(m)                                  // [M0-M1]@v3 -> ...
+//	fmt.Println(elpc.TotalDelay(p, m), "ms")        // Eq. 1 cost
+//
+//	s, _ := elpc.MaxFrameRateMapping(p)             // streaming mapping
+//	fmt.Println(elpc.FrameRateOf(p, s), "fps")      // 1 / Eq. 2 bottleneck
+//
+// See the examples directory for runnable scenarios (remote visualization,
+// video surveillance streaming, measurement-driven adaptive remapping) and
+// cmd/pipebench for the experiment suite.
+package elpc

@@ -1,0 +1,188 @@
+package elpc
+
+import (
+	"math/rand/v2"
+
+	"elpc/internal/baseline"
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/measure"
+	"elpc/internal/model"
+	"elpc/internal/refine"
+	"elpc/internal/sim"
+)
+
+// Domain types, re-exported from the internal model so downstream users have
+// stable names without reaching into internal packages.
+type (
+	// NodeID identifies a network node.
+	NodeID = model.NodeID
+	// Node is a computing node with normalized processing power (ops/ms).
+	Node = model.Node
+	// Link is a directed communication link (bandwidth Mbit/s, MLD ms).
+	Link = model.Link
+	// Network is an arbitrary-topology directed transport network.
+	Network = model.Network
+	// Module is one pipeline stage (complexity ops/byte, data sizes bytes).
+	Module = model.Module
+	// Pipeline is a linear module chain from data source to end user.
+	Pipeline = model.Pipeline
+	// Mapping assigns every module to a node.
+	Mapping = model.Mapping
+	// Group is a maximal run of consecutive modules on one node.
+	Group = model.Group
+	// Problem bundles a network, pipeline, endpoints, and cost options.
+	Problem = model.Problem
+	// Objective selects minimum delay or maximum frame rate.
+	Objective = model.Objective
+	// CostOptions tunes the analytical cost model.
+	CostOptions = model.CostOptions
+	// Mapper is the algorithm interface shared by ELPC and the baselines.
+	Mapper = model.Mapper
+	// CaseSpec describes one generated evaluation case.
+	CaseSpec = gen.CaseSpec
+	// Ranges bounds randomly generated pipeline/network attributes.
+	Ranges = gen.Ranges
+	// SimConfig controls a discrete-event simulation run.
+	SimConfig = sim.Config
+	// SimResult reports a discrete-event simulation run.
+	SimResult = sim.Result
+	// ProbeConfig controls synthetic network measurement.
+	ProbeConfig = measure.ProbeConfig
+)
+
+// Objectives.
+const (
+	// MinDelay minimizes end-to-end delay (node reuse allowed).
+	MinDelay = model.MinDelay
+	// MaxFrameRate maximizes frame rate (no node reuse).
+	MaxFrameRate = model.MaxFrameRate
+)
+
+// ErrInfeasible is returned (wrapped) when no valid mapping exists.
+var ErrInfeasible = model.ErrInfeasible
+
+// NewNetwork validates nodes and links and builds a network.
+func NewNetwork(nodes []Node, links []Link) (*Network, error) {
+	return model.NewNetwork(nodes, links)
+}
+
+// NewPipeline validates a module chain and builds a pipeline.
+func NewPipeline(modules []Module) (*Pipeline, error) {
+	return model.NewPipeline(modules)
+}
+
+// DefaultCostOptions returns the evaluation's cost-model configuration.
+func DefaultCostOptions() CostOptions { return model.DefaultCostOptions() }
+
+// MinDelayMapping runs the optimal ELPC dynamic program for minimum
+// end-to-end delay with node reuse (paper Section 3.1.1).
+func MinDelayMapping(p *Problem) (*Mapping, error) { return core.MinDelay(p) }
+
+// MaxFrameRateMapping runs the ELPC dynamic-programming heuristic for
+// maximum frame rate without node reuse (paper Section 3.1.2).
+func MaxFrameRateMapping(p *Problem) (*Mapping, error) { return core.MaxFrameRate(p) }
+
+// MaxFrameRateWithReuse runs the reuse extension (paper Section 5 future
+// work): hill climbing on the shared-resource bottleneck seeded by the ELPC
+// mappings. It returns the mapping and its period in ms.
+func MaxFrameRateWithReuse(p *Problem) (*Mapping, float64, error) {
+	return refine.MaxFrameRateWithReuse(p, refine.Options{})
+}
+
+// MaxFrameRateWithDelayBudget maximizes frame rate among no-reuse mappings
+// whose end-to-end delay stays within budgetMs (bicriteria extension; a
+// non-positive budget disables the constraint).
+func MaxFrameRateWithDelayBudget(p *Problem, budgetMs float64) (*Mapping, error) {
+	return core.MaxFrameRateWithBudget(p, core.TradeoffOptions{DelayBudgetMs: budgetMs})
+}
+
+// TradeoffPoint is one (delay, rate) point of the rate–delay frontier.
+type TradeoffPoint = core.TradeoffPoint
+
+// RateDelayFront sweeps delay budgets and returns the nondominated
+// (delay, rate) points with their mappings.
+func RateDelayFront(p *Problem, points int) ([]TradeoffPoint, error) {
+	return core.ParetoFront(p, points, 0)
+}
+
+// TotalDelay evaluates Eq. 1 (end-to-end delay, ms) of a mapping.
+func TotalDelay(p *Problem, m *Mapping) float64 {
+	return model.TotalDelay(p.Net, p.Pipe, m, p.Cost)
+}
+
+// BottleneckOf evaluates Eq. 2 (bottleneck period, ms) of a mapping.
+func BottleneckOf(p *Problem, m *Mapping) float64 {
+	return model.Bottleneck(p.Net, p.Pipe, m)
+}
+
+// SharedBottleneckOf evaluates the shared-resource bottleneck (ms),
+// generalizing Eq. 2 to mappings that reuse nodes or links.
+func SharedBottleneckOf(p *Problem, m *Mapping) float64 {
+	return model.SharedBottleneck(p.Net, p.Pipe, m)
+}
+
+// FrameRateOf converts a mapping's Eq. 2 bottleneck to frames/second.
+func FrameRateOf(p *Problem, m *Mapping) float64 {
+	return model.FrameRate(BottleneckOf(p, m))
+}
+
+// Mappers.
+
+// ELPCMapper returns the paper's ELPC algorithm as a Mapper.
+func ELPCMapper() Mapper { return core.Mapper{} }
+
+// StreamlineMapper returns the adapted Streamline comparison algorithm.
+func StreamlineMapper() Mapper { return baseline.Streamline{} }
+
+// GreedyMapper returns the Greedy comparison algorithm.
+func GreedyMapper() Mapper { return baseline.Greedy{} }
+
+// BruteMapper returns the exhaustive exact solver (small instances only).
+func BruteMapper() Mapper { return baseline.Brute{} }
+
+// Generation.
+
+// Suite20 returns the 20 evaluation cases behind Figures 2, 5, and 6.
+func Suite20() []CaseSpec { return gen.Suite20() }
+
+// SmallCase returns the illustrated 5-module / 6-node case of Figures 3–4.
+func SmallCase() CaseSpec { return gen.SmallCase() }
+
+// BuildCase materializes a case spec into a problem instance.
+func BuildCase(spec CaseSpec) (*Problem, error) { return spec.Build() }
+
+// DefaultRanges returns the calibrated random-attribute ranges.
+func DefaultRanges() Ranges { return gen.DefaultRanges() }
+
+// GenerateNetwork draws a strongly connected random network.
+func GenerateNetwork(nodes, links int, r Ranges, rng *rand.Rand) (*Network, error) {
+	return gen.Network(nodes, links, r, rng)
+}
+
+// GeneratePipeline draws a random linear pipeline with n modules.
+func GeneratePipeline(n int, r Ranges, rng *rand.Rand) (*Pipeline, error) {
+	return gen.Pipeline(n, r, rng)
+}
+
+// RNG returns the repository's deterministic random generator for a seed.
+func RNG(seed uint64) *rand.Rand { return gen.RNG(seed) }
+
+// Simulation.
+
+// Simulate replays the mapped pipeline in the discrete-event simulator.
+func Simulate(p *Problem, m *Mapping, cfg SimConfig) (*SimResult, error) {
+	return sim.Simulate(p, m, cfg)
+}
+
+// Measurement.
+
+// EstimateNetwork actively probes every node and link of the true network
+// and returns a network built from the regression estimates (paper refs
+// [13], [14]; probing is synthetic — see DESIGN.md).
+func EstimateNetwork(truth *Network, cfg ProbeConfig) (*Network, error) {
+	return measure.EstimateNetwork(truth, cfg)
+}
+
+// DefaultProbeSizes returns the default active-measurement probe train.
+func DefaultProbeSizes() []float64 { return measure.DefaultProbeSizes() }

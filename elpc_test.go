@@ -1,0 +1,174 @@
+package elpc_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"elpc"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	p, err := elpc.BuildCase(elpc.SmallCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := elpc.MinDelayMapping(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := elpc.TotalDelay(p, m)
+	if delay <= 0 || math.IsInf(delay, 1) {
+		t.Fatalf("delay = %v", delay)
+	}
+	s, err := elpc.MaxFrameRateMapping(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := elpc.FrameRateOf(p, s)
+	if fps <= 0 {
+		t.Fatalf("fps = %v", fps)
+	}
+	// Streaming the mapping through the simulator reproduces the rate.
+	res, err := elpc.Simulate(p, s, elpc.SimConfig{Frames: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeasuredRate()-fps)/fps > 1e-6 {
+		t.Errorf("simulated rate %v != analytic %v", res.MeasuredRate(), fps)
+	}
+}
+
+func TestPublicMapperAccessors(t *testing.T) {
+	p, err := elpc.BuildCase(elpc.SmallCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mp := range []elpc.Mapper{elpc.ELPCMapper(), elpc.StreamlineMapper(), elpc.GreedyMapper(), elpc.BruteMapper()} {
+		if mp.Name() == "" {
+			t.Error("mapper without name")
+		}
+		m, err := mp.Map(p, elpc.MinDelay)
+		if err != nil {
+			if !errors.Is(err, elpc.ErrInfeasible) {
+				t.Errorf("%s: unexpected error %v", mp.Name(), err)
+			}
+			continue
+		}
+		if d := elpc.TotalDelay(p, m); d <= 0 {
+			t.Errorf("%s: delay %v", mp.Name(), d)
+		}
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	rng := elpc.RNG(5)
+	net, err := elpc.GenerateNetwork(10, 40, elpc.DefaultRanges(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := elpc.GeneratePipeline(6, elpc.DefaultRanges(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &elpc.Problem{Net: net, Pipe: pl, Src: 0, Dst: 9, Cost: elpc.DefaultCostOptions()}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := elpc.MinDelayMapping(p); err != nil && !errors.Is(err, elpc.ErrInfeasible) {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicReuseExtension(t *testing.T) {
+	p, err := elpc.BuildCase(elpc.SmallCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, period, err := elpc.MaxFrameRateWithReuse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period <= 0 {
+		t.Fatalf("period = %v", period)
+	}
+	if got := elpc.SharedBottleneckOf(p, m); math.Abs(got-period) > 1e-9 {
+		t.Errorf("period %v != shared bottleneck %v", period, got)
+	}
+}
+
+func TestPublicMeasurement(t *testing.T) {
+	rng := elpc.RNG(9)
+	truth, err := elpc.GenerateNetwork(6, 20, elpc.DefaultRanges(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := elpc.EstimateNetwork(truth, elpc.ProbeConfig{
+		Sizes:    elpc.DefaultProbeSizes(),
+		Repeats:  4,
+		NoiseStd: 0.2,
+		Rng:      rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N() != truth.N() || est.M() != truth.M() {
+		t.Error("estimation changed topology")
+	}
+}
+
+func TestPublicConstructors(t *testing.T) {
+	nodes := []elpc.Node{{ID: 0, Power: 1e6}, {ID: 1, Power: 2e6}}
+	links := []elpc.Link{{ID: 0, From: 0, To: 1, BWMbps: 100, MLDms: 1}}
+	net, err := elpc.NewNetwork(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := []elpc.Module{
+		{ID: 0, OutBytes: 1e5},
+		{ID: 1, Complexity: 50, InBytes: 1e5, OutBytes: 0},
+	}
+	pl, err := elpc.NewPipeline(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &elpc.Problem{Net: net, Pipe: pl, Src: 0, Dst: 1, Cost: elpc.DefaultCostOptions()}
+	m, err := elpc.MinDelayMapping(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elpc.BottleneckOf(p, m) <= 0 {
+		t.Error("bottleneck should be positive")
+	}
+}
+
+func TestPublicTradeoff(t *testing.T) {
+	p, err := elpc.BuildCase(elpc.SmallCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := elpc.MaxFrameRateWithDelayBudget(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := elpc.TotalDelay(p, un)
+	m, err := elpc.MaxFrameRateWithDelayBudget(p, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elpc.TotalDelay(p, m) > full+1e-9 {
+		t.Error("budgeted mapping exceeds budget")
+	}
+	front, err := elpc.RateDelayFront(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].DelayMs <= front[i-1].DelayMs || front[i].RateFPS <= front[i-1].RateFPS {
+			t.Errorf("front not monotone at %d", i)
+		}
+	}
+}

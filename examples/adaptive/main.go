@@ -1,0 +1,85 @@
+// Adaptive remapping: closes the measurement loop of the paper's Section 1
+// (refs [13], [14]). A deployed system never knows true bandwidths and
+// processing powers; it estimates them by active probing, plans on the
+// estimates, and re-plans when conditions change. This example:
+//
+//  1. generates a "true" network (hidden from the planner),
+//  2. probes it with noisy measurements and fits the linear cost models,
+//  3. maps the pipeline with ELPC on the *estimated* network,
+//  4. evaluates that mapping against the *true* network,
+//  5. degrades one link on the mapping's path (cross-traffic), re-probes,
+//     re-maps, and shows the recovered performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elpc"
+)
+
+func main() {
+	rng := elpc.RNG(11)
+	truth, err := elpc.GenerateNetwork(16, 90, elpc.DefaultRanges(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := elpc.GeneratePipeline(7, elpc.DefaultRanges(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := elpc.ProbeConfig{
+		Sizes:    elpc.DefaultProbeSizes(),
+		Repeats:  8,
+		NoiseStd: 0.5,
+		Rng:      elpc.RNG(99),
+	}
+
+	plan := func(net *elpc.Network, label string) *elpc.Mapping {
+		p := &elpc.Problem{Net: net, Pipe: pl, Src: 0, Dst: 15, Cost: elpc.DefaultCostOptions()}
+		m, err := elpc.MinDelayMapping(p)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		return m
+	}
+	evalTrue := func(m *elpc.Mapping) float64 {
+		p := &elpc.Problem{Net: truth, Pipe: pl, Src: 0, Dst: 15, Cost: elpc.DefaultCostOptions()}
+		return elpc.TotalDelay(p, m)
+	}
+
+	// Plan on estimates vs. plan on truth (oracle).
+	est, err := elpc.EstimateNetwork(truth, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracleM := plan(truth, "oracle")
+	estM := plan(est, "estimated")
+	fmt.Printf("oracle plan (true delays):      %8.2f ms  %v\n", evalTrue(oracleM), oracleM)
+	fmt.Printf("estimate-driven plan:           %8.2f ms  %v\n", evalTrue(estM), estM)
+
+	// Cross-traffic degrades the first WAN link on the current path by 20x.
+	walk := estM.Walk()
+	degraded := false
+	for i := 0; i+1 < len(walk) && !degraded; i++ {
+		if link, ok := truth.LinkBetween(walk[i], walk[i+1]); ok {
+			truth.Links[link.ID].BWMbps /= 20
+			fmt.Printf("\ncross-traffic: link v%d->v%d degraded to %.1f Mbps\n",
+				walk[i], walk[i+1], truth.Links[link.ID].BWMbps)
+			degraded = true
+		}
+	}
+	if !degraded {
+		fmt.Println("\nmapping runs on a single node; degrading nothing")
+	}
+
+	fmt.Printf("stale plan after degradation:   %8.2f ms\n", evalTrue(estM))
+
+	// Re-probe and re-plan.
+	est2, err := elpc.EstimateNetwork(truth, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m2 := plan(est2, "re-planned")
+	fmt.Printf("re-probed, re-planned:          %8.2f ms  %v\n", evalTrue(m2), m2)
+}

@@ -1,0 +1,112 @@
+package elpc_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"elpc"
+)
+
+// TestGrandTour exercises the whole system end-to-end through the public
+// API, on several deterministic instances: generate → map with every
+// algorithm under both objectives → validate and score every mapping →
+// replay in the simulator and check the analytic predictions → probe the
+// network and re-plan on the estimates → verify the reuse extension's
+// period is simulator-achievable.
+func TestGrandTour(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		rng := elpc.RNG(seed)
+		net, err := elpc.GenerateNetwork(14, 70, elpc.DefaultRanges(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe, err := elpc.GeneratePipeline(6, elpc.DefaultRanges(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &elpc.Problem{Net: net, Pipe: pipe, Src: 0, Dst: 13, Cost: elpc.DefaultCostOptions()}
+
+		// 1. Every mapper, both objectives.
+		mappers := []elpc.Mapper{elpc.ELPCMapper(), elpc.StreamlineMapper(), elpc.GreedyMapper()}
+		elpcDelay := math.Inf(1)
+		for _, mp := range mappers {
+			for _, obj := range []elpc.Objective{elpc.MinDelay, elpc.MaxFrameRate} {
+				m, err := mp.Map(p, obj)
+				if err != nil {
+					if !errors.Is(err, elpc.ErrInfeasible) {
+						t.Fatalf("seed %d: %s/%v: %v", seed, mp.Name(), obj, err)
+					}
+					continue
+				}
+				if err := p.ValidateMapping(m, obj); err != nil {
+					t.Fatalf("seed %d: %s/%v produced invalid mapping: %v", seed, mp.Name(), obj, err)
+				}
+				if obj == elpc.MinDelay {
+					d := elpc.TotalDelay(p, m)
+					if mp.Name() == "ELPC" {
+						elpcDelay = d
+					} else if d < elpcDelay-1e-9 {
+						t.Errorf("seed %d: %s beat optimal ELPC delay", seed, mp.Name())
+					}
+					// 2. Single-dataset replay reproduces Eq. 1.
+					res, err := elpc.Simulate(p, m, elpc.SimConfig{Frames: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(res.FirstFrameDelay-d)/d > 1e-9 {
+						t.Errorf("seed %d: %s simulated delay %v != analytic %v", seed, mp.Name(), res.FirstFrameDelay, d)
+					}
+				} else {
+					// 3. Streaming replay reproduces Eq. 2.
+					fps := elpc.FrameRateOf(p, m)
+					res, err := elpc.Simulate(p, m, elpc.SimConfig{Frames: 240})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if math.Abs(res.MeasuredRate()-fps)/fps > 1e-6 {
+						t.Errorf("seed %d: %s simulated rate %v != analytic %v", seed, mp.Name(), res.MeasuredRate(), fps)
+					}
+				}
+			}
+		}
+
+		// 4. Probe and re-plan on estimates; the estimated plan evaluated on
+		// the truth must be within a modest factor of the oracle plan.
+		est, err := elpc.EstimateNetwork(net, elpc.ProbeConfig{
+			Sizes: elpc.DefaultProbeSizes(), Repeats: 6, NoiseStd: 0.3, Rng: elpc.RNG(seed + 100),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe := &elpc.Problem{Net: est, Pipe: pipe, Src: 0, Dst: 13, Cost: elpc.DefaultCostOptions()}
+		em, err := elpc.MinDelayMapping(pe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(elpcDelay, 1) {
+			continue
+		}
+		planned := elpc.TotalDelay(p, em) // evaluated against the truth
+		if planned < elpcDelay-1e-9 {
+			t.Errorf("seed %d: estimate-driven plan beat the oracle optimum — evaluator bug", seed)
+		}
+		if planned > 2*elpcDelay {
+			t.Errorf("seed %d: estimate-driven plan %v more than 2x oracle %v", seed, planned, elpcDelay)
+		}
+
+		// 5. Reuse extension: period must be simulator-achievable.
+		rm, period, err := elpc.MaxFrameRateWithReuse(p)
+		if err != nil {
+			continue
+		}
+		res, err := elpc.Simulate(p, rm, elpc.SimConfig{Frames: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.SteadyPeriod-period)/period > 1e-6 {
+			t.Errorf("seed %d: reuse period %v not achieved in simulation (%v)", seed, period, res.SteadyPeriod)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package adapt implements the self-adaptive configuration loop the paper
+// builds on (Section 1, ref [13] "Self-adaptive configuration of
+// visualization pipeline over wide-area networks"): a controller that plans
+// on measured network estimates, monitors achieved performance per epoch,
+// and re-probes + re-plans when the measurement drifts from the model's
+// prediction — e.g. when cross-traffic degrades a link on the mapping's
+// path.
+//
+// The "real" environment is the truth network executed by the discrete-
+// event simulator; the controller only ever sees probe estimates, exactly
+// like a deployed system.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"elpc/internal/core"
+	"elpc/internal/measure"
+	"elpc/internal/model"
+	"elpc/internal/sim"
+)
+
+// Config tunes the controller.
+type Config struct {
+	// Objective selects the planning goal (MinDelay or MaxFrameRate).
+	Objective model.Objective
+	// DriftThreshold is the relative deviation between measured and
+	// predicted performance that triggers re-planning; <= 0 means
+	// DefaultDriftThreshold.
+	DriftThreshold float64
+	// Probe configures the synthetic measurement used for (re-)estimation.
+	Probe measure.ProbeConfig
+	// FramesPerEpoch is the number of datasets streamed per monitoring
+	// epoch; <= 0 means DefaultFramesPerEpoch.
+	FramesPerEpoch int
+}
+
+// Defaults for Config.
+const (
+	DefaultDriftThreshold = 0.15
+	DefaultFramesPerEpoch = 64
+)
+
+// Epoch reports one monitoring interval.
+type Epoch struct {
+	Index     int
+	Mapping   *model.Mapping
+	Predicted float64 // ms: Eq.1 delay or shared-bottleneck period
+	Measured  float64 // ms: simulated counterpart
+	Drift     float64 // |measured-predicted| / predicted
+	Replanned bool    // the controller re-probed and re-planned after this epoch
+}
+
+// Controller owns the estimate and current mapping; the truth network is
+// mutable by the caller between epochs to model environment changes.
+type Controller struct {
+	truth *model.Network
+	pipe  *model.Pipeline
+	src   model.NodeID
+	dst   model.NodeID
+	cfg   Config
+
+	est     *model.Network
+	mapping *model.Mapping
+	epoch   int
+}
+
+// New probes the truth network and computes the initial mapping.
+func New(truth *model.Network, pipe *model.Pipeline, src, dst model.NodeID, cfg Config) (*Controller, error) {
+	if cfg.DriftThreshold <= 0 {
+		cfg.DriftThreshold = DefaultDriftThreshold
+	}
+	if cfg.FramesPerEpoch <= 0 {
+		cfg.FramesPerEpoch = DefaultFramesPerEpoch
+	}
+	if cfg.Objective != model.MinDelay && cfg.Objective != model.MaxFrameRate {
+		return nil, fmt.Errorf("adapt: unsupported objective %v", cfg.Objective)
+	}
+	c := &Controller{truth: truth, pipe: pipe, src: src, dst: dst, cfg: cfg}
+	if err := c.replan(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Mapping returns the current mapping.
+func (c *Controller) Mapping() *model.Mapping { return c.mapping }
+
+// Estimate returns the controller's current view of the network.
+func (c *Controller) Estimate() *model.Network { return c.est }
+
+func (c *Controller) problemOn(net *model.Network) *model.Problem {
+	return &model.Problem{
+		Net:  net,
+		Pipe: c.pipe,
+		Src:  c.src,
+		Dst:  c.dst,
+		Cost: model.DefaultCostOptions(),
+	}
+}
+
+func (c *Controller) replan() error {
+	est, err := measure.EstimateNetwork(c.truth, c.cfg.Probe)
+	if err != nil {
+		return fmt.Errorf("adapt: probing: %w", err)
+	}
+	c.est = est
+	p := c.problemOn(est)
+	var m *model.Mapping
+	switch c.cfg.Objective {
+	case model.MinDelay:
+		m, err = core.MinDelay(p)
+	case model.MaxFrameRate:
+		m, err = core.MaxFrameRate(p)
+	}
+	if err != nil {
+		return fmt.Errorf("adapt: planning: %w", err)
+	}
+	c.mapping = m
+	return nil
+}
+
+// predicted returns the model's expectation on the *estimated* network.
+func (c *Controller) predicted() float64 {
+	p := c.problemOn(c.est)
+	if c.cfg.Objective == model.MinDelay {
+		return model.TotalDelay(p.Net, p.Pipe, c.mapping, model.CostOptions{IncludeMLDInDelay: true})
+	}
+	return model.SharedBottleneck(p.Net, p.Pipe, c.mapping)
+}
+
+// Step runs one monitoring epoch against the (possibly mutated) truth
+// network: stream an epoch of frames through the current mapping, compare
+// measurement with prediction, and re-plan when drift exceeds the
+// threshold.
+func (c *Controller) Step() (Epoch, error) {
+	p := c.problemOn(c.truth)
+	frames := c.cfg.FramesPerEpoch
+	if c.cfg.Objective == model.MinDelay {
+		frames = 1
+	}
+	res, err := sim.Simulate(p, c.mapping, sim.Config{Frames: frames})
+	if err != nil {
+		return Epoch{}, fmt.Errorf("adapt: epoch simulation: %w", err)
+	}
+	measured := res.FirstFrameDelay
+	if c.cfg.Objective == model.MaxFrameRate {
+		measured = res.SteadyPeriod
+	}
+	predicted := c.predicted()
+	drift := math.Inf(1)
+	if predicted > 0 {
+		drift = math.Abs(measured-predicted) / predicted
+	}
+	ep := Epoch{
+		Index:     c.epoch,
+		Mapping:   c.mapping,
+		Predicted: predicted,
+		Measured:  measured,
+		Drift:     drift,
+	}
+	c.epoch++
+	if drift > c.cfg.DriftThreshold {
+		if err := c.replan(); err != nil {
+			return ep, err
+		}
+		ep.Replanned = true
+	}
+	return ep, nil
+}

@@ -1,0 +1,153 @@
+package adapt_test
+
+import (
+	"testing"
+
+	"elpc/internal/adapt"
+	"elpc/internal/gen"
+	"elpc/internal/measure"
+	"elpc/internal/model"
+)
+
+func controllerFixture(t *testing.T, obj model.Objective, noise float64) (*adapt.Controller, *model.Network) {
+	t.Helper()
+	truth, err := gen.Network(12, 60, gen.DefaultRanges(), gen.RNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := gen.Pipeline(6, gen.DefaultRanges(), gen.RNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := adapt.New(truth, pipe, 0, 11, adapt.Config{
+		Objective: obj,
+		Probe: measure.ProbeConfig{
+			Sizes:    measure.DefaultProbeSizes(),
+			Repeats:  6,
+			NoiseStd: noise,
+			Rng:      gen.RNG(10),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, truth
+}
+
+func TestStableEnvironmentNoReplan(t *testing.T) {
+	// Noise-free probes: prediction matches measurement exactly, so no
+	// epoch may trigger a re-plan.
+	c, _ := controllerFixture(t, model.MinDelay, 0)
+	for i := 0; i < 5; i++ {
+		ep, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep.Index != i {
+			t.Errorf("epoch index = %d, want %d", ep.Index, i)
+		}
+		if ep.Replanned {
+			t.Errorf("epoch %d re-planned in a stable noise-free environment (drift %.3f)", i, ep.Drift)
+		}
+		if ep.Drift > 1e-9 {
+			t.Errorf("epoch %d drift %v, want ~0", i, ep.Drift)
+		}
+	}
+}
+
+func TestDegradationTriggersReplanAndRecovers(t *testing.T) {
+	c, truth := controllerFixture(t, model.MinDelay, 0)
+	base, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Replanned {
+		t.Fatal("baseline epoch should not re-plan")
+	}
+
+	// Degrade every link on the current mapping's walk by 50x.
+	walk := c.Mapping().Walk()
+	degraded := 0
+	for i := 0; i+1 < len(walk); i++ {
+		if link, ok := truth.LinkBetween(walk[i], walk[i+1]); ok {
+			truth.Links[link.ID].BWMbps /= 50
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Skip("mapping is single-node; nothing to degrade")
+	}
+
+	ep, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ep.Replanned {
+		t.Fatalf("drift %.3f did not trigger re-planning after 50x degradation", ep.Drift)
+	}
+	if ep.Measured <= base.Measured {
+		t.Errorf("measured delay %v did not degrade from %v", ep.Measured, base.Measured)
+	}
+
+	// After re-planning the controller's prediction must line up again.
+	after, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Replanned {
+		t.Errorf("still re-planning after recovery (drift %.3f)", after.Drift)
+	}
+	if after.Measured > ep.Measured {
+		t.Errorf("recovered delay %v worse than degraded %v", after.Measured, ep.Measured)
+	}
+}
+
+func TestFrameRateObjectiveLoop(t *testing.T) {
+	c, truth := controllerFixture(t, model.MaxFrameRate, 0)
+	ep, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Replanned || ep.Drift > 1e-6 {
+		t.Errorf("stable streaming epoch drifted: %+v", ep)
+	}
+	// Degrade the bottleneck-adjacent links and expect adaptation.
+	walk := c.Mapping().Walk()
+	for i := 0; i+1 < len(walk); i++ {
+		if link, ok := truth.LinkBetween(walk[i], walk[i+1]); ok {
+			truth.Links[link.ID].BWMbps /= 100
+		}
+	}
+	ep2, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ep2.Replanned {
+		t.Errorf("streaming controller did not adapt (drift %.3f)", ep2.Drift)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	truth, err := gen.Network(6, 20, gen.DefaultRanges(), gen.RNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := gen.Pipeline(4, gen.DefaultRanges(), gen.RNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := measure.ProbeConfig{Sizes: measure.DefaultProbeSizes(), Repeats: 2}
+	if _, err := adapt.New(truth, pipe, 0, 5, adapt.Config{Objective: model.Objective(9), Probe: probe}); err == nil {
+		t.Error("bad objective should error")
+	}
+	if _, err := adapt.New(truth, pipe, 0, 5, adapt.Config{Objective: model.MinDelay, Probe: measure.ProbeConfig{}}); err == nil {
+		t.Error("bad probe config should error")
+	}
+	c, err := adapt.New(truth, pipe, 0, 5, adapt.Config{Objective: model.MinDelay, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mapping() == nil || c.Estimate() == nil {
+		t.Error("controller not initialized")
+	}
+}

@@ -1,0 +1,265 @@
+package baseline_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"elpc/internal/baseline"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+func buildNet(t *testing.T, powers []float64, links [][4]float64) *model.Network {
+	t.Helper()
+	nodes := make([]model.Node, len(powers))
+	for i, p := range powers {
+		nodes[i] = model.Node{ID: model.NodeID(i), Power: p}
+	}
+	ls := make([]model.Link, len(links))
+	for i, l := range links {
+		ls[i] = model.Link{ID: i, From: model.NodeID(l[0]), To: model.NodeID(l[1]), BWMbps: l[2], MLDms: l[3]}
+	}
+	n, err := model.NewNetwork(nodes, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func buildPipe(t *testing.T, srcOut float64, stages [][2]float64) *model.Pipeline {
+	t.Helper()
+	mods := []model.Module{{ID: 0, OutBytes: srcOut}}
+	prev := srcOut
+	for i, s := range stages {
+		mods = append(mods, model.Module{ID: i + 1, Complexity: s[0], InBytes: prev, OutBytes: s[1]})
+		prev = s[1]
+	}
+	p, err := model.NewPipeline(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func diamondProblem(t *testing.T) *model.Problem {
+	net := buildNet(t, []float64{1000, 100, 10000, 1000}, [][4]float64{
+		{0, 1, 80, 1}, {0, 2, 80, 1}, {1, 3, 80, 1}, {2, 3, 80, 1},
+	})
+	pl := buildPipe(t, 1000, [][2]float64{{100, 1000}, {100, 0}})
+	return &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 3, Cost: model.DefaultCostOptions()}
+}
+
+func TestGreedyProducesValidMappings(t *testing.T) {
+	g := baseline.Greedy{}
+	for seed := uint64(0); seed < 120; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed), 6, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, obj := range []model.Objective{model.MinDelay, model.MaxFrameRate} {
+			m, err := g.Map(p, obj)
+			if err != nil {
+				if !errors.Is(err, model.ErrInfeasible) {
+					t.Errorf("seed %d %v: unexpected error type: %v", seed, obj, err)
+				}
+				continue
+			}
+			if err := p.ValidateMapping(m, obj); err != nil {
+				t.Errorf("seed %d %v: invalid greedy mapping: %v", seed, obj, err)
+			}
+		}
+	}
+}
+
+func TestGreedyPicksLocallyBestNeighbor(t *testing.T) {
+	p := diamondProblem(t)
+	m, err := (baseline.Greedy{}).Map(p, model.MaxFrameRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy evaluates both middle nodes and picks v2 (fast) because its
+	// local bottleneck is smaller.
+	if m.Assign[1] != 2 {
+		t.Errorf("greedy middle node = %d, want 2", m.Assign[1])
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	// One-way line longer than the pipeline.
+	net := buildNet(t, []float64{100, 100, 100, 100}, [][4]float64{
+		{0, 1, 8, 1}, {1, 2, 8, 1}, {2, 3, 8, 1},
+	})
+	pl := buildPipe(t, 1000, [][2]float64{{10, 0}})
+	p := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 3, Cost: model.DefaultCostOptions()}
+	if _, err := (baseline.Greedy{}).Map(p, model.MinDelay); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	// More modules than nodes without reuse.
+	net2 := buildNet(t, []float64{100, 100}, [][4]float64{{0, 1, 8, 1}, {1, 0, 8, 1}})
+	pl3 := buildPipe(t, 1000, [][2]float64{{10, 500}, {10, 0}})
+	p2 := &model.Problem{Net: net2, Pipe: pl3, Src: 0, Dst: 1, Cost: model.DefaultCostOptions()}
+	if _, err := (baseline.Greedy{}).Map(p2, model.MaxFrameRate); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := (baseline.Greedy{}).Map(p2, model.Objective(42)); err == nil {
+		t.Error("unknown objective should error")
+	}
+}
+
+func TestStreamlineProducesValidMappings(t *testing.T) {
+	s := baseline.Streamline{}
+	feasible := 0
+	for seed := uint64(0); seed < 120; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+333), 6, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, obj := range []model.Objective{model.MinDelay, model.MaxFrameRate} {
+			m, err := s.Map(p, obj)
+			if err != nil {
+				if !errors.Is(err, model.ErrInfeasible) {
+					t.Errorf("seed %d %v: unexpected error type: %v", seed, obj, err)
+				}
+				continue
+			}
+			feasible++
+			if err := p.ValidateMapping(m, obj); err != nil {
+				t.Errorf("seed %d %v: invalid streamline mapping: %v", seed, obj, err)
+			}
+		}
+	}
+	if feasible == 0 {
+		t.Error("streamline never produced a mapping")
+	}
+}
+
+func TestStreamlineAssignsBestResourceToNeediestStage(t *testing.T) {
+	// Complete bidirectional triangle + 2 extra nodes; one node is vastly
+	// faster. The single middle stage must land on the fastest non-pinned
+	// node when links are uniform.
+	net := buildNet(t, []float64{100, 100000, 100, 100}, [][4]float64{
+		{0, 1, 80, 1}, {1, 0, 80, 1},
+		{0, 2, 80, 1}, {2, 0, 80, 1},
+		{1, 3, 80, 1}, {3, 1, 80, 1},
+		{2, 3, 80, 1}, {3, 2, 80, 1},
+		{0, 3, 80, 1}, {3, 0, 80, 1},
+		{1, 2, 80, 1}, {2, 1, 80, 1},
+	})
+	pl := buildPipe(t, 1000, [][2]float64{{100, 1000}, {100, 0}})
+	p := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 3, Cost: model.DefaultCostOptions()}
+	m, err := (baseline.Streamline{}).Map(p, model.MaxFrameRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Assign[1] != 1 {
+		t.Errorf("streamline placed needy stage on %d, want fastest node 1 (%v)", m.Assign[1], m)
+	}
+}
+
+func TestStreamlineInfeasibleSmall(t *testing.T) {
+	net := buildNet(t, []float64{100, 100}, [][4]float64{{0, 1, 8, 1}, {1, 0, 8, 1}})
+	pl3 := buildPipe(t, 1000, [][2]float64{{10, 500}, {10, 0}})
+	p := &model.Problem{Net: net, Pipe: pl3, Src: 0, Dst: 1, Cost: model.DefaultCostOptions()}
+	if _, err := (baseline.Streamline{}).Map(p, model.MaxFrameRate); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := (baseline.Streamline{}).Map(p, model.Objective(7)); err == nil {
+		t.Error("unknown objective should error")
+	}
+	// src == dst without reuse.
+	p2 := &model.Problem{Net: net, Pipe: pl3, Src: 0, Dst: 0, Cost: model.DefaultCostOptions()}
+	if _, err := (baseline.Streamline{}).Map(p2, model.MaxFrameRate); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("src==dst err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBruteMatchesHandOptimum(t *testing.T) {
+	p := diamondProblem(t)
+	b := baseline.Brute{}
+	m, err := b.Map(p, model.MaxFrameRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := model.Bottleneck(p.Net, p.Pipe, m); math.Abs(got-100) > 1e-9 {
+		t.Errorf("brute FR bottleneck = %v, want 100", got)
+	}
+	md, err := b.Map(p, model.MinDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateMapping(md, model.MinDelay); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteInfeasibleAndLimits(t *testing.T) {
+	net := buildNet(t, []float64{100, 100, 100, 100}, [][4]float64{
+		{0, 1, 8, 1}, {1, 2, 8, 1}, {2, 3, 8, 1},
+	})
+	pl := buildPipe(t, 1000, [][2]float64{{10, 0}})
+	p := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 3, Cost: model.DefaultCostOptions()}
+	b := baseline.Brute{}
+	if _, err := b.Map(p, model.MinDelay); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+	if _, err := b.Map(p, model.MaxFrameRate); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("FR err = %v, want ErrInfeasible", err)
+	}
+	if _, err := b.Map(p, model.Objective(9)); err == nil {
+		t.Error("unknown objective should error")
+	}
+	// Tiny limit trips the budget error.
+	tiny := baseline.Brute{Limit: 1}
+	p2, err := gen.RandomTinyProblem(gen.RNG(4), 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tiny.Map(p2, model.MinDelay); err == nil {
+		t.Error("limit=1 should error")
+	}
+}
+
+func TestRandomMapper(t *testing.T) {
+	r := &baseline.Random{Rng: gen.RNG(11)}
+	valid := 0
+	for seed := uint64(0); seed < 60; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+777), 5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, obj := range []model.Objective{model.MinDelay, model.MaxFrameRate} {
+			m, err := r.Map(p, obj)
+			if err != nil {
+				continue
+			}
+			valid++
+			if err := p.ValidateMapping(m, obj); err != nil {
+				t.Errorf("seed %d %v: invalid random mapping: %v", seed, obj, err)
+			}
+		}
+	}
+	if valid == 0 {
+		t.Error("random mapper never succeeded")
+	}
+	if _, err := (&baseline.Random{}).Map(diamondProblem(t), model.MinDelay); err == nil {
+		t.Error("nil Rng should error")
+	}
+	if _, err := r.Map(diamondProblem(t), model.Objective(8)); err == nil {
+		t.Error("unknown objective should error")
+	}
+}
+
+func TestMapperNames(t *testing.T) {
+	names := map[string]model.Mapper{
+		"Greedy":     baseline.Greedy{},
+		"Streamline": baseline.Streamline{},
+		"Brute":      baseline.Brute{},
+		"Random":     &baseline.Random{},
+	}
+	for want, m := range names {
+		if m.Name() != want {
+			t.Errorf("Name = %q, want %q", m.Name(), want)
+		}
+	}
+}

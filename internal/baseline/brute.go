@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"elpc/internal/model"
+)
+
+// Brute is an exhaustive exact solver used to verify the ELPC algorithms on
+// small instances (DESIGN.md experiments E8/E9). It enumerates every
+// structurally valid mapping:
+//
+//   - MinDelay: all walks of module assignments where each module stays on
+//     its predecessor's node or crosses an existing link (node reuse
+//     allowed) — exponential in the pipeline length;
+//   - MaxFrameRate: all simple paths with exactly one node per module —
+//     the NP-complete exact-hop problem, solved by branch-and-bound DFS.
+//
+// MaxNodesTimesModules guards against accidental use on large instances.
+type Brute struct {
+	// Limit bounds n_nodes^n_modules-ish search effort; 0 means the
+	// DefaultBruteLimit.
+	Limit int
+}
+
+// DefaultBruteLimit is the default expansion budget for Brute.
+const DefaultBruteLimit = 20_000_000
+
+var _ model.Mapper = Brute{}
+
+// Name implements model.Mapper.
+func (Brute) Name() string { return "Brute" }
+
+// Map implements model.Mapper.
+func (b Brute) Map(p *model.Problem, obj model.Objective) (*model.Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	limit := b.Limit
+	if limit <= 0 {
+		limit = DefaultBruteLimit
+	}
+	switch obj {
+	case model.MinDelay:
+		return bruteMinDelay(p, limit)
+	case model.MaxFrameRate:
+		return bruteMaxFrameRate(p, limit)
+	default:
+		return nil, fmt.Errorf("baseline: Brute: unknown objective %v: %w", obj, model.ErrInfeasible)
+	}
+}
+
+func bruteMinDelay(p *model.Problem, limit int) (*model.Mapping, error) {
+	n := p.Pipe.N()
+	topo := p.Net.Topology()
+	best := math.Inf(1)
+	var bestAssign []model.NodeID
+	assign := make([]model.NodeID, n)
+	assign[0] = p.Src
+	expansions := 0
+
+	var dfs func(j int, cur model.NodeID, delay float64)
+	dfs = func(j int, cur model.NodeID, delay float64) {
+		expansions++
+		if expansions > limit {
+			return
+		}
+		if delay >= best { // bound: delay only grows
+			return
+		}
+		if j == n {
+			if cur == p.Dst {
+				best = delay
+				bestAssign = append(bestAssign[:0], assign...)
+			}
+			return
+		}
+		inBytes := p.Pipe.Modules[j].InBytes
+		// Stay.
+		assign[j] = cur
+		dfs(j+1, cur, delay+p.Pipe.ComputeTime(j, p.Net.Power(cur)))
+		// Move across each out-link.
+		for _, eid := range topo.OutEdges(int(cur)) {
+			v := model.NodeID(topo.Edge(int(eid)).To)
+			link := p.Net.Links[eid]
+			assign[j] = v
+			dfs(j+1, v,
+				delay+p.Pipe.ComputeTime(j, p.Net.Power(v))+
+					link.TransferTime(inBytes, p.Cost.IncludeMLDInDelay))
+		}
+	}
+	dfs(1, p.Src, 0)
+	if expansions > limit {
+		return nil, fmt.Errorf("baseline: Brute: MinDelay search exceeded limit %d", limit)
+	}
+	if bestAssign == nil {
+		return nil, fmt.Errorf("baseline: Brute: no walk reaches destination: %w", model.ErrInfeasible)
+	}
+	return model.NewMapping(bestAssign), nil
+}
+
+func bruteMaxFrameRate(p *model.Problem, limit int) (*model.Mapping, error) {
+	n := p.Pipe.N()
+	k := p.Net.N()
+	if n > k || p.Src == p.Dst {
+		return nil, fmt.Errorf("baseline: Brute: no simple %d-node path possible: %w", n, model.ErrInfeasible)
+	}
+	topo := p.Net.Topology()
+	toDst := topo.HopsTo(int(p.Dst))
+	best := math.Inf(1)
+	var bestAssign []model.NodeID
+	assign := make([]model.NodeID, n)
+	assign[0] = p.Src
+	used := make([]bool, k)
+	used[p.Src] = true
+	expansions := 0
+
+	var dfs func(j int, cur model.NodeID, bottleneck float64)
+	dfs = func(j int, cur model.NodeID, bottleneck float64) {
+		expansions++
+		if expansions > limit {
+			return
+		}
+		if bottleneck >= best { // branch and bound
+			return
+		}
+		if j == n {
+			if cur == p.Dst {
+				best = bottleneck
+				bestAssign = append(bestAssign[:0], assign...)
+			}
+			return
+		}
+		remaining := n - 1 - j
+		inBytes := p.Pipe.Modules[j].InBytes
+		for _, eid := range topo.OutEdges(int(cur)) {
+			v := topo.Edge(int(eid)).To
+			if used[v] {
+				continue
+			}
+			if toDst[v] < 0 || toDst[v] > remaining {
+				continue
+			}
+			if remaining == 0 && model.NodeID(v) != p.Dst {
+				continue
+			}
+			compute := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v)))
+			transfer := p.Net.Links[eid].TransferTime(inBytes, false)
+			nb := math.Max(bottleneck, math.Max(compute, transfer))
+			used[v] = true
+			assign[j] = model.NodeID(v)
+			dfs(j+1, model.NodeID(v), nb)
+			used[v] = false
+		}
+	}
+	dfs(1, p.Src, 0)
+	if expansions > limit {
+		return nil, fmt.Errorf("baseline: Brute: MaxFrameRate search exceeded limit %d", limit)
+	}
+	if bestAssign == nil {
+		return nil, fmt.Errorf("baseline: Brute: no simple %d-node path from %d to %d: %w",
+			n, p.Src, p.Dst, model.ErrInfeasible)
+	}
+	return model.NewMapping(bestAssign), nil
+}

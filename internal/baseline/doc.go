@@ -1,0 +1,9 @@
+// Package baseline implements the comparison algorithms of the paper's
+// Section 3.2–3.3 — the Streamline grid-scheduling heuristic adapted to
+// linear pipelines and a Greedy local mapper — plus exhaustive exact solvers
+// used to verify ELPC's optimality claims on small instances, and a random
+// mapper serving as a sanity floor.
+//
+// All mappers implement model.Mapper and produce model.Mapping values scored
+// by the shared cost evaluator, so no algorithm grades its own homework.
+package baseline

@@ -1,0 +1,179 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// Greedy is the paper's Greedy mapper (Section 3.3): it walks the pipeline
+// left to right and, for each new module, evaluates mapping it onto the
+// current node (when node reuse is allowed) or one of the current node's
+// neighbors, choosing the locally cheapest option without regard for later
+// consequences. Complexity O(n_modules · n_nodes).
+//
+// Two documented adaptations make the local strategy well-defined on
+// arbitrary topologies (the paper notes infeasible cases exist but does not
+// specify handling):
+//
+//   - a reachability guard: a candidate node is only considered if the
+//     destination is still reachable within the remaining module budget
+//     (computed from a one-time reverse BFS), and
+//   - the final module is forced onto the designated destination node.
+//
+// Without the guard the greedy walk frequently strands in dead ends, which
+// would make the comparison against ELPC meaninglessly easy.
+type Greedy struct{}
+
+var _ model.Mapper = Greedy{}
+
+// Name implements model.Mapper.
+func (Greedy) Name() string { return "Greedy" }
+
+// Map implements model.Mapper.
+func (g Greedy) Map(p *model.Problem, obj model.Objective) (*model.Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch obj {
+	case model.MinDelay:
+		return g.mapMinDelay(p)
+	case model.MaxFrameRate:
+		return g.mapMaxFrameRate(p)
+	default:
+		return nil, fmt.Errorf("baseline: Greedy: unknown objective %v: %w", obj, model.ErrInfeasible)
+	}
+}
+
+func (Greedy) mapMinDelay(p *model.Problem) (*model.Mapping, error) {
+	n := p.Pipe.N()
+	topo := p.Net.Topology()
+	toDst := topo.HopsTo(int(p.Dst))
+	if toDst[p.Src] == graph.Unreachable || toDst[p.Src] > n-1 {
+		return nil, fmt.Errorf("baseline: Greedy: destination unreachable within pipeline length: %w", model.ErrInfeasible)
+	}
+	assign := make([]model.NodeID, n)
+	assign[0] = p.Src
+	cur := p.Src
+	for j := 1; j < n; j++ {
+		remaining := n - 1 - j // moves still available after placing module j
+		inBytes := p.Pipe.Modules[j].InBytes
+		best := math.Inf(1)
+		bestNode := model.NodeID(-1)
+		// Stay on the current node (node reuse).
+		if toDst[cur] <= remaining {
+			best = p.Pipe.ComputeTime(j, p.Net.Power(cur))
+			bestNode = cur
+		}
+		// Or move to a neighbor.
+		for _, eid := range topo.OutEdges(int(cur)) {
+			v := topo.Edge(int(eid)).To
+			if toDst[v] == graph.Unreachable || toDst[v] > remaining {
+				continue
+			}
+			link := p.Net.Links[eid]
+			cand := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v))) +
+				link.TransferTime(inBytes, p.Cost.IncludeMLDInDelay)
+			if cand < best {
+				best = cand
+				bestNode = model.NodeID(v)
+			}
+		}
+		if bestNode < 0 {
+			return nil, fmt.Errorf("baseline: Greedy: stranded at node %d placing module %d: %w", cur, j, model.ErrInfeasible)
+		}
+		assign[j] = bestNode
+		cur = bestNode
+	}
+	return model.NewMapping(assign), nil
+}
+
+func (Greedy) mapMaxFrameRate(p *model.Problem) (*model.Mapping, error) {
+	n := p.Pipe.N()
+	k := p.Net.N()
+	if n > k {
+		return nil, fmt.Errorf("baseline: Greedy: %d modules exceed %d nodes without reuse: %w", n, k, model.ErrInfeasible)
+	}
+	if p.Src == p.Dst {
+		return nil, fmt.Errorf("baseline: Greedy: source equals destination without reuse: %w", model.ErrInfeasible)
+	}
+	topo := p.Net.Topology()
+	if hops := topo.HopsTo(int(p.Dst)); hops[p.Src] == graph.Unreachable || hops[p.Src] > n-1 {
+		return nil, fmt.Errorf("baseline: Greedy: destination unreachable within pipeline length: %w", model.ErrInfeasible)
+	}
+	assign := make([]model.NodeID, n)
+	assign[0] = p.Src
+	used := graph.NewBitset(k)
+	used.Set(int(p.Src))
+	cur := p.Src
+	bottleneck := 0.0
+	for j := 1; j < n; j++ {
+		remaining := n - 1 - j
+		inBytes := p.Pipe.Modules[j].InBytes
+		// Recompute the reachability guard over the not-yet-used subgraph
+		// so the local choice cannot strand the walk in an already-visited
+		// region. (Dead ends remain possible — hop distance ignores that
+		// the future path must itself be simple — but are much rarer; the
+		// paper notes such infeasible heuristic outcomes in Section 4.3.)
+		toDst := hopsToAvoiding(topo, int(p.Dst), used)
+		bestPeak := math.Inf(1)
+		bestLocal := math.Inf(1)
+		bestNode := model.NodeID(-1)
+		for _, eid := range topo.OutEdges(int(cur)) {
+			v := topo.Edge(int(eid)).To
+			if used.Has(v) {
+				continue
+			}
+			if toDst[v] == graph.Unreachable || toDst[v] > remaining {
+				continue
+			}
+			// The destination may only be entered on the final hop.
+			if (remaining == 0) != (model.NodeID(v) == p.Dst) {
+				continue
+			}
+			compute := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v)))
+			transfer := p.Net.Links[eid].TransferTime(inBytes, false)
+			local := math.Max(compute, transfer)
+			peak := math.Max(bottleneck, local)
+			if peak < bestPeak || (peak == bestPeak && local < bestLocal) {
+				bestPeak = peak
+				bestLocal = local
+				bestNode = model.NodeID(v)
+			}
+		}
+		if bestNode < 0 {
+			return nil, fmt.Errorf("baseline: Greedy: stranded at node %d placing module %d without reuse: %w", cur, j, model.ErrInfeasible)
+		}
+		assign[j] = bestNode
+		used.Set(int(bestNode))
+		cur = bestNode
+		bottleneck = bestPeak
+	}
+	return model.NewMapping(assign), nil
+}
+
+// hopsToAvoiding is a reverse BFS of hop distances to dst over the subgraph
+// that excludes used nodes (dst itself is always allowed).
+func hopsToAvoiding(topo *graph.Graph, dst int, used graph.Bitset) []int {
+	dist := make([]int, topo.N())
+	for i := range dist {
+		dist[i] = graph.Unreachable
+	}
+	dist[dst] = 0
+	queue := []int{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range topo.InEdges(v) {
+			u := topo.Edge(int(eid)).From
+			if dist[u] != graph.Unreachable || (used.Has(u) && u != dst) {
+				continue
+			}
+			dist[u] = dist[v] + 1
+			queue = append(queue, u)
+		}
+	}
+	return dist
+}

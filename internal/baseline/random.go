@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// Random maps the pipeline along a uniformly random feasible walk (MinDelay)
+// or random simple path (MaxFrameRate). It is the sanity floor in ablation
+// tables: any heuristic worth reporting must beat it.
+type Random struct {
+	Rng *rand.Rand
+	// Attempts bounds the number of restart attempts for the no-reuse
+	// random path; 0 means DefaultRandomAttempts.
+	Attempts int
+}
+
+// DefaultRandomAttempts is the default restart budget for Random.
+const DefaultRandomAttempts = 64
+
+var _ model.Mapper = (*Random)(nil)
+
+// Name implements model.Mapper.
+func (*Random) Name() string { return "Random" }
+
+// Map implements model.Mapper.
+func (r *Random) Map(p *model.Problem, obj model.Objective) (*model.Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Rng == nil {
+		return nil, fmt.Errorf("baseline: Random: nil Rng")
+	}
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = DefaultRandomAttempts
+	}
+	switch obj {
+	case model.MinDelay:
+		return r.randomWalk(p)
+	case model.MaxFrameRate:
+		for try := 0; try < attempts; try++ {
+			if m, err := r.randomSimplePath(p); err == nil {
+				return m, nil
+			}
+		}
+		return nil, fmt.Errorf("baseline: Random: no simple path found in %d attempts: %w", attempts, model.ErrInfeasible)
+	default:
+		return nil, fmt.Errorf("baseline: Random: unknown objective %v: %w", obj, model.ErrInfeasible)
+	}
+}
+
+func (r *Random) randomWalk(p *model.Problem) (*model.Mapping, error) {
+	n := p.Pipe.N()
+	topo := p.Net.Topology()
+	toDst := topo.HopsTo(int(p.Dst))
+	if toDst[p.Src] == graph.Unreachable || toDst[p.Src] > n-1 {
+		return nil, fmt.Errorf("baseline: Random: destination unreachable within pipeline length: %w", model.ErrInfeasible)
+	}
+	assign := make([]model.NodeID, n)
+	assign[0] = p.Src
+	cur := p.Src
+	for j := 1; j < n; j++ {
+		remaining := n - 1 - j
+		cands := make([]model.NodeID, 0, topo.OutDegree(int(cur))+1)
+		if toDst[cur] <= remaining {
+			cands = append(cands, cur)
+		}
+		for _, eid := range topo.OutEdges(int(cur)) {
+			v := topo.Edge(int(eid)).To
+			if toDst[v] != graph.Unreachable && toDst[v] <= remaining {
+				cands = append(cands, model.NodeID(v))
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("baseline: Random: stranded placing module %d: %w", j, model.ErrInfeasible)
+		}
+		cur = cands[r.Rng.IntN(len(cands))]
+		assign[j] = cur
+	}
+	return model.NewMapping(assign), nil
+}
+
+func (r *Random) randomSimplePath(p *model.Problem) (*model.Mapping, error) {
+	n := p.Pipe.N()
+	k := p.Net.N()
+	if n > k || p.Src == p.Dst {
+		return nil, model.ErrInfeasible
+	}
+	topo := p.Net.Topology()
+	toDst := topo.HopsTo(int(p.Dst))
+	assign := make([]model.NodeID, n)
+	assign[0] = p.Src
+	used := graph.NewBitset(k)
+	used.Set(int(p.Src))
+	cur := p.Src
+	for j := 1; j < n; j++ {
+		remaining := n - 1 - j
+		cands := make([]model.NodeID, 0, topo.OutDegree(int(cur)))
+		for _, eid := range topo.OutEdges(int(cur)) {
+			v := topo.Edge(int(eid)).To
+			if used.Has(v) || toDst[v] == graph.Unreachable || toDst[v] > remaining {
+				continue
+			}
+			// The destination may only be entered on the final hop.
+			if (remaining == 0) != (model.NodeID(v) == p.Dst) {
+				continue
+			}
+			cands = append(cands, model.NodeID(v))
+		}
+		if len(cands) == 0 {
+			return nil, model.ErrInfeasible
+		}
+		cur = cands[r.Rng.IntN(len(cands))]
+		used.Set(int(cur))
+		assign[j] = cur
+	}
+	return model.NewMapping(assign), nil
+}

@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// Streamline is the grid scheduling heuristic of Agarwalla et al. (MMCN'06)
+// adapted to linear pipelines, as used for comparison in the paper's
+// Section 3.2. Streamline is a "global greedy" algorithm: it estimates each
+// stage's resource need (computation + communication), ranks stages from
+// neediest to least needy, and assigns the best available resource to the
+// neediest stage first. Complexity O(n_modules · n_nodes²).
+//
+// Adaptation to arbitrary (non-complete) topologies, documented per
+// DESIGN.md: the original Streamline assumes n×n connectivity, so resource
+// scoring here is connectivity-aware — when an adjacent stage is already
+// placed, a candidate node must have the required directed link (missing
+// links score +Inf); when the neighbor is not yet placed, the candidate is
+// scored optimistically with the network's best bandwidth. The source and
+// sink stages are pinned to the designated source/destination nodes, as in
+// our other mappers.
+type Streamline struct{}
+
+var _ model.Mapper = Streamline{}
+
+// Name implements model.Mapper.
+func (Streamline) Name() string { return "Streamline" }
+
+// Map implements model.Mapper.
+func (s Streamline) Map(p *model.Problem, obj model.Objective) (*model.Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if obj != model.MinDelay && obj != model.MaxFrameRate {
+		return nil, fmt.Errorf("baseline: Streamline: unknown objective %v: %w", obj, model.ErrInfeasible)
+	}
+	noReuse := obj == model.MaxFrameRate
+	n := p.Pipe.N()
+	k := p.Net.N()
+	if noReuse && n > k {
+		return nil, fmt.Errorf("baseline: Streamline: %d modules exceed %d nodes without reuse: %w", n, k, model.ErrInfeasible)
+	}
+	if noReuse && p.Src == p.Dst {
+		return nil, fmt.Errorf("baseline: Streamline: source equals destination without reuse: %w", model.ErrInfeasible)
+	}
+
+	// Stage needs estimated against average resources (Streamline's "rank
+	// stages by requirement" step).
+	avgPower := 0.0
+	for _, nd := range p.Net.Nodes {
+		avgPower += nd.Power
+	}
+	avgPower /= float64(k)
+	avgBW, bestBW := 0.0, 0.0
+	for _, l := range p.Net.Links {
+		avgBW += l.BytesPerMs()
+		if l.BytesPerMs() > bestBW {
+			bestBW = l.BytesPerMs()
+		}
+	}
+	avgBW /= float64(p.Net.M())
+
+	type stageNeed struct {
+		j    int
+		need float64
+	}
+	needs := make([]stageNeed, 0, n-2)
+	for j := 1; j < n-1; j++ {
+		need := p.Pipe.ComputeOps(j)/avgPower +
+			(p.Pipe.Modules[j].InBytes+p.Pipe.OutBytes(j))/avgBW
+		needs = append(needs, stageNeed{j: j, need: need})
+	}
+	sort.SliceStable(needs, func(a, b int) bool {
+		if needs[a].need != needs[b].need {
+			return needs[a].need > needs[b].need // neediest first
+		}
+		return needs[a].j < needs[b].j
+	})
+
+	assign := make([]model.NodeID, n)
+	placed := make([]bool, n)
+	assign[0], placed[0] = p.Src, true
+	assign[n-1], placed[n-1] = p.Dst, true
+	used := graph.NewBitset(k)
+	used.Set(int(p.Src))
+	used.Set(int(p.Dst))
+
+	score := func(j, v int) float64 {
+		compute := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v)))
+		left, right := math.Inf(1), math.Inf(1)
+		inBytes := p.Pipe.Modules[j].InBytes
+		outBytes := p.Pipe.OutBytes(j)
+		if placed[j-1] {
+			u := assign[j-1]
+			switch {
+			case u == model.NodeID(v) && !noReuse:
+				left = 0
+			default:
+				if link, ok := p.Net.LinkBetween(u, model.NodeID(v)); ok {
+					left = link.TransferTime(inBytes, p.Cost.IncludeMLDInDelay && obj == model.MinDelay)
+				}
+			}
+		} else {
+			left = inBytes / bestBW // optimistic
+		}
+		if placed[j+1] {
+			w := assign[j+1]
+			switch {
+			case w == model.NodeID(v) && !noReuse:
+				right = 0
+			default:
+				if link, ok := p.Net.LinkBetween(model.NodeID(v), w); ok {
+					right = link.TransferTime(outBytes, p.Cost.IncludeMLDInDelay && obj == model.MinDelay)
+				}
+			}
+		} else {
+			right = outBytes / bestBW // optimistic
+		}
+		if obj == model.MinDelay {
+			return compute + left + right
+		}
+		return math.Max(compute, math.Max(left, right))
+	}
+
+	for _, sn := range needs {
+		j := sn.j
+		best := math.Inf(1)
+		bestNode := -1
+		for v := 0; v < k; v++ {
+			if noReuse && used.Has(v) {
+				continue
+			}
+			if sc := score(j, v); sc < best {
+				best = sc
+				bestNode = v
+			}
+		}
+		if bestNode < 0 || math.IsInf(best, 1) {
+			return nil, fmt.Errorf("baseline: Streamline: no viable resource for stage %d: %w", j, model.ErrInfeasible)
+		}
+		assign[j] = model.NodeID(bestNode)
+		placed[j] = true
+		used.Set(bestNode)
+	}
+
+	m := model.NewMapping(assign)
+	if err := p.ValidateMapping(m, obj); err != nil {
+		// Streamline's neediness order can still strand stages whose both
+		// neighbors were unplaced at decision time; the paper counts such
+		// cases as infeasible for the heuristic.
+		return nil, fmt.Errorf("baseline: Streamline: produced invalid mapping (%v): %w", err, model.ErrInfeasible)
+	}
+	return m, nil
+}

@@ -1,0 +1,344 @@
+// Package cli implements the elpc command-line tool (cmd/elpc): instance
+// generation, mapping, simulation, and network measurement as composable
+// subcommands over JSON instance files. The logic lives here rather than in
+// package main so it is unit-testable.
+package cli
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"elpc/internal/baseline"
+	"elpc/internal/core"
+	"elpc/internal/dataset"
+	"elpc/internal/gen"
+	"elpc/internal/measure"
+	"elpc/internal/model"
+	"elpc/internal/refine"
+	"elpc/internal/sim"
+	"elpc/internal/viz"
+)
+
+// Env bundles the I/O environment so tests can capture output.
+type Env struct {
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// Main dispatches the subcommand. args excludes the program name.
+func Main(env Env, args []string) error {
+	if len(args) == 0 {
+		usage(env.Stderr)
+		return errors.New("missing subcommand")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(env, args[1:])
+	case "map":
+		return cmdMap(env, args[1:])
+	case "simulate":
+		return cmdSimulate(env, args[1:])
+	case "probe":
+		return cmdProbe(env, args[1:])
+	case "show":
+		return cmdShow(env, args[1:])
+	case "help", "-h", "--help":
+		usage(env.Stdout)
+		return nil
+	default:
+		usage(env.Stderr)
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `elpc — pipeline mapping over distributed networks (IPDPS'08 reproduction)
+
+Subcommands:
+  gen       generate a random problem instance (JSON or the paper's text format)
+  map       map a pipeline onto a network with a chosen algorithm
+  simulate  replay a mapping in the discrete-event simulator
+  probe     estimate a network's link/node parameters by synthetic probing
+  show      summarize an instance (dimensions, adjacency matrix)
+  help      show this message
+
+Instance files ending in .txt use the paper's dataset format (module/node/
+link parameter records); anything else is JSON.
+
+Run 'elpc <subcommand> -h' for flags.
+`)
+}
+
+// instance is the on-disk JSON bundle produced by gen and consumed by map.
+type instance struct {
+	Network  *model.Network  `json:"network"`
+	Pipeline *model.Pipeline `json:"pipeline"`
+	Src      model.NodeID    `json:"src"`
+	Dst      model.NodeID    `json:"dst"`
+}
+
+func writeJSON(path string, v any, stdout io.Writer) error {
+	var w io.Writer = stdout
+	var f *os.File
+	if path != "" && path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func readInstance(path string) (*model.Problem, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".txt") {
+		p, err := dataset.Read(strings.NewReader(string(data)))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		return p, nil
+	}
+	var inst instance
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	p := &model.Problem{
+		Net:  inst.Network,
+		Pipe: inst.Pipeline,
+		Src:  inst.Src,
+		Dst:  inst.Dst,
+		Cost: model.DefaultCostOptions(),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// writeInstance writes in the format implied by the path extension.
+func writeInstance(path string, p *model.Problem, stdout io.Writer) error {
+	if strings.HasSuffix(path, ".txt") {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return dataset.Write(f, p)
+	}
+	return writeJSON(path, instance{Network: p.Net, Pipeline: p.Pipe, Src: p.Src, Dst: p.Dst}, stdout)
+}
+
+func cmdGen(env Env, args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	modules := fs.Int("modules", 8, "pipeline modules (>= 2)")
+	nodes := fs.Int("nodes", 12, "network nodes")
+	links := fs.Int("links", 48, "directed links")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("o", "-", "output file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := gen.CaseSpec{ID: 0, Modules: *modules, Nodes: *nodes, Links: *links, Seed: *seed}
+	p, err := gen.Problem(spec, gen.DefaultRanges(), gen.RNG(*seed))
+	if err != nil {
+		return err
+	}
+	return writeInstance(*out, p, env.Stdout)
+}
+
+func cmdShow(env Env, args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	in := fs.String("i", "", "instance file (required)")
+	matrixMax := fs.Int("matrix", 40, "max nodes to render in the adjacency matrix (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("show: -i instance file is required")
+	}
+	p, err := readInstance(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(env.Stdout, "pipeline: %d modules, total %.3g ops\n", p.Pipe.N(), p.Pipe.TotalOps())
+	for _, m := range p.Pipe.Modules {
+		fmt.Fprintf(env.Stdout, "  M%-3d c=%-8.4g in=%-10.4g out=%-10.4g %s\n",
+			m.ID, m.Complexity, m.InBytes, m.OutBytes, m.Name)
+	}
+	fmt.Fprintf(env.Stdout, "network: %d nodes, %d links | source v%d -> destination v%d\n",
+		p.Net.N(), p.Net.M(), p.Src, p.Dst)
+	fmt.Fprint(env.Stdout, dataset.AdjacencyMatrix(p.Net, *matrixMax))
+	return nil
+}
+
+// algoByName resolves the algorithm flag.
+func algoByName(name string) (model.Mapper, error) {
+	switch strings.ToLower(name) {
+	case "elpc":
+		return core.Mapper{}, nil
+	case "streamline":
+		return baseline.Streamline{}, nil
+	case "greedy":
+		return baseline.Greedy{}, nil
+	case "brute":
+		return baseline.Brute{}, nil
+	case "elpc+reuse", "reuse":
+		return refine.Mapper{}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want elpc, streamline, greedy, brute, or elpc+reuse)", name)
+	}
+}
+
+func objectiveByName(name string) (model.Objective, error) {
+	switch strings.ToLower(name) {
+	case "delay", "min-delay":
+		return model.MinDelay, nil
+	case "rate", "framerate", "max-frame-rate":
+		return model.MaxFrameRate, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q (want delay or rate)", name)
+	}
+}
+
+func cmdMap(env Env, args []string) error {
+	fs := flag.NewFlagSet("map", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	in := fs.String("i", "", "instance JSON file (required)")
+	algo := fs.String("algo", "elpc", "algorithm: elpc, streamline, greedy, brute, elpc+reuse")
+	obj := fs.String("objective", "delay", "objective: delay or rate")
+	dot := fs.String("dot", "", "write a Graphviz DOT rendering to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("map: -i instance file is required")
+	}
+	p, err := readInstance(*in)
+	if err != nil {
+		return err
+	}
+	mapper, err := algoByName(*algo)
+	if err != nil {
+		return err
+	}
+	objective, err := objectiveByName(*obj)
+	if err != nil {
+		return err
+	}
+	m, err := mapper.Map(p, objective)
+	if err != nil {
+		return err
+	}
+	if err := viz.MappingText(env.Stdout, p, m); err != nil {
+		return err
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := viz.MappingDot(f, p, m, fmt.Sprintf("%s %s", *algo, *obj)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdSimulate(env Env, args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	in := fs.String("i", "", "instance JSON file (required)")
+	algo := fs.String("algo", "elpc", "algorithm: elpc, streamline, greedy, brute, elpc+reuse")
+	obj := fs.String("objective", "rate", "objective: delay or rate")
+	frames := fs.Int("frames", 200, "frames to stream")
+	pace := fs.Float64("pace", 0, "inter-arrival time in ms (0 = saturated source)")
+	gantt := fs.Int("gantt", -1, "render a resource Gantt chart of the first N frames (-1 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("simulate: -i instance file is required")
+	}
+	p, err := readInstance(*in)
+	if err != nil {
+		return err
+	}
+	mapper, err := algoByName(*algo)
+	if err != nil {
+		return err
+	}
+	objective, err := objectiveByName(*obj)
+	if err != nil {
+		return err
+	}
+	m, err := mapper.Map(p, objective)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Simulate(p, m, sim.Config{Frames: *frames, InterArrivalMs: *pace, Trace: *gantt >= 0})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(env.Stdout, "mapping: %s\n", m)
+	fmt.Fprintf(env.Stdout, "first frame delay: %.3f ms (Eq.1 predicts %.3f)\n",
+		res.FirstFrameDelay, sim.PredictDelay(p, m))
+	if res.SteadyPeriod > 0 {
+		fmt.Fprintf(env.Stdout, "steady period: %.3f ms => %.2f fps (Eq.2 bottleneck predicts %.3f ms)\n",
+			res.SteadyPeriod, res.MeasuredRate(), sim.PredictPeriod(p, m))
+	}
+	fmt.Fprintf(env.Stdout, "makespan: %.3f ms over %d frames (%d events)\n",
+		res.MakeSpan, *frames, res.Events)
+	if *gantt >= 0 {
+		if err := sim.WriteGantt(env.Stdout, res.Trace, *gantt, 100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdProbe(env Env, args []string) error {
+	fs := flag.NewFlagSet("probe", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	in := fs.String("i", "", "instance JSON file (required)")
+	noise := fs.Float64("noise", 0.5, "probe timing noise stddev in ms")
+	repeats := fs.Int("repeats", 8, "probes per payload size")
+	seed := fs.Uint64("seed", 1, "noise seed")
+	out := fs.String("o", "-", "output file for the estimated instance (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("probe: -i instance file is required")
+	}
+	p, err := readInstance(*in)
+	if err != nil {
+		return err
+	}
+	est, err := measure.EstimateNetwork(p.Net, measure.ProbeConfig{
+		Sizes:    measure.DefaultProbeSizes(),
+		Repeats:  *repeats,
+		NoiseStd: *noise,
+		Rng:      gen.RNG(*seed),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(env.Stderr, "estimated %d nodes and %d links\n", est.N(), est.M())
+	return writeJSON(*out, instance{Network: est, Pipeline: p.Pipe, Src: p.Src, Dst: p.Dst}, env.Stdout)
+}

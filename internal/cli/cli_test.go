@@ -1,0 +1,250 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb strings.Builder
+	err := Main(Env{Stdout: &out, Stderr: &errb}, args)
+	return out.String(), errb.String(), err
+}
+
+func genInstance(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	_, _, err := runCLI(t, "gen", "-modules", "6", "-nodes", "10", "-links", "40", "-seed", "3", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	if _, _, err := runCLI(t); err == nil {
+		t.Error("no subcommand should error")
+	}
+	if _, _, err := runCLI(t, "bogus"); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	out, _, err := runCLI(t, "help")
+	if err != nil || !strings.Contains(out, "Subcommands") {
+		t.Errorf("help output wrong: %v %q", err, out)
+	}
+}
+
+func TestGenWritesValidInstance(t *testing.T) {
+	path := genInstance(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"network"`, `"pipeline"`, `"src"`, `"dst"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("instance missing %s", want)
+		}
+	}
+	p, err := readInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pipe.N() != 6 || p.Net.N() != 10 || p.Net.M() != 40 {
+		t.Errorf("instance dims wrong: %d modules, %d nodes, %d links", p.Pipe.N(), p.Net.N(), p.Net.M())
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	out, _, err := runCLI(t, "gen", "-modules", "4", "-nodes", "6", "-links", "20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"network"`) {
+		t.Error("stdout instance missing network")
+	}
+}
+
+func TestGenInvalidSpec(t *testing.T) {
+	if _, _, err := runCLI(t, "gen", "-modules", "1"); err == nil {
+		t.Error("invalid spec should error")
+	}
+}
+
+func TestMapAllAlgorithms(t *testing.T) {
+	path := genInstance(t)
+	for _, algo := range []string{"elpc", "streamline", "greedy", "brute", "elpc+reuse"} {
+		obj := "delay"
+		if algo == "elpc+reuse" {
+			obj = "rate"
+		}
+		out, _, err := runCLI(t, "map", "-i", path, "-algo", algo, "-objective", obj)
+		if err != nil {
+			t.Errorf("%s: %v", algo, err)
+			continue
+		}
+		if !strings.Contains(out, "mapping:") || !strings.Contains(out, "total delay") {
+			t.Errorf("%s: output missing mapping report:\n%s", algo, out)
+		}
+	}
+}
+
+func TestMapRateObjective(t *testing.T) {
+	path := genInstance(t)
+	out, _, err := runCLI(t, "map", "-i", path, "-algo", "elpc", "-objective", "rate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "frame rate") {
+		t.Error("rate output missing frame rate")
+	}
+}
+
+func TestMapWritesDot(t *testing.T) {
+	path := genInstance(t)
+	dot := filepath.Join(t.TempDir(), "m.dot")
+	if _, _, err := runCLI(t, "map", "-i", path, "-dot", dot); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("dot file malformed")
+	}
+}
+
+func TestMapErrors(t *testing.T) {
+	path := genInstance(t)
+	if _, _, err := runCLI(t, "map"); err == nil {
+		t.Error("missing -i should error")
+	}
+	if _, _, err := runCLI(t, "map", "-i", "/nonexistent.json"); err == nil {
+		t.Error("missing file should error")
+	}
+	if _, _, err := runCLI(t, "map", "-i", path, "-algo", "nope"); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+	if _, _, err := runCLI(t, "map", "-i", path, "-objective", "nope"); err == nil {
+		t.Error("unknown objective should error")
+	}
+	// Corrupt instance file.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "map", "-i", bad); err == nil {
+		t.Error("corrupt instance should error")
+	}
+}
+
+func TestSimulateReportsPredictions(t *testing.T) {
+	path := genInstance(t)
+	out, _, err := runCLI(t, "simulate", "-i", path, "-frames", "50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"first frame delay", "steady period", "makespan", "Eq.1", "Eq.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("simulate output missing %q:\n%s", want, out)
+		}
+	}
+	if _, _, err := runCLI(t, "simulate"); err == nil {
+		t.Error("missing -i should error")
+	}
+}
+
+func TestSimulatePaced(t *testing.T) {
+	path := genInstance(t)
+	out, _, err := runCLI(t, "simulate", "-i", path, "-frames", "40", "-pace", "500", "-objective", "delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "steady period: 500.000") {
+		t.Errorf("paced simulation should clock at the pace:\n%s", out)
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	path := genInstance(t)
+	estPath := filepath.Join(t.TempDir(), "est.json")
+	_, errOut, err := runCLI(t, "probe", "-i", path, "-o", estPath, "-noise", "0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "estimated") {
+		t.Error("probe progress message missing")
+	}
+	p, err := readInstance(estPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Net.N() != 10 || p.Net.M() != 40 {
+		t.Error("estimated instance changed topology")
+	}
+	// The estimated instance is directly mappable.
+	if _, _, err := runCLI(t, "map", "-i", estPath); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := runCLI(t, "probe"); err == nil {
+		t.Error("missing -i should error")
+	}
+}
+
+func TestTextFormatRoundTripThroughCLI(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "inst.txt")
+	if _, _, err := runCLI(t, "gen", "-modules", "5", "-nodes", "8", "-links", "30", "-seed", "4", "-o", txt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"module ", "node ", "link ", "source ", "destination "} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("text instance missing %q record", want)
+		}
+	}
+	// Text instances are directly mappable and showable.
+	out, _, err := runCLI(t, "map", "-i", txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total delay") {
+		t.Error("map on text instance produced no report")
+	}
+	show, _, err := runCLI(t, "show", "-i", txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pipeline: 5 modules", "network: 8 nodes", "adjacency"} {
+		if !strings.Contains(show, want) {
+			t.Errorf("show output missing %q:\n%s", want, show)
+		}
+	}
+}
+
+func TestShowErrors(t *testing.T) {
+	if _, _, err := runCLI(t, "show"); err == nil {
+		t.Error("missing -i should error")
+	}
+	if _, _, err := runCLI(t, "show", "-i", "/nonexistent.txt"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestSimulateGantt(t *testing.T) {
+	path := genInstance(t)
+	out, _, err := runCLI(t, "simulate", "-i", path, "-frames", "20", "-gantt", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gantt:") || !strings.Contains(out, "node v") {
+		t.Errorf("gantt output missing:\n%s", out)
+	}
+}

@@ -1,0 +1,380 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"elpc/internal/baseline"
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// buildNet constructs a network from (power list, link tuples).
+func buildNet(t *testing.T, powers []float64, links [][4]float64) *model.Network {
+	t.Helper()
+	nodes := make([]model.Node, len(powers))
+	for i, p := range powers {
+		nodes[i] = model.Node{ID: model.NodeID(i), Power: p}
+	}
+	ls := make([]model.Link, len(links))
+	for i, l := range links {
+		ls[i] = model.Link{ID: i, From: model.NodeID(l[0]), To: model.NodeID(l[1]), BWMbps: l[2], MLDms: l[3]}
+	}
+	n, err := model.NewNetwork(nodes, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func buildPipe(t *testing.T, srcOut float64, stages [][2]float64) *model.Pipeline {
+	t.Helper()
+	mods := []model.Module{{ID: 0, OutBytes: srcOut}}
+	prev := srcOut
+	for i, s := range stages {
+		out := s[1]
+		mods = append(mods, model.Module{ID: i + 1, Complexity: s[0], InBytes: prev, OutBytes: out})
+		prev = out
+	}
+	p, err := model.NewPipeline(mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMinDelayHandComputed pins the DP to a hand-worked instance.
+func TestMinDelayHandComputed(t *testing.T) {
+	// Nodes: v0 (slow, 100 ops/ms), v1 (fast, 10000), v2 (medium, 1000).
+	// Links (BW Mbps, MLD ms): 0->1 (8, 1) => 1000 B/ms; 1->2 (8, 1);
+	// 0->2 (0.08, 1) => 10 B/ms (slow shortcut).
+	net := buildNet(t, []float64{100, 10000, 1000}, [][4]float64{
+		{0, 1, 8, 1}, {1, 2, 8, 1}, {0, 2, 0.08, 1},
+	})
+	// Pipeline: M0 out 1000B; M1 c=10 (10*1000 = 1e4 ops), out 1000B;
+	// M2 sink c=10 (1e4 ops).
+	pl := buildPipe(t, 1000, [][2]float64{{10, 1000}, {10, 0}})
+	p := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 2, Cost: model.DefaultCostOptions()}
+
+	// Candidate mappings:
+	//  [0,0,2]: M1@v0 = 1e4/100 = 100; transfer 1000B over 0->2 = 100+1 = 101;
+	//           M2@v2 = 1e4/1000 = 10  => 211
+	//  [0,1,2]: transfer 0->1 = 1+1 = 2; M1@v1 = 1; transfer 1->2 = 2;
+	//           M2@v2 = 10 => 15
+	//  [0,2,2]: transfer 0->2 = 101; M1@v2 = 10; M2@v2 = 10 => 121
+	//  [0,1,1]: dst is v2, invalid. Optimum is [0,1,2] at 15.
+	m, err := core.MinDelay(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateMapping(m, model.MinDelay); err != nil {
+		t.Fatalf("invalid mapping: %v", err)
+	}
+	got := model.TotalDelay(net, pl, m, p.Cost)
+	if math.Abs(got-15) > 1e-9 {
+		t.Errorf("optimal delay = %v (%v), want 15", got, m)
+	}
+	if v := core.MinDelayValue(p); math.Abs(v-got) > 1e-9 {
+		t.Errorf("MinDelayValue = %v, mapping delay = %v", v, got)
+	}
+	want := []model.NodeID{0, 1, 2}
+	for j, v := range want {
+		if m.Assign[j] != v {
+			t.Errorf("assign[%d] = %d, want %d", j, m.Assign[j], v)
+		}
+	}
+}
+
+// TestMinDelayPrefersGroupingOnFastNode checks that reuse (grouping) is used
+// when transfers are expensive.
+func TestMinDelayPrefersGroupingOnFastNode(t *testing.T) {
+	// Two nodes: src slow, dst fast; one very slow link between them.
+	net := buildNet(t, []float64{10, 100000}, [][4]float64{
+		{0, 1, 0.008, 0}, // 1 B/ms: 1000B costs 1000ms
+	})
+	// Three computing stages; all data 1000B.
+	pl := buildPipe(t, 1000, [][2]float64{{1, 1000}, {1, 1000}, {1, 0}})
+	p := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 1, Cost: model.DefaultCostOptions()}
+	m, err := core.MinDelay(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one crossing is possible (single link) and it must happen as early
+	// as possible? Compute on v0 costs 100ms/stage, on v1 ~0.01ms; the single
+	// 1000ms transfer dominates either way, so the optimum crosses right
+	// after the source: [0,1,1,1].
+	want := []model.NodeID{0, 1, 1, 1}
+	for j, v := range want {
+		if m.Assign[j] != v {
+			t.Fatalf("assign = %v, want %v", m.Assign, want)
+		}
+	}
+	groups := m.Groups()
+	if len(groups) != 2 {
+		t.Errorf("groups = %v, want 2 groups", groups)
+	}
+}
+
+func TestMinDelaySrcEqualsDst(t *testing.T) {
+	net := buildNet(t, []float64{100, 200}, [][4]float64{{0, 1, 8, 1}, {1, 0, 8, 1}})
+	pl := buildPipe(t, 1000, [][2]float64{{10, 500}, {10, 0}})
+	p := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 0, Cost: model.DefaultCostOptions()}
+	m, err := core.MinDelay(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sink module is pinned to v0, so the choices are:
+	//  [0,0,0]: M1@v0 = 1e4/100 = 100; M2@v0 = 5000/100 = 50 → 150
+	//  [0,1,0]: 0->1 transfer 1000/1000+1 = 2; M1@v1 = 1e4/200 = 50;
+	//           1->0 transfer 500/1000+1 = 1.5; M2@v0 = 50 → 103.5
+	// Optimal loops through the fast node: 103.5.
+	got := model.TotalDelay(net, pl, m, p.Cost)
+	if math.Abs(got-103.5) > 1e-9 {
+		t.Errorf("src==dst optimal delay = %v (%v), want 103.5 (loop through fast node)", got, m)
+	}
+	if m.Assign[0] != 0 || m.Assign[2] != 0 {
+		t.Errorf("endpoints must stay on node 0: %v", m.Assign)
+	}
+}
+
+func TestMinDelayInfeasible(t *testing.T) {
+	// Line 0->1->2->3 (one-directional), pipeline of 2 modules: shortest
+	// path 0..3 needs 3 hops > 1 available crossing.
+	net := buildNet(t, []float64{100, 100, 100, 100}, [][4]float64{
+		{0, 1, 8, 1}, {1, 2, 8, 1}, {2, 3, 8, 1},
+	})
+	pl := buildPipe(t, 1000, [][2]float64{{10, 0}})
+	p := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 3, Cost: model.DefaultCostOptions()}
+	_, err := core.MinDelay(p)
+	if !errors.Is(err, model.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if v := core.MinDelayValue(p); !math.IsInf(v, 1) {
+		t.Errorf("MinDelayValue = %v, want +Inf", v)
+	}
+}
+
+func TestMaxFrameRateHandComputed(t *testing.T) {
+	// Diamond: 0 -> {1 slow, 2 fast} -> 3, equal links.
+	net := buildNet(t, []float64{1000, 100, 10000, 1000}, [][4]float64{
+		{0, 1, 80, 1}, {0, 2, 80, 1}, {1, 3, 80, 1}, {2, 3, 80, 1},
+	})
+	// 3 modules: M1 does 1e5 ops; on v1 takes 1000ms, on v2 takes 10ms.
+	// Transfers: 1000B over 10000 B/ms = 0.1ms. M2 sink on v3: 1e5/1000=100ms.
+	pl := buildPipe(t, 1000, [][2]float64{{100, 1000}, {100, 0}})
+	p := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 3, Cost: model.DefaultCostOptions()}
+	m, err := core.MaxFrameRate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateMapping(m, model.MaxFrameRate); err != nil {
+		t.Fatalf("invalid mapping: %v", err)
+	}
+	if m.Assign[1] != 2 {
+		t.Errorf("middle module on %d, want fast node 2 (%v)", m.Assign[1], m)
+	}
+	got := model.Bottleneck(net, pl, m)
+	if math.Abs(got-100) > 1e-9 { // sink compute dominates
+		t.Errorf("bottleneck = %v, want 100", got)
+	}
+	if fr := model.FrameRate(got); math.Abs(fr-10) > 1e-9 {
+		t.Errorf("frame rate = %v, want 10 fps", fr)
+	}
+}
+
+func TestMaxFrameRateInfeasibleCases(t *testing.T) {
+	net := buildNet(t, []float64{100, 100}, [][4]float64{{0, 1, 8, 1}, {1, 0, 8, 1}})
+	pl3 := buildPipe(t, 1000, [][2]float64{{10, 500}, {10, 0}})
+	// 3 modules on 2 nodes without reuse.
+	p := &model.Problem{Net: net, Pipe: pl3, Src: 0, Dst: 1, Cost: model.DefaultCostOptions()}
+	if _, err := core.MaxFrameRate(p); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("3 modules / 2 nodes: err = %v, want ErrInfeasible", err)
+	}
+	// src == dst without reuse.
+	pl2 := buildPipe(t, 1000, [][2]float64{{10, 0}})
+	p2 := &model.Problem{Net: net, Pipe: pl2, Src: 0, Dst: 0, Cost: model.DefaultCostOptions()}
+	if _, err := core.MaxFrameRate(p2); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("src==dst: err = %v, want ErrInfeasible", err)
+	}
+	// Exact-length path does not exist: line 0->1 with 2-module pipeline is
+	// feasible; 0->1 with 3 modules needs 3 distinct nodes.
+	if _, err := core.MaxFrameRate(p); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestMinDelayOptimalVsBrute verifies the paper's optimality claim (E8):
+// the DP value equals the exhaustive minimum over all walks.
+func TestMinDelayOptimalVsBrute(t *testing.T) {
+	brute := baseline.Brute{}
+	for seed := uint64(0); seed < 150; seed++ {
+		rng := gen.RNG(seed)
+		p, err := gen.RandomTinyProblem(rng, 5, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dm, derr := core.MinDelay(p)
+		bm, berr := brute.Map(p, model.MinDelay)
+		if (derr == nil) != (berr == nil) {
+			t.Fatalf("seed %d: feasibility mismatch: elpc=%v brute=%v", seed, derr, berr)
+		}
+		if derr != nil {
+			continue
+		}
+		dv := model.TotalDelay(p.Net, p.Pipe, dm, p.Cost)
+		bv := model.TotalDelay(p.Net, p.Pipe, bm, p.Cost)
+		if math.Abs(dv-bv) > 1e-6*(1+bv) {
+			t.Errorf("seed %d: ELPC delay %v != brute optimum %v\nelpc: %v\nbrute: %v",
+				seed, dv, bv, dm, bm)
+		}
+		if err := p.ValidateMapping(dm, model.MinDelay); err != nil {
+			t.Errorf("seed %d: invalid ELPC mapping: %v", seed, err)
+		}
+	}
+}
+
+// TestMaxFrameRateNearOptimal verifies E9: the heuristic returns valid
+// mappings whose bottleneck matches the exact optimum in the overwhelming
+// majority of random instances (the paper calls misses "extremely rare").
+func TestMaxFrameRateNearOptimal(t *testing.T) {
+	brute := baseline.Brute{}
+	total, optimal, feasMiss := 0, 0, 0
+	for seed := uint64(0); seed < 150; seed++ {
+		rng := gen.RNG(seed + 1000)
+		p, err := gen.RandomTinyProblem(rng, 5, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, berr := brute.Map(p, model.MaxFrameRate)
+		hm, herr := core.MaxFrameRate(p)
+		if berr != nil {
+			// Truly infeasible: heuristic must agree.
+			if herr == nil {
+				t.Errorf("seed %d: heuristic found mapping on infeasible instance", seed)
+			}
+			continue
+		}
+		total++
+		if herr != nil {
+			feasMiss++
+			continue
+		}
+		if err := p.ValidateMapping(hm, model.MaxFrameRate); err != nil {
+			t.Errorf("seed %d: invalid heuristic mapping: %v", seed, err)
+			continue
+		}
+		hv := model.Bottleneck(p.Net, p.Pipe, hm)
+		bv := model.Bottleneck(p.Net, p.Pipe, bm)
+		if hv < bv-1e-9 {
+			t.Errorf("seed %d: heuristic bottleneck %v beats exact optimum %v — evaluator bug", seed, hv, bv)
+		}
+		if hv <= bv+1e-9*(1+bv) {
+			optimal++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no feasible instances generated")
+	}
+	t.Logf("frame-rate heuristic: %d/%d optimal, %d feasibility misses", optimal, total, feasMiss)
+	if float64(optimal) < 0.8*float64(total) {
+		t.Errorf("heuristic optimal on only %d/%d instances; paper reports misses are rare", optimal, total)
+	}
+	if feasMiss > total/10 {
+		t.Errorf("heuristic missed feasibility on %d/%d instances", feasMiss, total)
+	}
+}
+
+// TestMinDelayDominatesHeuristics: ELPC is optimal, so no heuristic may beat
+// it on any instance (E1 sanity).
+func TestMinDelayDominatesHeuristics(t *testing.T) {
+	mappers := []model.Mapper{baseline.Greedy{}, baseline.Streamline{}}
+	for seed := uint64(0); seed < 80; seed++ {
+		rng := gen.RNG(seed + 5000)
+		p, err := gen.RandomTinyProblem(rng, 6, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, eerr := core.MinDelay(p)
+		if eerr != nil {
+			continue
+		}
+		ev := model.TotalDelay(p.Net, p.Pipe, em, p.Cost)
+		for _, mp := range mappers {
+			hm, herr := mp.Map(p, model.MinDelay)
+			if herr != nil {
+				continue
+			}
+			if err := p.ValidateMapping(hm, model.MinDelay); err != nil {
+				t.Errorf("seed %d: %s produced invalid mapping: %v", seed, mp.Name(), err)
+				continue
+			}
+			hv := model.TotalDelay(p.Net, p.Pipe, hm, p.Cost)
+			if hv < ev-1e-6*(1+ev) {
+				t.Errorf("seed %d: %s delay %v beats optimal ELPC %v", seed, mp.Name(), hv, ev)
+			}
+		}
+	}
+}
+
+// TestMaxFrameRateDominatesHeuristicsUsually: the DP heuristic should beat
+// or match Greedy/Streamline on nearly all instances.
+func TestMaxFrameRateBeatsOrMatchesGreedyMostly(t *testing.T) {
+	worse := 0
+	compared := 0
+	for seed := uint64(0); seed < 100; seed++ {
+		rng := gen.RNG(seed + 9000)
+		p, err := gen.RandomTinyProblem(rng, 5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, eerr := core.MaxFrameRate(p)
+		gm, gerr := (baseline.Greedy{}).Map(p, model.MaxFrameRate)
+		if eerr != nil || gerr != nil {
+			continue
+		}
+		compared++
+		ev := model.Bottleneck(p.Net, p.Pipe, em)
+		gv := model.Bottleneck(p.Net, p.Pipe, gm)
+		if ev > gv+1e-9*(1+gv) {
+			worse++
+		}
+	}
+	if compared == 0 {
+		t.Fatal("nothing compared")
+	}
+	t.Logf("ELPC frame rate worse than greedy on %d/%d instances", worse, compared)
+	if float64(worse) > 0.1*float64(compared) {
+		t.Errorf("ELPC-FR worse than greedy on %d/%d instances — heuristic regression", worse, compared)
+	}
+}
+
+func TestMapperInterface(t *testing.T) {
+	var m model.Mapper = core.Mapper{}
+	if m.Name() != "ELPC" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	rng := gen.RNG(77)
+	p, err := gen.RandomTinyProblem(rng, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm, err := m.Map(p, model.MinDelay); err == nil {
+		if err := p.ValidateMapping(mm, model.MinDelay); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := m.Map(p, model.Objective(99)); err == nil {
+		t.Error("unknown objective should error")
+	}
+}
+
+func TestMinDelayRejectsInvalidProblem(t *testing.T) {
+	if _, err := core.MinDelay(&model.Problem{}); err == nil {
+		t.Error("nil problem parts should error")
+	}
+	if _, err := core.MaxFrameRate(&model.Problem{}); err == nil {
+		t.Error("nil problem parts should error")
+	}
+}

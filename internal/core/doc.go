@@ -1,0 +1,26 @@
+// Package core implements the paper's primary contribution: the Efficient
+// Linear Pipeline Configuration (ELPC) algorithms of Section 3.1.
+//
+// Two dynamic programs are provided:
+//
+//   - MinDelay solves the minimum end-to-end delay mapping problem with node
+//     reuse (Section 3.1.1). It fills the 2-D table T^j(v_i) of Figure 1
+//     column by column: T^j(v) is the minimal total delay of mapping the
+//     first j modules onto a walk from the source to node v. At each cell the
+//     recursion (Eq. 3) considers running module j on the same node as module
+//     j-1 (stay) or on a neighbor (move, paying the transfer). The algorithm
+//     is optimal and runs in O(n·(|E|+|V|)) time.
+//
+//   - MaxFrameRate solves the restricted maximum frame rate problem without
+//     node reuse (Section 3.1.2). The exact problem is NP-complete (the paper
+//     reduces Hamiltonian Path to the exact-n-hop shortest/widest path
+//     problem), so ELPC keeps, per table cell, the single best simple path
+//     found so far and extends it only to unused nodes (Eq. 5). This is the
+//     paper's heuristic: it can miss the optimum when every best predecessor
+//     path has already consumed the current node, a case the paper reports —
+//     and our property tests confirm — to be rare.
+//
+// Both algorithms reconstruct the full module→node assignment through
+// back-pointers, so callers receive a model.Mapping that can be re-scored,
+// validated, simulated, and visualized independently of the DP internals.
+package core

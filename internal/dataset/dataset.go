@@ -1,0 +1,227 @@
+// Package dataset implements a line-oriented text format for problem
+// instances mirroring the paper's simulation datasets (Section 4.1), which
+// describe each module by (ModuleID, ModuleComplexity, InputDataInBytes,
+// OutputDataInBytes), each node by (NodeID, NodeIP, ProcessingPower), each
+// link by (LinkID, startNodeID, endNodeID, LinkBWInMbps,
+// LinkDelayInMilliseconds), and the network topology as an adjacency
+// structure with designated source and destination nodes.
+//
+// Format (one record per line, '#' comments, blank lines ignored):
+//
+//	module <id> <complexity> <inBytes> <outBytes>
+//	node <id> <ip> <power>
+//	link <id> <fromNode> <toNode> <bwMbps> <mldMs>
+//	source <nodeID>
+//	destination <nodeID>
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"elpc/internal/model"
+)
+
+// Write renders the problem in the dataset text format.
+func Write(w io.Writer, p *model.Problem) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# pipeline: %d modules\n", p.Pipe.N())
+	for _, m := range p.Pipe.Modules {
+		fmt.Fprintf(bw, "module %d %g %g %g\n", m.ID, m.Complexity, m.InBytes, m.OutBytes)
+	}
+	fmt.Fprintf(bw, "\n# network: %d nodes, %d links\n", p.Net.N(), p.Net.M())
+	for _, n := range p.Net.Nodes {
+		ip := n.Name
+		if ip == "" {
+			ip = fmt.Sprintf("10.0.%d.%d", int(n.ID)/256, int(n.ID)%256)
+		}
+		fmt.Fprintf(bw, "node %d %s %g\n", n.ID, ip, n.Power)
+	}
+	for _, l := range p.Net.Links {
+		fmt.Fprintf(bw, "link %d %d %d %g %g\n", l.ID, l.From, l.To, l.BWMbps, l.MLDms)
+	}
+	fmt.Fprintf(bw, "\nsource %d\ndestination %d\n", p.Src, p.Dst)
+	return bw.Flush()
+}
+
+// Read parses a problem from the dataset text format, validating the model
+// invariants. Records may appear in any order; module/node/link IDs must be
+// dense after sorting.
+func Read(r io.Reader) (*model.Problem, error) {
+	var modules []model.Module
+	var nodes []model.Node
+	var links []model.Link
+	src, dst := model.NodeID(-1), model.NodeID(-1)
+
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		rec := fields[0]
+		args := fields[1:]
+		fail := func(err error) error {
+			return fmt.Errorf("dataset: line %d (%s): %w", lineNo, rec, err)
+		}
+		switch rec {
+		case "module":
+			if len(args) != 4 {
+				return nil, fail(fmt.Errorf("want 4 fields, got %d", len(args)))
+			}
+			vals, err := parseFloats(args)
+			if err != nil {
+				return nil, fail(err)
+			}
+			modules = append(modules, model.Module{
+				ID:         int(vals[0]),
+				Complexity: vals[1],
+				InBytes:    vals[2],
+				OutBytes:   vals[3],
+			})
+		case "node":
+			if len(args) != 3 {
+				return nil, fail(fmt.Errorf("want 3 fields, got %d", len(args)))
+			}
+			id, err := strconv.Atoi(args[0])
+			if err != nil {
+				return nil, fail(err)
+			}
+			power, err := strconv.ParseFloat(args[2], 64)
+			if err != nil {
+				return nil, fail(err)
+			}
+			nodes = append(nodes, model.Node{ID: model.NodeID(id), Name: args[1], Power: power})
+		case "link":
+			if len(args) != 5 {
+				return nil, fail(fmt.Errorf("want 5 fields, got %d", len(args)))
+			}
+			vals, err := parseFloats(args)
+			if err != nil {
+				return nil, fail(err)
+			}
+			links = append(links, model.Link{
+				ID:     int(vals[0]),
+				From:   model.NodeID(vals[1]),
+				To:     model.NodeID(vals[2]),
+				BWMbps: vals[3],
+				MLDms:  vals[4],
+			})
+		case "source":
+			if len(args) != 1 {
+				return nil, fail(fmt.Errorf("want one node ID"))
+			}
+			v, err := strconv.Atoi(args[0])
+			if err != nil {
+				return nil, fail(fmt.Errorf("want one node ID"))
+			}
+			src = model.NodeID(v)
+		case "destination":
+			if len(args) != 1 {
+				return nil, fail(fmt.Errorf("want one node ID"))
+			}
+			v, err := strconv.Atoi(args[0])
+			if err != nil {
+				return nil, fail(fmt.Errorf("want one node ID"))
+			}
+			dst = model.NodeID(v)
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown record %q", lineNo, rec)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if src < 0 || dst < 0 {
+		return nil, fmt.Errorf("dataset: missing source or destination record")
+	}
+	sort.Slice(modules, func(i, j int) bool { return modules[i].ID < modules[j].ID })
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	sort.Slice(links, func(i, j int) bool { return links[i].ID < links[j].ID })
+	pl, err := model.NewPipeline(modules)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	net, err := model.NewNetwork(nodes, links)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	p := &model.Problem{Net: net, Pipe: pl, Src: src, Dst: dst, Cost: model.DefaultCostOptions()}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return p, nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("field %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// AdjacencyMatrix renders the network's adjacency matrix as text ('.' = no
+// link, digits = link bandwidth rank 1..9 by decile), matching the paper's
+// description of topologies "in the form of an adjacency matrix". Intended
+// for small networks; rows are truncated beyond maxNodes (<= 0: no limit).
+func AdjacencyMatrix(p *model.Network, maxNodes int) string {
+	n := p.N()
+	if maxNodes > 0 && n > maxNodes {
+		n = maxNodes
+	}
+	// Rank bandwidths into deciles for a compact glyph.
+	lo, hi := 0.0, 0.0
+	for i, l := range p.Links {
+		if i == 0 || l.BWMbps < lo {
+			lo = l.BWMbps
+		}
+		if l.BWMbps > hi {
+			hi = l.BWMbps
+		}
+	}
+	glyph := func(bw float64) byte {
+		if hi <= lo {
+			return '5'
+		}
+		d := int((bw - lo) / (hi - lo) * 9)
+		return byte('1' + min(d, 8))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "adjacency (%dx%d, 1-9 = bandwidth decile):\n", n, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			switch {
+			case u == v:
+				b.WriteByte('-')
+			default:
+				if link, ok := p.LinkBetween(model.NodeID(u), model.NodeID(v)); ok {
+					b.WriteByte(glyph(link.BWMbps))
+				} else {
+					b.WriteByte('.')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

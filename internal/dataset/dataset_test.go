@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+func roundTrip(t *testing.T, p *model.Problem) *model.Problem {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("re-reading written dataset: %v\n%s", err, buf.String())
+	}
+	return back
+}
+
+func TestRoundTripSmallCase(t *testing.T) {
+	p, err := gen.SmallCase().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, p)
+	if back.Src != p.Src || back.Dst != p.Dst {
+		t.Error("endpoints lost")
+	}
+	if back.Pipe.N() != p.Pipe.N() || back.Net.N() != p.Net.N() || back.Net.M() != p.Net.M() {
+		t.Error("dimensions lost")
+	}
+	for j := range p.Pipe.Modules {
+		a, b := p.Pipe.Modules[j], back.Pipe.Modules[j]
+		if a.ID != b.ID || a.Complexity != b.Complexity || a.InBytes != b.InBytes || a.OutBytes != b.OutBytes {
+			t.Errorf("module %d changed: %+v vs %+v", j, a, b)
+		}
+	}
+	for i := range p.Net.Links {
+		if p.Net.Links[i] != back.Net.Links[i] {
+			t.Errorf("link %d changed", i)
+		}
+	}
+	// Node names become IPs in the text format; power must survive exactly.
+	for i := range p.Net.Nodes {
+		if p.Net.Nodes[i].Power != back.Net.Nodes[i].Power {
+			t.Errorf("node %d power changed", i)
+		}
+	}
+}
+
+func TestRoundTripRandomInstances(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed), 5, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := roundTrip(t, p)
+		// Scores computed on the round-tripped instance must be identical.
+		if m := firstMapping(t, p); m != nil {
+			a := model.TotalDelay(p.Net, p.Pipe, m, p.Cost)
+			b := model.TotalDelay(back.Net, back.Pipe, m, back.Cost)
+			if a != b {
+				t.Errorf("seed %d: delay changed across round trip: %v vs %v", seed, a, b)
+			}
+		}
+	}
+}
+
+// firstMapping returns any structurally valid mapping for testing, or nil.
+func firstMapping(t *testing.T, p *model.Problem) *model.Mapping {
+	t.Helper()
+	assign := make([]model.NodeID, p.Pipe.N())
+	for j := range assign {
+		assign[j] = p.Src
+	}
+	assign[len(assign)-1] = p.Dst
+	m := model.NewMapping(assign)
+	if m.Validate(p.Net, p.Pipe, model.ValidateOptions{Src: p.Src, Dst: p.Dst}) != nil {
+		return nil
+	}
+	return m
+}
+
+func TestReadUnorderedRecordsAndComments(t *testing.T) {
+	text := `
+# comment first
+destination 1
+link 0 0 1 100 0.5
+node 1 10.0.0.2 2e6
+
+node 0 10.0.0.1 1e6
+module 1 50 1000 0
+module 0 0 0 1000
+source 0
+link 1 1 0 100 0.5
+`
+	p, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Src != 0 || p.Dst != 1 || p.Pipe.N() != 2 || p.Net.M() != 2 {
+		t.Errorf("parsed instance wrong: %+v", p)
+	}
+	if p.Net.Nodes[1].Name != "10.0.0.2" {
+		t.Errorf("node IP lost: %q", p.Net.Nodes[1].Name)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"unknown record", "frobnicate 1 2 3\n"},
+		{"module arity", "module 0 1\n"},
+		{"node arity", "node 0 x\n"},
+		{"link arity", "link 0 0 1 5\n"},
+		{"bad number", "module 0 abc 1 2\n"},
+		{"bad node id", "node x ip 5\n"},
+		{"bad source", "source x\n"},
+		{"bad destination", "destination 1 2\n"},
+		{"missing endpoints", "module 0 0 0 10\nmodule 1 5 10 0\nnode 0 ip 1\nnode 1 ip 1\nlink 0 0 1 5 1\n"},
+		{"invalid model", "module 0 0 0 10\nmodule 1 5 99 0\nnode 0 ip 1\nnode 1 ip 1\nlink 0 0 1 5 1\nsource 0\ndestination 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestAdjacencyMatrix(t *testing.T) {
+	p, err := gen.SmallCase().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AdjacencyMatrix(p.Net, 0)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != p.Net.N()+1 { // header + one row per node
+		t.Fatalf("matrix has %d lines", len(lines))
+	}
+	for i, row := range lines[1:] {
+		if len(row) != p.Net.N() {
+			t.Errorf("row %d width %d", i, len(row))
+		}
+		if row[i] != '-' {
+			t.Errorf("diagonal of row %d = %c", i, row[i])
+		}
+	}
+	// The small case is complete: no '.' off-diagonal.
+	if strings.Contains(out, ".") {
+		t.Error("complete graph should have no missing entries")
+	}
+	// Truncation.
+	small := AdjacencyMatrix(p.Net, 3)
+	if !strings.Contains(small, "3x3") {
+		t.Error("truncated header wrong")
+	}
+}
+
+func TestAdjacencyMatrixUniformBandwidth(t *testing.T) {
+	nodes := []model.Node{{ID: 0, Power: 1}, {ID: 1, Power: 1}}
+	links := []model.Link{{ID: 0, From: 0, To: 1, BWMbps: 10}, {ID: 1, From: 1, To: 0, BWMbps: 10}}
+	net, err := model.NewNetwork(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := AdjacencyMatrix(net, 0)
+	if !strings.Contains(out, "5") {
+		t.Errorf("uniform bandwidth should use middle glyph:\n%s", out)
+	}
+}

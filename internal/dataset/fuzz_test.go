@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures the dataset parser never panics and that anything it
+// accepts round-trips through Write/Read to an equivalent instance.
+func FuzzRead(f *testing.F) {
+	f.Add("module 0 0 0 10\nmodule 1 5 10 0\nnode 0 a 1\nnode 1 b 1\nlink 0 0 1 5 1\nlink 1 1 0 5 1\nsource 0\ndestination 1\n")
+	f.Add("# comment\n\nmodule 0 0 0 1\n")
+	f.Add("garbage")
+	f.Add("module 0 abc def ghi\n")
+	f.Add("link 0 0 0 1 1\nsource 0\ndestination 0\n")
+	f.Add("node -1 x 1\n")
+	f.Add("module 0 0 0 1e309\n") // overflow to +Inf
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejects are fine; panics are not
+		}
+		// Accepted instances must be internally consistent and re-writable.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid problem: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			t.Fatalf("writing accepted instance failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted instance failed: %v\n%s", err, buf.String())
+		}
+		if back.Pipe.N() != p.Pipe.N() || back.Net.N() != p.Net.N() || back.Net.M() != p.Net.M() {
+			t.Fatalf("round trip changed dimensions")
+		}
+	})
+}

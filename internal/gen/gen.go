@@ -1,0 +1,202 @@
+// Package gen generates the simulated application pipelines and computing
+// networks of the paper's evaluation (Section 4.1): random pipelines with
+// varying module counts, complexities, and data sizes, and random arbitrary-
+// topology networks with varying node counts, processing powers, link
+// counts, bandwidths, and minimum link delays.
+//
+// All generation is deterministic given a seed, so the full experiment suite
+// is reproducible bit-for-bit.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// Ranges bounds the randomly drawn pipeline and network attributes. Sizes,
+// powers and bandwidths are drawn log-uniformly (heterogeneous resources
+// span orders of magnitude); complexities and MLDs uniformly.
+//
+// The defaults are calibrated so that the evaluation suite lands in the
+// paper's reported bands: minimum end-to-end delays of roughly 10²–10³ ms
+// and maximum frame rates of roughly 5–45 frames/s.
+type Ranges struct {
+	ComplexityMin, ComplexityMax float64 // ops per input byte
+	BytesMin, BytesMax           float64 // module output sizes, bytes
+	PowerMin, PowerMax           float64 // node power, ops/ms
+	BWMin, BWMax                 float64 // link bandwidth, Mbit/s
+	MLDMin, MLDMax               float64 // minimum link delay, ms
+}
+
+// DefaultRanges returns the calibrated attribute ranges used by the
+// evaluation suite.
+func DefaultRanges() Ranges {
+	return Ranges{
+		ComplexityMin: 20, ComplexityMax: 200,
+		BytesMin: 5e4, BytesMax: 2e6, // 50 KB .. 2 MB
+		PowerMin: 1e6, PowerMax: 2e7, // ~1 .. 20 Gops/s
+		BWMin: 10, BWMax: 1000, // 10 Mbps .. 1 Gbps
+		MLDMin: 0.1, MLDMax: 5,
+	}
+}
+
+func (r Ranges) validate() error {
+	check := func(name string, lo, hi float64, positive bool) error {
+		if lo > hi {
+			return fmt.Errorf("gen: %s range [%v,%v] inverted", name, lo, hi)
+		}
+		if positive && lo <= 0 {
+			return fmt.Errorf("gen: %s range must be positive, got min %v", name, lo)
+		}
+		return nil
+	}
+	for _, e := range []error{
+		check("complexity", r.ComplexityMin, r.ComplexityMax, true),
+		check("bytes", r.BytesMin, r.BytesMax, true),
+		check("power", r.PowerMin, r.PowerMax, true),
+		check("bandwidth", r.BWMin, r.BWMax, true),
+		check("mld", r.MLDMin, r.MLDMax, false),
+	} {
+		if e != nil {
+			return e
+		}
+	}
+	if r.MLDMin < 0 {
+		return fmt.Errorf("gen: negative MLD minimum %v", r.MLDMin)
+	}
+	return nil
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if lo == hi {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if lo == hi {
+		return lo
+	}
+	return math.Exp(uniform(rng, math.Log(lo), math.Log(hi)))
+}
+
+// Pipeline generates a random linear pipeline with n modules. Module 0 is
+// the data source (zero complexity); the final module is the sink with zero
+// output. Data sizes vary per stage, modeling filtering/expansion.
+func Pipeline(n int, r Ranges, rng *rand.Rand) (*model.Pipeline, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: pipeline needs >= 2 modules, got %d", n)
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	modules := make([]model.Module, n)
+	prevOut := logUniform(rng, r.BytesMin, r.BytesMax)
+	modules[0] = model.Module{ID: 0, Name: "source", OutBytes: prevOut}
+	for j := 1; j < n; j++ {
+		out := logUniform(rng, r.BytesMin, r.BytesMax)
+		name := fmt.Sprintf("stage-%d", j)
+		if j == n-1 {
+			out = 0
+			name = "sink"
+		}
+		modules[j] = model.Module{
+			ID:         j,
+			Name:       name,
+			Complexity: uniform(rng, r.ComplexityMin, r.ComplexityMax),
+			InBytes:    prevOut,
+			OutBytes:   out,
+		}
+		prevOut = out
+	}
+	return model.NewPipeline(modules)
+}
+
+// Network generates a strongly connected random network with n nodes and l
+// directed links, drawing node powers, link bandwidths and MLDs from r.
+func Network(n, l int, r Ranges, rng *rand.Rand) (*model.Network, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	topo, err := graph.RandomConnected(n, l, rng)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]model.Node, n)
+	for i := range nodes {
+		nodes[i] = model.Node{
+			ID:    model.NodeID(i),
+			Name:  fmt.Sprintf("node-%d", i),
+			Power: logUniform(rng, r.PowerMin, r.PowerMax),
+		}
+	}
+	links := make([]model.Link, topo.M())
+	for i := range links {
+		e := topo.Edge(i)
+		links[i] = model.Link{
+			ID:     i,
+			From:   model.NodeID(e.From),
+			To:     model.NodeID(e.To),
+			BWMbps: logUniform(rng, r.BWMin, r.BWMax),
+			MLDms:  uniform(rng, r.MLDMin, r.MLDMax),
+		}
+	}
+	return model.NewNetwork(nodes, links)
+}
+
+// Problem generates a complete random problem instance: a pipeline with
+// spec.Modules stages mapped onto a network with spec.Nodes nodes and
+// spec.Links links. The source is a random node and the destination a
+// distinct random node, mirroring the paper's designated data-source and
+// end-user locations.
+func Problem(spec CaseSpec, r Ranges, rng *rand.Rand) (*model.Problem, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	pl, err := Pipeline(spec.Modules, r, rng)
+	if err != nil {
+		return nil, err
+	}
+	net, err := Network(spec.Nodes, spec.Links, r, rng)
+	if err != nil {
+		return nil, err
+	}
+	src := model.NodeID(rng.IntN(spec.Nodes))
+	dst := model.NodeID(rng.IntN(spec.Nodes - 1))
+	if dst >= src {
+		dst++
+	}
+	return &model.Problem{
+		Net:  net,
+		Pipe: pl,
+		Src:  src,
+		Dst:  dst,
+		Cost: model.DefaultCostOptions(),
+	}, nil
+}
+
+// RNG returns the deterministic generator for a given 64-bit seed.
+func RNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// RandomTinyProblem draws a small random instance suitable for exhaustive
+// verification in property-based tests: 3..maxModules modules on a network
+// of modules..maxNodes nodes with random density. maxNodes must be at least
+// maxModules.
+func RandomTinyProblem(rng *rand.Rand, maxModules, maxNodes int) (*model.Problem, error) {
+	if maxModules < 3 || maxNodes < maxModules {
+		return nil, fmt.Errorf("gen: bad tiny bounds (%d, %d)", maxModules, maxNodes)
+	}
+	m := 3 + rng.IntN(maxModules-2)
+	n := m + rng.IntN(maxNodes-m+1)
+	minL := 2 * (n - 1)
+	maxL := graph.MaxEdges(n)
+	l := minL + rng.IntN(maxL-minL+1)
+	return Problem(CaseSpec{ID: 0, Modules: m, Nodes: n, Links: l}, DefaultRanges(), rng)
+}

@@ -1,0 +1,265 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPipelineStructure(t *testing.T) {
+	rng := RNG(1)
+	pl, err := Pipeline(10, DefaultRanges(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.N() != 10 {
+		t.Fatalf("N = %d", pl.N())
+	}
+	if pl.Modules[0].Complexity != 0 {
+		t.Error("source module must have zero complexity")
+	}
+	if pl.Modules[9].OutBytes != 0 {
+		t.Error("sink module must have zero output")
+	}
+	r := DefaultRanges()
+	for j := 1; j < pl.N(); j++ {
+		m := pl.Modules[j]
+		if m.Complexity < r.ComplexityMin || m.Complexity > r.ComplexityMax {
+			t.Errorf("module %d complexity %v out of range", j, m.Complexity)
+		}
+		if m.InBytes != pl.Modules[j-1].OutBytes {
+			t.Errorf("module %d flow mismatch", j)
+		}
+		if j < pl.N()-1 && (m.OutBytes < r.BytesMin || m.OutBytes > r.BytesMax) {
+			t.Errorf("module %d size %v out of range", j, m.OutBytes)
+		}
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	if _, err := Pipeline(1, DefaultRanges(), RNG(1)); err == nil {
+		t.Error("n=1 should error")
+	}
+	bad := DefaultRanges()
+	bad.ComplexityMin, bad.ComplexityMax = 5, 1
+	if _, err := Pipeline(5, bad, RNG(1)); err == nil {
+		t.Error("inverted range should error")
+	}
+	bad2 := DefaultRanges()
+	bad2.BytesMin = 0
+	if _, err := Pipeline(5, bad2, RNG(1)); err == nil {
+		t.Error("non-positive bytes range should error")
+	}
+}
+
+func TestNetworkStructure(t *testing.T) {
+	rng := RNG(2)
+	net, err := Network(12, 50, DefaultRanges(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 12 || net.M() != 50 {
+		t.Fatalf("size = (%d,%d)", net.N(), net.M())
+	}
+	if !net.Topology().StronglyConnected() {
+		t.Error("generated network must be strongly connected")
+	}
+	r := DefaultRanges()
+	for _, n := range net.Nodes {
+		if n.Power < r.PowerMin || n.Power > r.PowerMax {
+			t.Errorf("node %d power %v out of range", n.ID, n.Power)
+		}
+	}
+	for _, l := range net.Links {
+		if l.BWMbps < r.BWMin || l.BWMbps > r.BWMax {
+			t.Errorf("link %d bw %v out of range", l.ID, l.BWMbps)
+		}
+		if l.MLDms < r.MLDMin || l.MLDms > r.MLDMax {
+			t.Errorf("link %d mld %v out of range", l.ID, l.MLDms)
+		}
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	if _, err := Network(5, 2, DefaultRanges(), RNG(1)); err == nil {
+		t.Error("too few links should error")
+	}
+	bad := DefaultRanges()
+	bad.BWMin = -1
+	if _, err := Network(5, 10, bad, RNG(1)); err == nil {
+		t.Error("negative bw range should error")
+	}
+}
+
+func TestProblemGeneration(t *testing.T) {
+	spec := CaseSpec{ID: 1, Modules: 5, Nodes: 8, Links: 30, Seed: 7}
+	p, err := Problem(spec, DefaultRanges(), RNG(spec.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Src == p.Dst {
+		t.Error("src and dst must differ")
+	}
+	if p.Pipe.N() != 5 || p.Net.N() != 8 {
+		t.Error("problem dimensions wrong")
+	}
+	if !p.Cost.IncludeMLDInDelay {
+		t.Error("default cost options expected")
+	}
+}
+
+func TestProblemDeterminism(t *testing.T) {
+	spec := Suite20()[3]
+	a, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Src != b.Src || a.Dst != b.Dst {
+		t.Fatal("src/dst not deterministic")
+	}
+	for i := range a.Net.Links {
+		if a.Net.Links[i] != b.Net.Links[i] {
+			t.Fatalf("link %d differs between builds", i)
+		}
+	}
+	for j := range a.Pipe.Modules {
+		if a.Pipe.Modules[j] != b.Pipe.Modules[j] {
+			t.Fatalf("module %d differs between builds", j)
+		}
+	}
+}
+
+func TestSuite20Specs(t *testing.T) {
+	suite := Suite20()
+	if len(suite) != 20 {
+		t.Fatalf("suite has %d cases", len(suite))
+	}
+	seen := map[uint64]bool{}
+	for i, s := range suite {
+		if s.ID != i+1 {
+			t.Errorf("case %d has ID %d", i, s.ID)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("case %d invalid: %v", s.ID, err)
+		}
+		if seen[s.Seed] {
+			t.Errorf("duplicate seed %d", s.Seed)
+		}
+		seen[s.Seed] = true
+		if s.String() == "" {
+			t.Error("empty case label")
+		}
+	}
+	// Sizes must be non-decreasing (Fig. 5's increasing trend by design).
+	for i := 1; i < len(suite); i++ {
+		if suite[i].Nodes < suite[i-1].Nodes || suite[i].Modules < suite[i-1].Modules {
+			t.Errorf("case %d smaller than case %d", suite[i].ID, suite[i-1].ID)
+		}
+	}
+	small := SmallCase()
+	if small.Modules != 5 || small.Nodes != 6 || small.Links != 30 {
+		t.Errorf("small case = %+v", small)
+	}
+}
+
+func TestSuite20AllBuildable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full suite build in -short mode")
+	}
+	for _, s := range Suite20() {
+		p, err := s.Build()
+		if err != nil {
+			t.Fatalf("case %d: %v", s.ID, err)
+		}
+		if !p.Net.Topology().StronglyConnected() {
+			t.Fatalf("case %d network not strongly connected", s.ID)
+		}
+	}
+}
+
+func TestCaseSpecValidateErrors(t *testing.T) {
+	cases := []CaseSpec{
+		{ID: 1, Modules: 1, Nodes: 5, Links: 10},
+		{ID: 2, Modules: 6, Nodes: 5, Links: 10},
+		{ID: 3, Modules: 3, Nodes: 5, Links: 3},
+		{ID: 4, Modules: 3, Nodes: 5, Links: 99},
+	}
+	for _, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", c.ID)
+		}
+	}
+}
+
+func TestRandomTinyProblem(t *testing.T) {
+	rng := RNG(99)
+	for i := 0; i < 50; i++ {
+		p, err := RandomTinyProblem(rng, 5, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Pipe.N() < 3 || p.Pipe.N() > 5 {
+			t.Errorf("modules = %d out of [3,5]", p.Pipe.N())
+		}
+		if p.Net.N() < p.Pipe.N() || p.Net.N() > 7 {
+			t.Errorf("nodes = %d out of range", p.Net.N())
+		}
+	}
+	if _, err := RandomTinyProblem(rng, 2, 7); err == nil {
+		t.Error("maxModules < 3 should error")
+	}
+	if _, err := RandomTinyProblem(rng, 5, 4); err == nil {
+		t.Error("maxNodes < maxModules should error")
+	}
+}
+
+// Property: generated problems always satisfy the model validators and all
+// drawn attributes are finite and positive where required.
+func TestQuickProblemInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := RNG(seed)
+		p, err := RandomTinyProblem(rng, 6, 10)
+		if err != nil {
+			return false
+		}
+		if p.Validate() != nil {
+			return false
+		}
+		for _, l := range p.Net.Links {
+			if l.BWMbps <= 0 || math.IsInf(l.BWMbps, 0) || l.MLDms < 0 {
+				return false
+			}
+		}
+		for j := 1; j < p.Pipe.N(); j++ {
+			if p.Pipe.ComputeOps(j) <= 0 {
+				return false
+			}
+		}
+		return p.Src != p.Dst && p.Net.ValidNode(p.Src) && p.Net.ValidNode(p.Dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: uniform src/dst choice never aliases and spans the node range.
+func TestQuickSrcDstDistinct(t *testing.T) {
+	f := func(seed uint64) bool {
+		spec := CaseSpec{ID: 0, Modules: 3, Nodes: 4, Links: 8, Seed: seed}
+		p, err := Problem(spec, DefaultRanges(), RNG(seed))
+		if err != nil {
+			return false
+		}
+		return p.Src != p.Dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"fmt"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// CaseSpec describes one evaluation case: a pipeline of Modules stages
+// mapped onto a network with Nodes nodes and Links directed links, generated
+// deterministically from Seed.
+type CaseSpec struct {
+	ID      int    `json:"id"`
+	Modules int    `json:"modules"`
+	Nodes   int    `json:"nodes"`
+	Links   int    `json:"links"`
+	Seed    uint64 `json:"seed"`
+}
+
+// Validate checks the structural requirements: at least 2 modules, no more
+// modules than nodes (so the no-reuse frame-rate problem can be feasible),
+// and a link count within [2(n-1), n(n-1)] as required by the strongly
+// connected generator.
+func (s CaseSpec) Validate() error {
+	if s.Modules < 2 {
+		return fmt.Errorf("gen: case %d: need >= 2 modules, got %d", s.ID, s.Modules)
+	}
+	if s.Nodes < s.Modules {
+		return fmt.Errorf("gen: case %d: %d modules exceed %d nodes", s.ID, s.Modules, s.Nodes)
+	}
+	if minL := 2 * (s.Nodes - 1); s.Links < minL {
+		return fmt.Errorf("gen: case %d: %d links below spanning minimum %d", s.ID, s.Links, minL)
+	}
+	if maxL := graph.MaxEdges(s.Nodes); s.Links > maxL {
+		return fmt.Errorf("gen: case %d: %d links above simple-graph maximum %d", s.ID, s.Links, maxL)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer, matching the paper's case labels
+// ("m5 n6 l30").
+func (s CaseSpec) String() string {
+	return fmt.Sprintf("m%d n%d l%d", s.Modules, s.Nodes, s.Links)
+}
+
+// Build materializes the case into a problem instance using the default
+// attribute ranges and the case seed.
+func (s CaseSpec) Build() (*model.Problem, error) {
+	return Problem(s, DefaultRanges(), RNG(s.Seed))
+}
+
+// Suite20 returns the 20 evaluation cases of the paper's Figure 2 / 5 / 6
+// study. The first case is the small illustrated instance of Figures 3–4
+// (5 modules, 6 nodes; the paper states 32 links, which exceeds the
+// 6·5 = 30 maximum of a simple directed graph, so we use the complete graph
+// on 6 nodes — see DESIGN.md). Later cases grow in problem size, matching
+// the increasing-delay trend the paper observes in Figure 5.
+func Suite20() []CaseSpec {
+	specs := []struct{ m, n, l int }{
+		{5, 6, 30},
+		{8, 10, 60},
+		{10, 15, 120},
+		{12, 20, 180},
+		{15, 25, 280},
+		{15, 30, 400},
+		{20, 40, 700},
+		{20, 50, 1000},
+		{25, 60, 1400},
+		{30, 70, 1900},
+		{30, 80, 2500},
+		{35, 90, 3200},
+		{40, 100, 4000},
+		{40, 120, 5500},
+		{45, 140, 7500},
+		{50, 160, 10000},
+		{50, 180, 12500},
+		{55, 200, 15000},
+		{60, 250, 22000},
+		{60, 300, 30000},
+	}
+	out := make([]CaseSpec, len(specs))
+	for i, s := range specs {
+		out[i] = CaseSpec{
+			ID:      i + 1,
+			Modules: s.m,
+			Nodes:   s.n,
+			Links:   s.l,
+			Seed:    uint64(1009 * (i + 1)), // fixed per-case seeds
+		}
+	}
+	return out
+}
+
+// SmallCase returns the evaluation suite's first case (the paper's
+// illustrated 5-module, 6-node instance used in Figures 3 and 4).
+func SmallCase() CaseSpec { return Suite20()[0] }

@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Unreachable is the hop distance reported for nodes that cannot be reached.
+const Unreachable = -1
+
+// HopsFrom returns the minimum hop count from src to every node (BFS).
+// Unreachable nodes get Unreachable (-1).
+func (g *Graph) HopsFrom(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.out[u] {
+			v := g.edges[eid].To
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// HopsTo returns the minimum hop count from every node to dst, following
+// edge directions (reverse BFS).
+func (g *Graph) HopsTo(dst int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[dst] = 0
+	queue := make([]int, 0, g.n)
+	queue = append(queue, dst)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.in[v] {
+			u := g.edges[eid].From
+			if dist[u] == Unreachable {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// StronglyConnected reports whether every node is reachable from node 0 and
+// node 0 is reachable from every node (i.e., the graph is one strongly
+// connected component). An empty graph is trivially strongly connected.
+func (g *Graph) StronglyConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	for _, d := range g.HopsFrom(0) {
+		if d == Unreachable {
+			return false
+		}
+	}
+	for _, d := range g.HopsTo(0) {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// priority queue for Dijkstra-style searches.
+type pqItem struct {
+	node int
+	prio float64
+}
+
+type prioQueue []pqItem
+
+func (q prioQueue) Len() int            { return len(q) }
+func (q prioQueue) Less(i, j int) bool  { return q[i].prio < q[j].prio }
+func (q prioQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *prioQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *prioQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest path distances from src under the
+// additive edge weight function w (which must be non-negative). It returns
+// the distance slice (math.Inf(1) for unreachable nodes) and a predecessor
+// edge slice (-1 where undefined) from which paths can be reconstructed.
+func (g *Graph) Dijkstra(src int, w WeightFunc) (dist []float64, prevEdge []int) {
+	dist = make([]float64, g.n)
+	prevEdge = make([]int, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+	pq := &prioQueue{{node: src, prio: 0}}
+	done := make([]bool, g.n)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, eid := range g.out[u] {
+			v := g.edges[eid].To
+			nd := dist[u] + w(int(eid))
+			if nd < dist[v] {
+				dist[v] = nd
+				prevEdge[v] = int(eid)
+				heap.Push(pq, pqItem{node: v, prio: nd})
+			}
+		}
+	}
+	return dist, prevEdge
+}
+
+// WidestPath computes, for every node, the maximum over paths from src of the
+// minimum edge capacity along the path (the classic widest-path / maximum
+// bottleneck problem), using a max-priority Dijkstra variant. cap must be
+// non-negative. Unreachable nodes get 0 width. It also returns predecessor
+// edges for path reconstruction.
+func (g *Graph) WidestPath(src int, capf WeightFunc) (width []float64, prevEdge []int) {
+	width = make([]float64, g.n)
+	prevEdge = make([]int, g.n)
+	for i := range prevEdge {
+		prevEdge[i] = -1
+	}
+	width[src] = math.Inf(1)
+	// Negate priorities to reuse the min-heap as a max-heap.
+	pq := &prioQueue{{node: src, prio: math.Inf(-1)}}
+	done := make([]bool, g.n)
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, eid := range g.out[u] {
+			v := g.edges[eid].To
+			nw := math.Min(width[u], capf(int(eid)))
+			if nw > width[v] {
+				width[v] = nw
+				prevEdge[v] = int(eid)
+				heap.Push(pq, pqItem{node: v, prio: -nw})
+			}
+		}
+	}
+	return width, prevEdge
+}
+
+// PathTo reconstructs the node sequence from the search source to dst using
+// a predecessor edge slice produced by Dijkstra or WidestPath. It returns nil
+// when dst was unreachable (no predecessor and dst differs from src).
+func (g *Graph) PathTo(src, dst int, prevEdge []int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	if prevEdge[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != src; {
+		rev = append(rev, v)
+		e := prevEdge[v]
+		if e == -1 {
+			return nil
+		}
+		v = g.edges[e].From
+		if len(rev) > g.n { // cycle guard against malformed predecessor data
+			return nil
+		}
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

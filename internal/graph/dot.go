@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DotOptions controls DOT rendering of a graph.
+type DotOptions struct {
+	Name       string                  // graph name; default "G"
+	NodeLabel  func(node int) string   // optional node label
+	EdgeLabel  func(edgeID int) string // optional edge label
+	NodeAttrs  func(node int) string   // extra node attribute string, e.g. `color="red"`
+	EdgeAttrs  func(edgeID int) string // extra edge attribute string
+	RankDir    string                  // e.g. "LR"
+	OmitLabels bool                    // suppress default numeric labels
+}
+
+// WriteDot renders g in Graphviz DOT format.
+func (g *Graph) WriteDot(w io.Writer, opt DotOptions) error {
+	name := opt.Name
+	if name == "" {
+		name = "G"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n", name)
+	if opt.RankDir != "" {
+		fmt.Fprintf(&b, "  rankdir=%s;\n", opt.RankDir)
+	}
+	for v := 0; v < g.n; v++ {
+		attrs := make([]string, 0, 2)
+		if opt.NodeLabel != nil {
+			attrs = append(attrs, fmt.Sprintf("label=%q", opt.NodeLabel(v)))
+		} else if !opt.OmitLabels {
+			attrs = append(attrs, fmt.Sprintf("label=%q", fmt.Sprintf("v%d", v)))
+		}
+		if opt.NodeAttrs != nil {
+			if extra := opt.NodeAttrs(v); extra != "" {
+				attrs = append(attrs, extra)
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", v, strings.Join(attrs, ", "))
+	}
+	for id, e := range g.edges {
+		attrs := make([]string, 0, 2)
+		if opt.EdgeLabel != nil {
+			attrs = append(attrs, fmt.Sprintf("label=%q", opt.EdgeLabel(id)))
+		}
+		if opt.EdgeAttrs != nil {
+			if extra := opt.EdgeAttrs(id); extra != "" {
+				attrs = append(attrs, extra)
+			}
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", e.From, e.To, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,171 @@
+package graph
+
+import "math"
+
+// SimplePaths enumerates all simple paths (no repeated node) from src to dst
+// with exactly hops edges, invoking visit for each. The slice passed to visit
+// is reused between calls; visit must copy it if it retains it. If visit
+// returns false the enumeration stops early. maxPaths (<=0 for unlimited)
+// bounds the number of paths visited.
+//
+// The search prunes branches from which dst cannot be reached within the
+// remaining hop budget, using a reverse BFS hop distance.
+func (g *Graph) SimplePaths(src, dst, hops int, maxPaths int, visit func(path []int) bool) {
+	if hops < 0 || src < 0 || dst < 0 || src >= g.n || dst >= g.n {
+		return
+	}
+	if hops == 0 {
+		if src == dst {
+			visit([]int{src})
+		}
+		return
+	}
+	toDst := g.HopsTo(dst)
+	if toDst[src] == Unreachable || toDst[src] > hops {
+		return
+	}
+	path := make([]int, 1, hops+1)
+	path[0] = src
+	visited := NewBitset(g.n)
+	visited.Set(src)
+	count := 0
+	var dfs func(u, remaining int) bool
+	dfs = func(u, remaining int) bool {
+		if remaining == 0 {
+			if u != dst {
+				return true
+			}
+			count++
+			if !visit(path) {
+				return false
+			}
+			return maxPaths <= 0 || count < maxPaths
+		}
+		for _, eid := range g.out[u] {
+			v := g.edges[eid].To
+			if visited.Has(v) {
+				continue
+			}
+			// Prune: dst must still be reachable in remaining-1 hops, and a
+			// simple path cannot end at dst early (dst == v only allowed at
+			// the last hop since revisiting dst is forbidden).
+			if toDst[v] == Unreachable || toDst[v] > remaining-1 {
+				continue
+			}
+			if v == dst && remaining != 1 {
+				continue
+			}
+			visited.Set(v)
+			path = append(path, v)
+			ok := dfs(v, remaining-1)
+			path = path[:len(path)-1]
+			visited.Clear(v)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(src, hops)
+}
+
+// ExactHopShortest computes, for each hop count h in [0, maxHops] and node v,
+// the minimum total weight of a walk from src to v using exactly h edges
+// (nodes may repeat — this is the walk relaxation of the NP-complete exact-
+// hop simple path problem discussed in the paper's Section 3.1.2). The result
+// is indexed [h][v]; unreachable combinations hold math.Inf(1).
+func (g *Graph) ExactHopShortest(src, maxHops int, w WeightFunc) [][]float64 {
+	dist := make([][]float64, maxHops+1)
+	for h := range dist {
+		dist[h] = make([]float64, g.n)
+		for v := range dist[h] {
+			dist[h][v] = math.Inf(1)
+		}
+	}
+	dist[0][src] = 0
+	for h := 1; h <= maxHops; h++ {
+		prev := dist[h-1]
+		cur := dist[h]
+		for eid, e := range g.edges {
+			if math.IsInf(prev[e.From], 1) {
+				continue
+			}
+			if d := prev[e.From] + w(eid); d < cur[e.To] {
+				cur[e.To] = d
+			}
+		}
+	}
+	return dist
+}
+
+// ExactHopWidest computes, for each hop count h in [0, maxHops] and node v,
+// the maximum over exactly-h-edge walks from src to v of the minimum edge
+// capacity along the walk. The result is indexed [h][v]; src at h=0 has
+// +Inf width and unreachable combinations hold 0.
+func (g *Graph) ExactHopWidest(src, maxHops int, capf WeightFunc) [][]float64 {
+	width := make([][]float64, maxHops+1)
+	for h := range width {
+		width[h] = make([]float64, g.n)
+	}
+	width[0][src] = math.Inf(1)
+	for h := 1; h <= maxHops; h++ {
+		prev := width[h-1]
+		cur := width[h]
+		for eid, e := range g.edges {
+			if prev[e.From] == 0 {
+				continue
+			}
+			if wth := math.Min(prev[e.From], capf(eid)); wth > cur[e.To] {
+				cur[e.To] = wth
+			}
+		}
+	}
+	return width
+}
+
+// LongestSimplePathLen returns the number of nodes on the longest simple path
+// from src to dst, found by exhaustive DFS. It is exponential and intended
+// for small feasibility analyses only (the harness uses it to detect the
+// paper's "pipeline longer than the longest end-to-end path" infeasibility on
+// small instances). Returns 0 when no path exists. The search stops early
+// when a Hamiltonian path is found. nodeBudget (<=0 for unlimited) caps the
+// number of DFS expansions to bound worst-case work; when exceeded, the best
+// length found so far is returned.
+func (g *Graph) LongestSimplePathLen(src, dst int, nodeBudget int) int {
+	toDst := g.HopsTo(dst)
+	if src >= g.n || toDst[src] == Unreachable {
+		return 0
+	}
+	best := 0
+	visited := NewBitset(g.n)
+	visited.Set(src)
+	expansions := 0
+	var dfs func(u, depth int) bool
+	dfs = func(u, depth int) bool {
+		expansions++
+		if nodeBudget > 0 && expansions > nodeBudget {
+			return false
+		}
+		if u == dst && depth > best {
+			best = depth
+			if best == g.n {
+				return false // Hamiltonian; cannot do better
+			}
+		}
+		for _, eid := range g.out[u] {
+			v := g.edges[eid].To
+			if visited.Has(v) || toDst[v] == Unreachable {
+				continue
+			}
+			visited.Set(v)
+			ok := dfs(v, depth+1)
+			visited.Clear(v)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(src, 1)
+	return best
+}

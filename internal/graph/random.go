@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// MaxEdges returns the maximum number of directed edges a simple graph on n
+// nodes can hold (no self-loops, no parallel edges).
+func MaxEdges(n int) int { return n * (n - 1) }
+
+// RandomConnected generates a strongly connected random directed graph with
+// n nodes and exactly m edges. The construction first builds a random
+// undirected spanning tree and inserts both directions of every tree edge
+// (guaranteeing strong connectivity), then adds uniformly random extra
+// directed edges until m edges exist.
+//
+// Requirements: n >= 2, 2*(n-1) <= m <= n*(n-1). Violations return an error.
+func RandomConnected(n, m int, rng *rand.Rand) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: RandomConnected needs n >= 2, got %d", n)
+	}
+	minM, maxM := 2*(n-1), MaxEdges(n)
+	if m < minM || m > maxM {
+		return nil, fmt.Errorf("graph: RandomConnected(n=%d) needs m in [%d,%d], got %d", n, minM, maxM, m)
+	}
+	g := New(n)
+	// Random spanning tree via random attachment over a random permutation:
+	// node perm[i] (i>0) attaches to a uniformly chosen earlier node. This
+	// yields a random recursive tree over a uniform labeling.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		u := perm[rng.IntN(i)]
+		v := perm[i]
+		g.MustAddEdge(u, v)
+		g.MustAddEdge(v, u)
+	}
+	// Top up with uniformly random extra edges. Rejection sampling is cheap
+	// while the graph is sparse; fall back to explicit enumeration of the
+	// complement when it becomes dense to guarantee termination.
+	for g.M() < m {
+		if remaining := maxM - g.M(); remaining < n { // dense endgame
+			free := make([][2]int, 0, remaining)
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					if u != v && !g.HasEdge(u, v) {
+						free = append(free, [2]int{u, v})
+					}
+				}
+			}
+			rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+			for _, e := range free[:m-g.M()] {
+				g.MustAddEdge(e[0], e[1])
+			}
+			break
+		}
+		u := rng.IntN(n)
+		v := rng.IntN(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v)
+	}
+	return g, nil
+}
+
+// Complete returns the complete directed graph on n nodes (every ordered
+// pair except self-loops).
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Ring returns a bidirectional ring on n nodes (2n edges), a convenient
+// sparse strongly connected fixture.
+func Ring(n int) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		g.MustAddEdge(i, j)
+		g.MustAddEdge(j, i)
+	}
+	return g
+}
+
+// Line returns a bidirectional path graph 0—1—…—(n-1) with 2(n-1) edges.
+func Line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+		g.MustAddEdge(i+1, i)
+	}
+	return g
+}

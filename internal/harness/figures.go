@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+	"elpc/internal/viz"
+)
+
+// Figure34 holds the rendered artifacts of the paper's path-illustration
+// figures on the small case: Figure 3 (minimum end-to-end delay mapping)
+// and Figure 4 (maximum frame rate mapping).
+type Figure34 struct {
+	Spec     gen.CaseSpec
+	Fig3Dot  string // DOT, min-delay path highlighted
+	Fig3Text string
+	Fig4Dot  string // DOT, max-frame-rate path highlighted
+	Fig4Text string
+}
+
+// RunFigure34 computes both ELPC mappings on the small illustrated case and
+// renders them.
+func RunFigure34() (*Figure34, error) {
+	spec := gen.SmallCase()
+	p, err := spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("harness: building small case: %w", err)
+	}
+	out := &Figure34{Spec: spec}
+
+	md, err := core.MinDelay(p)
+	if err != nil {
+		return nil, fmt.Errorf("harness: figure 3 mapping: %w", err)
+	}
+	var dot, txt strings.Builder
+	if err := viz.MappingDot(&dot, p, md, "fig3 min delay"); err != nil {
+		return nil, err
+	}
+	if err := viz.MappingText(&txt, p, md); err != nil {
+		return nil, err
+	}
+	out.Fig3Dot, out.Fig3Text = dot.String(), txt.String()
+
+	mr, err := core.MaxFrameRate(p)
+	if err != nil {
+		return nil, fmt.Errorf("harness: figure 4 mapping: %w", err)
+	}
+	dot.Reset()
+	txt.Reset()
+	if err := viz.MappingDot(&dot, p, mr, "fig4 max frame rate"); err != nil {
+		return nil, err
+	}
+	if err := viz.MappingText(&txt, p, mr); err != nil {
+		return nil, err
+	}
+	out.Fig4Dot, out.Fig4Text = dot.String(), txt.String()
+
+	// Sanity: figure 3 may reuse nodes, figure 4 must not.
+	if mr.UsesReuse() {
+		return nil, fmt.Errorf("harness: figure 4 mapping unexpectedly reuses nodes")
+	}
+	if err := p.ValidateMapping(mr, model.MaxFrameRate); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,396 @@
+// Package harness drives the paper's evaluation (Section 4): it runs the
+// mapping algorithms over the generated case suite and renders the tables
+// and data series behind Figure 2 (per-case minimum end-to-end delay and
+// maximum frame rate for ELPC, Streamline, and Greedy), Figures 5–6 (the
+// same data as plots), Figures 3–4 (path illustrations on the small case),
+// and this reproduction's extension ablation (frame rate with node reuse).
+//
+// Every mapping produced by any algorithm is validated and re-scored by the
+// shared evaluator in internal/model, so the comparison is symmetric.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"elpc/internal/baseline"
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+	"elpc/internal/refine"
+	"elpc/internal/runner"
+	"elpc/internal/sim"
+)
+
+// Outcome records one algorithm's result on one case under one objective.
+type Outcome struct {
+	Feasible bool
+	// Value is total delay in ms (MinDelay) or frame rate in fps
+	// (MaxFrameRate); NaN when infeasible.
+	Value float64
+	// Runtime is the wall-clock time of the Map call.
+	Runtime time.Duration
+	// Err holds the mapper's error for infeasible outcomes.
+	Err string
+}
+
+// CaseResult aggregates all algorithms on one case.
+type CaseResult struct {
+	Spec  gen.CaseSpec
+	Delay map[string]Outcome // minimum end-to-end delay, node reuse
+	Rate  map[string]Outcome // maximum frame rate, no node reuse
+}
+
+// Mappers returns the paper's three comparison algorithms, in the order
+// they appear in Figure 2's columns.
+func Mappers() []model.Mapper {
+	return []model.Mapper{core.Mapper{}, baseline.Streamline{}, baseline.Greedy{}}
+}
+
+// MapperNames returns the display names of Mappers, in order.
+func MapperNames() []string {
+	ms := Mappers()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// RunCase builds the case instance and runs every mapper under both
+// objectives, validating and scoring each produced mapping.
+func RunCase(spec gen.CaseSpec) (CaseResult, error) {
+	p, err := spec.Build()
+	if err != nil {
+		return CaseResult{}, fmt.Errorf("harness: building case %d: %w", spec.ID, err)
+	}
+	res := CaseResult{
+		Spec:  spec,
+		Delay: make(map[string]Outcome),
+		Rate:  make(map[string]Outcome),
+	}
+	for _, mp := range Mappers() {
+		res.Delay[mp.Name()] = runOne(p, mp, model.MinDelay)
+		res.Rate[mp.Name()] = runOne(p, mp, model.MaxFrameRate)
+	}
+	return res, nil
+}
+
+func runOne(p *model.Problem, mp model.Mapper, obj model.Objective) Outcome {
+	start := time.Now()
+	m, err := mp.Map(p, obj)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Outcome{Feasible: false, Value: math.NaN(), Runtime: elapsed, Err: err.Error()}
+	}
+	if verr := p.ValidateMapping(m, obj); verr != nil {
+		return Outcome{Feasible: false, Value: math.NaN(), Runtime: elapsed,
+			Err: fmt.Sprintf("invalid mapping from %s: %v", mp.Name(), verr)}
+	}
+	var value float64
+	switch obj {
+	case model.MinDelay:
+		value = model.TotalDelay(p.Net, p.Pipe, m, p.Cost)
+	case model.MaxFrameRate:
+		value = model.FrameRate(model.Bottleneck(p.Net, p.Pipe, m))
+	}
+	return Outcome{Feasible: true, Value: value, Runtime: elapsed}
+}
+
+// RunSuite runs the full case list with the given parallelism (workers <= 0
+// selects GOMAXPROCS).
+func RunSuite(specs []gen.CaseSpec, workers int) ([]CaseResult, error) {
+	return runner.Map(len(specs), workers, func(i int) (CaseResult, error) {
+		return RunCase(specs[i])
+	})
+}
+
+// formatValue renders a value or an infeasibility marker.
+func formatValue(o Outcome, decimals int) string {
+	if !o.Feasible {
+		return "—"
+	}
+	return fmt.Sprintf("%.*f", decimals, o.Value)
+}
+
+// Fig2Table renders the Figure 2 comparison table in Markdown: one row per
+// case with minimum end-to-end delay (ms, node reuse) and maximum frame
+// rate (fps, no node reuse) for each algorithm.
+func Fig2Table(results []CaseResult) string {
+	names := MapperNames()
+	var b strings.Builder
+	b.WriteString("| Case | m n l |")
+	for _, n := range names {
+		fmt.Fprintf(&b, " Delay %s (ms) |", n)
+	}
+	for _, n := range names {
+		fmt.Fprintf(&b, " Rate %s (fps) |", n)
+	}
+	b.WriteString("\n|---|---|")
+	for range names {
+		b.WriteString("---|")
+	}
+	for range names {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %d | %s |", r.Spec.ID, r.Spec)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s |", formatValue(r.Delay[n], 1))
+		}
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s |", formatValue(r.Rate[n], 2))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SeriesCSV renders a per-case CSV series ("case,<algo1>,<algo2>,...") for
+// Figure 5 (delay) or Figure 6 (rate). Infeasible entries are empty cells.
+func SeriesCSV(results []CaseResult, rate bool) string {
+	names := MapperNames()
+	var b strings.Builder
+	b.WriteString("case")
+	for _, n := range names {
+		b.WriteString(",")
+		b.WriteString(n)
+	}
+	b.WriteString("\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%d", r.Spec.ID)
+		src := r.Delay
+		if rate {
+			src = r.Rate
+		}
+		for _, n := range names {
+			o := src[n]
+			if o.Feasible {
+				fmt.Fprintf(&b, ",%.4f", o.Value)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Summary condenses a suite run for EXPERIMENTS.md: per-algorithm win
+// counts, mean ratios to ELPC, and feasibility counts.
+type Summary struct {
+	Cases int
+	// DelayWins / RateWins count cases where the algorithm achieved the
+	// (joint-)best value among feasible ones.
+	DelayWins map[string]int
+	RateWins  map[string]int
+	// MeanDelayRatio / MeanRateRatio are geometric-mean ratios of each
+	// algorithm's value to ELPC's, over cases where both were feasible
+	// (>1 means worse delay / better rate respectively).
+	MeanDelayRatio map[string]float64
+	MeanRateRatio  map[string]float64
+	Feasible       map[string]int // feasible delay+rate outcomes per algo
+}
+
+// Summarize computes the Summary of a suite run.
+func Summarize(results []CaseResult) Summary {
+	names := MapperNames()
+	s := Summary{
+		Cases:          len(results),
+		DelayWins:      map[string]int{},
+		RateWins:       map[string]int{},
+		MeanDelayRatio: map[string]float64{},
+		MeanRateRatio:  map[string]float64{},
+		Feasible:       map[string]int{},
+	}
+	logRatioSum := map[string]float64{}
+	logRatioN := map[string]int{}
+	rateLogSum := map[string]float64{}
+	rateLogN := map[string]int{}
+	const eps = 1e-9
+	for _, r := range results {
+		bestDelay, bestRate := math.Inf(1), 0.0
+		for _, n := range names {
+			if o := r.Delay[n]; o.Feasible {
+				s.Feasible[n]++
+				bestDelay = math.Min(bestDelay, o.Value)
+			}
+			if o := r.Rate[n]; o.Feasible {
+				s.Feasible[n]++
+				bestRate = math.Max(bestRate, o.Value)
+			}
+		}
+		for _, n := range names {
+			if o := r.Delay[n]; o.Feasible && o.Value <= bestDelay*(1+eps) {
+				s.DelayWins[n]++
+			}
+			if o := r.Rate[n]; o.Feasible && o.Value >= bestRate*(1-eps) {
+				s.RateWins[n]++
+			}
+		}
+		elpcD, elpcR := r.Delay["ELPC"], r.Rate["ELPC"]
+		for _, n := range names {
+			if o := r.Delay[n]; o.Feasible && elpcD.Feasible && elpcD.Value > 0 {
+				logRatioSum[n] += math.Log(o.Value / elpcD.Value)
+				logRatioN[n]++
+			}
+			if o := r.Rate[n]; o.Feasible && elpcR.Feasible && elpcR.Value > 0 && o.Value > 0 {
+				rateLogSum[n] += math.Log(o.Value / elpcR.Value)
+				rateLogN[n]++
+			}
+		}
+	}
+	for _, n := range names {
+		if logRatioN[n] > 0 {
+			s.MeanDelayRatio[n] = math.Exp(logRatioSum[n] / float64(logRatioN[n]))
+		}
+		if rateLogN[n] > 0 {
+			s.MeanRateRatio[n] = math.Exp(rateLogSum[n] / float64(rateLogN[n]))
+		}
+	}
+	return s
+}
+
+// SummaryText renders the summary for logs and EXPERIMENTS.md.
+func (s Summary) SummaryText() string {
+	names := MapperNames()
+	var b strings.Builder
+	fmt.Fprintf(&b, "cases: %d\n", s.Cases)
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-11s delay wins %2d/%d (mean ratio vs ELPC %.3fx) | rate wins %2d/%d (mean ratio %.3fx) | feasible outcomes %d\n",
+			n, s.DelayWins[n], s.Cases, s.MeanDelayRatio[n], s.RateWins[n], s.Cases, s.MeanRateRatio[n], s.Feasible[n])
+	}
+	return b.String()
+}
+
+// ParetoCSV computes the rate-delay frontier of a case and renders it as
+// CSV (delay_ms,rate_fps), the bicriteria extension artifact.
+func ParetoCSV(spec gen.CaseSpec, points int) (string, error) {
+	p, err := spec.Build()
+	if err != nil {
+		return "", err
+	}
+	front, err := core.ParetoFront(p, points, 0)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("delay_ms,rate_fps\n")
+	for _, pt := range front {
+		fmt.Fprintf(&b, "%.4f,%.4f\n", pt.DelayMs, pt.RateFPS)
+	}
+	return b.String(), nil
+}
+
+// RuntimeTable renders per-algorithm wall-clock mapping times per case
+// (Section 4.3's runtime discussion). Runtimes come from the same RunSuite
+// results used for the quality tables.
+func RuntimeTable(results []CaseResult) string {
+	names := MapperNames()
+	var b strings.Builder
+	b.WriteString("| Case | m n l |")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %s delay | %s rate |", n, n)
+	}
+	b.WriteString("\n|---|---|")
+	for range names {
+		b.WriteString("---|---|")
+	}
+	b.WriteString("\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "| %d | %s |", r.Spec.ID, r.Spec)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %v | %v |", r.Delay[n].Runtime.Round(10*time.Microsecond), r.Rate[n].Runtime.Round(10*time.Microsecond))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ReuseAblation is experiment E12: for each case, the no-reuse ELPC frame
+// rate versus the reuse extension's rate (shared-bottleneck based).
+type ReuseAblation struct {
+	Spec       gen.CaseSpec
+	NoReuseFPS float64 // NaN when infeasible
+	ReuseFPS   float64 // NaN when infeasible
+}
+
+// RunReuseAblation evaluates the reuse extension over the suite.
+func RunReuseAblation(specs []gen.CaseSpec, workers int) ([]ReuseAblation, error) {
+	return runner.Map(len(specs), workers, func(i int) (ReuseAblation, error) {
+		spec := specs[i]
+		p, err := spec.Build()
+		if err != nil {
+			return ReuseAblation{}, err
+		}
+		out := ReuseAblation{Spec: spec, NoReuseFPS: math.NaN(), ReuseFPS: math.NaN()}
+		if m, err := core.MaxFrameRate(p); err == nil {
+			out.NoReuseFPS = model.FrameRate(model.Bottleneck(p.Net, p.Pipe, m))
+		}
+		if m, period, err := refine.MaxFrameRateWithReuse(p, refine.Options{}); err == nil {
+			_ = m
+			out.ReuseFPS = model.FrameRate(period)
+		}
+		return out, nil
+	})
+}
+
+// ReuseAblationTable renders the ablation as Markdown.
+func ReuseAblationTable(rows []ReuseAblation) string {
+	var b strings.Builder
+	b.WriteString("| Case | m n l | ELPC no-reuse (fps) | ELPC+Reuse (fps) | gain |\n|---|---|---|---|---|\n")
+	for _, r := range rows {
+		nr, ru := "—", "—"
+		gain := "—"
+		if !math.IsNaN(r.NoReuseFPS) {
+			nr = fmt.Sprintf("%.2f", r.NoReuseFPS)
+		}
+		if !math.IsNaN(r.ReuseFPS) {
+			ru = fmt.Sprintf("%.2f", r.ReuseFPS)
+		}
+		if !math.IsNaN(r.NoReuseFPS) && !math.IsNaN(r.ReuseFPS) && r.NoReuseFPS > 0 {
+			gain = fmt.Sprintf("%.2fx", r.ReuseFPS/r.NoReuseFPS)
+		}
+		fmt.Fprintf(&b, "| %d | %s | %s | %s | %s |\n", r.Spec.ID, r.Spec, nr, ru, gain)
+	}
+	return b.String()
+}
+
+// JitterSweepCSV streams the case's ELPC frame-rate mapping under growing
+// service-time jitter and reports the measured rate per jitter level (CSV:
+// jitter,rate_fps,det_rate_fps). Demonstrates that variance degrades a
+// pipeline below its deterministic Eq. 2 rate — context the analytic model
+// abstracts away.
+func JitterSweepCSV(spec gen.CaseSpec, levels []float64, frames int) (string, error) {
+	p, err := spec.Build()
+	if err != nil {
+		return "", err
+	}
+	m, err := core.MaxFrameRate(p)
+	if err != nil {
+		return "", err
+	}
+	det, err := sim.Simulate(p, m, sim.Config{Frames: frames})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("jitter,rate_fps,det_rate_fps\n")
+	for _, j := range levels {
+		res, err := sim.Simulate(p, m, sim.Config{
+			Frames: frames,
+			Jitter: j,
+			Rng:    gen.RNG(spec.Seed ^ 0xfeed),
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%.2f,%.4f,%.4f\n", j, res.MeasuredRate(), det.MeasuredRate())
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,221 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"elpc/internal/gen"
+)
+
+// shortSuite is the first few (fast) cases.
+func shortSuite() []gen.CaseSpec { return gen.Suite20()[:4] }
+
+func TestRunCaseProducesAllOutcomes(t *testing.T) {
+	res, err := RunCase(gen.SmallCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range MapperNames() {
+		if _, ok := res.Delay[n]; !ok {
+			t.Errorf("missing delay outcome for %s", n)
+		}
+		if _, ok := res.Rate[n]; !ok {
+			t.Errorf("missing rate outcome for %s", n)
+		}
+	}
+	// ELPC is optimal for delay: no feasible algorithm may beat it.
+	elpc := res.Delay["ELPC"]
+	if !elpc.Feasible {
+		t.Fatal("ELPC infeasible on the small case")
+	}
+	for _, n := range MapperNames() {
+		o := res.Delay[n]
+		if o.Feasible && o.Value < elpc.Value*(1-1e-9) {
+			t.Errorf("%s delay %v beats optimal ELPC %v", n, o.Value, elpc.Value)
+		}
+	}
+}
+
+func TestRunSuiteParallelMatchesSequential(t *testing.T) {
+	specs := shortSuite()
+	seq, err := RunSuite(specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSuite(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		for _, n := range MapperNames() {
+			a, b := seq[i].Delay[n], par[i].Delay[n]
+			if a.Feasible != b.Feasible || (a.Feasible && math.Abs(a.Value-b.Value) > 1e-9) {
+				t.Errorf("case %d %s delay differs across parallelism: %v vs %v", specs[i].ID, n, a.Value, b.Value)
+			}
+			c, d := seq[i].Rate[n], par[i].Rate[n]
+			if c.Feasible != d.Feasible || (c.Feasible && math.Abs(c.Value-d.Value) > 1e-9) {
+				t.Errorf("case %d %s rate differs across parallelism: %v vs %v", specs[i].ID, n, c.Value, d.Value)
+			}
+		}
+	}
+}
+
+func TestFig2TableFormat(t *testing.T) {
+	results, err := RunSuite(shortSuite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := Fig2Table(results)
+	if !strings.Contains(table, "| Case |") || !strings.Contains(table, "Delay ELPC (ms)") {
+		t.Errorf("table header malformed:\n%s", table)
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 2+len(shortSuite()) {
+		t.Errorf("table has %d lines, want %d", len(lines), 2+len(shortSuite()))
+	}
+	if !strings.Contains(table, "m5 n6 l30") {
+		t.Error("case label missing")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	results, err := RunSuite(shortSuite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayCSV := SeriesCSV(results, false)
+	rateCSV := SeriesCSV(results, true)
+	if !strings.HasPrefix(delayCSV, "case,ELPC,Streamline,Greedy") {
+		t.Errorf("CSV header: %q", strings.SplitN(delayCSV, "\n", 2)[0])
+	}
+	if strings.Count(delayCSV, "\n") != len(shortSuite())+1 {
+		t.Error("delay CSV row count wrong")
+	}
+	if delayCSV == rateCSV {
+		t.Error("delay and rate CSVs should differ")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results, err := RunSuite(shortSuite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(results)
+	if s.Cases != len(shortSuite()) {
+		t.Errorf("cases = %d", s.Cases)
+	}
+	// ELPC must win (or tie) every feasible delay case — it is optimal.
+	if s.DelayWins["ELPC"] != s.Cases {
+		t.Errorf("ELPC delay wins = %d, want %d", s.DelayWins["ELPC"], s.Cases)
+	}
+	// Ratios versus ELPC are >= 1 for delay (others are never better).
+	for _, n := range MapperNames() {
+		if r, ok := s.MeanDelayRatio[n]; ok && r < 1-1e-9 {
+			t.Errorf("%s mean delay ratio %v < 1", n, r)
+		}
+	}
+	if s.MeanDelayRatio["ELPC"] != 1 {
+		t.Errorf("ELPC self-ratio = %v", s.MeanDelayRatio["ELPC"])
+	}
+	txt := s.SummaryText()
+	if !strings.Contains(txt, "ELPC") || !strings.Contains(txt, "delay wins") {
+		t.Errorf("summary text malformed:\n%s", txt)
+	}
+}
+
+func TestRunFigure34(t *testing.T) {
+	fig, err := RunFigure34()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig.Fig3Dot, "digraph") || !strings.Contains(fig.Fig4Dot, "digraph") {
+		t.Error("DOT outputs malformed")
+	}
+	if !strings.Contains(fig.Fig3Text, "total delay") || !strings.Contains(fig.Fig4Text, "frame rate") {
+		t.Error("text outputs malformed")
+	}
+	if fig.Spec.Modules != 5 || fig.Spec.Nodes != 6 {
+		t.Errorf("unexpected small case %+v", fig.Spec)
+	}
+}
+
+func TestRunReuseAblation(t *testing.T) {
+	rows, err := RunReuseAblation(shortSuite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(shortSuite()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sawBoth := false
+	for _, r := range rows {
+		if !math.IsNaN(r.NoReuseFPS) && !math.IsNaN(r.ReuseFPS) {
+			sawBoth = true
+			// Reuse relaxes the constraint set under the shared-bottleneck
+			// objective; the refined rate must be at least the no-reuse rate.
+			if r.ReuseFPS < r.NoReuseFPS*(1-1e-9) {
+				t.Errorf("case %d: reuse rate %v below no-reuse %v", r.Spec.ID, r.ReuseFPS, r.NoReuseFPS)
+			}
+		}
+	}
+	if !sawBoth {
+		t.Error("no case produced both ablation arms")
+	}
+	table := ReuseAblationTable(rows)
+	if !strings.Contains(table, "ELPC+Reuse") {
+		t.Error("ablation table malformed")
+	}
+}
+
+func TestParetoCSV(t *testing.T) {
+	csv, err := ParetoCSV(gen.SmallCase(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv, "delay_ms,rate_fps\n") {
+		t.Errorf("pareto CSV header wrong: %q", csv)
+	}
+	if strings.Count(csv, "\n") < 2 {
+		t.Error("pareto CSV has no data rows")
+	}
+}
+
+func TestRuntimeTable(t *testing.T) {
+	results, err := RunSuite(shortSuite(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := RuntimeTable(results)
+	if !strings.Contains(table, "ELPC delay") || !strings.Contains(table, "µs") && !strings.Contains(table, "ms") {
+		t.Errorf("runtime table malformed:\n%s", table)
+	}
+}
+
+func TestJitterSweepCSV(t *testing.T) {
+	csv, err := JitterSweepCSV(gen.SmallCase(), []float64{0, 0.2, 0.5}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	// Zero jitter row must match the deterministic rate.
+	var j, rate, det float64
+	if _, err := fmt.Sscanf(lines[1], "%f,%f,%f", &j, &rate, &det); err != nil {
+		t.Fatal(err)
+	}
+	if j != 0 || math.Abs(rate-det) > 1e-6*det {
+		t.Errorf("zero-jitter row should match deterministic: %s", lines[1])
+	}
+	// Highest jitter should not beat the deterministic rate.
+	if _, err := fmt.Sscanf(lines[3], "%f,%f,%f", &j, &rate, &det); err != nil {
+		t.Fatal(err)
+	}
+	if rate > det*1.01 {
+		t.Errorf("jittered rate %v above deterministic %v", rate, det)
+	}
+}

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+	"elpc/internal/runner"
+	"elpc/internal/stats"
+)
+
+// ReplicatedResult aggregates one case over R independently re-seeded
+// replicas, reporting mean ± stddev per algorithm. It strengthens the
+// single-draw Figure 2/5/6 numbers into Monte-Carlo estimates.
+type ReplicatedResult struct {
+	Spec     gen.CaseSpec
+	Replicas int
+	// Delay and Rate hold per-algorithm aggregates over the feasible
+	// replicas only; Feasible counts them.
+	Delay    map[string]stats.Summary
+	Rate     map[string]stats.Summary
+	Feasible map[string]int
+}
+
+// RunReplicated runs each case spec `replicas` times with derived seeds,
+// parallelizing across (case, replica) pairs.
+func RunReplicated(specs []gen.CaseSpec, replicas, workers int) ([]ReplicatedResult, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("harness: replicas must be >= 1, got %d", replicas)
+	}
+	type cell struct {
+		delay map[string]float64 // NaN = infeasible
+		rate  map[string]float64
+	}
+	total := len(specs) * replicas
+	cells, err := runner.Map(total, workers, func(idx int) (cell, error) {
+		spec := specs[idx/replicas]
+		r := idx % replicas
+		spec.Seed = spec.Seed*1_000_003 + uint64(r) // derived replica seed
+		res, err := RunCase(spec)
+		if err != nil {
+			return cell{}, err
+		}
+		c := cell{delay: map[string]float64{}, rate: map[string]float64{}}
+		for name, o := range res.Delay {
+			v := math.NaN()
+			if o.Feasible {
+				v = o.Value
+			}
+			c.delay[name] = v
+		}
+		for name, o := range res.Rate {
+			v := math.NaN()
+			if o.Feasible {
+				v = o.Value
+			}
+			c.rate[name] = v
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	names := MapperNames()
+	out := make([]ReplicatedResult, len(specs))
+	for i, spec := range specs {
+		rr := ReplicatedResult{
+			Spec:     spec,
+			Replicas: replicas,
+			Delay:    map[string]stats.Summary{},
+			Rate:     map[string]stats.Summary{},
+			Feasible: map[string]int{},
+		}
+		for _, n := range names {
+			var delays, rates []float64
+			for r := 0; r < replicas; r++ {
+				c := cells[i*replicas+r]
+				if v := c.delay[n]; !math.IsNaN(v) {
+					delays = append(delays, v)
+					rr.Feasible[n]++
+				}
+				if v := c.rate[n]; !math.IsNaN(v) {
+					rates = append(rates, v)
+					rr.Feasible[n]++
+				}
+			}
+			rr.Delay[n] = stats.Summarize(delays)
+			rr.Rate[n] = stats.Summarize(rates)
+		}
+		out[i] = rr
+	}
+	return out, nil
+}
+
+// ReplicatedTable renders mean±std delay and rate per case and algorithm.
+func ReplicatedTable(rows []ReplicatedResult) string {
+	names := MapperNames()
+	var b strings.Builder
+	b.WriteString("| Case | m n l |")
+	for _, n := range names {
+		fmt.Fprintf(&b, " Delay %s (ms) |", n)
+	}
+	for _, n := range names {
+		fmt.Fprintf(&b, " Rate %s (fps) |", n)
+	}
+	b.WriteString("\n|---|---|")
+	for range names {
+		b.WriteString("---|---|")
+	}
+	b.WriteString("\n")
+	cellFor := func(s stats.Summary) string {
+		if s.N == 0 {
+			return "—"
+		}
+		return fmt.Sprintf("%.1f±%.1f", s.Mean, s.StdDev)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %d | %s |", r.Spec.ID, r.Spec)
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s |", cellFor(r.Delay[n]))
+		}
+		for _, n := range names {
+			fmt.Fprintf(&b, " %s |", cellFor(r.Rate[n]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// MLDAblationRow compares minimum end-to-end delay with the MLD term
+// included versus excluded from the transport cost (the Eq. 1 vs Section 2.2
+// discrepancy; see DESIGN.md).
+type MLDAblationRow struct {
+	Spec          gen.CaseSpec
+	WithMLD       float64 // NaN if infeasible
+	WithoutMLD    float64
+	PathChanged   bool // the optimizer picked a different mapping
+	DeltaFraction float64
+}
+
+// RunMLDAblation evaluates the delay DP under both cost settings.
+func RunMLDAblation(specs []gen.CaseSpec, workers int) ([]MLDAblationRow, error) {
+	return runner.Map(len(specs), workers, func(i int) (MLDAblationRow, error) {
+		spec := specs[i]
+		p, err := spec.Build()
+		if err != nil {
+			return MLDAblationRow{}, err
+		}
+		row := MLDAblationRow{Spec: spec, WithMLD: math.NaN(), WithoutMLD: math.NaN()}
+		pWith := *p
+		pWith.Cost = model.CostOptions{IncludeMLDInDelay: true}
+		pWithout := *p
+		pWithout.Cost = model.CostOptions{IncludeMLDInDelay: false}
+		mWith, errW := core.MinDelay(&pWith)
+		mWithout, errWo := core.MinDelay(&pWithout)
+		if errW == nil {
+			row.WithMLD = model.TotalDelay(p.Net, p.Pipe, mWith, pWith.Cost)
+		}
+		if errWo == nil {
+			row.WithoutMLD = model.TotalDelay(p.Net, p.Pipe, mWithout, pWithout.Cost)
+		}
+		if errW == nil && errWo == nil {
+			row.PathChanged = mWith.String() != mWithout.String()
+			if row.WithoutMLD > 0 {
+				row.DeltaFraction = (row.WithMLD - row.WithoutMLD) / row.WithoutMLD
+			}
+		}
+		return row, nil
+	})
+}
+
+// MLDAblationTable renders the MLD ablation as Markdown.
+func MLDAblationTable(rows []MLDAblationRow) string {
+	var b strings.Builder
+	b.WriteString("| Case | m n l | delay with MLD (ms) | delay Eq.1-only (ms) | MLD share | path changed |\n|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		w, wo := "—", "—"
+		if !math.IsNaN(r.WithMLD) {
+			w = fmt.Sprintf("%.1f", r.WithMLD)
+		}
+		if !math.IsNaN(r.WithoutMLD) {
+			wo = fmt.Sprintf("%.1f", r.WithoutMLD)
+		}
+		fmt.Fprintf(&b, "| %d | %s | %s | %s | %.1f%% | %v |\n",
+			r.Spec.ID, r.Spec, w, wo, r.DeltaFraction*100, r.PathChanged)
+	}
+	return b.String()
+}

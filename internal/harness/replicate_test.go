@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"elpc/internal/gen"
+)
+
+func TestRunReplicated(t *testing.T) {
+	specs := gen.Suite20()[:3]
+	rows, err := RunReplicated(specs, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Replicas != 4 {
+			t.Errorf("replicas = %d", r.Replicas)
+		}
+		elpc := r.Delay["ELPC"]
+		if elpc.N == 0 {
+			t.Errorf("case %d: ELPC delay never feasible", r.Spec.ID)
+			continue
+		}
+		if elpc.Mean <= 0 || math.IsNaN(elpc.Mean) {
+			t.Errorf("case %d: mean delay %v", r.Spec.ID, elpc.Mean)
+		}
+		if elpc.Min > elpc.Mean || elpc.Mean > elpc.Max {
+			t.Errorf("case %d: summary ordering broken %+v", r.Spec.ID, elpc)
+		}
+		// Replicas must actually differ (different seeds): with 4 draws the
+		// delay spread should be nonzero almost surely.
+		if elpc.N >= 2 && elpc.StdDev == 0 {
+			t.Errorf("case %d: zero variance across replicas — seeds not varying?", r.Spec.ID)
+		}
+	}
+	table := ReplicatedTable(rows)
+	if !strings.Contains(table, "±") {
+		t.Error("replicated table missing ± cells")
+	}
+	if _, err := RunReplicated(specs, 0, 0); err == nil {
+		t.Error("replicas=0 should error")
+	}
+}
+
+func TestReplicatedDeterminism(t *testing.T) {
+	specs := gen.Suite20()[:2]
+	a, err := RunReplicated(specs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplicated(specs, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Delay["ELPC"].Mean != b[i].Delay["ELPC"].Mean {
+			t.Errorf("case %d: replicated means differ across parallelism", specs[i].ID)
+		}
+	}
+}
+
+func TestRunMLDAblation(t *testing.T) {
+	rows, err := RunMLDAblation(gen.Suite20()[:5], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.WithMLD) || math.IsNaN(r.WithoutMLD) {
+			t.Errorf("case %d: ablation arm infeasible", r.Spec.ID)
+			continue
+		}
+		// Including MLD can only increase the optimal total delay.
+		if r.WithMLD < r.WithoutMLD-1e-9 {
+			t.Errorf("case %d: delay with MLD %v below without %v", r.Spec.ID, r.WithMLD, r.WithoutMLD)
+		}
+		if r.DeltaFraction < 0 {
+			t.Errorf("case %d: negative MLD share", r.Spec.ID)
+		}
+	}
+	table := MLDAblationTable(rows)
+	if !strings.Contains(table, "MLD share") {
+		t.Error("ablation table malformed")
+	}
+}

@@ -1,0 +1,211 @@
+// Package measure reproduces the paper's performance-estimation substrate
+// (Section 1, refs [13][14]): in the real system, link bandwidth and minimum
+// link delay are estimated by active traffic measurement fitted with a
+// linear regression, and module processing times by profiling on target
+// hosts. The authors' testbed is not available, so probing is synthetic —
+// the true cost model plus configurable Gaussian noise — which exercises the
+// identical estimation code path (probe → least squares → model parameters);
+// see DESIGN.md's substitution table.
+package measure
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"elpc/internal/model"
+	"elpc/internal/stats"
+)
+
+// Sample is one active measurement: a payload size and the observed
+// transfer (or compute) time.
+type Sample struct {
+	X  float64 // bytes for links; operations for nodes
+	Ms float64 // observed duration
+}
+
+// ProbeConfig controls synthetic probing.
+type ProbeConfig struct {
+	// Sizes are the probe payload sizes in bytes (for links) or operation
+	// counts (for nodes). Must contain at least two distinct values.
+	Sizes []float64
+	// Repeats is the number of probes per size (>= 1).
+	Repeats int
+	// NoiseStd is the standard deviation of additive Gaussian timing noise
+	// in ms. Negative observations are clamped to 0.
+	NoiseStd float64
+	// Rng drives the noise; required when NoiseStd > 0.
+	Rng *rand.Rand
+}
+
+func (c ProbeConfig) validate() error {
+	if len(c.Sizes) < 2 {
+		return fmt.Errorf("measure: need >= 2 probe sizes, got %d", len(c.Sizes))
+	}
+	distinct := false
+	for _, s := range c.Sizes[1:] {
+		if s != c.Sizes[0] {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		return fmt.Errorf("measure: probe sizes must not all be equal")
+	}
+	if c.Repeats < 1 {
+		return fmt.Errorf("measure: repeats must be >= 1, got %d", c.Repeats)
+	}
+	if c.NoiseStd > 0 && c.Rng == nil {
+		return fmt.Errorf("measure: NoiseStd > 0 requires an Rng")
+	}
+	if c.NoiseStd < 0 {
+		return fmt.Errorf("measure: negative NoiseStd %v", c.NoiseStd)
+	}
+	return nil
+}
+
+// DefaultProbeSizes spans 3 decades of payload sizes, mirroring the probe
+// trains of [14].
+func DefaultProbeSizes() []float64 {
+	return []float64{1e4, 3e4, 1e5, 3e5, 1e6, 3e6}
+}
+
+// nodeProbeTargetMs is the duration the largest compute probe should run on
+// the profiled host (see EstimateNetwork).
+const nodeProbeTargetMs = 100.0
+
+func (c ProbeConfig) observe(truth func(x float64) float64) []Sample {
+	samples := make([]Sample, 0, len(c.Sizes)*c.Repeats)
+	for _, x := range c.Sizes {
+		for r := 0; r < c.Repeats; r++ {
+			ms := truth(x)
+			if c.NoiseStd > 0 {
+				ms += c.Rng.NormFloat64() * c.NoiseStd
+			}
+			if ms < 0 {
+				ms = 0
+			}
+			samples = append(samples, Sample{X: x, Ms: ms})
+		}
+	}
+	return samples
+}
+
+// ProbeLink generates transfer-time samples for the link under the true
+// cost model t = bytes/b + MLD (+ noise).
+func ProbeLink(link model.Link, cfg ProbeConfig) ([]Sample, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return cfg.observe(func(bytes float64) float64 {
+		return link.TransferTime(bytes, true)
+	}), nil
+}
+
+// ProbeNode generates compute-time samples for a node under the true model
+// t = ops/power (+ noise). X is the operation count.
+func ProbeNode(node model.Node, cfg ProbeConfig) ([]Sample, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return cfg.observe(func(ops float64) float64 {
+		return ops / node.Power
+	}), nil
+}
+
+// LinkEstimate is the regression-recovered link model.
+type LinkEstimate struct {
+	BWMbps float64
+	MLDms  float64
+	Fit    stats.LinFit
+}
+
+// EstimateLink fits t = x/b + d by ordinary least squares: the slope is the
+// reciprocal byte rate (converted back to Mbit/s) and the intercept the MLD.
+// Noise can drive the intercept slightly negative; it is clamped to 0.
+func EstimateLink(samples []Sample) (LinkEstimate, error) {
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i], ys[i] = s.X, s.Ms
+	}
+	fit, err := stats.LinReg(xs, ys)
+	if err != nil {
+		return LinkEstimate{}, fmt.Errorf("measure: link fit: %w", err)
+	}
+	if fit.Slope <= 0 {
+		return LinkEstimate{}, fmt.Errorf("measure: non-positive slope %v; probes unusable", fit.Slope)
+	}
+	mld := fit.Intercept
+	if mld < 0 {
+		mld = 0
+	}
+	return LinkEstimate{
+		BWMbps: 1 / fit.Slope / model.BytesPerMsPerMbps,
+		MLDms:  mld,
+		Fit:    fit,
+	}, nil
+}
+
+// EstimateNodePower fits t = ops/p through the origin and returns the
+// recovered power in ops/ms.
+func EstimateNodePower(samples []Sample) (float64, stats.LinFit, error) {
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i], ys[i] = s.X, s.Ms
+	}
+	fit, err := stats.LinRegThroughOrigin(xs, ys)
+	if err != nil {
+		return 0, fit, fmt.Errorf("measure: node fit: %w", err)
+	}
+	if fit.Slope <= 0 {
+		return 0, fit, fmt.Errorf("measure: non-positive slope %v; probes unusable", fit.Slope)
+	}
+	return 1 / fit.Slope, fit, nil
+}
+
+// EstimateNetwork probes every link and node of the true network and returns
+// a new network built entirely from the estimates — the network a deployed
+// ELPC instance would actually plan against. The true network is not
+// modified.
+func EstimateNetwork(truth *model.Network, cfg ProbeConfig) (*model.Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nodes := make([]model.Node, len(truth.Nodes))
+	for i, n := range truth.Nodes {
+		// Size compute probes to the host, as a real profiler does: a fast
+		// node finishes a fixed small workload in microseconds, where timing
+		// noise would swamp the signal. Scale the probe train so the largest
+		// workload runs for nodeProbeTargetMs on the true host.
+		nodeCfg := cfg
+		maxSize := stats.Max(cfg.Sizes)
+		scale := n.Power * nodeProbeTargetMs / maxSize
+		nodeCfg.Sizes = make([]float64, len(cfg.Sizes))
+		for j, s := range cfg.Sizes {
+			nodeCfg.Sizes[j] = s * scale
+		}
+		samples, err := ProbeNode(n, nodeCfg)
+		if err != nil {
+			return nil, err
+		}
+		power, _, err := EstimateNodePower(samples)
+		if err != nil {
+			return nil, fmt.Errorf("measure: node %d: %w", n.ID, err)
+		}
+		nodes[i] = model.Node{ID: n.ID, Name: n.Name, Power: power}
+	}
+	links := make([]model.Link, len(truth.Links))
+	for i, l := range truth.Links {
+		samples, err := ProbeLink(l, cfg)
+		if err != nil {
+			return nil, err
+		}
+		est, err := EstimateLink(samples)
+		if err != nil {
+			return nil, fmt.Errorf("measure: link %d: %w", l.ID, err)
+		}
+		links[i] = model.Link{ID: l.ID, From: l.From, To: l.To, BWMbps: est.BWMbps, MLDms: est.MLDms}
+	}
+	return model.NewNetwork(nodes, links)
+}

@@ -1,0 +1,186 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+func probeCfg(noise float64, seed uint64) ProbeConfig {
+	return ProbeConfig{
+		Sizes:    DefaultProbeSizes(),
+		Repeats:  8,
+		NoiseStd: noise,
+		Rng:      gen.RNG(seed),
+	}
+}
+
+func TestProbeConfigValidation(t *testing.T) {
+	link := model.Link{BWMbps: 100, MLDms: 1}
+	cases := []ProbeConfig{
+		{Sizes: []float64{1}, Repeats: 1},                  // one size
+		{Sizes: []float64{5, 5, 5}, Repeats: 1},            // equal sizes
+		{Sizes: []float64{1, 2}, Repeats: 0},               // no repeats
+		{Sizes: []float64{1, 2}, Repeats: 1, NoiseStd: 1},  // noise w/o rng
+		{Sizes: []float64{1, 2}, Repeats: 1, NoiseStd: -1}, // negative noise
+	}
+	for i, cfg := range cases {
+		if _, err := ProbeLink(link, cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNoiselessRecoveryIsExact(t *testing.T) {
+	link := model.Link{ID: 0, From: 0, To: 1, BWMbps: 123.4, MLDms: 2.5}
+	cfg := ProbeConfig{Sizes: DefaultProbeSizes(), Repeats: 1}
+	samples, err := ProbeLink(link, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateLink(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.BWMbps-123.4) > 1e-9 || math.Abs(est.MLDms-2.5) > 1e-9 {
+		t.Errorf("recovered (%v Mbps, %v ms), want (123.4, 2.5)", est.BWMbps, est.MLDms)
+	}
+	if est.Fit.R2 < 1-1e-12 {
+		t.Errorf("noiseless R² = %v, want 1", est.Fit.R2)
+	}
+
+	node := model.Node{ID: 0, Power: 5e6}
+	nsamples, err := ProbeNode(node, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, _, err := EstimateNodePower(nsamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(power-5e6) > 1e-3 {
+		t.Errorf("recovered power %v, want 5e6", power)
+	}
+}
+
+func TestNoisyRecoveryWithinTolerance(t *testing.T) {
+	link := model.Link{ID: 0, From: 0, To: 1, BWMbps: 100, MLDms: 3}
+	// 100 Mbps = 12500 B/ms; 3 MB probe takes 240 ms. 1 ms noise is small
+	// relative to the large probes but large relative to MLD.
+	samples, err := ProbeLink(link, probeCfg(1.0, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateLink(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(est.BWMbps-100) / 100; rel > 0.05 {
+		t.Errorf("bandwidth error %.1f%% too large (got %v)", rel*100, est.BWMbps)
+	}
+	if math.Abs(est.MLDms-3) > 1.5 {
+		t.Errorf("MLD estimate %v too far from 3", est.MLDms)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := EstimateLink(nil); err == nil {
+		t.Error("empty samples should error")
+	}
+	if _, _, err := EstimateNodePower(nil); err == nil {
+		t.Error("empty samples should error")
+	}
+	// Decreasing times => negative slope => unusable.
+	bad := []Sample{{X: 1, Ms: 10}, {X: 2, Ms: 5}, {X: 3, Ms: 1}}
+	if _, err := EstimateLink(bad); err == nil {
+		t.Error("negative slope should error")
+	}
+	// Through-origin fit needs genuinely negative correlation to fail.
+	neg := []Sample{{X: 1, Ms: -1}, {X: 2, Ms: -2}, {X: 3, Ms: -3}}
+	if _, _, err := EstimateNodePower(neg); err == nil {
+		t.Error("negative slope should error for node too")
+	}
+}
+
+func TestNegativeInterceptClamped(t *testing.T) {
+	// Construct samples with a negative intercept: t = x - 5.
+	samples := []Sample{{X: 10, Ms: 5}, {X: 20, Ms: 15}, {X: 30, Ms: 25}}
+	est, err := EstimateLink(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MLDms != 0 {
+		t.Errorf("MLD = %v, want clamped 0", est.MLDms)
+	}
+}
+
+func TestEstimateNetworkRecoversTruth(t *testing.T) {
+	truth, err := gen.Network(8, 30, gen.DefaultRanges(), gen.RNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateNetwork(truth, probeCfg(0.5, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N() != truth.N() || est.M() != truth.M() {
+		t.Fatal("estimated network changed topology")
+	}
+	for i := range truth.Links {
+		rel := math.Abs(est.Links[i].BWMbps-truth.Links[i].BWMbps) / truth.Links[i].BWMbps
+		if rel > 0.25 {
+			t.Errorf("link %d bandwidth error %.1f%%", i, rel*100)
+		}
+	}
+	for i := range truth.Nodes {
+		rel := math.Abs(est.Nodes[i].Power-truth.Nodes[i].Power) / truth.Nodes[i].Power
+		if rel > 0.25 {
+			t.Errorf("node %d power error %.1f%%", i, rel*100)
+		}
+	}
+	// Truth untouched.
+	if truth.Links[0].BWMbps == est.Links[0].BWMbps && truth.Links[0].MLDms == est.Links[0].MLDms {
+		// Possible but astronomically unlikely under noise; treat as suspicious.
+		t.Log("estimate exactly equals truth for link 0 under noise (suspicious but not fatal)")
+	}
+	if _, err := EstimateNetwork(truth, ProbeConfig{}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+// TestPlanningOnEstimatesStaysNearTruth closes the loop of the adaptive
+// workflow: mapping on the estimated network must cost nearly the same as
+// mapping on the truth when evaluated against the truth.
+func TestPlanningOnEstimatesStaysNearTruth(t *testing.T) {
+	// Imported here to avoid a dependency cycle: measure does not know about
+	// core; the loop lives in examples/adaptive. This test only checks that
+	// estimation preserves relative link ordering well enough for planning,
+	// via the widest-link ranking.
+	truth, err := gen.Network(10, 40, gen.DefaultRanges(), gen.RNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateNetwork(truth, probeCfg(0.2, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank correlation proxy: the fastest true link should be within the top
+	// 20% of estimated links.
+	bestTrue, bestTrueBW := -1, 0.0
+	for i, l := range truth.Links {
+		if l.BWMbps > bestTrueBW {
+			bestTrue, bestTrueBW = i, l.BWMbps
+		}
+	}
+	better := 0
+	for _, l := range est.Links {
+		if l.BWMbps > est.Links[bestTrue].BWMbps {
+			better++
+		}
+	}
+	if better > len(est.Links)/5 {
+		t.Errorf("true best link ranked %d/%d after estimation", better, len(est.Links))
+	}
+}

@@ -1,0 +1,124 @@
+package model
+
+import "math"
+
+// CostOptions tunes the analytical cost model.
+type CostOptions struct {
+	// IncludeMLDInDelay adds the minimum link delay d_{u,v} to every
+	// inter-group transfer when computing total end-to-end delay. The
+	// paper's Section 2.2 link model includes MLD while Eq. 1 omits it;
+	// DefaultCostOptions includes it (the stated link model), and setting
+	// this false reproduces Eq. 1 verbatim.
+	//
+	// MLD never enters the frame-rate bottleneck (Eq. 2): propagation
+	// latency does not occupy a link, so it shifts frames in time without
+	// limiting the sustainable rate. The DES in internal/sim confirms this.
+	IncludeMLDInDelay bool
+}
+
+// DefaultCostOptions is the configuration used throughout the evaluation.
+func DefaultCostOptions() CostOptions {
+	return CostOptions{IncludeMLDInDelay: true}
+}
+
+// TotalDelay evaluates Eq. 1: the end-to-end delay of the mapping, i.e. the
+// sum of per-group computing times (on each group's node) plus the
+// inter-group transport times of the group output messages. Intra-group
+// transfers are free (same node). The mapping is assumed structurally valid;
+// a missing link between consecutive groups yields +Inf.
+func TotalDelay(net *Network, pl *Pipeline, m *Mapping, opt CostOptions) float64 {
+	groups := m.Groups()
+	total := 0.0
+	for gi, g := range groups {
+		power := net.Power(g.Node)
+		for j := g.First; j <= g.Last; j++ {
+			total += pl.ComputeTime(j, power)
+		}
+		if gi+1 < len(groups) {
+			link, ok := net.LinkBetween(g.Node, groups[gi+1].Node)
+			if !ok {
+				return math.Inf(1)
+			}
+			total += link.TransferTime(pl.OutBytes(g.Last), opt.IncludeMLDInDelay)
+		}
+	}
+	return total
+}
+
+// Bottleneck evaluates Eq. 2: the time of the slowest stage of the mapped
+// pipeline — the maximum over per-group computing times and inter-group
+// transfer times (bandwidth term only; see CostOptions). A missing link
+// yields +Inf. The achievable frame rate is 1/Bottleneck.
+//
+// Bottleneck treats each group and each transfer as an independent resource,
+// which matches the paper's no-reuse streaming model. When a mapping reuses
+// nodes, use SharedBottleneck instead.
+func Bottleneck(net *Network, pl *Pipeline, m *Mapping) float64 {
+	groups := m.Groups()
+	worst := 0.0
+	for gi, g := range groups {
+		power := net.Power(g.Node)
+		groupCompute := 0.0
+		for j := g.First; j <= g.Last; j++ {
+			groupCompute += pl.ComputeTime(j, power)
+		}
+		if groupCompute > worst {
+			worst = groupCompute
+		}
+		if gi+1 < len(groups) {
+			link, ok := net.LinkBetween(g.Node, groups[gi+1].Node)
+			if !ok {
+				return math.Inf(1)
+			}
+			if t := link.TransferTime(pl.OutBytes(g.Last), false); t > worst {
+				worst = t
+			}
+		}
+	}
+	return worst
+}
+
+// SharedBottleneck generalizes Eq. 2 to mappings that reuse nodes or links
+// (the paper's Section 5 future-work setting): each physical resource is
+// occupied for the sum of the work of all groups/transfers placed on it per
+// frame, and the sustainable period is the maximum total occupancy. For
+// reuse-free mappings it equals Bottleneck.
+func SharedBottleneck(net *Network, pl *Pipeline, m *Mapping) float64 {
+	groups := m.Groups()
+	nodeBusy := make(map[NodeID]float64)
+	linkBusy := make(map[int]float64)
+	for gi, g := range groups {
+		power := net.Power(g.Node)
+		for j := g.First; j <= g.Last; j++ {
+			nodeBusy[g.Node] += pl.ComputeTime(j, power)
+		}
+		if gi+1 < len(groups) {
+			link, ok := net.LinkBetween(g.Node, groups[gi+1].Node)
+			if !ok {
+				return math.Inf(1)
+			}
+			linkBusy[link.ID] += link.TransferTime(pl.OutBytes(g.Last), false)
+		}
+	}
+	worst := 0.0
+	for _, t := range nodeBusy {
+		if t > worst {
+			worst = t
+		}
+	}
+	for _, t := range linkBusy {
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// FrameRate converts a bottleneck period in ms to frames per second.
+// A zero, negative, or infinite bottleneck yields 0.
+func FrameRate(bottleneckMs float64) float64 {
+	if bottleneckMs <= 0 || math.IsInf(bottleneckMs, 1) || math.IsNaN(bottleneckMs) {
+		return 0
+	}
+	return 1000.0 / bottleneckMs
+}

@@ -1,0 +1,88 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// networkJSON is the wire form of a Network.
+type networkJSON struct {
+	Nodes []Node `json:"nodes"`
+	Links []Link `json:"links"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	return json.Marshal(networkJSON{Nodes: n.Nodes, Links: n.Links})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, revalidating the network.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var w networkJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	built, err := NewNetwork(w.Nodes, w.Links)
+	if err != nil {
+		return err
+	}
+	*n = *built
+	return nil
+}
+
+// pipelineJSON is the wire form of a Pipeline.
+type pipelineJSON struct {
+	Modules []Module `json:"modules"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Pipeline) MarshalJSON() ([]byte, error) {
+	return json.Marshal(pipelineJSON{Modules: p.Modules})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, revalidating the pipeline.
+func (p *Pipeline) UnmarshalJSON(data []byte) error {
+	var w pipelineJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	built, err := NewPipeline(w.Modules)
+	if err != nil {
+		return err
+	}
+	*p = *built
+	return nil
+}
+
+// WriteNetwork writes the network as indented JSON.
+func WriteNetwork(w io.Writer, n *Network) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(n)
+}
+
+// ReadNetwork parses and validates a network from JSON.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	var n Network
+	if err := json.NewDecoder(r).Decode(&n); err != nil {
+		return nil, fmt.Errorf("model: reading network: %w", err)
+	}
+	return &n, nil
+}
+
+// WritePipeline writes the pipeline as indented JSON.
+func WritePipeline(w io.Writer, p *Pipeline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadPipeline parses and validates a pipeline from JSON.
+func ReadPipeline(r io.Reader) (*Pipeline, error) {
+	var p Pipeline
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("model: reading pipeline: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,71 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	n := fixtureNetwork(t)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != n.N() || back.M() != n.M() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d", back.N(), back.M(), n.N(), n.M())
+	}
+	for i := range n.Links {
+		if back.Links[i] != n.Links[i] {
+			t.Errorf("link %d: %+v vs %+v", i, back.Links[i], n.Links[i])
+		}
+	}
+	if _, ok := back.LinkBetween(0, 1); !ok {
+		t.Error("topology index not rebuilt on unmarshal")
+	}
+}
+
+func TestPipelineJSONRoundTrip(t *testing.T) {
+	p := fixturePipeline(t)
+	var buf bytes.Buffer
+	if err := WritePipeline(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPipeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != p.N() {
+		t.Fatalf("round trip module count: %d vs %d", back.N(), p.N())
+	}
+	for i := range p.Modules {
+		if back.Modules[i] != p.Modules[i] {
+			t.Errorf("module %d: %+v vs %+v", i, back.Modules[i], p.Modules[i])
+		}
+	}
+}
+
+func TestReadNetworkRejectsInvalid(t *testing.T) {
+	// Valid JSON but invalid network (zero power).
+	bad := `{"nodes":[{"id":0,"power":0}],"links":[]}`
+	if _, err := ReadNetwork(strings.NewReader(bad)); err == nil {
+		t.Error("invalid network should be rejected on read")
+	}
+	if _, err := ReadNetwork(strings.NewReader("{broken")); err == nil {
+		t.Error("malformed JSON should be rejected")
+	}
+}
+
+func TestReadPipelineRejectsInvalid(t *testing.T) {
+	bad := `{"modules":[{"id":0,"out_bytes":10}]}` // too short
+	if _, err := ReadPipeline(strings.NewReader(bad)); err == nil {
+		t.Error("invalid pipeline should be rejected on read")
+	}
+	if _, err := ReadPipeline(strings.NewReader("nope")); err == nil {
+		t.Error("malformed JSON should be rejected")
+	}
+}

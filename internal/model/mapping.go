@@ -1,0 +1,141 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInfeasible is returned (possibly wrapped) by mappers when no valid
+// mapping exists for a problem instance — e.g. the pipeline is longer than
+// the longest end-to-end simple path and node reuse is disabled, a situation
+// the paper explicitly calls out in Section 4.3.
+var ErrInfeasible = errors.New("no feasible mapping")
+
+// Mapping assigns every pipeline module to a network node. Assign[j] is the
+// node executing module j. The walk through the network and the contiguous
+// module groups (the paper's g_1..g_q) are derived views.
+type Mapping struct {
+	Assign []NodeID
+}
+
+// NewMapping copies assign into a Mapping.
+func NewMapping(assign []NodeID) *Mapping {
+	return &Mapping{Assign: append([]NodeID(nil), assign...)}
+}
+
+// Group is a maximal run of consecutive modules mapped to the same node:
+// modules [First, Last] run on Node.
+type Group struct {
+	Node  NodeID
+	First int // first module index in the group
+	Last  int // last module index in the group (inclusive)
+}
+
+// Groups derives the contiguous module groups g_1..g_q of the mapping.
+func (m *Mapping) Groups() []Group {
+	if len(m.Assign) == 0 {
+		return nil
+	}
+	var gs []Group
+	cur := Group{Node: m.Assign[0], First: 0, Last: 0}
+	for j := 1; j < len(m.Assign); j++ {
+		if m.Assign[j] == cur.Node {
+			cur.Last = j
+			continue
+		}
+		gs = append(gs, cur)
+		cur = Group{Node: m.Assign[j], First: j, Last: j}
+	}
+	return append(gs, cur)
+}
+
+// Walk returns the node sequence visited by the mapping (one entry per
+// group). With node reuse the walk may revisit nodes.
+func (m *Mapping) Walk() []NodeID {
+	gs := m.Groups()
+	walk := make([]NodeID, len(gs))
+	for i, g := range gs {
+		walk[i] = g.Node
+	}
+	return walk
+}
+
+// UsesReuse reports whether any network node appears in more than one group.
+func (m *Mapping) UsesReuse() bool {
+	seen := map[NodeID]bool{}
+	for _, g := range m.Groups() {
+		if seen[g.Node] {
+			return true
+		}
+		seen[g.Node] = true
+	}
+	return false
+}
+
+// String renders the mapping compactly, e.g. "[M0-M1]@v0 -> [M2]@v4 -> [M3]@v5".
+func (m *Mapping) String() string {
+	gs := m.Groups()
+	s := ""
+	for i, g := range gs {
+		if i > 0 {
+			s += " -> "
+		}
+		if g.First == g.Last {
+			s += fmt.Sprintf("[M%d]@v%d", g.First, g.Node)
+		} else {
+			s += fmt.Sprintf("[M%d-M%d]@v%d", g.First, g.Last, g.Node)
+		}
+	}
+	return s
+}
+
+// ValidateOptions selects which structural constraints Validate enforces.
+type ValidateOptions struct {
+	Src, Dst NodeID
+	// NoReuse requires every module to run on a distinct node (the paper's
+	// restriction for the frame-rate problem).
+	NoReuse bool
+}
+
+// Validate checks the mapping against a problem instance: correct length,
+// source module on Src, sink module on Dst, an existing directed link
+// between the nodes of consecutive groups, and (optionally) no node reuse.
+// It returns a descriptive error for the first violation found.
+func (m *Mapping) Validate(net *Network, pl *Pipeline, opt ValidateOptions) error {
+	if len(m.Assign) != pl.N() {
+		return fmt.Errorf("model: mapping assigns %d modules, pipeline has %d", len(m.Assign), pl.N())
+	}
+	for j, v := range m.Assign {
+		if !net.ValidNode(v) {
+			return fmt.Errorf("model: module %d assigned to invalid node %d", j, v)
+		}
+	}
+	if m.Assign[0] != opt.Src {
+		return fmt.Errorf("model: source module on node %d, want designated source %d", m.Assign[0], opt.Src)
+	}
+	if m.Assign[pl.N()-1] != opt.Dst {
+		return fmt.Errorf("model: sink module on node %d, want designated destination %d", m.Assign[pl.N()-1], opt.Dst)
+	}
+	for j := 1; j < len(m.Assign); j++ {
+		u, v := m.Assign[j-1], m.Assign[j]
+		if u == v {
+			if opt.NoReuse {
+				return fmt.Errorf("model: modules %d and %d share node %d but reuse is disabled", j-1, j, u)
+			}
+			continue
+		}
+		if _, ok := net.LinkBetween(u, v); !ok {
+			return fmt.Errorf("model: no link %d->%d required between modules %d and %d", u, v, j-1, j)
+		}
+	}
+	if opt.NoReuse {
+		seen := make(map[NodeID]int, len(m.Assign))
+		for j, v := range m.Assign {
+			if prev, dup := seen[v]; dup {
+				return fmt.Errorf("model: node %d reused by modules %d and %d but reuse is disabled", v, prev, j)
+			}
+			seen[v] = j
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package model
+
+import "fmt"
+
+// Objective selects which of the paper's two optimization problems a mapper
+// solves.
+type Objective int
+
+const (
+	// MinDelay minimizes end-to-end delay (interactive applications);
+	// node reuse is permitted.
+	MinDelay Objective = iota
+	// MaxFrameRate maximizes frame rate, i.e. minimizes the bottleneck
+	// (streaming applications); node reuse is forbidden.
+	MaxFrameRate
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinDelay:
+		return "min-delay"
+	case MaxFrameRate:
+		return "max-frame-rate"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Problem bundles one pipeline-mapping instance: the network, the pipeline,
+// the designated source and destination nodes (where the raw data lives and
+// where the end user sits), and cost-model options.
+type Problem struct {
+	Net  *Network
+	Pipe *Pipeline
+	Src  NodeID
+	Dst  NodeID
+	Cost CostOptions
+}
+
+// Validate checks the problem's structural sanity.
+func (p *Problem) Validate() error {
+	if p.Net == nil || p.Pipe == nil {
+		return fmt.Errorf("model: problem missing network or pipeline")
+	}
+	if !p.Net.ValidNode(p.Src) {
+		return fmt.Errorf("model: invalid source node %d", p.Src)
+	}
+	if !p.Net.ValidNode(p.Dst) {
+		return fmt.Errorf("model: invalid destination node %d", p.Dst)
+	}
+	if p.Src == p.Dst && p.Pipe.N() > 1 {
+		// Allowed (q=1, whole pipeline on one computer) only when reuse is
+		// permitted; mappers decide, so the problem itself stays valid.
+		return nil
+	}
+	return nil
+}
+
+// Score evaluates a mapping under the problem's objective: total delay in ms
+// for MinDelay, bottleneck period in ms for MaxFrameRate (smaller is better
+// for both, which keeps comparisons uniform across mappers).
+func (p *Problem) Score(m *Mapping, obj Objective) float64 {
+	switch obj {
+	case MinDelay:
+		return TotalDelay(p.Net, p.Pipe, m, p.Cost)
+	case MaxFrameRate:
+		return Bottleneck(p.Net, p.Pipe, m)
+	default:
+		panic(fmt.Sprintf("model: unknown objective %d", int(obj)))
+	}
+}
+
+// ValidateMapping checks m against the structural rules of the objective
+// (reuse allowed for MinDelay, forbidden for MaxFrameRate).
+func (p *Problem) ValidateMapping(m *Mapping, obj Objective) error {
+	return m.Validate(p.Net, p.Pipe, ValidateOptions{
+		Src:     p.Src,
+		Dst:     p.Dst,
+		NoReuse: obj == MaxFrameRate,
+	})
+}
+
+// Mapper is the common interface implemented by ELPC and the comparison
+// algorithms (Streamline, Greedy, exhaustive search). Map returns
+// ErrInfeasible (possibly wrapped) when no valid mapping exists or the
+// heuristic fails to find one.
+type Mapper interface {
+	// Name identifies the algorithm in tables and figures.
+	Name() string
+	// Map solves the problem under the given objective.
+	Map(p *Problem, obj Objective) (*Mapping, error)
+}

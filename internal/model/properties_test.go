@@ -1,0 +1,186 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"math/rand/v2"
+)
+
+// randomValidInstance builds a random network, pipeline, and structurally
+// valid mapping directly at the model level (no dependency on internal/gen,
+// which would create an import cycle in tests).
+func randomValidInstance(rng *rand.Rand) (*Network, *Pipeline, *Mapping) {
+	k := 3 + rng.IntN(5)
+	nodes := make([]Node, k)
+	for i := range nodes {
+		nodes[i] = Node{ID: NodeID(i), Power: 100 + rng.Float64()*1e4}
+	}
+	// Bidirectional ring plus chords guarantees usable walks.
+	var links []Link
+	addLink := func(u, v int) {
+		links = append(links, Link{
+			ID: len(links), From: NodeID(u), To: NodeID(v),
+			BWMbps: 1 + rng.Float64()*100, MLDms: rng.Float64() * 5,
+		})
+	}
+	for i := 0; i < k; i++ {
+		addLink(i, (i+1)%k)
+		addLink((i+1)%k, i)
+	}
+	for extra := rng.IntN(k); extra > 0; extra-- {
+		u, v := rng.IntN(k), rng.IntN(k)
+		if u == v {
+			continue
+		}
+		dup := false
+		for _, l := range links {
+			if int(l.From) == u && int(l.To) == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			addLink(u, v)
+		}
+	}
+	net, err := NewNetwork(nodes, links)
+	if err != nil {
+		panic(err)
+	}
+
+	n := 2 + rng.IntN(5)
+	mods := make([]Module, n)
+	prev := 1e3 + rng.Float64()*1e6
+	mods[0] = Module{ID: 0, OutBytes: prev}
+	for j := 1; j < n; j++ {
+		out := 1e3 + rng.Float64()*1e6
+		if j == n-1 {
+			out = 0
+		}
+		mods[j] = Module{ID: j, Complexity: 1 + rng.Float64()*100, InBytes: prev, OutBytes: out}
+		prev = out
+	}
+	pl, err := NewPipeline(mods)
+	if err != nil {
+		panic(err)
+	}
+
+	// Random walk mapping along ring edges (always valid).
+	assign := make([]NodeID, n)
+	cur := rng.IntN(k)
+	assign[0] = NodeID(cur)
+	for j := 1; j < n; j++ {
+		switch rng.IntN(3) {
+		case 0: // stay
+		case 1:
+			cur = (cur + 1) % k
+		default:
+			cur = (cur + k - 1) % k
+		}
+		assign[j] = NodeID(cur)
+	}
+	return net, pl, NewMapping(assign)
+}
+
+// Property: total delay is at least the bottleneck (a sum of non-negative
+// stage times dominates their maximum).
+func TestQuickDelayDominatesBottleneck(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		net, pl, m := randomValidInstance(rng)
+		delay := TotalDelay(net, pl, m, CostOptions{}) // Eq. 1 exactly
+		bott := Bottleneck(net, pl, m)
+		return delay >= bott-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shared bottleneck >= plain bottleneck (sharing can only add
+// occupancy), with equality for reuse-free mappings.
+func TestQuickSharedBottleneckDominates(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		net, pl, m := randomValidInstance(rng)
+		shared := SharedBottleneck(net, pl, m)
+		plain := Bottleneck(net, pl, m)
+		if shared < plain-1e-9 {
+			return false
+		}
+		if !m.UsesReuse() && math.Abs(shared-plain) > 1e-9*(1+plain) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// scaleResources multiplies all node powers and link bandwidths by alpha.
+func scaleResources(net *Network, alpha float64) *Network {
+	c := net.Clone()
+	for i := range c.Nodes {
+		c.Nodes[i].Power *= alpha
+	}
+	for i := range c.Links {
+		c.Links[i].BWMbps *= alpha
+	}
+	return c
+}
+
+// Property: scaling every resource by alpha scales Eq. 1 (without MLD) and
+// Eq. 2 by exactly 1/alpha — the cost model is homogeneous of degree -1 in
+// resource capacity.
+func TestQuickCostScaleInvariance(t *testing.T) {
+	f := func(seed uint64, alphaRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		alpha := 0.25 + float64(alphaRaw%32)/4 // 0.25 .. 8
+		net, pl, m := randomValidInstance(rng)
+		scaled := scaleResources(net, alpha)
+		d1 := TotalDelay(net, pl, m, CostOptions{})
+		d2 := TotalDelay(scaled, pl, m, CostOptions{})
+		if math.Abs(d2-d1/alpha) > 1e-6*(1+d1) {
+			return false
+		}
+		b1 := Bottleneck(net, pl, m)
+		b2 := Bottleneck(scaled, pl, m)
+		return math.Abs(b2-b1/alpha) <= 1e-6*(1+b1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Groups() partitions the module range contiguously and Walk()
+// has no equal consecutive entries.
+func TestQuickGroupsPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		_, pl, m := randomValidInstance(rng)
+		groups := m.Groups()
+		next := 0
+		for _, g := range groups {
+			if g.First != next || g.Last < g.First {
+				return false
+			}
+			next = g.Last + 1
+		}
+		if next != pl.N() {
+			return false
+		}
+		walk := m.Walk()
+		for i := 1; i < len(walk); i++ {
+			if walk[i] == walk[i-1] {
+				return false
+			}
+		}
+		return len(walk) == len(groups)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package refine implements the paper's Section 5 future-work extension:
+// maximizing frame rate when node reuse is allowed. With reuse, a resource
+// may serve several pipeline stages per frame, so the steady-state period is
+// the shared-resource bottleneck (model.SharedBottleneck) rather than Eq. 2,
+// and the clean DP structure of ELPC no longer applies (the objective
+// becomes history-dependent). We therefore use multi-seed hill climbing:
+// seed mappings come from the ELPC algorithms, and single-module
+// reassignment moves descend the shared bottleneck until a local optimum.
+//
+// The discrete-event simulator (internal/sim) independently confirms that
+// the shared bottleneck is the achievable period for reuse mappings, so the
+// objective being climbed is the physically meaningful one.
+package refine
+
+import (
+	"fmt"
+	"math"
+
+	"elpc/internal/core"
+	"elpc/internal/model"
+)
+
+// Options tunes the local search.
+type Options struct {
+	// MaxPasses bounds full improvement sweeps per seed; 0 means
+	// DefaultMaxPasses.
+	MaxPasses int
+	// ExtraSeeds are additional starting mappings (each must be valid for
+	// the problem with reuse allowed).
+	ExtraSeeds []*model.Mapping
+}
+
+// DefaultMaxPasses is the default sweep budget per seed.
+const DefaultMaxPasses = 64
+
+// MaxFrameRateWithReuse searches for a mapping minimizing the shared
+// bottleneck period, with node reuse permitted. Unlike the no-reuse problem
+// it remains feasible when the pipeline is longer than the longest simple
+// path (including pipelines with more modules than the network has nodes).
+//
+// It returns the best mapping found and its shared bottleneck period in ms.
+func MaxFrameRateWithReuse(p *model.Problem, opt Options) (*model.Mapping, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	passes := opt.MaxPasses
+	if passes <= 0 {
+		passes = DefaultMaxPasses
+	}
+
+	var seeds []*model.Mapping
+	if m, err := core.MinDelay(p); err == nil {
+		seeds = append(seeds, m)
+	}
+	if m, err := core.MaxFrameRate(p); err == nil {
+		seeds = append(seeds, m)
+	}
+	for _, m := range opt.ExtraSeeds {
+		if err := m.Validate(p.Net, p.Pipe, model.ValidateOptions{Src: p.Src, Dst: p.Dst}); err != nil {
+			return nil, 0, fmt.Errorf("refine: invalid extra seed: %w", err)
+		}
+		seeds = append(seeds, m)
+	}
+	if len(seeds) == 0 {
+		return nil, 0, fmt.Errorf("refine: no feasible seed mapping: %w", model.ErrInfeasible)
+	}
+
+	best := math.Inf(1)
+	var bestMapping *model.Mapping
+	for _, seed := range seeds {
+		m, v := climb(p, seed, passes)
+		if v < best {
+			best = v
+			bestMapping = m
+		}
+	}
+	return bestMapping, best, nil
+}
+
+// climb performs steepest-descent sweeps of single-module reassignments.
+func climb(p *model.Problem, seed *model.Mapping, maxPasses int) (*model.Mapping, float64) {
+	n := p.Pipe.N()
+	k := p.Net.N()
+	assign := append([]model.NodeID(nil), seed.Assign...)
+	cur := model.SharedBottleneck(p.Net, p.Pipe, &model.Mapping{Assign: assign})
+
+	compatible := func(jPrev, jNext model.NodeID, v model.NodeID) bool {
+		if v != jPrev {
+			if _, ok := p.Net.LinkBetween(jPrev, v); !ok {
+				return false
+			}
+		}
+		if v != jNext {
+			if _, ok := p.Net.LinkBetween(v, jNext); !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for j := 1; j < n-1; j++ {
+			prev, next := assign[j-1], assign[j+1]
+			orig := assign[j]
+			bestV, bestVal := orig, cur
+			for v := 0; v < k; v++ {
+				nv := model.NodeID(v)
+				if nv == orig || !compatible(prev, next, nv) {
+					continue
+				}
+				assign[j] = nv
+				val := model.SharedBottleneck(p.Net, p.Pipe, &model.Mapping{Assign: assign})
+				if val < bestVal {
+					bestV, bestVal = nv, val
+				}
+			}
+			assign[j] = bestV
+			if bestV != orig {
+				cur = bestVal
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return model.NewMapping(assign), cur
+}
+
+// Mapper adapts the reuse extension to the model.Mapper interface. It only
+// supports the MaxFrameRate objective (scored by shared bottleneck).
+type Mapper struct {
+	Opt Options
+}
+
+var _ model.Mapper = Mapper{}
+
+// Name implements model.Mapper.
+func (Mapper) Name() string { return "ELPC+Reuse" }
+
+// Map implements model.Mapper.
+func (r Mapper) Map(p *model.Problem, obj model.Objective) (*model.Mapping, error) {
+	if obj != model.MaxFrameRate {
+		return nil, fmt.Errorf("refine: Mapper supports only MaxFrameRate: %w", model.ErrInfeasible)
+	}
+	m, _, err := MaxFrameRateWithReuse(p, r.Opt)
+	return m, err
+}

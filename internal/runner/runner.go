@@ -1,0 +1,83 @@
+// Package runner provides the small parallel-execution utility used by the
+// experiment harness: a bounded worker pool mapping a function over an index
+// range with deterministic result placement, error collection, and panic
+// capture. The DP kernels and the DES stay single-goroutine (deterministic);
+// parallelism lives at the granularity of independent experiment cases.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(i) for every i in [0, n) using at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS). It waits for all invocations
+// to finish and returns the error of the lowest-indexed failing invocation,
+// if any. A panic inside fn is recovered and reported as an error rather
+// than tearing down the process.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				errs[i] = safeCall(fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func safeCall(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// Map runs fn over [0, n) in parallel and collects the results in order.
+// Semantics otherwise match ForEach.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var count atomic.Int64
+	seen := make([]atomic.Bool, 100)
+	err := ForEach(100, 8, func(i int) error {
+		count.Add(1)
+		if seen[i].Swap(true) {
+			return fmt.Errorf("index %d ran twice", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Errorf("ran %d tasks, want 100", count.Load())
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Errorf("index %d never ran", i)
+		}
+	}
+}
+
+func TestForEachEmptyAndDegenerate(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Error("n=0 should be a no-op")
+	}
+	if err := ForEach(-3, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Error("negative n should be a no-op")
+	}
+	// workers <= 0 defaults to GOMAXPROCS; workers > n is clamped.
+	if err := ForEach(3, 0, func(int) error { return nil }); err != nil {
+		t.Error(err)
+	}
+	if err := ForEach(2, 50, func(int) error { return nil }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	err := ForEach(20, 4, func(i int) error {
+		if i == 7 || i == 13 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "task 7") {
+		t.Errorf("err = %v, want task 7's error", err)
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	err := ForEach(10, 4, func(i int) error {
+		if i == 3 {
+			panic("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v, want panic report", err)
+	}
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	out, err := Map(50, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	_, err := Map(10, 4, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestForEachSequentialWhenOneWorker(t *testing.T) {
+	order := make([]int, 0, 10)
+	err := ForEach(10, 1, func(i int) error {
+		order = append(order, i) // safe: single worker
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}

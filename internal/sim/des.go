@@ -1,0 +1,125 @@
+// Package sim provides a discrete-event simulator that executes pipeline
+// mappings on the modeled network, validating the paper's analytical cost
+// models empirically (DESIGN.md experiment E10):
+//
+//   - replaying a single dataset through a mapping reproduces the Eq. 1
+//     end-to-end delay (computing times plus transfer times plus MLDs), and
+//   - streaming many frames through a mapping reaches a steady-state period
+//     equal to the (shared-resource) bottleneck of Eq. 2, confirming that
+//     frame rate is limited by the slowest stage and that propagation delay
+//     shifts latency without limiting throughput.
+//
+// The kernel is a classic event-queue engine: events fire in time order with
+// deterministic FIFO tie-breaking, nodes and links are exclusive serving
+// resources with FIFO queues, and store-and-forward links are busy for the
+// bandwidth term only while delivery completes one MLD later.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // insertion order; breaks time ties deterministically
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a minimal deterministic discrete-event simulation kernel.
+// The zero value is ready to use.
+type Engine struct {
+	now      float64
+	seq      uint64
+	events   eventHeap
+	executed uint64
+}
+
+// Now returns the current simulation time in ms.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed returns the number of events processed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Schedule enqueues fn to run after delay ms (clamped at 0). Events at equal
+// times fire in scheduling order.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue is empty and returns the final time.
+func (e *Engine) Run() float64 {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.time
+		e.executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// server is an exclusive FIFO resource (one computation or one transfer at a
+// time), the building block for node and link contention.
+type server struct {
+	eng   *Engine
+	busy  bool
+	queue []job
+	// BusyTime accumulates total occupied time for utilization reporting.
+	BusyTime float64
+}
+
+type job struct {
+	dur  float64
+	done func()
+}
+
+func newServer(eng *Engine) *server { return &server{eng: eng} }
+
+// Submit requests dur ms of exclusive service; done fires when the service
+// completes (at which point the server is already released).
+func (s *server) Submit(dur float64, done func()) {
+	s.queue = append(s.queue, job{dur: dur, done: done})
+	if !s.busy {
+		s.startNext()
+	}
+}
+
+func (s *server) startNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	s.BusyTime += j.dur
+	s.eng.Schedule(j.dur, func() {
+		s.busy = false
+		s.startNext()
+		j.done()
+	})
+}

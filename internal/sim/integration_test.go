@@ -1,0 +1,61 @@
+package sim_test
+
+import (
+	"testing"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+	"elpc/internal/sim"
+)
+
+// TestSimValidatesAnalyticModelOnRandomInstances is experiment E10: across
+// random instances and both ELPC mappers, the DES must reproduce Eq. 1
+// (single-dataset delay) exactly and Eq. 2 (steady-state period) to within
+// measurement tolerance.
+func TestSimValidatesAnalyticModelOnRandomInstances(t *testing.T) {
+	checkedDelay, checkedRate := 0, 0
+	for seed := uint64(0); seed < 60; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+42), 6, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, err := core.MinDelay(p); err == nil {
+			res, err := sim.Simulate(p, m, sim.Config{Frames: 1})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			want := sim.PredictDelay(p, m)
+			if sim.RelativeError(res.FirstFrameDelay, want) > 1e-9 {
+				t.Errorf("seed %d: simulated delay %v != Eq.1 %v", seed, res.FirstFrameDelay, want)
+			}
+			checkedDelay++
+
+			// Streaming through a reuse mapping must match the shared
+			// bottleneck.
+			resS, err := sim.Simulate(p, m, sim.Config{Frames: 240})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if sim.RelativeError(resS.SteadyPeriod, sim.PredictPeriod(p, m)) > 1e-6 {
+				t.Errorf("seed %d: reuse-mapping period %v != shared bottleneck %v",
+					seed, resS.SteadyPeriod, sim.PredictPeriod(p, m))
+			}
+		}
+		if m, err := core.MaxFrameRate(p); err == nil {
+			res, err := sim.Simulate(p, m, sim.Config{Frames: 240})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			want := model.Bottleneck(p.Net, p.Pipe, m)
+			if sim.RelativeError(res.SteadyPeriod, want) > 1e-6 {
+				t.Errorf("seed %d: simulated period %v != Eq.2 bottleneck %v", seed, res.SteadyPeriod, want)
+			}
+			checkedRate++
+		}
+	}
+	if checkedDelay == 0 || checkedRate == 0 {
+		t.Fatalf("insufficient coverage: %d delay, %d rate checks", checkedDelay, checkedRate)
+	}
+	t.Logf("validated Eq.1 on %d instances, Eq.2 on %d instances", checkedDelay, checkedRate)
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"elpc/internal/model"
+)
+
+// Config controls a pipeline simulation run.
+type Config struct {
+	// Frames is the number of datasets pushed through the pipeline
+	// (must be >= 1).
+	Frames int
+	// InterArrivalMs spaces dataset releases at the source. Zero means a
+	// saturated source (all frames backlogged at t=0), which measures the
+	// pipeline's intrinsic maximum rate.
+	InterArrivalMs float64
+	// Trace records per-resource occupancy intervals into Result.Trace
+	// (costs memory proportional to frames × stages).
+	Trace bool
+	// Jitter adds lognormal-ish multiplicative noise to every compute and
+	// transfer duration: each service time is scaled by max(0, 1+N(0,Jitter)).
+	// Zero keeps the simulation deterministic. Requires Rng when positive.
+	Jitter float64
+	// Rng drives Jitter.
+	Rng *rand.Rand
+}
+
+// Result reports a simulation run.
+type Result struct {
+	// Completions[f] is the time the final module finished frame f.
+	Completions []float64
+	// FirstFrameDelay is Completions[0]: the end-to-end latency of a single
+	// dataset, comparable to Eq. 1 (with MLD included).
+	FirstFrameDelay float64
+	// SteadyPeriod is the measured inter-completion period over the second
+	// half of the run, comparable to the (shared) bottleneck of Eq. 2.
+	// Zero when fewer than 4 frames were simulated.
+	SteadyPeriod float64
+	// MakeSpan is the completion time of the last frame.
+	MakeSpan float64
+	// Events is the number of simulator events processed.
+	Events uint64
+	// NodeBusy and LinkBusy report total busy ms per node and per link ID.
+	NodeBusy map[model.NodeID]float64
+	LinkBusy map[int]float64
+	// Trace holds per-resource occupancy intervals when Config.Trace is set.
+	Trace []TraceEvent
+}
+
+// MeasuredRate returns the steady-state throughput in frames/second.
+func (r *Result) MeasuredRate() float64 {
+	if r.SteadyPeriod <= 0 {
+		return 0
+	}
+	return 1000 / r.SteadyPeriod
+}
+
+// Simulate executes the mapped pipeline in the discrete-event engine.
+//
+// Semantics: each group of consecutive modules is one computation of
+// duration equal to the sum of its module times on the group's node; a node
+// executes one computation at a time (FIFO), so mappings that reuse a node
+// contend for it. Each inter-group transfer occupies its link for the
+// bandwidth term m/b (FIFO per link) and is delivered one MLD later
+// (store-and-forward with pipelined propagation).
+//
+// The mapping must be structurally valid for the given problem (with or
+// without reuse); pass the owning problem for validation.
+func Simulate(p *model.Problem, m *model.Mapping, cfg Config) (*Result, error) {
+	if cfg.Frames < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 frame, got %d", cfg.Frames)
+	}
+	if cfg.Jitter < 0 {
+		return nil, fmt.Errorf("sim: negative jitter %v", cfg.Jitter)
+	}
+	if cfg.Jitter > 0 && cfg.Rng == nil {
+		return nil, fmt.Errorf("sim: Jitter > 0 requires an Rng")
+	}
+	if err := m.Validate(p.Net, p.Pipe, model.ValidateOptions{Src: p.Src, Dst: p.Dst}); err != nil {
+		return nil, fmt.Errorf("sim: invalid mapping: %w", err)
+	}
+	groups := m.Groups()
+	q := len(groups)
+
+	// Stage constants.
+	computeDur := make([]float64, q)
+	for i, g := range groups {
+		power := p.Net.Power(g.Node)
+		for j := g.First; j <= g.Last; j++ {
+			computeDur[i] += p.Pipe.ComputeTime(j, power)
+		}
+	}
+	transferDur := make([]float64, q-1) // bandwidth term
+	transferMLD := make([]float64, q-1)
+	linkID := make([]int, q-1)
+	for i := 0; i+1 < q; i++ {
+		link, ok := p.Net.LinkBetween(groups[i].Node, groups[i+1].Node)
+		if !ok {
+			return nil, fmt.Errorf("sim: missing link between groups %d and %d", i, i+1)
+		}
+		transferDur[i] = link.TransferTime(p.Pipe.OutBytes(groups[i].Last), false)
+		transferMLD[i] = link.MLDms
+		linkID[i] = link.ID
+	}
+
+	eng := &Engine{}
+	// Physical resources: one server per distinct node and per distinct link.
+	nodeSrv := make(map[model.NodeID]*server)
+	for _, g := range groups {
+		if nodeSrv[g.Node] == nil {
+			nodeSrv[g.Node] = newServer(eng)
+		}
+	}
+	linkSrv := make(map[int]*server)
+	for _, id := range linkID {
+		if linkSrv[id] == nil {
+			linkSrv[id] = newServer(eng)
+		}
+	}
+
+	completions := make([]float64, cfg.Frames)
+	var trace []TraceEvent
+	record := func(e TraceEvent) {
+		if cfg.Trace {
+			trace = append(trace, e)
+		}
+	}
+	perturb := func(dur float64) float64 {
+		if cfg.Jitter == 0 || dur == 0 {
+			return dur
+		}
+		scale := 1 + cfg.Rng.NormFloat64()*cfg.Jitter
+		if scale < 0 {
+			scale = 0
+		}
+		return dur * scale
+	}
+
+	// arrive(i, f) — frame f is available at group i; returns a closure to
+	// keep the recursion explicit and allocation-light.
+	var arrive func(i, f int)
+	arrive = func(i, f int) {
+		cd := perturb(computeDur[i])
+		nodeSrv[groups[i].Node].Submit(cd, func() {
+			record(TraceEvent{
+				Frame: f, Stage: i, Kind: TraceCompute, Node: groups[i].Node,
+				Start: eng.Now() - cd, End: eng.Now(),
+			})
+			if i == q-1 {
+				completions[f] = eng.Now()
+				return
+			}
+			hop := i
+			td := perturb(transferDur[hop])
+			linkSrv[linkID[hop]].Submit(td, func() {
+				record(TraceEvent{
+					Frame: f, Stage: hop, Kind: TraceTransfer, LinkID: linkID[hop],
+					Start: eng.Now() - td, End: eng.Now(),
+				})
+				eng.Schedule(transferMLD[hop], func() { arrive(hop+1, f) })
+			})
+		})
+	}
+
+	for f := 0; f < cfg.Frames; f++ {
+		frame := f
+		eng.Schedule(cfg.InterArrivalMs*float64(f), func() { arrive(0, frame) })
+	}
+	makespan := eng.Run()
+
+	res := &Result{
+		Completions:     completions,
+		FirstFrameDelay: completions[0],
+		MakeSpan:        makespan,
+		Events:          eng.Executed(),
+		NodeBusy:        make(map[model.NodeID]float64, len(nodeSrv)),
+		LinkBusy:        make(map[int]float64, len(linkSrv)),
+		Trace:           trace,
+	}
+	for id, s := range nodeSrv {
+		res.NodeBusy[id] = s.BusyTime
+	}
+	for id, s := range linkSrv {
+		res.LinkBusy[id] = s.BusyTime
+	}
+	if cfg.Frames >= 4 {
+		mid := cfg.Frames / 2
+		res.SteadyPeriod = (completions[cfg.Frames-1] - completions[mid]) / float64(cfg.Frames-1-mid)
+	}
+	return res, nil
+}
+
+// PredictDelay returns the analytic Eq. 1 delay with MLD included, the
+// quantity Simulate's FirstFrameDelay should reproduce exactly.
+func PredictDelay(p *model.Problem, m *model.Mapping) float64 {
+	return model.TotalDelay(p.Net, p.Pipe, m, model.CostOptions{IncludeMLDInDelay: true})
+}
+
+// PredictPeriod returns the analytic steady-state period: the shared-resource
+// bottleneck (which reduces to Eq. 2's bottleneck for reuse-free mappings).
+func PredictPeriod(p *model.Problem, m *model.Mapping) float64 {
+	return model.SharedBottleneck(p.Net, p.Pipe, m)
+}
+
+// RelativeError is a helper for comparing measured and predicted values in
+// tests and the harness.
+func RelativeError(measured, predicted float64) float64 {
+	if predicted == 0 {
+		if measured == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(measured-predicted) / math.Abs(predicted)
+}

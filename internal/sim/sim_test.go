@@ -1,0 +1,316 @@
+package sim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"elpc/internal/model"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var eng Engine
+	var order []int
+	eng.Schedule(5, func() { order = append(order, 2) })
+	eng.Schedule(1, func() { order = append(order, 1) })
+	eng.Schedule(10, func() { order = append(order, 3) })
+	end := eng.Run()
+	if end != 10 {
+		t.Errorf("end time = %v, want 10", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if eng.Executed() != 3 {
+		t.Errorf("executed = %d", eng.Executed())
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	var eng Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(1, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order = %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var eng Engine
+	var times []float64
+	eng.Schedule(1, func() {
+		times = append(times, eng.Now())
+		eng.Schedule(2, func() { times = append(times, eng.Now()) })
+	})
+	eng.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	var eng Engine
+	fired := false
+	eng.Schedule(-5, func() { fired = true })
+	eng.Schedule(math.NaN(), func() {})
+	end := eng.Run()
+	if !fired || end != 0 {
+		t.Errorf("fired=%v end=%v", fired, end)
+	}
+}
+
+func TestServerSerializes(t *testing.T) {
+	var eng Engine
+	srv := newServer(&eng)
+	var ends []float64
+	for i := 0; i < 3; i++ {
+		srv.Submit(10, func() { ends = append(ends, eng.Now()) })
+	}
+	eng.Run()
+	want := []float64{10, 20, 30}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Errorf("ends = %v, want %v", ends, want)
+		}
+	}
+	if srv.BusyTime != 30 {
+		t.Errorf("BusyTime = %v", srv.BusyTime)
+	}
+}
+
+// threeNodeProblem: v0 -> v1 -> v2 with distinct powers and link speeds.
+func threeNodeProblem(t *testing.T) *model.Problem {
+	t.Helper()
+	nodes := []model.Node{
+		{ID: 0, Power: 1000},
+		{ID: 1, Power: 2000},
+		{ID: 2, Power: 500},
+	}
+	links := []model.Link{
+		{ID: 0, From: 0, To: 1, BWMbps: 8, MLDms: 1},
+		{ID: 1, From: 1, To: 2, BWMbps: 80, MLDms: 2},
+		{ID: 2, From: 1, To: 0, BWMbps: 8, MLDms: 1},
+		{ID: 3, From: 0, To: 2, BWMbps: 4, MLDms: 3},
+	}
+	net, err := model.NewNetwork(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := model.NewPipeline([]model.Module{
+		{ID: 0, OutBytes: 1000},
+		{ID: 1, Complexity: 2, InBytes: 1000, OutBytes: 500},
+		{ID: 2, Complexity: 4, InBytes: 500, OutBytes: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 2, Cost: model.DefaultCostOptions()}
+}
+
+func TestSimulateSingleFrameMatchesEq1(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	res, err := Simulate(p, m, Config{Frames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictDelay(p, m) // 1 + 4 + (1+1) + (0.05+2) = 9.05
+	if math.Abs(res.FirstFrameDelay-want) > 1e-9 {
+		t.Errorf("simulated delay %v != Eq.1 prediction %v", res.FirstFrameDelay, want)
+	}
+	if res.MakeSpan != res.FirstFrameDelay {
+		t.Error("single frame makespan should equal its completion")
+	}
+	if res.SteadyPeriod != 0 {
+		t.Error("steady period undefined for 1 frame")
+	}
+	if res.MeasuredRate() != 0 {
+		t.Error("rate undefined for 1 frame")
+	}
+}
+
+func TestSimulateSteadyRateMatchesEq2(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2}) // no reuse
+	res, err := Simulate(p, m, Config{Frames: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictPeriod(p, m) // = model.Bottleneck = 4 (sink compute)
+	if b := model.Bottleneck(p.Net, p.Pipe, m); math.Abs(want-b) > 1e-12 {
+		t.Fatalf("SharedBottleneck %v != Bottleneck %v for reuse-free mapping", want, b)
+	}
+	if RelativeError(res.SteadyPeriod, want) > 1e-9 {
+		t.Errorf("measured period %v != predicted bottleneck %v", res.SteadyPeriod, want)
+	}
+	if math.Abs(res.MeasuredRate()-1000/want) > 1e-6 {
+		t.Errorf("measured rate %v != %v", res.MeasuredRate(), 1000/want)
+	}
+	// Completions strictly increasing.
+	for f := 1; f < len(res.Completions); f++ {
+		if res.Completions[f] <= res.Completions[f-1] {
+			t.Fatalf("completions not increasing at %d", f)
+		}
+	}
+}
+
+func TestSimulateReuseContention(t *testing.T) {
+	p := threeNodeProblem(t)
+	// Walk 0 -> 1 -> 0 -> 2 runs two groups on node 0 (M0 group free, M2
+	// costs 2*? ...): pipeline M1 on v1, M2 on v0, sink? Only 3 modules:
+	// use mapping [0,1,0] with dst 0? dst is 2. Use 4-module pipeline.
+	pl, err := model.NewPipeline([]model.Module{
+		{ID: 0, OutBytes: 1000},
+		{ID: 1, Complexity: 2, InBytes: 1000, OutBytes: 1000},
+		{ID: 2, Complexity: 2, InBytes: 1000, OutBytes: 1000},
+		{ID: 3, Complexity: 1, InBytes: 1000, OutBytes: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Pipe = pl
+	m := model.NewMapping([]model.NodeID{0, 1, 0, 2})
+	res, err := Simulate(p, m, Config{Frames: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PredictPeriod(p, m) // shared bottleneck accounts node-0 reuse
+	if shared, plain := model.SharedBottleneck(p.Net, p.Pipe, m), model.Bottleneck(p.Net, p.Pipe, m); shared <= plain {
+		t.Logf("shared %v vs plain %v (reuse may not dominate here)", shared, plain)
+	}
+	if RelativeError(res.SteadyPeriod, want) > 1e-6 {
+		t.Errorf("measured period %v != shared bottleneck %v", res.SteadyPeriod, want)
+	}
+}
+
+func TestSimulatePacedArrivals(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	bottleneck := PredictPeriod(p, m)
+	pace := bottleneck * 3
+	res, err := Simulate(p, m, Config{Frames: 100, InterArrivalMs: pace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// When the source is slower than the pipeline, the measured period is
+	// the arrival pace, not the bottleneck.
+	if RelativeError(res.SteadyPeriod, pace) > 1e-9 {
+		t.Errorf("paced period %v != pace %v", res.SteadyPeriod, pace)
+	}
+	// And each frame sees the unloaded latency.
+	delay := PredictDelay(p, m)
+	last := len(res.Completions) - 1
+	expected := pace*float64(last) + delay
+	if math.Abs(res.Completions[last]-expected) > 1e-6 {
+		t.Errorf("last completion %v != %v", res.Completions[last], expected)
+	}
+}
+
+func TestSimulateBusyAccounting(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	frames := 50
+	res, err := Simulate(p, m, Config{Frames: frames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 computes M1 (1 ms) per frame; node 2 computes M2 (4 ms).
+	if got := res.NodeBusy[1]; math.Abs(got-float64(frames)*1) > 1e-6 {
+		t.Errorf("node1 busy = %v, want %v", got, frames)
+	}
+	if got := res.NodeBusy[2]; math.Abs(got-float64(frames)*4) > 1e-6 {
+		t.Errorf("node2 busy = %v, want %v", got, 4*frames)
+	}
+	// Link 0 carries 1000B at 1000B/ms per frame.
+	if got := res.LinkBusy[0]; math.Abs(got-float64(frames)*1) > 1e-6 {
+		t.Errorf("link0 busy = %v", got)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	if _, err := Simulate(p, m, Config{Frames: 0}); err == nil {
+		t.Error("frames=0 should error")
+	}
+	bad := model.NewMapping([]model.NodeID{0, 2, 1}) // wrong dst
+	if _, err := Simulate(p, bad, Config{Frames: 1}); err == nil {
+		t.Error("invalid mapping should error")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if RelativeError(0, 0) != 0 {
+		t.Error("0/0 should be 0")
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Error("x/0 should be +Inf")
+	}
+	if got := RelativeError(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v", got)
+	}
+}
+
+func TestJitterValidation(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	if _, err := Simulate(p, m, Config{Frames: 5, Jitter: -1}); err == nil {
+		t.Error("negative jitter should error")
+	}
+	if _, err := Simulate(p, m, Config{Frames: 5, Jitter: 0.1}); err == nil {
+		t.Error("jitter without rng should error")
+	}
+}
+
+// TestJitterDegradesThroughput demonstrates the classic queueing effect:
+// service-time variance can only hurt a pipeline's sustainable rate, so the
+// measured mean period under jitter is at least the deterministic
+// bottleneck.
+func TestJitterDegradesThroughput(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	det, err := Simulate(p, m, Config{Frames: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jit, err := Simulate(p, m, Config{Frames: 400, Jitter: 0.4, Rng: rand.New(rand.NewPCG(1, 2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jit.SteadyPeriod < det.SteadyPeriod*0.99 {
+		t.Errorf("jittered period %v below deterministic bottleneck %v", jit.SteadyPeriod, det.SteadyPeriod)
+	}
+	// Sanity: completions remain ordered even under jitter (frames cannot
+	// overtake within the pipeline's FIFO resources).
+	for f := 1; f < len(jit.Completions); f++ {
+		if jit.Completions[f] < jit.Completions[f-1] {
+			t.Fatalf("frame %d completed before frame %d", f, f-1)
+		}
+	}
+}
+
+// TestJitterZeroMatchesDeterministic: a zero-jitter config with an Rng set
+// behaves identically to the plain run.
+func TestJitterZeroMatchesDeterministic(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	a, err := Simulate(p, m, Config{Frames: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, m, Config{Frames: 50, Rng: rand.New(rand.NewPCG(9, 9))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := range a.Completions {
+		if a.Completions[f] != b.Completions[f] {
+			t.Fatalf("zero-jitter run diverged at frame %d", f)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"elpc/internal/model"
+)
+
+// TraceKind distinguishes trace events.
+type TraceKind int
+
+const (
+	// TraceCompute is a group computation occupying a node.
+	TraceCompute TraceKind = iota
+	// TraceTransfer is an inter-group transfer occupying a link.
+	TraceTransfer
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	if k == TraceCompute {
+		return "compute"
+	}
+	return "transfer"
+}
+
+// TraceEvent records one resource occupancy interval.
+type TraceEvent struct {
+	Frame  int
+	Stage  int // group index for computes; hop index for transfers
+	Kind   TraceKind
+	Node   model.NodeID // valid for TraceCompute
+	LinkID int          // valid for TraceTransfer
+	Start  float64
+	End    float64
+}
+
+// WriteGantt renders the trace as a per-resource text Gantt chart covering
+// frames [0, maxFrame] (maxFrame < 0 renders everything). Each row is one
+// resource; glyphs are frame numbers modulo 10. width controls the chart
+// columns.
+func WriteGantt(w io.Writer, events []TraceEvent, maxFrame, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	var kept []TraceEvent
+	tEnd := 0.0
+	for _, e := range events {
+		if maxFrame >= 0 && e.Frame > maxFrame {
+			continue
+		}
+		kept = append(kept, e)
+		if e.End > tEnd {
+			tEnd = e.End
+		}
+	}
+	if len(kept) == 0 {
+		_, err := io.WriteString(w, "(empty trace)\n")
+		return err
+	}
+	type key struct {
+		kind TraceKind
+		id   int
+	}
+	rows := map[key][]TraceEvent{}
+	for _, e := range kept {
+		k := key{kind: e.Kind, id: int(e.Node)}
+		if e.Kind == TraceTransfer {
+			k.id = e.LinkID
+		}
+		rows[k] = append(rows[k], e)
+	}
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].id < keys[j].id
+	})
+
+	scale := float64(width) / tEnd
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt: %d events, %.3f ms, %d resources (glyph = frame %% 10)\n", len(kept), tEnd, len(rows))
+	for _, k := range keys {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, e := range rows[k] {
+			lo := int(math.Floor(e.Start * scale))
+			hi := int(math.Ceil(e.End * scale))
+			if hi > width {
+				hi = width
+			}
+			if lo == hi && lo < width {
+				hi = lo + 1
+			}
+			g := byte('0' + e.Frame%10)
+			for i := lo; i < hi && i < width; i++ {
+				line[i] = g
+			}
+		}
+		if k.kind == TraceCompute {
+			fmt.Fprintf(&b, "node v%-4d |%s|\n", k.id, line)
+		} else {
+			fmt.Fprintf(&b, "link #%-4d |%s|\n", k.id, line)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"elpc/internal/model"
+)
+
+func TestTraceRecordsOccupancy(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	res, err := Simulate(p, m, Config{Frames: 3, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace empty despite Trace: true")
+	}
+	// 3 groups and 2 hops per frame, 3 frames.
+	wantEvents := 3 * (3 + 2)
+	if len(res.Trace) != wantEvents {
+		t.Errorf("trace has %d events, want %d", len(res.Trace), wantEvents)
+	}
+	var computeBusy, transferBusy float64
+	for _, e := range res.Trace {
+		if e.End < e.Start {
+			t.Errorf("event %+v has negative duration", e)
+		}
+		if e.Kind == TraceCompute {
+			computeBusy += e.End - e.Start
+		} else {
+			transferBusy += e.End - e.Start
+		}
+	}
+	var nodeTotal, linkTotal float64
+	for _, v := range res.NodeBusy {
+		nodeTotal += v
+	}
+	for _, v := range res.LinkBusy {
+		linkTotal += v
+	}
+	if diff := computeBusy - nodeTotal; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("trace compute busy %v != accounted %v", computeBusy, nodeTotal)
+	}
+	if diff := transferBusy - linkTotal; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("trace transfer busy %v != accounted %v", transferBusy, linkTotal)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	res, err := Simulate(p, m, Config{Frames: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Error("trace should be nil when disabled")
+	}
+}
+
+func TestWriteGantt(t *testing.T) {
+	p := threeNodeProblem(t)
+	m := model.NewMapping([]model.NodeID{0, 1, 2})
+	res, err := Simulate(p, m, Config{Frames: 12, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteGantt(&sb, res.Trace, 3, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "gantt:") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "node v1") || !strings.Contains(out, "link #") {
+		t.Errorf("missing resource rows:\n%s", out)
+	}
+	// Frames beyond maxFrame are excluded: glyph '5' must not appear.
+	for _, row := range strings.Split(out, "\n") {
+		if strings.Contains(row, "|") && strings.ContainsAny(row, "456789") {
+			t.Errorf("row contains frames beyond maxFrame: %s", row)
+		}
+	}
+	// Kind string coverage.
+	if TraceCompute.String() != "compute" || TraceTransfer.String() != "transfer" {
+		t.Error("TraceKind strings wrong")
+	}
+}
+
+func TestWriteGanttEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteGantt(&sb, nil, -1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty trace") {
+		t.Error("empty trace message missing")
+	}
+}

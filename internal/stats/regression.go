@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDegenerate is returned when a regression cannot be fit (fewer than two
+// points or zero variance in x).
+var ErrDegenerate = errors.New("stats: degenerate regression input")
+
+// LinFit is the result of an ordinary least-squares fit y = Slope*x + Intercept.
+type LinFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+	N         int
+}
+
+// String implements fmt.Stringer.
+func (f LinFit) String() string {
+	return fmt.Sprintf("y = %.6g*x + %.6g (R²=%.4f, n=%d)", f.Slope, f.Intercept, f.R2, f.N)
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinFit) Predict(x float64) float64 { return f.Slope*x + f.Intercept }
+
+// LinReg fits y = a*x + b to the paired samples by ordinary least squares.
+// It returns ErrDegenerate when len(xs) < 2, the lengths mismatch, or all xs
+// are identical.
+func LinReg(xs, ys []float64) (LinFit, error) {
+	if len(xs) != len(ys) {
+		return LinFit{}, fmt.Errorf("stats: mismatched lengths %d vs %d: %w", len(xs), len(ys), ErrDegenerate)
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinFit{}, ErrDegenerate
+	}
+	// Center the data for numerical stability.
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinFit{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		// R² = 1 - SSE/SST computed via the identity SSE = syy - slope*sxy.
+		r2 = 1 - (syy-slope*sxy)/syy
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	return LinFit{Slope: slope, Intercept: intercept, R2: r2, N: n}, nil
+}
+
+// LinRegThroughOrigin fits y = a*x (no intercept) by least squares.
+func LinRegThroughOrigin(xs, ys []float64) (LinFit, error) {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return LinFit{}, ErrDegenerate
+	}
+	var sxx, sxy float64
+	for i := range xs {
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	if sxx == 0 {
+		return LinFit{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	// R² against the through-origin model.
+	var sse, sst float64
+	my := Mean(ys)
+	for i := range xs {
+		e := ys[i] - slope*xs[i]
+		sse += e * e
+		d := ys[i] - my
+		sst += d * d
+	}
+	r2 := 1.0
+	if sst > 0 {
+		r2 = 1 - sse/sst
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	return LinFit{Slope: slope, Intercept: 0, R2: r2, N: len(xs)}, nil
+}
+
+// Histogram is a fixed-width bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+// It panics if bins <= 0 or hi <= lo (programmer error).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || !(hi > lo) {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records x; out-of-range values count as underflow/overflow.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if x < h.Lo {
+		h.under++
+		return
+	}
+	if x >= h.Hi {
+		h.over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if i >= len(h.Counts) { // guard float rounding at the upper edge
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// Total returns the number of in-range samples recorded.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Underflow returns the count of samples below Lo.
+func (h *Histogram) Underflow() int { return h.under }
+
+// Overflow returns the count of samples at or above Hi.
+func (h *Histogram) Overflow() int { return h.over }

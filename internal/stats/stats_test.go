@@ -1,0 +1,364 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= eps*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1, 2, 3}); got != 6 {
+		t.Fatalf("Sum = %v, want 6", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator = 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if Variance([]float64{3}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	if !math.IsInf(Min(nil), 1) {
+		t.Error("Min(nil) should be +Inf")
+	}
+	if !math.IsInf(Max(nil), -1) {
+		t.Error("Max(nil) should be -Inf")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("P0 = %v, want 10", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Errorf("P100 = %v, want 40", got)
+	}
+	if got := Percentile(xs, -5); got != 10 {
+		t.Errorf("clamped low percentile = %v, want 10", got)
+	}
+	if got := Percentile(xs, 200); got != 40 {
+		t.Errorf("clamped high percentile = %v, want 40", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("Summarize(nil) = %+v", got)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-10) {
+		t.Errorf("welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-10) {
+		t.Errorf("welford var %v vs batch %v", w.Variance(), Variance(xs))
+	}
+	if w.Min() != Min(xs) || w.Max() != Max(xs) {
+		t.Errorf("welford min/max mismatch")
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d", w.N())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	var a, b, all Welford
+	var xs []float64
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 100
+		xs = append(xs, x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N %d vs %d", a.N(), all.N())
+	}
+	if !almostEq(a.Mean(), all.Mean(), 1e-10) {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if !almostEq(a.Variance(), all.Variance(), 1e-10) {
+		t.Errorf("merged var %v vs %v", a.Variance(), all.Variance())
+	}
+	// Merging into an empty accumulator copies.
+	var empty Welford
+	empty.Merge(all)
+	if empty.N() != all.N() || empty.Mean() != all.Mean() {
+		t.Error("merge into empty should copy")
+	}
+	// Merging an empty accumulator is a no-op.
+	before := all
+	all.Merge(Welford{})
+	if all != before {
+		t.Error("merge of empty should be a no-op")
+	}
+}
+
+func TestWelfordEmptyExtrema(t *testing.T) {
+	var w Welford
+	if !math.IsInf(w.Min(), 1) || !math.IsInf(w.Max(), -1) {
+		t.Error("empty welford extrema should be +Inf/-Inf")
+	}
+	if w.StdDev() != 0 {
+		t.Error("empty welford stddev should be 0")
+	}
+}
+
+func TestLinRegExact(t *testing.T) {
+	// Perfectly linear data must be recovered exactly.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x - 3
+	}
+	f, err := LinReg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Slope, 2.5, 1e-12) || !almostEq(f.Intercept, -3, 1e-12) {
+		t.Errorf("fit %+v, want slope 2.5 intercept -3", f)
+	}
+	if !almostEq(f.R2, 1, 1e-12) {
+		t.Errorf("R² = %v, want 1", f.R2)
+	}
+	if got := f.Predict(10); !almostEq(got, 22, 1e-12) {
+		t.Errorf("Predict(10) = %v, want 22", got)
+	}
+}
+
+func TestLinRegNoisy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	var xs, ys []float64
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, x)
+		ys = append(ys, 4*x+1+rng.NormFloat64()*0.1)
+	}
+	f, err := LinReg(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-4) > 0.05 || math.Abs(f.Intercept-1) > 0.05 {
+		t.Errorf("noisy fit %+v too far from y=4x+1", f)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R² = %v, want > 0.99", f.R2)
+	}
+}
+
+func TestLinRegDegenerate(t *testing.T) {
+	if _, err := LinReg([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should be degenerate")
+	}
+	if _, err := LinReg([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should be degenerate")
+	}
+	if _, err := LinReg([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestLinRegThroughOrigin(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{3, 6, 9}
+	f, err := LinRegThroughOrigin(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Slope, 3, 1e-12) || f.Intercept != 0 {
+		t.Errorf("fit %+v, want slope 3 through origin", f)
+	}
+	if _, err := LinRegThroughOrigin(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := LinRegThroughOrigin([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("all-zero x should error")
+	}
+}
+
+func TestLinFitString(t *testing.T) {
+	f := LinFit{Slope: 1, Intercept: 2, R2: 0.5, N: 3}
+	if f.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 42, math.NaN()} {
+		h.Add(x)
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 1 {
+		t.Errorf("bins = %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid bounds")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+// Property: mean is translation-equivariant and within [min, max].
+func TestQuickMeanProperties(t *testing.T) {
+	f := func(raw []float64, shiftRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		shift := math.Mod(shiftRaw, 1e6)
+		if math.IsNaN(shift) {
+			shift = 0
+		}
+		m := Mean(xs)
+		if m < Min(xs)-1e-9 || m > Max(xs)+1e-9 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		return almostEq(Mean(shifted), m+shift, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Welford streaming matches batch computation for arbitrary input.
+func TestQuickWelfordMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		return almostEq(w.Mean(), Mean(xs), 1e-6) && almostEq(w.Variance(), Variance(xs), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: regression recovers any non-degenerate exact line.
+func TestQuickLinRegRecoversLine(t *testing.T) {
+	f := func(a8, b8 int8, n8 uint8) bool {
+		a := float64(a8) / 4
+		b := float64(b8) / 4
+		n := int(n8%20) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(i)
+			ys[i] = a*xs[i] + b
+		}
+		fit, err := LinReg(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEq(fit.Slope, a, 1e-9) && almostEq(fit.Intercept, b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

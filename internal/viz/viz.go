@@ -1,0 +1,134 @@
+// Package viz renders networks and pipeline mappings for human inspection,
+// reproducing the paper's Figures 3 and 4 (the selected mapping path drawn
+// over the network): Graphviz DOT output with the mapping path highlighted,
+// and a plain-text rendering for terminals and logs.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// MappingDot writes the network in DOT format with the mapping's walk
+// highlighted: nodes carry their processing power and assigned modules;
+// traversed links are bold red and labeled with bandwidth/MLD.
+func MappingDot(w io.Writer, p *model.Problem, m *model.Mapping, title string) error {
+	groupsByNode := map[model.NodeID][]model.Group{}
+	for _, g := range m.Groups() {
+		groupsByNode[g.Node] = append(groupsByNode[g.Node], g)
+	}
+	onPath := map[int]bool{}
+	walk := m.Walk()
+	for i := 0; i+1 < len(walk); i++ {
+		if link, ok := p.Net.LinkBetween(walk[i], walk[i+1]); ok {
+			onPath[link.ID] = true
+		}
+	}
+	opt := graph.DotOptions{
+		Name:    sanitizeDotName(title),
+		RankDir: "LR",
+		NodeLabel: func(v int) string {
+			label := fmt.Sprintf("node %d\\np=%.3g", v, p.Net.Power(model.NodeID(v)))
+			for _, g := range groupsByNode[model.NodeID(v)] {
+				if g.First == g.Last {
+					label += fmt.Sprintf("\\nM%d", g.First)
+				} else {
+					label += fmt.Sprintf("\\nM%d..M%d", g.First, g.Last)
+				}
+			}
+			return label
+		},
+		NodeAttrs: func(v int) string {
+			nv := model.NodeID(v)
+			switch {
+			case nv == p.Src:
+				return `shape="box", style="filled", fillcolor="lightblue"`
+			case nv == p.Dst:
+				return `shape="box", style="filled", fillcolor="lightgreen"`
+			case len(groupsByNode[nv]) > 0:
+				return `style="filled", fillcolor="khaki"`
+			default:
+				return ""
+			}
+		},
+		EdgeLabel: func(id int) string {
+			l := p.Net.Links[id]
+			return fmt.Sprintf("%.3g Mbps\\n%.3g ms", l.BWMbps, l.MLDms)
+		},
+		EdgeAttrs: func(id int) string {
+			if onPath[id] {
+				return `color="red", penwidth="2.5"`
+			}
+			return `color="gray70"`
+		},
+	}
+	return p.Net.Topology().WriteDot(w, opt)
+}
+
+func sanitizeDotName(s string) string {
+	if s == "" {
+		return "mapping"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+// MappingText writes a textual account of a mapping in the style of the
+// paper's Figure 3/4 captions: the group decomposition, the selected network
+// path, and the per-stage cost breakdown identifying the bottleneck.
+func MappingText(w io.Writer, p *model.Problem, m *model.Mapping) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mapping: %s\n", m)
+	groups := m.Groups()
+	fmt.Fprintf(&b, "path (%d groups):", len(groups))
+	for _, g := range groups {
+		fmt.Fprintf(&b, " v%d", g.Node)
+	}
+	b.WriteByte('\n')
+
+	worstStage, worstTime := "", 0.0
+	for gi, g := range groups {
+		power := p.Net.Power(g.Node)
+		compute := 0.0
+		for j := g.First; j <= g.Last; j++ {
+			compute += p.Pipe.ComputeTime(j, power)
+		}
+		fmt.Fprintf(&b, "  group %d on v%-3d modules %d..%d  compute %10.3f ms\n",
+			gi+1, g.Node, g.First, g.Last, compute)
+		if compute > worstTime {
+			worstTime = compute
+			worstStage = fmt.Sprintf("compute of group %d on node %d", gi+1, g.Node)
+		}
+		if gi+1 < len(groups) {
+			link, ok := p.Net.LinkBetween(g.Node, groups[gi+1].Node)
+			if !ok {
+				return fmt.Errorf("viz: mapping uses missing link v%d->v%d", g.Node, groups[gi+1].Node)
+			}
+			tr := link.TransferTime(p.Pipe.OutBytes(g.Last), false)
+			fmt.Fprintf(&b, "  link  v%d -> v%-3d %8.3g Mbps        transfer %10.3f ms (+%.3g ms MLD)\n",
+				g.Node, groups[gi+1].Node, link.BWMbps, tr, link.MLDms)
+			if tr > worstTime {
+				worstTime = tr
+				worstStage = fmt.Sprintf("transfer v%d->v%d", g.Node, groups[gi+1].Node)
+			}
+		}
+	}
+	delay := model.TotalDelay(p.Net, p.Pipe, m, p.Cost)
+	bott := model.Bottleneck(p.Net, p.Pipe, m)
+	fmt.Fprintf(&b, "total delay %.3f ms | bottleneck %.3f ms (%s) | frame rate %.2f fps\n",
+		delay, bott, worstStage, model.FrameRate(bott))
+	_, err := io.WriteString(w, b.String())
+	return err
+}

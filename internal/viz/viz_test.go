@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+func smallProblem(t *testing.T) (*model.Problem, *model.Mapping) {
+	t.Helper()
+	p, err := gen.SmallCase().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.MinDelay(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, m
+}
+
+func TestMappingDot(t *testing.T) {
+	p, m := smallProblem(t)
+	var sb strings.Builder
+	if err := MappingDot(&sb, p, m, "fig 3: min delay"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph fig_3__min_delay",
+		"rankdir=LR",
+		"Mbps",
+		`penwidth="2.5"`,           // highlighted path
+		"fillcolor=\"lightblue\"",  // source
+		"fillcolor=\"lightgreen\"", // destination
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Every module appears somewhere in a node label.
+	if !strings.Contains(out, "M0") {
+		t.Error("module labels missing")
+	}
+}
+
+func TestMappingDotDefaultTitle(t *testing.T) {
+	p, m := smallProblem(t)
+	var sb strings.Builder
+	if err := MappingDot(&sb, p, m, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph mapping") {
+		t.Error("default title missing")
+	}
+}
+
+func TestMappingText(t *testing.T) {
+	p, m := smallProblem(t)
+	var sb strings.Builder
+	if err := MappingText(&sb, p, m); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mapping:", "path (", "group 1", "total delay", "frame rate", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMappingTextBrokenMapping(t *testing.T) {
+	p, _ := smallProblem(t)
+	// Force a mapping with a missing link by fabricating an assignment that
+	// jumps between unconnected nodes. The small case is a complete graph,
+	// so build a custom sparse network instead.
+	nodes := []model.Node{{ID: 0, Power: 1}, {ID: 1, Power: 1}, {ID: 2, Power: 1}}
+	links := []model.Link{{ID: 0, From: 0, To: 1, BWMbps: 1}, {ID: 1, From: 1, To: 2, BWMbps: 1}}
+	net, err := model.NewNetwork(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := model.NewPipeline([]model.Module{
+		{ID: 0, OutBytes: 10},
+		{ID: 1, Complexity: 1, InBytes: 10, OutBytes: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := &model.Problem{Net: net, Pipe: pl, Src: 0, Dst: 2, Cost: model.DefaultCostOptions()}
+	bad := model.NewMapping([]model.NodeID{0, 2}) // no 0->2 link
+	var sb strings.Builder
+	if err := MappingText(&sb, p2, bad); err == nil {
+		t.Error("broken mapping should error")
+	}
+	_ = p
+}
+
+func TestSanitizeDotName(t *testing.T) {
+	if got := sanitizeDotName("a b-c.9_Z"); got != "a_b_c_9_Z" {
+		t.Errorf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,84 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// FromPipeline converts a linear pipeline into an equivalent chain
+// workflow, connecting the two problem formulations: module j becomes task
+// j with a single dependency on task j-1.
+func FromPipeline(pl *model.Pipeline) (*Workflow, error) {
+	tasks := make([]Task, pl.N())
+	deps := make([][2]int, 0, pl.N()-1)
+	for j, m := range pl.Modules {
+		tasks[j] = Task{ID: j, Name: m.Name, Complexity: m.Complexity, OutBytes: m.OutBytes}
+		if j > 0 {
+			deps = append(deps, [2]int{j - 1, j})
+		}
+	}
+	return NewWorkflow(tasks, deps)
+}
+
+// RandomDAG generates a layered random workflow: `layers` layers with up to
+// `width` tasks each, every task depending on 1..maxFanIn tasks of earlier
+// layers, plus a single entry (the data source) and a single exit. Attribute
+// ranges follow the linear generator's calibration.
+func RandomDAG(layers, width, maxFanIn int, r gen.Ranges, rng *rand.Rand) (*Workflow, error) {
+	if layers < 1 || width < 1 || maxFanIn < 1 {
+		return nil, fmt.Errorf("workflow: bad DAG shape (%d layers, width %d, fan-in %d)", layers, width, maxFanIn)
+	}
+	logUniform := func(lo, hi float64) float64 {
+		if lo == hi {
+			return lo
+		}
+		return lo * math.Pow(hi/lo, rng.Float64())
+	}
+	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+
+	var tasks []Task
+	var deps [][2]int
+	tasks = append(tasks, Task{ID: 0, Name: "source", OutBytes: logUniform(r.BytesMin, r.BytesMax)})
+	prevLayer := []int{0}
+	for l := 0; l < layers; l++ {
+		w := 1 + rng.IntN(width)
+		var layer []int
+		for i := 0; i < w; i++ {
+			id := len(tasks)
+			tasks = append(tasks, Task{
+				ID:         id,
+				Name:       fmt.Sprintf("t%d.%d", l, i),
+				Complexity: uniform(r.ComplexityMin, r.ComplexityMax),
+				OutBytes:   logUniform(r.BytesMin, r.BytesMax),
+			})
+			fanIn := 1 + rng.IntN(maxFanIn)
+			seen := map[int]bool{}
+			for f := 0; f < fanIn; f++ {
+				p := prevLayer[rng.IntN(len(prevLayer))]
+				if !seen[p] {
+					deps = append(deps, [2]int{p, id})
+					seen[p] = true
+				}
+			}
+			layer = append(layer, id)
+		}
+		prevLayer = layer
+	}
+	// Single exit depending on the whole last layer plus any dangling tasks.
+	exit := len(tasks)
+	tasks = append(tasks, Task{ID: exit, Name: "sink", Complexity: uniform(r.ComplexityMin, r.ComplexityMax)})
+	hasSucc := make([]bool, exit)
+	for _, d := range deps {
+		hasSucc[d[0]] = true
+	}
+	for t := 0; t < exit; t++ {
+		if !hasSucc[t] {
+			deps = append(deps, [2]int{t, exit})
+		}
+	}
+	return NewWorkflow(tasks, deps)
+}

@@ -1,0 +1,164 @@
+package workflow
+
+import (
+	"math"
+
+	"elpc/internal/model"
+)
+
+// Router computes and caches cheapest-route transfer times between nodes
+// for given artifact sizes. Routes minimize Σ hops (m/b + d); because the
+// minimizing route depends on the artifact size, the cache is keyed by
+// (origin, size). Routes also record their hop links so throughput
+// evaluation can charge per-link occupancy.
+type Router struct {
+	net   *model.Network
+	cache map[routeKey]routeTable
+}
+
+type routeKey struct {
+	origin model.NodeID
+	bytes  float64
+}
+
+type routeTable struct {
+	time     []float64 // total transfer time to each node
+	prevEdge []int
+}
+
+// NewRouter creates a router over the network.
+func NewRouter(net *model.Network) *Router {
+	return &Router{net: net, cache: make(map[routeKey]routeTable)}
+}
+
+func (r *Router) table(origin model.NodeID, bytes float64) routeTable {
+	key := routeKey{origin: origin, bytes: bytes}
+	if t, ok := r.cache[key]; ok {
+		return t
+	}
+	topo := r.net.Topology()
+	dist, prev := topo.Dijkstra(int(origin), func(eid int) float64 {
+		return r.net.Links[eid].TransferTime(bytes, true)
+	})
+	t := routeTable{time: dist, prevEdge: prev}
+	r.cache[key] = t
+	return t
+}
+
+// TransferTime returns the cheapest-route time to move `bytes` from u to v
+// (+Inf when unroutable; 0 when u == v).
+func (r *Router) TransferTime(u, v model.NodeID, bytes float64) float64 {
+	if u == v {
+		return 0
+	}
+	return r.table(u, bytes).time[v]
+}
+
+// RouteLinks returns the link IDs along the cheapest route u→v for the
+// given size (nil when u == v or unroutable).
+func (r *Router) RouteLinks(u, v model.NodeID, bytes float64) []int {
+	if u == v {
+		return nil
+	}
+	t := r.table(u, bytes)
+	if math.IsInf(t.time[v], 1) {
+		return nil
+	}
+	var rev []int
+	topo := r.net.Topology()
+	for cur := int(v); cur != int(u); {
+		e := t.prevEdge[cur]
+		if e < 0 {
+			return nil
+		}
+		rev = append(rev, e)
+		cur = topo.Edge(e).From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Schedule is the evaluated timeline of a placement.
+type Schedule struct {
+	Start  []float64 // per task
+	Finish []float64
+	// Makespan is the exit task's finish time (+Inf when some transfer is
+	// unroutable).
+	Makespan float64
+}
+
+// Evaluate computes the deterministic list schedule of the placement:
+// tasks start once all predecessor artifacts have arrived and their node is
+// free; each node runs one task at a time, serving tasks in topological
+// order (deterministic tie-break). Transfers are routed (multi-hop) and do
+// not contend in the delay evaluation, mirroring Eq. 1's treatment of
+// transfers in the linear case.
+func Evaluate(p *Problem, pl *Placement, router *Router) *Schedule {
+	n := p.Flow.N()
+	if router == nil {
+		router = NewRouter(p.Net)
+	}
+	start := make([]float64, n)
+	finish := make([]float64, n)
+	nodeFree := make(map[model.NodeID]float64, n)
+	for _, t := range p.Flow.Topo() {
+		v := pl.Assign[t]
+		est := 0.0
+		for _, pr := range p.Flow.Preds(t) {
+			arr := finish[pr] + router.TransferTime(pl.Assign[pr], v, p.Flow.Tasks[pr].OutBytes)
+			if arr > est {
+				est = arr
+			}
+		}
+		s := math.Max(est, nodeFree[v])
+		f := s + p.Flow.ComputeTime(t, p.Net.Power(v))
+		start[t], finish[t] = s, f
+		nodeFree[v] = f
+	}
+	return &Schedule{Start: start, Finish: finish, Makespan: finish[n-1]}
+}
+
+// Period returns the steady-state per-frame period of the placement under
+// continuous streaming: the maximum total occupancy over nodes (sum of
+// compute of their tasks) and links (sum of bandwidth terms of all routed
+// transfers crossing them). This generalizes the linear case's
+// SharedBottleneck.
+func Period(p *Problem, pl *Placement, router *Router) float64 {
+	if router == nil {
+		router = NewRouter(p.Net)
+	}
+	nodeBusy := make(map[model.NodeID]float64)
+	linkBusy := make(map[int]float64)
+	for t := 0; t < p.Flow.N(); t++ {
+		v := pl.Assign[t]
+		nodeBusy[v] += p.Flow.ComputeTime(t, p.Net.Power(v))
+		out := p.Flow.Tasks[t].OutBytes
+		for _, s := range p.Flow.Succs(t) {
+			u := pl.Assign[s]
+			if u == v {
+				continue
+			}
+			links := router.RouteLinks(v, u, out)
+			if links == nil {
+				return math.Inf(1)
+			}
+			for _, eid := range links {
+				linkBusy[eid] += p.Net.Links[eid].TransferTime(out, false)
+			}
+		}
+	}
+	worst := 0.0
+	for _, b := range nodeBusy {
+		if b > worst {
+			worst = b
+		}
+	}
+	for _, b := range linkBusy {
+		if b > worst {
+			worst = b
+		}
+	}
+	return worst
+}

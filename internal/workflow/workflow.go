@@ -1,0 +1,232 @@
+// Package workflow implements the paper's second future-work direction
+// (Section 5): extending linear pipelines to DAG-structured workflows
+// mapped onto distributed networks.
+//
+// A Workflow is a directed acyclic graph of tasks; each task consumes the
+// outputs of all its predecessors and produces one artifact forwarded to
+// every successor. The generalization of the paper's cost model:
+//
+//   - compute time of task t on node v: c_t · (Σ_p∈preds out_p) / p_v
+//   - transfer of an artifact between nodes follows the cheapest multi-hop
+//     route for that artifact size (links are store-and-forward, so a route
+//     costs Σ hops (m/b + d)); co-located tasks transfer for free
+//
+// The delay objective is the makespan of a deterministic list schedule
+// (nodes execute one task at a time, topological order as tie-break); the
+// throughput objective is the shared-resource period (the maximum total
+// per-frame occupancy over nodes and routed links), matching how the linear
+// case's SharedBottleneck generalizes Eq. 2.
+//
+// Exact DAG mapping subsumes the NP-complete linear case, so the package
+// provides heuristics: an HEFT-style list scheduler and a topological
+// greedy baseline, verified against the linear ELPC optimum on chain
+// workflows (where the problems coincide structurally).
+package workflow
+
+import (
+	"fmt"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// Task is one node of the workflow DAG.
+type Task struct {
+	ID         int     `json:"id"`
+	Name       string  `json:"name,omitempty"`
+	Complexity float64 `json:"complexity"` // ops per input byte
+	OutBytes   float64 `json:"out_bytes"`  // artifact size sent to each successor
+}
+
+// Workflow is a validated task DAG with a single entry and a single exit.
+type Workflow struct {
+	Tasks []Task
+	dag   *graph.Graph
+	topo  []int // topological order
+}
+
+// NewWorkflow validates the task set and dependency edges: dense IDs, a DAG
+// with exactly one entry (task 0, zero complexity — the data source) and
+// exactly one exit (the last task, zero output), every task on a path from
+// entry to exit.
+func NewWorkflow(tasks []Task, deps [][2]int) (*Workflow, error) {
+	n := len(tasks)
+	if n < 2 {
+		return nil, fmt.Errorf("workflow: need at least entry and exit, got %d tasks", n)
+	}
+	for i, t := range tasks {
+		if t.ID != i {
+			return nil, fmt.Errorf("workflow: task %d has ID %d; tasks must be densely numbered", i, t.ID)
+		}
+		if t.Complexity < 0 || t.OutBytes < 0 {
+			return nil, fmt.Errorf("workflow: task %d has negative attribute", i)
+		}
+	}
+	if tasks[0].Complexity != 0 {
+		return nil, fmt.Errorf("workflow: entry task must have zero complexity (data source)")
+	}
+	if tasks[n-1].OutBytes != 0 {
+		return nil, fmt.Errorf("workflow: exit task must have zero output")
+	}
+	dag := graph.New(n)
+	for _, d := range deps {
+		if _, err := dag.AddEdge(d[0], d[1]); err != nil {
+			return nil, fmt.Errorf("workflow: dependency %v: %w", d, err)
+		}
+	}
+	topo, err := topoSort(dag)
+	if err != nil {
+		return nil, err
+	}
+	// Entry/exit uniqueness and reachability.
+	for v := 0; v < n; v++ {
+		switch {
+		case v == 0:
+			if dag.InDegree(v) != 0 {
+				return nil, fmt.Errorf("workflow: entry task 0 has predecessors")
+			}
+		case dag.InDegree(v) == 0:
+			return nil, fmt.Errorf("workflow: task %d is a second entry (no predecessors)", v)
+		}
+		switch {
+		case v == n-1:
+			if dag.OutDegree(v) != 0 {
+				return nil, fmt.Errorf("workflow: exit task has successors")
+			}
+		case dag.OutDegree(v) == 0:
+			return nil, fmt.Errorf("workflow: task %d is a second exit (no successors)", v)
+		}
+	}
+	return &Workflow{Tasks: tasks, dag: dag, topo: topo}, nil
+}
+
+func topoSort(dag *graph.Graph) ([]int, error) {
+	n := dag.N()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = dag.InDegree(v)
+	}
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, eid := range dag.OutEdges(v) {
+			w := dag.Edge(int(eid)).To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("workflow: dependency graph has a cycle")
+	}
+	return order, nil
+}
+
+// N returns the number of tasks.
+func (w *Workflow) N() int { return len(w.Tasks) }
+
+// DAG returns the dependency graph (edge i: dependency i). Read-only.
+func (w *Workflow) DAG() *graph.Graph { return w.dag }
+
+// Topo returns a topological order of task IDs. Read-only.
+func (w *Workflow) Topo() []int { return w.topo }
+
+// Preds returns the predecessor task IDs of t.
+func (w *Workflow) Preds(t int) []int {
+	in := w.dag.InEdges(t)
+	out := make([]int, len(in))
+	for i, eid := range in {
+		out[i] = w.dag.Edge(int(eid)).From
+	}
+	return out
+}
+
+// Succs returns the successor task IDs of t.
+func (w *Workflow) Succs(t int) []int {
+	oe := w.dag.OutEdges(t)
+	out := make([]int, len(oe))
+	for i, eid := range oe {
+		out[i] = w.dag.Edge(int(eid)).To
+	}
+	return out
+}
+
+// InBytes returns the total input volume of task t (sum of predecessor
+// outputs).
+func (w *Workflow) InBytes(t int) float64 {
+	total := 0.0
+	for _, p := range w.Preds(t) {
+		total += w.Tasks[p].OutBytes
+	}
+	return total
+}
+
+// ComputeOps returns c_t · InBytes(t).
+func (w *Workflow) ComputeOps(t int) float64 {
+	return w.Tasks[t].Complexity * w.InBytes(t)
+}
+
+// ComputeTime returns the execution time of t on a node with the given
+// power.
+func (w *Workflow) ComputeTime(t int, power float64) float64 {
+	return w.ComputeOps(t) / power
+}
+
+// Placement assigns every task to a network node.
+type Placement struct {
+	Assign []model.NodeID
+}
+
+// NewPlacement copies assign.
+func NewPlacement(assign []model.NodeID) *Placement {
+	return &Placement{Assign: append([]model.NodeID(nil), assign...)}
+}
+
+// Problem is a workflow mapping instance.
+type Problem struct {
+	Net  *model.Network
+	Flow *Workflow
+	Src  model.NodeID // entry pinned here (where the data lives)
+	Dst  model.NodeID // exit pinned here (where the user sits)
+}
+
+// Validate checks the problem and requires src/dst validity.
+func (p *Problem) Validate() error {
+	if p.Net == nil || p.Flow == nil {
+		return fmt.Errorf("workflow: problem missing network or workflow")
+	}
+	if !p.Net.ValidNode(p.Src) || !p.Net.ValidNode(p.Dst) {
+		return fmt.Errorf("workflow: invalid endpoint nodes %d, %d", p.Src, p.Dst)
+	}
+	return nil
+}
+
+// ValidatePlacement checks structural validity: length, node range, pinned
+// endpoints. (Connectivity is not required per-edge: transfers are routed
+// multi-hop; unroutable transfers surface as +Inf makespan.)
+func (p *Problem) ValidatePlacement(pl *Placement) error {
+	if len(pl.Assign) != p.Flow.N() {
+		return fmt.Errorf("workflow: placement covers %d tasks, workflow has %d", len(pl.Assign), p.Flow.N())
+	}
+	for t, v := range pl.Assign {
+		if !p.Net.ValidNode(v) {
+			return fmt.Errorf("workflow: task %d on invalid node %d", t, v)
+		}
+	}
+	if pl.Assign[0] != p.Src {
+		return fmt.Errorf("workflow: entry task on node %d, want source %d", pl.Assign[0], p.Src)
+	}
+	if pl.Assign[p.Flow.N()-1] != p.Dst {
+		return fmt.Errorf("workflow: exit task on node %d, want destination %d", pl.Assign[p.Flow.N()-1], p.Dst)
+	}
+	return nil
+}

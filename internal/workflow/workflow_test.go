@@ -1,0 +1,309 @@
+package workflow_test
+
+import (
+	"math"
+	"testing"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+	"elpc/internal/workflow"
+)
+
+// diamondFlow: source -> {a, b} -> sink.
+func diamondFlow(t *testing.T) *workflow.Workflow {
+	t.Helper()
+	wf, err := workflow.NewWorkflow([]workflow.Task{
+		{ID: 0, Name: "src", OutBytes: 1000},
+		{ID: 1, Name: "a", Complexity: 10, OutBytes: 500},
+		{ID: 2, Name: "b", Complexity: 20, OutBytes: 800},
+		{ID: 3, Name: "sink", Complexity: 5},
+	}, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+func testNet(t *testing.T) *model.Network {
+	t.Helper()
+	net, err := gen.Network(8, 30, gen.DefaultRanges(), gen.RNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNewWorkflowValidation(t *testing.T) {
+	good := []workflow.Task{
+		{ID: 0, OutBytes: 10},
+		{ID: 1, Complexity: 1},
+	}
+	if _, err := workflow.NewWorkflow(good, [][2]int{{0, 1}}); err != nil {
+		t.Fatalf("valid workflow rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		tasks []workflow.Task
+		deps  [][2]int
+	}{
+		{"too small", good[:1], nil},
+		{"bad ids", []workflow.Task{{ID: 0, OutBytes: 1}, {ID: 5, Complexity: 1}}, [][2]int{{0, 1}}},
+		{"entry with complexity", []workflow.Task{{ID: 0, Complexity: 1, OutBytes: 1}, {ID: 1, Complexity: 1}}, [][2]int{{0, 1}}},
+		{"exit with output", []workflow.Task{{ID: 0, OutBytes: 1}, {ID: 1, Complexity: 1, OutBytes: 9}}, [][2]int{{0, 1}}},
+		{"negative attr", []workflow.Task{{ID: 0, OutBytes: -1}, {ID: 1, Complexity: 1}}, [][2]int{{0, 1}}},
+		{"no edges (second entry)", []workflow.Task{{ID: 0, OutBytes: 1}, {ID: 1, Complexity: 1}}, nil},
+		{"second exit", []workflow.Task{{ID: 0, OutBytes: 1}, {ID: 1, Complexity: 1, OutBytes: 1}, {ID: 2, Complexity: 1}}, [][2]int{{0, 1}, {0, 2}}},
+		{"cycle", []workflow.Task{{ID: 0, OutBytes: 1}, {ID: 1, Complexity: 1, OutBytes: 1}, {ID: 2, Complexity: 1, OutBytes: 1}, {ID: 3, Complexity: 1}}, [][2]int{{0, 1}, {1, 2}, {2, 1}, {2, 3}, {1, 3}}},
+		{"dup edge", good, [][2]int{{0, 1}, {0, 1}}},
+	}
+	for _, c := range cases {
+		if _, err := workflow.NewWorkflow(c.tasks, c.deps); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWorkflowAccessors(t *testing.T) {
+	wf := diamondFlow(t)
+	if wf.N() != 4 {
+		t.Fatalf("N = %d", wf.N())
+	}
+	if got := wf.InBytes(3); got != 500+800 {
+		t.Errorf("sink InBytes = %v, want 1300", got)
+	}
+	if got := wf.ComputeOps(1); got != 10*1000 {
+		t.Errorf("ops(a) = %v", got)
+	}
+	if got := wf.ComputeTime(1, 100); got != 100 {
+		t.Errorf("time(a) = %v", got)
+	}
+	preds := wf.Preds(3)
+	if len(preds) != 2 {
+		t.Errorf("preds(sink) = %v", preds)
+	}
+	succs := wf.Succs(0)
+	if len(succs) != 2 {
+		t.Errorf("succs(src) = %v", succs)
+	}
+	topo := wf.Topo()
+	if topo[0] != 0 || topo[len(topo)-1] != 3 {
+		t.Errorf("topo = %v", topo)
+	}
+	if wf.DAG().M() != 4 {
+		t.Error("DAG edge count wrong")
+	}
+}
+
+func TestEvaluateHandComputed(t *testing.T) {
+	// 2 nodes, 1 bidirectional fast link; diamond placed entry+a on v0,
+	// b+sink on v1.
+	nodes := []model.Node{{ID: 0, Power: 100}, {ID: 1, Power: 200}}
+	links := []model.Link{
+		{ID: 0, From: 0, To: 1, BWMbps: 8, MLDms: 1}, // 1000 B/ms
+		{ID: 1, From: 1, To: 0, BWMbps: 8, MLDms: 1},
+	}
+	net, err := model.NewNetwork(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := diamondFlow(t)
+	p := &workflow.Problem{Net: net, Flow: wf, Src: 0, Dst: 1}
+	pl := workflow.NewPlacement([]model.NodeID{0, 0, 1, 1})
+	if err := p.ValidatePlacement(pl); err != nil {
+		t.Fatal(err)
+	}
+	sched := workflow.Evaluate(p, pl, nil)
+	// t0: on v0, 0 compute. t1 (a) on v0: in 1000B local; 10*1000/100 = 100.
+	// t2 (b) on v1: transfer 1000B = 1+1 = 2; 20*1000/200 = 100 → finish 102.
+	// t3 (sink) on v1: needs a's 500B from v0 (0.5+1=1.5, arrives
+	// 100+1.5=101.5) and b local (102); node v1 free at 102. start 102;
+	// compute 5*1300/200 = 32.5 → 134.5.
+	if math.Abs(sched.Finish[1]-100) > 1e-9 || math.Abs(sched.Finish[2]-102) > 1e-9 {
+		t.Errorf("intermediate finishes: %v", sched.Finish)
+	}
+	if math.Abs(sched.Makespan-134.5) > 1e-9 {
+		t.Errorf("makespan = %v, want 134.5", sched.Makespan)
+	}
+	// Period: v0 busy 100; v1 busy 132.5; link 0 carries 1000B (t0->t2,
+	// 1 ms) + 500B (t1->t3, 0.5 ms) = 1.5 ms. Period = 132.5.
+	period := workflow.Period(p, pl, nil)
+	if math.Abs(period-132.5) > 1e-9 {
+		t.Errorf("period = %v, want 132.5", period)
+	}
+}
+
+func TestRouterMultiHop(t *testing.T) {
+	// Line 0 - 1 - 2; transfer 0->2 must route through 1.
+	nodes := []model.Node{{ID: 0, Power: 1}, {ID: 1, Power: 1}, {ID: 2, Power: 1}}
+	links := []model.Link{
+		{ID: 0, From: 0, To: 1, BWMbps: 8, MLDms: 1},
+		{ID: 1, From: 1, To: 2, BWMbps: 8, MLDms: 2},
+	}
+	net, err := model.NewNetwork(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := workflow.NewRouter(net)
+	got := r.TransferTime(0, 2, 1000)
+	want := (1.0 + 1) + (1.0 + 2) // two hops of 1000B at 1000 B/ms + MLDs
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("routed transfer = %v, want %v", got, want)
+	}
+	if r.TransferTime(0, 0, 1000) != 0 {
+		t.Error("self transfer should be free")
+	}
+	if !math.IsInf(r.TransferTime(2, 0, 10), 1) {
+		t.Error("unroutable transfer should be +Inf")
+	}
+	linksOn := r.RouteLinks(0, 2, 1000)
+	if len(linksOn) != 2 || linksOn[0] != 0 || linksOn[1] != 1 {
+		t.Errorf("route links = %v", linksOn)
+	}
+	if r.RouteLinks(0, 0, 5) != nil || r.RouteLinks(2, 0, 5) != nil {
+		t.Error("degenerate routes should be nil")
+	}
+}
+
+func TestHEFTAndGreedyProduceValidSchedules(t *testing.T) {
+	net := testNet(t)
+	for seed := uint64(0); seed < 25; seed++ {
+		wf, err := workflow.RandomDAG(3, 3, 2, gen.DefaultRanges(), gen.RNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &workflow.Problem{Net: net, Flow: wf, Src: 0, Dst: 7}
+		hpl, hsched, err := workflow.HEFT(p)
+		if err != nil {
+			t.Fatalf("seed %d: HEFT: %v", seed, err)
+		}
+		if err := p.ValidatePlacement(hpl); err != nil {
+			t.Fatalf("seed %d: invalid HEFT placement: %v", seed, err)
+		}
+		if hsched.Makespan <= 0 || math.IsInf(hsched.Makespan, 1) {
+			t.Fatalf("seed %d: HEFT makespan %v", seed, hsched.Makespan)
+		}
+		gpl, gsched, err := workflow.GreedyTopo(p)
+		if err != nil {
+			t.Fatalf("seed %d: greedy: %v", seed, err)
+		}
+		if err := p.ValidatePlacement(gpl); err != nil {
+			t.Fatalf("seed %d: invalid greedy placement: %v", seed, err)
+		}
+		// Schedules respect dependencies.
+		for _, sched := range []*workflow.Schedule{hsched, gsched} {
+			for tsk := 0; tsk < wf.N(); tsk++ {
+				for _, pr := range wf.Preds(tsk) {
+					if sched.Start[tsk] < sched.Finish[pr]-1e-9 {
+						// Transfer can take zero time only when co-located;
+						// start must never precede a predecessor's finish.
+						t.Fatalf("seed %d: task %d starts before pred %d finishes", seed, tsk, pr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChainWorkflowVsELPC connects the two formulations: on a chain
+// workflow, HEFT's makespan can never beat the linear ELPC optimum computed
+// on the same instance when transfers are restricted to direct links —
+// ELPC is optimal there, and the workflow evaluator's multi-hop routing
+// can only help it match or beat direct-link-only mappings. We assert both
+// produce finite, mutually consistent results and that HEFT is within a
+// small factor of ELPC.
+func TestChainWorkflowVsELPC(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+99), 5, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Cost = model.CostOptions{IncludeMLDInDelay: true}
+		em, err := core.MinDelay(p)
+		if err != nil {
+			continue
+		}
+		elpcDelay := model.TotalDelay(p.Net, p.Pipe, em, p.Cost)
+
+		wf, err := workflow.FromPipeline(p.Pipe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp := &workflow.Problem{Net: p.Net, Flow: wf, Src: p.Src, Dst: p.Dst}
+		_, sched, err := workflow.HEFT(wp)
+		if err != nil {
+			t.Errorf("seed %d: HEFT infeasible where ELPC was feasible: %v", seed, err)
+			continue
+		}
+		// The ELPC mapping itself is a valid placement; its workflow
+		// makespan equals its Eq. 1 delay (chain, direct links, no
+		// contention) — evaluator consistency across formulations.
+		epl := workflow.NewPlacement(em.Assign)
+		esched := workflow.Evaluate(wp, epl, nil)
+		if esched.Makespan > elpcDelay+1e-6 {
+			t.Errorf("seed %d: workflow evaluation %v of ELPC mapping exceeds Eq.1 %v",
+				seed, esched.Makespan, elpcDelay)
+		}
+		// HEFT with multi-hop routing may beat the direct-link ELPC value
+		// but, being a heuristic blind to downstream grouping, it can also
+		// lose by several x on chains — exactly the gap the paper's DP
+		// closes. Guard only against pathological blowups and report the
+		// ratio.
+		ratio := sched.Makespan / elpcDelay
+		t.Logf("seed %d: HEFT/ELPC makespan ratio %.2f", seed, ratio)
+		if ratio > 20 {
+			t.Errorf("seed %d: HEFT makespan %v pathologically above ELPC %v", seed, sched.Makespan, elpcDelay)
+		}
+	}
+}
+
+func TestRandomDAGShapes(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		wf, err := workflow.RandomDAG(4, 4, 3, gen.DefaultRanges(), gen.RNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wf.Tasks[0].Complexity != 0 {
+			t.Error("entry must be pure source")
+		}
+		if wf.Tasks[wf.N()-1].OutBytes != 0 {
+			t.Error("exit must have no output")
+		}
+	}
+	if _, err := workflow.RandomDAG(0, 1, 1, gen.DefaultRanges(), gen.RNG(1)); err == nil {
+		t.Error("bad shape should error")
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	net := testNet(t)
+	wf := diamondFlow(t)
+	p := &workflow.Problem{Net: net, Flow: wf, Src: 0, Dst: 7}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		assign []model.NodeID
+	}{
+		{"wrong length", []model.NodeID{0, 7}},
+		{"bad node", []model.NodeID{0, 99, 1, 7}},
+		{"wrong entry", []model.NodeID{1, 2, 3, 7}},
+		{"wrong exit", []model.NodeID{0, 2, 3, 3}},
+	}
+	for _, c := range cases {
+		if err := p.ValidatePlacement(workflow.NewPlacement(c.assign)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if err := p.ValidatePlacement(workflow.NewPlacement([]model.NodeID{0, 4, 5, 7})); err != nil {
+		t.Errorf("valid placement rejected: %v", err)
+	}
+	bad := &workflow.Problem{Net: net, Flow: wf, Src: -1, Dst: 7}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad src should error")
+	}
+	if err := (&workflow.Problem{}).Validate(); err == nil {
+		t.Error("empty problem should error")
+	}
+}
