@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elpc/internal/cli"
+)
+
+// runCLI drives cli.Main exactly as main does, capturing both streams.
+func runCLI(args ...string) (stdout, stderr string, err error) {
+	var out, errBuf bytes.Buffer
+	err = cli.Main(cli.Env{Stdout: &out, Stderr: &errBuf}, args)
+	return out.String(), errBuf.String(), err
+}
+
+func TestServeFlagParsing(t *testing.T) {
+	// -validate resolves the configuration and returns without binding.
+	stdout, _, err := runCLI("serve", "-validate", "-workers", "3", "-cache", "128", "-shards", "4", "-addr", "127.0.0.1:9999")
+	if err != nil {
+		t.Fatalf("serve -validate: %v", err)
+	}
+	var cfg struct {
+		Addr    string `json:"addr"`
+		Options struct {
+			Workers       int `json:"Workers"`
+			CacheCapacity int `json:"CacheCapacity"`
+			CacheShards   int `json:"CacheShards"`
+			FrontPoints   int `json:"FrontPoints"`
+		} `json:"options"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &cfg); err != nil {
+		t.Fatalf("serve -validate output is not JSON: %v\n%s", err, stdout)
+	}
+	if cfg.Addr != "127.0.0.1:9999" || cfg.Options.Workers != 3 || cfg.Options.CacheCapacity != 128 || cfg.Options.CacheShards != 4 {
+		t.Errorf("resolved config = %+v", cfg)
+	}
+	if cfg.Options.FrontPoints == 0 {
+		t.Error("defaults not filled in resolved config")
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	if _, _, err := runCLI("serve", "-validate", "-addr", ""); err == nil {
+		t.Error("empty -addr accepted")
+	}
+	if _, _, err := runCLI("serve", "-no-such-flag"); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestGenSubcommandSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "inst.json")
+	if _, _, err := runCLI("gen", "-modules", "4", "-nodes", "6", "-links", "18", "-seed", "7", "-o", out); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	stdout, _, err := runCLI("show", "-i", out)
+	if err != nil {
+		t.Fatalf("show: %v", err)
+	}
+	if !strings.Contains(stdout, "pipeline: 4 modules") {
+		t.Errorf("show output unexpected:\n%s", stdout)
+	}
+}
+
+func TestUsageMentionsServe(t *testing.T) {
+	stdout, _, err := runCLI("help")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "serve") {
+		t.Error("usage does not mention the serve subcommand")
+	}
+}

@@ -1,0 +1,26 @@
+// Command elpcd is the ELPC planning daemon: an HTTP/JSON service exposing
+// the min-delay DP, the max-frame-rate heuristic, Pareto sweeps, batch
+// planning, and the discrete-event simulator, backed by a canonical-hash
+// solution cache and a bounded worker pool.
+//
+//	elpcd -addr :8080
+//	curl -s localhost:8080/v1/mindelay -d @instance.json
+//	curl -s localhost:8080/v1/stats
+//
+// elpcd accepts the same flags as `elpc serve` (it is the same code path).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"elpc/internal/cli"
+)
+
+func main() {
+	env := cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}
+	if err := cli.Main(env, append([]string{"serve"}, os.Args[1:]...)); err != nil {
+		fmt.Fprintln(os.Stderr, "elpcd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+
+	"elpc/internal/harness"
+)
+
+// benchOutcomeJSON is one algorithm's result on one case. Value is omitted
+// (not NaN, which JSON cannot encode) when the outcome is infeasible.
+type benchOutcomeJSON struct {
+	Feasible  bool     `json:"feasible"`
+	Value     *float64 `json:"value,omitempty"`
+	RuntimeMs float64  `json:"runtime_ms"`
+	Err       string   `json:"error,omitempty"`
+}
+
+// benchCaseJSON is one suite case: dimensions plus per-algorithm outcomes
+// under both objectives (delay values in ms, rate values in fps).
+type benchCaseJSON struct {
+	Case    int                         `json:"case"`
+	Modules int                         `json:"modules"`
+	Nodes   int                         `json:"nodes"`
+	Links   int                         `json:"links"`
+	Seed    uint64                      `json:"seed"`
+	Delay   map[string]benchOutcomeJSON `json:"min_delay_ms"`
+	Rate    map[string]benchOutcomeJSON `json:"max_frame_rate_fps"`
+}
+
+// benchJSON is the machine-readable experiment summary emitted by -json, so
+// successive PRs can track the performance trajectory (BENCH_*.json).
+type benchJSON struct {
+	Schema       string             `json:"schema"`
+	Figure       string             `json:"figure"`
+	Cases        int                `json:"cases"`
+	Algorithms   []string           `json:"algorithms"`
+	SuiteMs      float64            `json:"suite_ms"`
+	Results      []benchCaseJSON    `json:"results"`
+	DelayWins    map[string]int     `json:"delay_wins"`
+	RateWins     map[string]int     `json:"rate_wins"`
+	MeanDelayVsE map[string]float64 `json:"mean_delay_ratio_vs_elpc"`
+	MeanRateVsE  map[string]float64 `json:"mean_rate_ratio_vs_elpc"`
+	Feasible     map[string]int     `json:"feasible_outcomes"`
+}
+
+func toOutcomeJSON(o harness.Outcome) benchOutcomeJSON {
+	out := benchOutcomeJSON{
+		Feasible:  o.Feasible,
+		RuntimeMs: float64(o.Runtime) / float64(time.Millisecond),
+		Err:       o.Err,
+	}
+	if o.Feasible {
+		v := o.Value
+		out.Value = &v
+	}
+	return out
+}
+
+// writeBenchJSON renders the suite results as JSON to path ("-" = stdout).
+func writeBenchJSON(path, fig string, results []harness.CaseResult, elapsed time.Duration) error {
+	doc := benchJSON{
+		Schema:     "elpc-pipebench-v1",
+		Figure:     fig,
+		Cases:      len(results),
+		Algorithms: harness.MapperNames(),
+		SuiteMs:    float64(elapsed) / float64(time.Millisecond),
+	}
+	for _, r := range results {
+		c := benchCaseJSON{
+			Case:    r.Spec.ID,
+			Modules: r.Spec.Modules,
+			Nodes:   r.Spec.Nodes,
+			Links:   r.Spec.Links,
+			Seed:    r.Spec.Seed,
+			Delay:   map[string]benchOutcomeJSON{},
+			Rate:    map[string]benchOutcomeJSON{},
+		}
+		for name, o := range r.Delay {
+			c.Delay[name] = toOutcomeJSON(o)
+		}
+		for name, o := range r.Rate {
+			c.Rate[name] = toOutcomeJSON(o)
+		}
+		doc.Results = append(doc.Results, c)
+	}
+	s := harness.Summarize(results)
+	doc.DelayWins = s.DelayWins
+	doc.RateWins = s.RateWins
+	doc.MeanDelayVsE = s.MeanDelayRatio
+	doc.MeanRateVsE = s.MeanRateRatio
+	doc.Feasible = s.Feasible
+
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -33,22 +33,29 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers for the case suite (0 = GOMAXPROCS)")
 	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
 	replicas := flag.Int("replicas", 5, "replicas per case for -fig replicated")
+	jsonPath := flag.String("json", "", "write a machine-readable JSON summary of the suite metrics to this file (- for stdout)")
 	flag.Parse()
 
-	if err := run(*fig, *out, *workers, *cases, *replicas); err != nil {
+	if err := run(*fig, *out, *workers, *cases, *replicas, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "pipebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, out string, workers, cases, replicas int) error {
+func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
 	if cases < 1 || cases > 20 {
 		return fmt.Errorf("cases must be in [1,20], got %d", cases)
 	}
 	specs := gen.Suite20()[:cases]
 
+	// With -json -, stdout belongs to the JSON document alone; the artifact
+	// echoes move to stderr so the output stays machine-parseable.
+	echo := os.Stdout
+	if jsonPath == "-" {
+		echo = os.Stderr
+	}
 	emit := func(name, content string) error {
-		fmt.Printf("==== %s ====\n%s\n", name, content)
+		fmt.Fprintf(echo, "==== %s ====\n%s\n", name, content)
 		if out == "" {
 			return nil
 		}
@@ -58,8 +65,9 @@ func run(fig, out string, workers, cases, replicas int) error {
 		return os.WriteFile(filepath.Join(out, name), []byte(content), 0o644)
 	}
 
-	needSuite := fig == "all" || fig == "2" || fig == "5" || fig == "6"
+	needSuite := fig == "all" || fig == "2" || fig == "5" || fig == "6" || jsonPath != ""
 	var results []harness.CaseResult
+	var suiteElapsed time.Duration
 	if needSuite {
 		start := time.Now()
 		var err error
@@ -67,7 +75,14 @@ func run(fig, out string, workers, cases, replicas int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "suite of %d cases completed in %v\n", len(specs), time.Since(start).Round(time.Millisecond))
+		suiteElapsed = time.Since(start)
+		fmt.Fprintf(os.Stderr, "suite of %d cases completed in %v\n", len(specs), suiteElapsed.Round(time.Millisecond))
+	}
+
+	if jsonPath != "" {
+		if err := writeBenchJSON(jsonPath, fig, results, suiteElapsed); err != nil {
+			return err
+		}
 	}
 
 	if fig == "all" || fig == "2" {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunEmitsArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2", dir, 0, 2, 2); err != nil {
+	if err := run("2", dir, 0, 2, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"fig2.md", "summary.txt", "runtimes.md"} {
@@ -25,7 +26,7 @@ func TestRunEmitsArtifacts(t *testing.T) {
 
 func TestRunFigures34(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("3", dir, 0, 1, 1); err != nil {
+	if err := run("3", dir, 0, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig3.dot"))
@@ -38,7 +39,7 @@ func TestRunFigures34(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "fig4.dot")); err == nil {
 		t.Error("-fig 3 should not emit fig4")
 	}
-	if err := run("4", dir, 0, 1, 1); err != nil {
+	if err := run("4", dir, 0, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig4.txt")); err != nil {
@@ -49,7 +50,7 @@ func TestRunFigures34(t *testing.T) {
 func TestRunSeriesAndAblations(t *testing.T) {
 	dir := t.TempDir()
 	for _, fig := range []string{"5", "6", "mld", "jitter", "pareto"} {
-		if err := run(fig, dir, 0, 2, 1); err != nil {
+		if err := run(fig, dir, 0, 2, 1, ""); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 	}
@@ -62,7 +63,7 @@ func TestRunSeriesAndAblations(t *testing.T) {
 
 func TestRunReplicated(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("replicated", dir, 0, 1, 2); err != nil {
+	if err := run("replicated", dir, 0, 1, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "replicated.md"))
@@ -75,20 +76,66 @@ func TestRunReplicated(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "", 0, 1, 1); err == nil {
+	if err := run("bogus", "", 0, 1, 1, ""); err == nil {
 		t.Error("unknown figure should error")
 	}
-	if err := run("2", "", 0, 0, 1); err == nil {
+	if err := run("2", "", 0, 0, 1, ""); err == nil {
 		t.Error("cases=0 should error")
 	}
-	if err := run("2", "", 0, 21, 1); err == nil {
+	if err := run("2", "", 0, 21, 1, ""); err == nil {
 		t.Error("cases=21 should error")
+	}
+}
+
+func TestRunJSONSummary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_suite.json")
+	// -json forces the suite even for figures that don't otherwise need it.
+	if err := run("ablation", "", 0, 2, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema     string   `json:"schema"`
+		Cases      int      `json:"cases"`
+		Algorithms []string `json:"algorithms"`
+		Results    []struct {
+			Case  int                        `json:"case"`
+			Delay map[string]json.RawMessage `json:"min_delay_ms"`
+			Rate  map[string]json.RawMessage `json:"max_frame_rate_fps"`
+		} `json:"results"`
+		DelayWins map[string]int `json:"delay_wins"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if doc.Schema != "elpc-pipebench-v1" {
+		t.Errorf("schema = %q", doc.Schema)
+	}
+	if doc.Cases != 2 || len(doc.Results) != 2 {
+		t.Errorf("cases = %d, results = %d, want 2", doc.Cases, len(doc.Results))
+	}
+	if len(doc.Algorithms) == 0 || doc.DelayWins["ELPC"] == 0 {
+		t.Errorf("missing algorithms or ELPC delay wins: %+v", doc)
+	}
+	for _, r := range doc.Results {
+		for _, alg := range doc.Algorithms {
+			if _, ok := r.Delay[alg]; !ok {
+				t.Errorf("case %d missing delay outcome for %s", r.Case, alg)
+			}
+			if _, ok := r.Rate[alg]; !ok {
+				t.Errorf("case %d missing rate outcome for %s", r.Case, alg)
+			}
+		}
 	}
 }
 
 func TestRunStdoutOnly(t *testing.T) {
 	// No -out directory: artifacts go to stdout only; must not error.
-	if err := run("ablation", "", 0, 1, 1); err != nil {
+	if err := run("ablation", "", 0, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -21,6 +21,20 @@
 //	s, _ := elpc.MaxFrameRateMapping(p)             // streaming mapping
 //	fmt.Println(elpc.FrameRateOf(p, s), "fps")      // 1 / Eq. 2 bottleneck
 //
+// # Planning service
+//
+// The solvers are also available as a long-running concurrent service:
+// NewSolver returns an embeddable Solver with a bounded worker pool and a
+// sharded LRU solution cache keyed by a canonical problem hash (repeated or
+// concurrently identical requests cost one DP solve), and cmd/elpcd — also
+// reachable as `elpc serve` and via Serve/NewPlanningServer — exposes it
+// over HTTP/JSON: POST /v1/mindelay, /v1/maxframerate, /v1/front,
+// /v1/simulate, and /v1/batch, with GET /v1/stats for cache and pool
+// counters.
+//
+//	solver := elpc.NewSolver(elpc.ServiceOptions{})
+//	res, _ := solver.Solve(ctx, elpc.SolveRequest{Op: elpc.OpMinDelay, Problem: p})
+//
 // See the examples directory for runnable scenarios (remote visualization,
 // video surveillance streaming, measurement-driven adaptive remapping) and
 // cmd/pipebench for the experiment suite.

@@ -9,6 +9,7 @@ import (
 	"elpc/internal/measure"
 	"elpc/internal/model"
 	"elpc/internal/refine"
+	"elpc/internal/service"
 	"elpc/internal/sim"
 )
 
@@ -186,3 +187,60 @@ func EstimateNetwork(truth *Network, cfg ProbeConfig) (*Network, error) {
 
 // DefaultProbeSizes returns the default active-measurement probe train.
 func DefaultProbeSizes() []float64 { return measure.DefaultProbeSizes() }
+
+// Planning service (cmd/elpcd), embeddable pieces.
+
+type (
+	// ServiceOptions configures a Solver or planning server (worker pool
+	// size, solution-cache capacity/shards, per-request solve timeout).
+	ServiceOptions = service.Options
+	// SolveOp selects the planning operation of a SolveRequest.
+	SolveOp = service.Op
+	// SolveRequest is one planning request for a Solver.
+	SolveRequest = service.Request
+	// SolveResult reports one solved planning request, including whether
+	// it was served from the solution cache.
+	SolveResult = service.Result
+	// RateDelayPoint is one point of a served Pareto sweep.
+	RateDelayPoint = service.FrontPoint
+	// BatchItem is one Solver.SolveBatch outcome.
+	BatchItem = service.BatchItem
+	// Solver answers planning requests concurrently behind a bounded
+	// worker pool and a sharded LRU solution cache keyed by the canonical
+	// problem hash; safe for concurrent use.
+	Solver = service.Solver
+	// SolverStats snapshots solver counters (in-flight, cold solves,
+	// coalesced requests, timeouts, cache hit/miss/eviction).
+	SolverStats = service.SolverStats
+	// CacheStats reports solution-cache counters.
+	CacheStats = service.CacheStats
+	// PlanningServer is the elpcd HTTP server; mount Handler() anywhere.
+	PlanningServer = service.Server
+)
+
+// Planning operations.
+const (
+	// OpMinDelay requests the optimal min-delay DP (reuse allowed).
+	OpMinDelay = service.OpMinDelay
+	// OpMaxFrameRate requests the max-frame-rate heuristic (no reuse),
+	// optionally delay-budgeted.
+	OpMaxFrameRate = service.OpMaxFrameRate
+	// OpFront requests the rate–delay Pareto sweep.
+	OpFront = service.OpFront
+)
+
+// NewSolver builds a concurrent caching planning solver. The zero
+// ServiceOptions value selects GOMAXPROCS workers and the default cache.
+func NewSolver(opt ServiceOptions) *Solver { return service.NewSolver(opt) }
+
+// NewPlanningServer builds the elpcd HTTP planning server without binding a
+// listener (use Handler() with your own mux, http.Server, or httptest).
+func NewPlanningServer(opt ServiceOptions) *PlanningServer { return service.NewServer(opt) }
+
+// Serve runs the elpcd planning service on addr until the listener fails.
+func Serve(addr string, opt ServiceOptions) error { return service.ListenAndServe(addr, opt) }
+
+// CanonicalProblemHash returns the deterministic hex SHA-256 of the
+// problem's canonical serialization (network, pipeline, endpoints, cost
+// options) — the key the solution cache uses.
+func CanonicalProblemHash(p *Problem) (string, error) { return service.Hash(p) }

@@ -1,0 +1,3 @@
+module elpc
+
+go 1.23

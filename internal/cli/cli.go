@@ -20,6 +20,7 @@ import (
 	"elpc/internal/measure"
 	"elpc/internal/model"
 	"elpc/internal/refine"
+	"elpc/internal/service"
 	"elpc/internal/sim"
 	"elpc/internal/viz"
 )
@@ -47,6 +48,8 @@ func Main(env Env, args []string) error {
 		return cmdProbe(env, args[1:])
 	case "show":
 		return cmdShow(env, args[1:])
+	case "serve":
+		return cmdServe(env, args[1:])
 	case "help", "-h", "--help":
 		usage(env.Stdout)
 		return nil
@@ -65,6 +68,7 @@ Subcommands:
   simulate  replay a mapping in the discrete-event simulator
   probe     estimate a network's link/node parameters by synthetic probing
   show      summarize an instance (dimensions, adjacency matrix)
+  serve     run the elpcd HTTP/JSON planning service
   help      show this message
 
 Instance files ending in .txt use the paper's dataset format (module/node/
@@ -310,6 +314,41 @@ func cmdSimulate(env Env, args []string) error {
 		}
 	}
 	return nil
+}
+
+// cmdServe runs the elpcd planning service (also reachable as cmd/elpcd).
+func cmdServe(env Env, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(env.Stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	cacheCap := fs.Int("cache", 0, "solution cache capacity (0 = default, negative = disabled)")
+	shards := fs.Int("shards", 0, "cache shards (0 = default)")
+	timeout := fs.Duration("timeout", 0, "per-request solve timeout (0 = none)")
+	points := fs.Int("points", 0, "default Pareto sweep resolution for /v1/front (0 = default)")
+	validate := fs.Bool("validate", false, "print the resolved configuration as JSON and exit without listening")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return errors.New("serve: -addr must not be empty")
+	}
+	opt := service.Options{
+		Workers:       *workers,
+		CacheCapacity: *cacheCap,
+		CacheShards:   *shards,
+		SolveTimeout:  *timeout,
+		FrontPoints:   *points,
+	}
+	if *validate {
+		resolved := opt.Normalized()
+		return writeJSON("-", struct {
+			Addr    string          `json:"addr"`
+			Options service.Options `json:"options"`
+		}{Addr: *addr, Options: resolved}, env.Stdout)
+	}
+	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch, GET /v1/stats /healthz)\n", *addr)
+	return service.ListenAndServe(*addr, opt)
 }
 
 func cmdProbe(env Env, args []string) error {

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// benchCase indexes Suite20: case 10 (30 modules, 80 nodes, 2500 links) is
+// large enough that the DP work dwarfs the hash+lookup cost of a cache hit.
+const benchCase = 10
+
+// benchOp is the benchmarked planning call: the Pareto sweep is the
+// service's most expensive endpoint (one budgeted bicriteria DP per sweep
+// point), i.e. the workload the cache pays for most.
+const benchOp = OpFront
+
+// BenchmarkSolverCacheHit measures a repeated Suite20 planning call served
+// from the solution cache: canonical hash + shard lookup, no DP work. The
+// cost is linear in problem size (the hash must read the problem) and
+// independent of how hard the problem is to solve.
+func BenchmarkSolverCacheHit(b *testing.B) {
+	p := buildSuiteProblem(b, benchCase)
+	s := NewSolver(Options{})
+	if _, err := s.Solve(context.Background(), Request{Op: benchOp, Problem: p}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Solve(context.Background(), Request{Op: benchOp, Problem: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("expected cache hit")
+		}
+	}
+}
+
+// BenchmarkSolverColdSolve measures the same planning call with the cache
+// disabled: the full Pareto sweep every iteration. The gap between this and
+// BenchmarkSolverCacheHit is what the cache buys repeated requests.
+func BenchmarkSolverColdSolve(b *testing.B) {
+	p := buildSuiteProblem(b, benchCase)
+	s := NewSolver(Options{CacheCapacity: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Solve(context.Background(), Request{Op: benchOp, Problem: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cached {
+			b.Fatal("unexpected cache hit with caching disabled")
+		}
+	}
+}
+
+// BenchmarkSolverCacheHitParallel exercises the sharded cache under
+// GOMAXPROCS concurrent readers.
+func BenchmarkSolverCacheHitParallel(b *testing.B) {
+	p := buildSuiteProblem(b, benchCase)
+	s := NewSolver(Options{})
+	if _, err := s.Solve(context.Background(), Request{Op: benchOp, Problem: p}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := s.Solve(context.Background(), Request{Op: benchOp, Problem: p}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

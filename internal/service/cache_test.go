@@ -1,0 +1,147 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(i int) cacheKey {
+	return cacheKey{hash: fmt.Sprintf("h%04d", i), op: OpMinDelay}
+}
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := newCache(8, 2)
+	sol := &solution{delayMs: 42}
+	if _, ok := c.get(key(1)); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put(key(1), sol)
+	got, ok := c.get(key(1))
+	if !ok || got.delayMs != 42 {
+		t.Fatalf("get after put: ok=%v got=%+v", ok, got)
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	// Single shard of capacity 3 makes eviction order observable.
+	c := newCache(3, 1)
+	for i := 0; i < 3; i++ {
+		c.put(key(i), &solution{delayMs: float64(i)})
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, ok := c.get(key(0)); !ok {
+		t.Fatal("expected hit on key 0")
+	}
+	c.put(key(3), &solution{})
+	if _, ok := c.get(key(1)); ok {
+		t.Error("LRU victim key 1 still cached")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.get(key(i)); !ok {
+			t.Errorf("key %d evicted unexpectedly", i)
+		}
+	}
+	if st := c.stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Errorf("stats = %+v, want 1 eviction and 3 entries", st)
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := newCache(4, 1)
+	c.put(key(1), &solution{delayMs: 1})
+	c.put(key(1), &solution{delayMs: 2})
+	got, ok := c.get(key(1))
+	if !ok || got.delayMs != 2 {
+		t.Fatalf("got %+v, want updated solution", got)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Errorf("duplicate put grew the cache: %+v", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(0, 16)
+	c.put(key(1), &solution{})
+	if _, ok := c.get(key(1)); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	st := c.stats()
+	if st.Hits != 0 || st.Misses != 1 || st.Entries != 0 || st.Shards != 0 {
+		t.Errorf("disabled stats = %+v", st)
+	}
+}
+
+func TestCacheKeyDistinguishesOpAndParam(t *testing.T) {
+	c := newCache(16, 4)
+	h := "samehash"
+	c.put(cacheKey{hash: h, op: OpMinDelay}, &solution{delayMs: 1})
+	c.put(cacheKey{hash: h, op: OpMaxFrameRate}, &solution{delayMs: 2})
+	c.put(cacheKey{hash: h, op: OpMaxFrameRate, param: 50}, &solution{delayMs: 3})
+	want := map[float64]cacheKey{
+		1: {hash: h, op: OpMinDelay},
+		2: {hash: h, op: OpMaxFrameRate},
+		3: {hash: h, op: OpMaxFrameRate, param: 50},
+	}
+	for delay, k := range want {
+		got, ok := c.get(k)
+		if !ok || got.delayMs != delay {
+			t.Errorf("key %+v: got %+v want delay %v", k, got, delay)
+		}
+	}
+}
+
+func TestCacheShardingSplitsCapacity(t *testing.T) {
+	c := newCache(16, 4)
+	if len(c.shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(c.shards))
+	}
+	for _, s := range c.shards {
+		if s.cap != 4 {
+			t.Errorf("shard capacity %d, want 4", s.cap)
+		}
+	}
+	// More shards than capacity collapses to capacity shards of 1.
+	c = newCache(2, 64)
+	if len(c.shards) != 2 || c.shards[0].cap != 1 {
+		t.Errorf("got %d shards of cap %d, want 2 of 1", len(c.shards), c.shards[0].cap)
+	}
+	// Uneven splits must sum exactly to the configured capacity.
+	c = newCache(100, 16)
+	total := 0
+	for _, s := range c.shards {
+		total += s.cap
+	}
+	if total != 100 {
+		t.Errorf("shard capacities sum to %d, want exactly 100", total)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newCache(64, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(i % 100)
+				if _, ok := c.get(k); !ok {
+					c.put(k, &solution{delayMs: float64(i)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Entries > 64 {
+		t.Errorf("cache exceeded capacity: %+v", st)
+	}
+	if st.Hits+st.Misses != 8*200 {
+		t.Errorf("lost lookups: %+v", st)
+	}
+}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+func buildSuiteProblem(t testing.TB, i int) *model.Problem {
+	t.Helper()
+	p, err := gen.Suite20()[i].Build()
+	if err != nil {
+		t.Fatalf("building suite case %d: %v", i, err)
+	}
+	return p
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := buildSuiteProblem(t, 0)
+	b := buildSuiteProblem(t, 0)
+	ha, err := Hash(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := Hash(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("independently built identical problems hash differently: %s vs %s", ha, hb)
+	}
+	if len(ha) != 64 {
+		t.Errorf("hash %q is not hex SHA-256", ha)
+	}
+}
+
+func TestHashSurvivesJSONRoundTrip(t *testing.T) {
+	p := buildSuiteProblem(t, 1)
+	before, err := Hash(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netJSON, err := json.Marshal(p.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeJSON, err := json.Marshal(p.Pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var net model.Network
+	var pipe model.Pipeline
+	if err := json.Unmarshal(netJSON, &net); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(pipeJSON, &pipe); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Hash(&model.Problem{Net: &net, Pipe: &pipe, Src: p.Src, Dst: p.Dst, Cost: p.Cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("hash changed across JSON round trip: %s vs %s", before, after)
+	}
+}
+
+func TestHashDiscriminates(t *testing.T) {
+	base := buildSuiteProblem(t, 0)
+	baseHash, err := Hash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutations := map[string]func(p *model.Problem){
+		"bandwidth":  func(p *model.Problem) { p.Net.Links[0].BWMbps *= 2 },
+		"power":      func(p *model.Problem) { p.Net.Nodes[0].Power *= 2 },
+		"complexity": func(p *model.Problem) { p.Pipe.Modules[1].Complexity *= 2 },
+		"endpoints":  func(p *model.Problem) { p.Src, p.Dst = p.Dst, p.Src },
+		"cost":       func(p *model.Problem) { p.Cost.IncludeMLDInDelay = !p.Cost.IncludeMLDInDelay },
+	}
+	for name, mutate := range mutations {
+		p := buildSuiteProblem(t, 0)
+		p.Net = p.Net.Clone()
+		pipeCopy := *p.Pipe
+		pipeCopy.Modules = append([]model.Module(nil), p.Pipe.Modules...)
+		p.Pipe = &pipeCopy
+		mutate(p)
+		h, err := Hash(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == baseHash {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}
+
+func TestHashRejectsIncompleteProblem(t *testing.T) {
+	if _, err := Hash(nil); err == nil {
+		t.Error("Hash(nil) succeeded")
+	}
+	if _, err := Hash(&model.Problem{}); err == nil {
+		t.Error("Hash of empty problem succeeded")
+	}
+}

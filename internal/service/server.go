@@ -1,0 +1,297 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"elpc/internal/model"
+	"elpc/internal/sim"
+)
+
+// Wire limits, applied before any decoding work happens.
+const (
+	// MaxRequestBytes bounds a single request body.
+	MaxRequestBytes = 32 << 20
+	// MaxBatchRequests bounds the number of problems in one /v1/batch call.
+	MaxBatchRequests = 256
+)
+
+// wireRequest is the JSON body shared by every planning endpoint: the
+// problem instance (same shape as the CLI's instance files) plus the
+// operation parameters. Cost defaults to model.DefaultCostOptions when
+// omitted.
+type wireRequest struct {
+	Network  *model.Network     `json:"network"`
+	Pipeline *model.Pipeline    `json:"pipeline"`
+	Src      model.NodeID       `json:"src"`
+	Dst      model.NodeID       `json:"dst"`
+	Cost     *model.CostOptions `json:"cost,omitempty"`
+
+	// Op is honored by /v1/batch and /v1/simulate; the dedicated planning
+	// endpoints fix it.
+	Op            Op      `json:"op,omitempty"`
+	DelayBudgetMs float64 `json:"delay_budget_ms,omitempty"`
+	Points        int     `json:"points,omitempty"`
+
+	// Simulation parameters (/v1/simulate only).
+	Frames int     `json:"frames,omitempty"`
+	PaceMs float64 `json:"pace_ms,omitempty"`
+}
+
+// request converts the wire form into a solver Request.
+func (w *wireRequest) request(op Op) (Request, error) {
+	if w.Network == nil || w.Pipeline == nil {
+		return Request{}, fmt.Errorf("request missing network or pipeline")
+	}
+	cost := model.DefaultCostOptions()
+	if w.Cost != nil {
+		cost = *w.Cost
+	}
+	return Request{
+		Op: op,
+		Problem: &model.Problem{
+			Net:  w.Network,
+			Pipe: w.Pipeline,
+			Src:  w.Src,
+			Dst:  w.Dst,
+			Cost: cost,
+		},
+		DelayBudgetMs: w.DelayBudgetMs,
+		Points:        w.Points,
+	}, nil
+}
+
+// simResponse is the /v1/simulate payload: the (cached) plan plus the
+// discrete-event replay metrics.
+type simResponse struct {
+	Plan            *Result `json:"plan"`
+	Frames          int     `json:"frames"`
+	FirstFrameDelay float64 `json:"first_frame_delay_ms"`
+	SteadyPeriodMs  float64 `json:"steady_period_ms"`
+	MeasuredRateFPS float64 `json:"measured_rate_fps"`
+	MakeSpanMs      float64 `json:"makespan_ms"`
+	Events          uint64  `json:"events"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	Service  string      `json:"service"`
+	UptimeMs float64     `json:"uptime_ms"`
+	Solver   SolverStats `json:"solver"`
+}
+
+// Server is the elpcd HTTP planning server. Build one with NewServer and
+// mount Handler on any mux or listener (httptest works too).
+type Server struct {
+	solver *Solver
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// NewServer builds a Server and its routes around a fresh Solver.
+func NewServer(opt Options) *Server {
+	s := &Server{solver: NewSolver(opt), mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/mindelay", s.planHandler(OpMinDelay))
+	s.mux.HandleFunc("POST /v1/maxframerate", s.planHandler(OpMaxFrameRate))
+	s.mux.HandleFunc("POST /v1/front", s.planHandler(OpFront))
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Solver exposes the underlying solver (embedders can share it with
+// in-process callers; its cache then serves both).
+func (s *Server) Solver() *Solver { return s.solver }
+
+// ListenAndServe builds a Server and serves it on addr until the listener
+// fails. It is the programmatic equivalent of `elpc serve`.
+func ListenAndServe(addr string, opt Options) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewServer(opt).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// decode reads and validates the request body.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // response already committed; nothing useful to do
+}
+
+// writeError maps solver errors onto HTTP statuses: infeasible problems are
+// 422 (well-formed, unsolvable), timeouts/cancellations are 503, and
+// everything else is a 400 input error.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, model.ErrInfeasible):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// planHandler answers the dedicated planning endpoints.
+func (s *Server) planHandler(op Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var wire wireRequest
+		if err := decode(w, r, &wire); err != nil {
+			writeError(w, err)
+			return
+		}
+		req, err := wire.request(op)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		res, err := s.solver.Solve(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// handleSimulate plans (through the cache) and replays the mapping in the
+// discrete-event simulator.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var wire wireRequest
+	if err := decode(w, r, &wire); err != nil {
+		writeError(w, err)
+		return
+	}
+	op := wire.Op
+	if op == "" {
+		op = OpMaxFrameRate
+	}
+	if op == OpFront {
+		writeError(w, fmt.Errorf("simulate needs a single mapping; op %q is not simulatable", op))
+		return
+	}
+	req, err := wire.request(op)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.solver.Solve(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	frames := wire.Frames
+	if frames <= 0 {
+		frames = 200
+	}
+	sr, err := sim.Simulate(req.Problem, model.NewMapping(res.Assignment), sim.Config{
+		Frames:         frames,
+		InterArrivalMs: wire.PaceMs,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simResponse{
+		Plan:            res,
+		Frames:          frames,
+		FirstFrameDelay: sr.FirstFrameDelay,
+		SteadyPeriodMs:  sr.SteadyPeriod,
+		MeasuredRateFPS: sr.MeasuredRate(),
+		MakeSpanMs:      sr.MakeSpan,
+		Events:          sr.Events,
+	})
+}
+
+// batchWire is the /v1/batch request body.
+type batchWire struct {
+	Requests []wireRequest `json:"requests"`
+}
+
+// batchItemWire is one /v1/batch response item: result or error, in request
+// order.
+type batchItemWire struct {
+	Index  int     `json:"index"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// handleBatch solves many problems in one round trip over the shared pool.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var wire batchWire
+	if err := decode(w, r, &wire); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(wire.Requests) == 0 {
+		writeError(w, fmt.Errorf("batch has no requests"))
+		return
+	}
+	if len(wire.Requests) > MaxBatchRequests {
+		writeError(w, fmt.Errorf("batch of %d exceeds limit %d", len(wire.Requests), MaxBatchRequests))
+		return
+	}
+	reqs := make([]Request, len(wire.Requests))
+	errs := make([]error, len(wire.Requests))
+	for i := range wire.Requests {
+		op := wire.Requests[i].Op
+		if op == "" {
+			op = OpMinDelay
+		}
+		reqs[i], errs[i] = wire.Requests[i].request(op)
+	}
+	items := s.solver.SolveBatch(r.Context(), reqs)
+	out := make([]batchItemWire, len(items))
+	for i, it := range items {
+		out[i] = batchItemWire{Index: i, Result: it.Result}
+		if errs[i] != nil {
+			out[i] = batchItemWire{Index: i, Error: errs[i].Error()}
+		} else if it.Err != nil {
+			out[i] = batchItemWire{Index: i, Error: it.Err.Error()}
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []batchItemWire `json:"results"`
+	}{Results: out})
+}
+
+// handleStats reports solver and cache counters.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Service:  "elpcd",
+		UptimeMs: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Solver:   s.solver.Stats(),
+	})
+}

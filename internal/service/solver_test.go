@@ -1,0 +1,324 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"elpc/internal/core"
+	"elpc/internal/model"
+)
+
+func TestSolveMinDelayMatchesCore(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	want, err := core.MinDelay(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelay := model.TotalDelay(p.Net, p.Pipe, want, p.Cost)
+
+	s := NewSolver(Options{})
+	res, err := s.Solve(context.Background(), Request{Op: OpMinDelay, Problem: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Error("first solve reported cached")
+	}
+	if math.Abs(res.DelayMs-wantDelay) > 1e-9 {
+		t.Errorf("service delay %.6f != core delay %.6f", res.DelayMs, wantDelay)
+	}
+	if res.Mapping == "" || len(res.Assignment) != p.Pipe.N() {
+		t.Errorf("incomplete result: %+v", res)
+	}
+}
+
+func TestSolveCachesRepeatedRequests(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	s := NewSolver(Options{})
+	first, err := s.Solve(context.Background(), Request{Op: OpMaxFrameRate, Problem: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Solve(context.Background(), Request{Op: OpMaxFrameRate, Problem: buildSuiteProblem(t, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || !second.Cached {
+		t.Errorf("cached flags: first=%v second=%v, want false/true", first.Cached, second.Cached)
+	}
+	if first.RateFPS != second.RateFPS || first.Mapping != second.Mapping {
+		t.Errorf("cached result diverged: %+v vs %+v", first, second)
+	}
+	st := s.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.ColdSolves != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 cold solve", st)
+	}
+}
+
+func TestSolveBudgetsCacheSeparately(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	s := NewSolver(Options{})
+	free, err := s.Solve(context.Background(), Request{Op: OpMaxFrameRate, Problem: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := s.Solve(context.Background(), Request{Op: OpMaxFrameRate, Problem: p, DelayBudgetMs: free.DelayMs * 0.9})
+	if err != nil && !errors.Is(err, model.ErrInfeasible) {
+		t.Fatal(err)
+	}
+	if tight != nil && tight.Cached {
+		t.Error("budgeted request hit the unbudgeted cache entry")
+	}
+	if st := s.Stats(); st.Cache.Hits != 0 {
+		t.Errorf("distinct budgets shared a cache entry: %+v", st)
+	}
+}
+
+func TestSolveFront(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	s := NewSolver(Options{})
+	res, err := s.Solve(context.Background(), Request{Op: OpFront, Problem: p, Points: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	for i := 1; i < len(res.Front); i++ {
+		prev, cur := res.Front[i-1], res.Front[i]
+		if cur.DelayMs < prev.DelayMs || cur.RateFPS <= prev.RateFPS {
+			t.Errorf("front not nondominated at %d: %+v then %+v", i, prev, cur)
+		}
+	}
+	// Different resolutions are distinct cache entries.
+	res2, err := s.Solve(context.Background(), Request{Op: OpFront, Problem: p, Points: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached {
+		t.Error("front with different points hit the 6-point entry")
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// 4 modules onto 3 nodes without reuse is structurally infeasible.
+	nodes := []model.Node{{ID: 0, Power: 100}, {ID: 1, Power: 100}, {ID: 2, Power: 100}}
+	links := []model.Link{
+		{ID: 0, From: 0, To: 1, BWMbps: 10},
+		{ID: 1, From: 1, To: 2, BWMbps: 10},
+	}
+	net, err := model.NewNetwork(nodes, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := model.NewPipeline([]model.Module{
+		{ID: 0, InBytes: 100, OutBytes: 100},
+		{ID: 1, Complexity: 1, InBytes: 100, OutBytes: 100},
+		{ID: 2, Complexity: 1, InBytes: 100, OutBytes: 100},
+		{ID: 3, Complexity: 1, InBytes: 100, OutBytes: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &model.Problem{Net: net, Pipe: pipe, Src: 0, Dst: 2, Cost: model.DefaultCostOptions()}
+	s := NewSolver(Options{})
+	_, err = s.Solve(context.Background(), Request{Op: OpMaxFrameRate, Problem: p})
+	if !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("got %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveRejectsBadRequests(t *testing.T) {
+	s := NewSolver(Options{})
+	if _, err := s.Solve(context.Background(), Request{Op: "nonsense", Problem: buildSuiteProblem(t, 0)}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := s.Solve(context.Background(), Request{Op: OpMinDelay}); err == nil {
+		t.Error("missing problem accepted")
+	}
+}
+
+func TestSolveHonorsCanceledContext(t *testing.T) {
+	s := NewSolver(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Solve(ctx, Request{Op: OpMinDelay, Problem: buildSuiteProblem(t, 0)})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if st := s.Stats(); st.Timeouts != 1 {
+		t.Errorf("timeout counter = %d, want 1", st.Timeouts)
+	}
+}
+
+func TestSolveBatchAlignsResults(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	reqs := []Request{
+		{Op: OpMinDelay, Problem: p},
+		{Op: OpMaxFrameRate, Problem: p},
+		{Op: "bogus", Problem: p},
+		{Op: OpMinDelay, Problem: p}, // duplicate of [0]
+	}
+	s := NewSolver(Options{Workers: 2})
+	items := s.SolveBatch(context.Background(), reqs)
+	if len(items) != len(reqs) {
+		t.Fatalf("got %d items for %d requests", len(items), len(reqs))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Errorf("item %d has index %d", i, it.Index)
+		}
+	}
+	if items[0].Err != nil || items[1].Err != nil || items[3].Err != nil {
+		t.Errorf("valid requests failed: %v %v %v", items[0].Err, items[1].Err, items[3].Err)
+	}
+	if items[2].Err == nil {
+		t.Error("bogus op succeeded")
+	}
+	if items[0].Result.DelayMs != items[3].Result.DelayMs {
+		t.Errorf("duplicate requests disagree: %v vs %v", items[0].Result.DelayMs, items[3].Result.DelayMs)
+	}
+}
+
+func TestSolveCoalescesConcurrentIdenticalRequests(t *testing.T) {
+	// Fire many identical requests at once: exactly one DP solve may run;
+	// everyone else must be served by the cache or by joining the flight.
+	p := buildSuiteProblem(t, 2)
+	s := NewSolver(Options{Workers: 8})
+	const callers = 12
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Solve(context.Background(), Request{Op: OpMinDelay, Problem: p})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.ColdSolves != 1 {
+		t.Errorf("cold solves = %d, want exactly 1 for identical concurrent requests", st.ColdSolves)
+	}
+	uncached := 0
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		if !res.Cached {
+			uncached++
+		}
+		if res.DelayMs != results[0].DelayMs {
+			t.Errorf("divergent results: %v vs %v", res.DelayMs, results[0].DelayMs)
+		}
+	}
+	if uncached != 1 {
+		t.Errorf("%d requests reported uncached, want 1 (the flight leader)", uncached)
+	}
+	if st.Coalesced+st.Cache.Hits != callers-1 {
+		t.Errorf("coalesced %d + hits %d != %d followers", st.Coalesced, st.Cache.Hits, callers-1)
+	}
+}
+
+func TestAbandonedLeaderDoesNotPoisonFollowers(t *testing.T) {
+	// Occupy the only worker slot so the first caller (the flight leader)
+	// blocks waiting for a worker and abandons on its deadline. A patient
+	// follower coalesced on the same key must then take over leadership and
+	// solve once the slot frees, not inherit the leader's context error.
+	p := buildSuiteProblem(t, 0)
+	s := NewSolver(Options{Workers: 1})
+	s.slots <- struct{}{} // hold the only slot
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(leaderCtx, Request{Op: OpMinDelay, Problem: p})
+		leaderErr <- err
+	}()
+	// Wait until the leader has registered its flight and is blocked on the
+	// slot, then start the follower so it joins that flight.
+	for {
+		s.flightMu.Lock()
+		n := len(s.flights)
+		s.flightMu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	followerDone := make(chan error, 1)
+	var followerRes *Result
+	go func() {
+		res, err := s.Solve(context.Background(), Request{Op: OpMinDelay, Problem: p})
+		followerRes = res
+		followerDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the follower block on the flight
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	<-s.slots // free the slot; the retrying follower becomes leader
+	if err := <-followerDone; err != nil {
+		t.Fatalf("follower inherited the abandoned leader's fate: %v", err)
+	}
+	if followerRes == nil || followerRes.Cached {
+		t.Errorf("follower result = %+v, want a fresh (leader) solve", followerRes)
+	}
+}
+
+func TestSolveConcurrentMixedLoad(t *testing.T) {
+	// Hammer one solver from many goroutines across several distinct
+	// problems and ops; exercised under -race by CI.
+	problems := []*model.Problem{
+		buildSuiteProblem(t, 0),
+		buildSuiteProblem(t, 1),
+		buildSuiteProblem(t, 2),
+	}
+	s := NewSolver(Options{Workers: 4, CacheCapacity: 8, CacheShards: 2})
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				op := OpMinDelay
+				if (g+i)%2 == 0 {
+					op = OpMaxFrameRate
+				}
+				res, err := s.Solve(context.Background(), Request{Op: op, Problem: problems[(g+i)%len(problems)]})
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d iter %d: %w", g, i, err)
+					return
+				}
+				if res.Hash == "" {
+					errc <- fmt.Errorf("goroutine %d iter %d: empty hash", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if st.InFlight != 0 {
+		t.Errorf("in-flight gauge stuck at %d", st.InFlight)
+	}
+	if st.Cache.Hits+st.Cache.Misses != 16*4 {
+		t.Errorf("lost lookups: %+v", st)
+	}
+}
