@@ -17,6 +17,7 @@
 package elpc_test
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"elpc"
 	"elpc/internal/adapt"
 	"elpc/internal/core"
+	"elpc/internal/fleet"
 	"elpc/internal/gen"
 	"elpc/internal/harness"
 	"elpc/internal/measure"
@@ -349,6 +351,70 @@ func BenchmarkAdaptEpoch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFleetDeploy measures multi-tenant placement throughput on a
+// Suite20-class network (case 8: 50 nodes, 1000 links): each op is one
+// admission-controlled Deploy — a residual-network snapshot, a solver run,
+// an SLO check, and a capacity reservation. When the network saturates the
+// fleet is drained (release cost amortizes into the loop). Metrics:
+// admitted fraction of attempts and mean deployments resident at admission.
+func BenchmarkFleetDeploy(b *testing.B) {
+	spec := gen.Suite20()[7]
+	net, err := gen.Network(spec.Nodes, spec.Links, gen.DefaultRanges(), gen.RNG(spec.Seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const variants = 32
+	reqs := make([]fleet.Request, variants)
+	for i := range reqs {
+		rng := gen.RNG(uint64(1000 + i))
+		pl, err := gen.Pipeline(5+i%4, gen.DefaultRanges(), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := model.NodeID(rng.IntN(spec.Nodes))
+		dst := model.NodeID(rng.IntN(spec.Nodes - 1))
+		if dst >= src {
+			dst++
+		}
+		obj := model.MinDelay
+		if i%2 == 0 {
+			obj = model.MaxFrameRate
+		}
+		reqs[i] = fleet.Request{
+			Pipeline:  pl,
+			Src:       src,
+			Dst:       dst,
+			Objective: obj,
+			SLO:       fleet.SLO{MinRateFPS: 2},
+		}
+	}
+	fl, err := fleet.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	admitted, resident := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resident += len(fl.List())
+		_, err := fl.Deploy(reqs[i%variants])
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, fleet.ErrRejected):
+			// Saturated: drain and keep deploying.
+			for _, d := range fl.List() {
+				if err := fl.Release(d.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		default:
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(admitted)/float64(b.N), "admit_frac")
+	b.ReportMetric(float64(resident)/float64(b.N), "resident")
 }
 
 // BenchmarkParetoFront measures the bicriteria rate-delay sweep on a

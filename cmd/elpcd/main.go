@@ -1,13 +1,16 @@
 // Command elpcd is the ELPC planning daemon: an HTTP/JSON service exposing
 // the min-delay DP, the max-frame-rate heuristic, Pareto sweeps, batch
-// planning, and the discrete-event simulator, backed by a canonical-hash
-// solution cache and a bounded worker pool.
+// planning, the discrete-event simulator, and the multi-tenant fleet
+// manager (/v1/fleet/*: admission-controlled deploy, release, rebalance),
+// backed by a canonical-hash solution cache and a bounded worker pool.
 //
 //	elpcd -addr :8080
 //	curl -s localhost:8080/v1/mindelay -d @instance.json
 //	curl -s localhost:8080/v1/stats
 //
-// elpcd accepts the same flags as `elpc serve` (it is the same code path).
+// elpcd accepts the same flags as `elpc serve` (it is the same code path)
+// and shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
+// for up to -drain (default 10s).
 package main
 
 import (

@@ -44,6 +44,10 @@ type benchJSON struct {
 	MeanDelayVsE map[string]float64 `json:"mean_delay_ratio_vs_elpc"`
 	MeanRateVsE  map[string]float64 `json:"mean_rate_ratio_vs_elpc"`
 	Feasible     map[string]int     `json:"feasible_outcomes"`
+	// Fleet is the multi-tenant placement scenario (admission rate and
+	// mean deployed frame rate over a deterministic arrival schedule on a
+	// Suite20 network).
+	Fleet *harness.FleetScenarioResult `json:"fleet,omitempty"`
 }
 
 func toOutcomeJSON(o harness.Outcome) benchOutcomeJSON {
@@ -60,13 +64,14 @@ func toOutcomeJSON(o harness.Outcome) benchOutcomeJSON {
 }
 
 // writeBenchJSON renders the suite results as JSON to path ("-" = stdout).
-func writeBenchJSON(path, fig string, results []harness.CaseResult, elapsed time.Duration) error {
+func writeBenchJSON(path, fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, elapsed time.Duration) error {
 	doc := benchJSON{
 		Schema:     "elpc-pipebench-v1",
 		Figure:     fig,
 		Cases:      len(results),
 		Algorithms: harness.MapperNames(),
 		SuiteMs:    float64(elapsed) / float64(time.Millisecond),
+		Fleet:      fleet,
 	}
 	for _, r := range results {
 		c := benchCaseJSON{

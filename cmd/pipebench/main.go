@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, or all")
 	out := flag.String("out", "", "directory to write artifacts into (optional)")
 	workers := flag.Int("workers", 0, "parallel workers for the case suite (0 = GOMAXPROCS)")
 	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
@@ -79,8 +79,27 @@ func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
 		fmt.Fprintf(os.Stderr, "suite of %d cases completed in %v\n", len(specs), suiteElapsed.Round(time.Millisecond))
 	}
 
+	// The fleet scenario (multi-tenant admission + rebalance on a Suite20
+	// network) feeds both the -fig fleet artifact and the JSON summary.
+	var fleetRes *harness.FleetScenarioResult
+	if fig == "all" || fig == "fleet" || jsonPath != "" {
+		var err error
+		// Case 2 (10 nodes, 60 links) with a heavier-than-default arrival
+		// load, so admission control visibly rejects and the admission-rate
+		// metric tracks capacity changes across PRs.
+		as := gen.DefaultArrivalSpec()
+		as.Sessions = 80
+		as.MeanInterarrivalMs = 1000
+		as.MeanHoldMs = 120000
+		as.RateLo, as.RateHi = 4, 16
+		fleetRes, err = harness.RunFleetScenario(gen.Suite20()[1], as, 2026)
+		if err != nil {
+			return err
+		}
+	}
+
 	if jsonPath != "" {
-		if err := writeBenchJSON(jsonPath, fig, results, suiteElapsed); err != nil {
+		if err := writeBenchJSON(jsonPath, fig, results, fleetRes, suiteElapsed); err != nil {
 			return err
 		}
 	}
@@ -119,6 +138,11 @@ func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
 	}
 	if fig == "all" || fig == "6" {
 		if err := emit("fig6.csv", harness.SeriesCSV(results, true)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "fleet" {
+		if err := emit("fleet.md", harness.FleetScenarioTable(fleetRes)); err != nil {
 			return err
 		}
 	}
@@ -185,7 +209,7 @@ func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
 		}
 	}
 	switch fig {
-	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter":
+	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet":
 		return nil
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

@@ -35,7 +35,26 @@
 //	solver := elpc.NewSolver(elpc.ServiceOptions{})
 //	res, _ := solver.Solve(ctx, elpc.SolveRequest{Op: elpc.OpMinDelay, Problem: p})
 //
+// # Fleet — multi-tenant placement
+//
+// The paper's algorithms map one pipeline onto an uncontended network; the
+// fleet manager makes the network stateful shared infrastructure. A Fleet
+// tracks per-node and per-link residual capacity across many concurrent
+// deployments and solves every new request against a scaled residual
+// snapshot of the network (the solvers run unchanged), so multi-tenant
+// placement is admission-controlled: Deploy rejects (ErrFleetRejected) when
+// no mapping meets the request's SLO or capacity would be overcommitted,
+// Release returns exactly the reserved capacity, and Rebalance re-solves
+// laggards onto freed capacity behind a migration-cost guard. The same
+// lifecycle is served over HTTP by elpcd under /v1/fleet/*.
+//
+//	fl, _ := elpc.NewFleet(net)
+//	d, _  := fl.Deploy(elpc.FleetRequest{Pipeline: pl, Src: 0, Dst: 9,
+//		Objective: elpc.MaxFrameRate, SLO: elpc.FleetSLO{MinRateFPS: 5}})
+//	fl.Rebalance(elpc.RebalanceOptions{})
+//	fl.Release(d.ID)
+//
 // See the examples directory for runnable scenarios (remote visualization,
-// video surveillance streaming, measurement-driven adaptive remapping) and
-// cmd/pipebench for the experiment suite.
+// video surveillance streaming, measurement-driven adaptive remapping,
+// multi-tenant fleet placement) and cmd/pipebench for the experiment suite.
 package elpc

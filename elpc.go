@@ -5,6 +5,7 @@ import (
 
 	"elpc/internal/baseline"
 	"elpc/internal/core"
+	"elpc/internal/fleet"
 	"elpc/internal/gen"
 	"elpc/internal/measure"
 	"elpc/internal/model"
@@ -244,3 +245,70 @@ func Serve(addr string, opt ServiceOptions) error { return service.ListenAndServ
 // problem's canonical serialization (network, pipeline, endpoints, cost
 // options) — the key the solution cache uses.
 func CanonicalProblemHash(p *Problem) (string, error) { return service.Hash(p) }
+
+// Fleet manager (multi-tenant placement), embeddable pieces.
+
+type (
+	// Fleet is the stateful multi-tenant placement manager: it admits many
+	// pipelines onto one shared network, solving each against the residual
+	// capacity left by earlier tenants, and supports release and live
+	// rebalancing. Safe for concurrent use.
+	Fleet = fleet.Fleet
+	// FleetRequest asks a Fleet to place one pipeline.
+	FleetRequest = fleet.Request
+	// FleetSLO states a deployment's admission constraints.
+	FleetSLO = fleet.SLO
+	// Deployment is one admitted pipeline with its mapping and reserved
+	// capacity.
+	Deployment = fleet.Deployment
+	// FleetStats snapshots fleet counters and utilization gauges.
+	FleetStats = fleet.Stats
+	// RebalanceOptions tunes a Fleet.Rebalance pass (move cap, migration-
+	// cost guard).
+	RebalanceOptions = fleet.RebalanceOptions
+	// RebalanceReport summarizes one rebalance pass.
+	RebalanceReport = fleet.Report
+	// ResidualNetwork is the shared capacity view behind a Fleet: per-node
+	// and per-link outstanding load over a base Network, materializable as
+	// a scaled Network snapshot.
+	ResidualNetwork = model.ResidualNetwork
+	// Reservation is the fractional capacity a deployment holds.
+	Reservation = model.Reservation
+	// ArrivalEvent is one event of a generated multi-tenant workload.
+	ArrivalEvent = gen.ArrivalEvent
+	// ArrivalSpec shapes a generated multi-tenant workload.
+	ArrivalSpec = gen.ArrivalSpec
+)
+
+// Workload event kinds.
+const (
+	// Arrive asks the fleet to deploy the session's pipeline.
+	Arrive = gen.Arrive
+	// Depart releases the session's deployment.
+	Depart = gen.Depart
+)
+
+// ErrFleetRejected is returned (wrapped) when fleet admission control
+// declines a deployment.
+var ErrFleetRejected = fleet.ErrRejected
+
+// NewFleet builds an empty fleet over the shared base network.
+func NewFleet(net *Network) (*Fleet, error) { return fleet.New(net) }
+
+// NewResidualNetwork builds an unloaded residual capacity view of base.
+func NewResidualNetwork(base *Network) *ResidualNetwork { return model.NewResidualNetwork(base) }
+
+// MappingReservation computes the fractional capacity a mapping consumes on
+// every node and link of net when streaming at rateFPS frames per second.
+func MappingReservation(net *Network, pl *Pipeline, m *Mapping, rateFPS float64) (Reservation, error) {
+	return model.MappingReservation(net, pl, m, rateFPS)
+}
+
+// DefaultArrivalSpec returns the calibrated multi-tenant workload shape.
+func DefaultArrivalSpec() ArrivalSpec { return gen.DefaultArrivalSpec() }
+
+// GenerateArrivals draws a deterministic multi-tenant arrival/departure
+// schedule over net (deploy on Arrive, release on Depart).
+func GenerateArrivals(spec ArrivalSpec, net *Network, r Ranges, rng *rand.Rand) ([]ArrivalEvent, error) {
+	return gen.Arrivals(spec, net, r, rng)
+}

@@ -5,13 +5,17 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"elpc/internal/baseline"
 	"elpc/internal/core"
@@ -326,6 +330,7 @@ func cmdServe(env Env, args []string) error {
 	shards := fs.Int("shards", 0, "cache shards (0 = default)")
 	timeout := fs.Duration("timeout", 0, "per-request solve timeout (0 = none)")
 	points := fs.Int("points", 0, "default Pareto sweep resolution for /v1/front (0 = default)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM (0 = wait indefinitely)")
 	validate := fs.Bool("validate", false, "print the resolved configuration as JSON and exit without listening")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -347,8 +352,14 @@ func cmdServe(env Env, args []string) error {
 			Options service.Options `json:"options"`
 		}{Addr: *addr, Options: resolved}, env.Stdout)
 	}
-	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch, GET /v1/stats /healthz)\n", *addr)
-	return service.ListenAndServe(*addr, opt)
+	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch /v1/fleet/*, GET /v1/fleet /v1/stats /healthz)\n", *addr)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := service.Run(ctx, *addr, opt, *drain)
+	if ctx.Err() != nil && err == nil {
+		fmt.Fprintln(env.Stderr, "elpcd: signal received, drained and shut down")
+	}
+	return err
 }
 
 func cmdProbe(env Env, args []string) error {

@@ -1,0 +1,551 @@
+// Package fleet is the multi-tenant placement subsystem: a Fleet owns one
+// shared transport network and admits many concurrently deployed pipelines
+// onto it, each solved by the paper's single-pipeline algorithms against the
+// *residual* network (node powers and link bandwidths scaled down by the
+// capacity already reserved by earlier tenants — model.ResidualNetwork).
+//
+// The paper maps one pipeline onto an uncontended network; a production
+// service must colocate many. Fleet closes that gap with three mechanisms:
+//
+//   - Admission control: Deploy solves the request's objective on the
+//     residual network and rejects it (ErrRejected) when no mapping meets
+//     the request's SLO or when reserving it would overcommit any resource.
+//   - Capacity accounting: an admitted deployment reserves, on every node
+//     and link its mapping touches, the utilization it imposes at its
+//     reserved frame rate. Release returns exactly that capacity; the
+//     outstanding-set recompute guarantees the empty fleet is bit-for-bit
+//     identical to a fresh one.
+//   - Live rebalancing: Rebalance re-solves deployments against the
+//     capacity freed since they were admitted and migrates the ones whose
+//     improvement clears a migration-cost guard.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"elpc/internal/core"
+	"elpc/internal/model"
+)
+
+// ErrRejected is returned (wrapped, with a reason) when admission control
+// declines a deployment: no feasible mapping on the residual network, the
+// SLO cannot be met, or reserving the mapping would overcommit a resource.
+var ErrRejected = errors.New("admission rejected")
+
+// ErrNotFound is returned for operations on unknown deployment IDs.
+var ErrNotFound = errors.New("deployment not found")
+
+// DefaultInteractiveFPS is the demand rate reserved for min-delay
+// deployments that do not state one: interactive sessions still occupy
+// capacity per processed frame, so admission must account for some rate.
+const DefaultInteractiveFPS = 1.0
+
+// SLO states what a deployment requires from its placement. Zero fields are
+// unconstrained.
+type SLO struct {
+	// MaxDelayMs caps the end-to-end delay (Eq. 1, evaluated on the
+	// residual network at admission).
+	MaxDelayMs float64 `json:"max_delay_ms,omitempty"`
+	// MinRateFPS is the frame rate the tenant will sustain. It is both an
+	// SLO (reject if unachievable) and the demand the deployment reserves
+	// capacity for.
+	MinRateFPS float64 `json:"min_rate_fps,omitempty"`
+}
+
+// Request asks the fleet to place one pipeline.
+type Request struct {
+	// Tenant labels the owner (informational; reported by List/Describe).
+	Tenant string
+	// Pipeline is the linear pipeline to place.
+	Pipeline *model.Pipeline
+	// Src and Dst are the designated data source and end-user nodes.
+	Src, Dst model.NodeID
+	// Objective selects min-delay (interactive) or max-frame-rate
+	// (streaming) placement.
+	Objective model.Objective
+	// SLO constrains admission.
+	SLO SLO
+	// Cost overrides the cost-model options; nil selects the defaults.
+	Cost *model.CostOptions
+}
+
+// Deployment is one admitted pipeline: its mapping, the metrics it was
+// admitted with (evaluated on the residual network it was solved against),
+// and the capacity it holds.
+type Deployment struct {
+	// ID is the fleet-assigned handle ("d-000001", dense per fleet).
+	ID string `json:"id"`
+	// Tenant echoes Request.Tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Objective is the placement objective.
+	Objective model.Objective `json:"-"`
+	// Assignment maps module j to Assignment[j].
+	Assignment []model.NodeID `json:"assignment"`
+	// Mapping is the human-readable group rendering of Assignment.
+	Mapping string `json:"mapping"`
+	// DelayMs is the Eq. 1 delay on the residual network the mapping was
+	// last solved against (admission or the latest applied migration).
+	DelayMs float64 `json:"delay_ms"`
+	// RateFPS is the sustainable frame rate (1000 / shared bottleneck) on
+	// the residual network the mapping was last solved against.
+	RateFPS float64 `json:"rate_fps"`
+	// ReservedFPS is the frame rate the deployment reserves capacity for:
+	// SLO.MinRateFPS when stated, otherwise the achieved rate (streaming)
+	// or DefaultInteractiveFPS (interactive), fixed at admission.
+	// Rebalancing never changes it — migrations move the mapping, not the
+	// tenant's demand.
+	ReservedFPS float64 `json:"reserved_fps"`
+	// SLO echoes the admission constraints.
+	SLO SLO `json:"slo"`
+	// Seq orders deployments by admission (monotonic per fleet, never
+	// reused; rebalanced deployments keep their seq).
+	Seq uint64 `json:"seq"`
+
+	pipe        *model.Pipeline
+	cost        model.CostOptions
+	src, dst    model.NodeID
+	reservation model.Reservation
+}
+
+// clone returns a caller-owned copy of the public view.
+func (d *Deployment) clone() Deployment {
+	c := *d
+	c.Assignment = append([]model.NodeID(nil), d.Assignment...)
+	return c
+}
+
+// Stats is a point-in-time snapshot of fleet counters and utilization
+// gauges.
+type Stats struct {
+	// Deployments is the number currently admitted.
+	Deployments int `json:"deployments"`
+	// Admitted, Rejected, Released, and Moves are monotonic lifecycle
+	// counters (Moves counts applied rebalance migrations).
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+	Released uint64 `json:"released"`
+	Moves    uint64 `json:"rebalance_moves"`
+	// ReservedFPS is the total frame rate reserved across deployments.
+	ReservedFPS float64 `json:"reserved_fps"`
+	// MeanNodeUtil / MaxNodeUtil (MeanLinkUtil / MaxLinkUtil) gauge the
+	// outstanding load fraction over all nodes (links).
+	MeanNodeUtil float64 `json:"mean_node_util"`
+	MaxNodeUtil  float64 `json:"max_node_util"`
+	MeanLinkUtil float64 `json:"mean_link_util"`
+	MaxLinkUtil  float64 `json:"max_link_util"`
+}
+
+// Fleet is the stateful multi-tenant placement manager. All methods are safe
+// for concurrent use; admission is serialized internally so the solve and
+// the reservation it justifies are atomic.
+type Fleet struct {
+	mu       sync.Mutex
+	base     *model.Network
+	residual *model.ResidualNetwork
+	deps     map[string]*Deployment
+	order    []string // admission order; recompute accumulates in this order
+	seq      uint64
+
+	admitted uint64
+	rejected uint64
+	released uint64
+	moves    uint64
+}
+
+// New builds an empty fleet over the shared base network.
+func New(base *model.Network) (*Fleet, error) {
+	if base == nil {
+		return nil, fmt.Errorf("fleet: nil network")
+	}
+	return &Fleet{
+		base:     base,
+		residual: model.NewResidualNetwork(base),
+		deps:     make(map[string]*Deployment),
+	}, nil
+}
+
+// Network returns the shared base network (full nominal capacity).
+func (f *Fleet) Network() *model.Network { return f.base }
+
+// recomputeLocked rebuilds the residual loads as the exact ordered sum of
+// outstanding reservations. Caller holds f.mu.
+func (f *Fleet) recomputeLocked() {
+	outstanding := make([]model.Reservation, 0, len(f.order))
+	for _, id := range f.order {
+		outstanding = append(outstanding, f.deps[id].reservation)
+	}
+	if err := f.residual.SetLoad(outstanding); err != nil {
+		// Reservations are built against f.base; shapes cannot mismatch.
+		panic(fmt.Sprintf("fleet: recompute: %v", err))
+	}
+}
+
+// reject records and wraps an admission failure.
+func (f *Fleet) reject(format string, args ...any) error {
+	f.rejected++
+	return fmt.Errorf("fleet: %w: %s", ErrRejected, fmt.Sprintf(format, args...))
+}
+
+// solve runs the objective's solver against the residual snapshot and
+// evaluates the mapping on it.
+func solve(snap *model.Network, req Request, cost model.CostOptions) (*model.Mapping, float64, float64, error) {
+	p := &model.Problem{Net: snap, Pipe: req.Pipeline, Src: req.Src, Dst: req.Dst, Cost: cost}
+	var m *model.Mapping
+	var err error
+	switch req.Objective {
+	case model.MinDelay:
+		m, err = core.MinDelay(p)
+	case model.MaxFrameRate:
+		m, err = core.MaxFrameRate(p)
+	default:
+		return nil, 0, 0, fmt.Errorf("fleet: unknown objective %v", req.Objective)
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	delay := model.TotalDelay(snap, req.Pipeline, m, cost)
+	period := model.SharedBottleneck(snap, req.Pipeline, m)
+	return m, delay, model.FrameRate(period), nil
+}
+
+// admissionRate resolves the frame rate a deployment reserves capacity for
+// given its achieved sustainable rate.
+func admissionRate(req Request, rateFPS float64) float64 {
+	if req.SLO.MinRateFPS > 0 {
+		return req.SLO.MinRateFPS
+	}
+	if req.Objective == model.MinDelay {
+		return DefaultInteractiveFPS
+	}
+	return rateFPS
+}
+
+// Deploy admits one pipeline: it solves the objective against the residual
+// network, checks the SLO, reserves capacity, and returns the deployment.
+// Rejections wrap ErrRejected; structural errors (bad request) do not.
+func (f *Fleet) Deploy(req Request) (Deployment, error) {
+	if req.Pipeline == nil {
+		return Deployment{}, fmt.Errorf("fleet: request missing pipeline")
+	}
+	if !f.base.ValidNode(req.Src) || !f.base.ValidNode(req.Dst) {
+		return Deployment{}, fmt.Errorf("fleet: invalid endpoints %d -> %d", req.Src, req.Dst)
+	}
+	if req.SLO.MaxDelayMs < 0 || req.SLO.MinRateFPS < 0 {
+		return Deployment{}, fmt.Errorf("fleet: negative SLO")
+	}
+	cost := model.DefaultCostOptions()
+	if req.Cost != nil {
+		cost = *req.Cost
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	snap := f.residual.Snapshot()
+	m, delay, rate, err := solve(snap, req, cost)
+	if err != nil {
+		if errors.Is(err, model.ErrInfeasible) {
+			return Deployment{}, f.reject("no feasible mapping on residual network: %v", err)
+		}
+		return Deployment{}, err
+	}
+	if req.SLO.MaxDelayMs > 0 && delay > req.SLO.MaxDelayMs {
+		return Deployment{}, f.reject("delay %.3f ms exceeds SLO %.3f ms", delay, req.SLO.MaxDelayMs)
+	}
+	reserved := admissionRate(req, rate)
+	if rate < reserved || math.IsInf(delay, 1) {
+		return Deployment{}, f.reject("sustainable rate %.3f fps below demand %.3f fps", rate, reserved)
+	}
+	res, err := model.MappingReservation(f.base, req.Pipeline, m, reserved)
+	if err != nil {
+		return Deployment{}, err
+	}
+	if !f.residual.Fits(res) {
+		return Deployment{}, f.reject("reservation at %.3f fps overcommits the network", reserved)
+	}
+
+	f.seq++
+	d := &Deployment{
+		ID:          fmt.Sprintf("d-%06d", f.seq),
+		Tenant:      req.Tenant,
+		Objective:   req.Objective,
+		Assignment:  m.Assign,
+		Mapping:     m.String(),
+		DelayMs:     delay,
+		RateFPS:     rate,
+		ReservedFPS: reserved,
+		SLO:         req.SLO,
+		Seq:         f.seq,
+		pipe:        req.Pipeline,
+		cost:        cost,
+		src:         req.Src,
+		dst:         req.Dst,
+		reservation: res,
+	}
+	f.deps[d.ID] = d
+	f.order = append(f.order, d.ID)
+	f.recomputeLocked()
+	f.admitted++
+	return d.clone(), nil
+}
+
+// Release returns a deployment's capacity to the fleet.
+func (f *Fleet) Release(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.deps[id]; !ok {
+		return fmt.Errorf("fleet: %w: %q", ErrNotFound, id)
+	}
+	delete(f.deps, id)
+	for i, oid := range f.order {
+		if oid == id {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	f.recomputeLocked()
+	f.released++
+	return nil
+}
+
+// Describe returns a copy of one deployment.
+func (f *Fleet) Describe(id string) (Deployment, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d, ok := f.deps[id]
+	if !ok {
+		return Deployment{}, false
+	}
+	return d.clone(), true
+}
+
+// List returns copies of all deployments in admission order.
+func (f *Fleet) List() []Deployment {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Deployment, 0, len(f.order))
+	for _, id := range f.order {
+		out = append(out, f.deps[id].clone())
+	}
+	return out
+}
+
+// Stats snapshots counters and utilization gauges.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := Stats{
+		Deployments: len(f.deps),
+		Admitted:    f.admitted,
+		Rejected:    f.rejected,
+		Released:    f.released,
+		Moves:       f.moves,
+	}
+	for _, d := range f.deps {
+		s.ReservedFPS += d.ReservedFPS
+	}
+	for v := 0; v < f.base.N(); v++ {
+		u := f.residual.NodeLoad(model.NodeID(v))
+		s.MeanNodeUtil += u
+		if u > s.MaxNodeUtil {
+			s.MaxNodeUtil = u
+		}
+	}
+	if n := f.base.N(); n > 0 {
+		s.MeanNodeUtil /= float64(n)
+	}
+	for l := 0; l < f.base.M(); l++ {
+		u := f.residual.LinkLoad(l)
+		s.MeanLinkUtil += u
+		if u > s.MaxLinkUtil {
+			s.MaxLinkUtil = u
+		}
+	}
+	if m := f.base.M(); m > 0 {
+		s.MeanLinkUtil /= float64(m)
+	}
+	return s
+}
+
+// Utilization returns the outstanding load fraction per node and per link
+// (copies; indices match the base network's node and link IDs).
+func (f *Fleet) Utilization() (node, link []float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	node = make([]float64, f.base.N())
+	for v := range node {
+		node[v] = f.residual.NodeLoad(model.NodeID(v))
+	}
+	link = make([]float64, f.base.M())
+	for l := range link {
+		link[l] = f.residual.LinkLoad(l)
+	}
+	return node, link
+}
+
+// RebalanceOptions tunes a rebalance pass.
+type RebalanceOptions struct {
+	// MaxMoves caps applied migrations per pass; <= 0 selects
+	// DefaultMaxMoves.
+	MaxMoves int `json:"max_moves,omitempty"`
+	// MinGain is the migration-cost guard: a re-solve is applied only when
+	// its relative improvement (delay decrease or rate increase) is at
+	// least this fraction; <= 0 selects DefaultMinGain.
+	MinGain float64 `json:"min_gain,omitempty"`
+}
+
+// Defaults for RebalanceOptions.
+const (
+	DefaultMaxMoves = 4
+	DefaultMinGain  = 0.05
+)
+
+// Move reports one rebalance decision for a deployment.
+type Move struct {
+	ID string `json:"id"`
+	// OldValue and NewValue are delays in ms (min-delay deployments) or
+	// rates in fps (streaming deployments), both evaluated on the same
+	// freed residual network: OldValue is the existing mapping re-scored
+	// there, NewValue the re-solved one. An unchanged mapping therefore
+	// gains exactly zero — freed capacity alone never counts as a
+	// migration.
+	OldValue float64 `json:"old_value"`
+	NewValue float64 `json:"new_value"`
+	// Gain is the relative improvement ((old-new)/old for delay,
+	// (new-old)/old for rate).
+	Gain float64 `json:"gain"`
+	// Applied reports whether the migration was committed.
+	Applied bool `json:"applied"`
+	// Reason explains skipped moves.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Report summarizes one rebalance pass.
+type Report struct {
+	Considered int    `json:"considered"`
+	Applied    int    `json:"applied"`
+	Moves      []Move `json:"moves"`
+	// MeanGain averages the relative improvement of applied moves.
+	MeanGain float64 `json:"mean_gain"`
+}
+
+// Rebalance re-solves deployments against the capacity freed since they
+// were admitted: each candidate's own reservation is removed, its objective
+// re-solved on the resulting residual network, and the migration applied
+// only when the relative improvement clears opt.MinGain (the migration-cost
+// guard) and the new reservation fits. Deployments admitted latest are
+// considered first — they were solved against the most contended network,
+// so freed capacity helps them most.
+func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
+	if opt.MaxMoves <= 0 {
+		opt.MaxMoves = DefaultMaxMoves
+	}
+	if opt.MinGain <= 0 {
+		opt.MinGain = DefaultMinGain
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	ids := append([]string(nil), f.order...)
+	sort.SliceStable(ids, func(i, j int) bool {
+		return f.deps[ids[i]].Seq > f.deps[ids[j]].Seq
+	})
+
+	var rep Report
+	for _, id := range ids {
+		if rep.Applied >= opt.MaxMoves {
+			break
+		}
+		d := f.deps[id]
+		rep.Considered++
+
+		// Free the candidate's own reservation for the re-solve.
+		saved := d.reservation
+		d.reservation = model.Reservation{
+			NodeFrac: make([]float64, f.base.N()),
+			LinkFrac: make([]float64, f.base.M()),
+		}
+		f.recomputeLocked()
+		snap := f.residual.Snapshot()
+
+		req := Request{
+			Tenant:    d.Tenant,
+			Pipeline:  d.pipe,
+			Src:       d.src,
+			Dst:       d.dst,
+			Objective: d.Objective,
+			SLO:       d.SLO,
+		}
+		m, delay, rate, err := solve(snap, req, d.cost)
+		move := Move{ID: id}
+		restore := func(reason string) {
+			d.reservation = saved
+			f.recomputeLocked()
+			move.Applied = false
+			move.Reason = reason
+			rep.Moves = append(rep.Moves, move)
+		}
+		if err != nil {
+			restore(fmt.Sprintf("re-solve failed: %v", err))
+			continue
+		}
+		// Baseline: the existing mapping re-scored on the same freed
+		// snapshot, so gain measures better placement rather than the
+		// freed capacity both mappings would enjoy.
+		curM := model.NewMapping(d.Assignment)
+		curDelay := model.TotalDelay(snap, d.pipe, curM, d.cost)
+		curRate := model.FrameRate(model.SharedBottleneck(snap, d.pipe, curM))
+		if d.Objective == model.MinDelay {
+			move.OldValue, move.NewValue = curDelay, delay
+			if curDelay > 0 && !math.IsInf(curDelay, 1) {
+				move.Gain = (curDelay - delay) / curDelay
+			}
+		} else {
+			move.OldValue, move.NewValue = curRate, rate
+			if curRate > 0 {
+				move.Gain = (rate - curRate) / curRate
+			}
+		}
+		if move.Gain < opt.MinGain {
+			restore("gain below migration-cost guard")
+			continue
+		}
+		if d.SLO.MaxDelayMs > 0 && delay > d.SLO.MaxDelayMs {
+			restore("migration would violate the delay SLO")
+			continue
+		}
+		if rate < d.ReservedFPS {
+			restore("re-solve cannot sustain reserved rate")
+			continue
+		}
+		res, err := model.MappingReservation(f.base, d.pipe, m, d.ReservedFPS)
+		if err != nil {
+			restore(fmt.Sprintf("reservation: %v", err))
+			continue
+		}
+		if !f.residual.Fits(res) {
+			restore("new reservation does not fit")
+			continue
+		}
+		// Commit the migration; the reserved rate is unchanged.
+		d.Assignment = m.Assign
+		d.Mapping = m.String()
+		d.DelayMs = delay
+		d.RateFPS = rate
+		d.reservation = res
+		f.recomputeLocked()
+		f.moves++
+		move.Applied = true
+		rep.Moves = append(rep.Moves, move)
+		rep.Applied++
+		rep.MeanGain += move.Gain
+	}
+	if rep.Applied > 0 {
+		rep.MeanGain /= float64(rep.Applied)
+	}
+	return rep
+}

@@ -1,0 +1,349 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// testNetwork draws a deterministic mid-size network (Suite20 case 2 class).
+func testNetwork(t testing.TB) *model.Network {
+	t.Helper()
+	net, err := gen.Network(10, 60, gen.DefaultRanges(), gen.RNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// testPipeline draws a deterministic pipeline with n modules.
+func testPipeline(t testing.TB, n int, seed uint64) *model.Pipeline {
+	t.Helper()
+	pl, err := gen.Pipeline(n, gen.DefaultRanges(), gen.RNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestDeployReleaseLifecycle(t *testing.T) {
+	net := testNetwork(t)
+	f, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := f.Deploy(Request{
+		Tenant:    "viz",
+		Pipeline:  testPipeline(t, 5, 1),
+		Src:       0,
+		Dst:       9,
+		Objective: model.MinDelay,
+	})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if d.ID == "" || d.DelayMs <= 0 || d.ReservedFPS != DefaultInteractiveFPS {
+		t.Fatalf("bad deployment %+v", d)
+	}
+
+	got, ok := f.Describe(d.ID)
+	if !ok || got.ID != d.ID || got.Tenant != "viz" {
+		t.Fatalf("describe mismatch: %+v ok=%v", got, ok)
+	}
+	if ds := f.List(); len(ds) != 1 || ds[0].ID != d.ID {
+		t.Fatalf("list mismatch: %+v", ds)
+	}
+
+	s := f.Stats()
+	if s.Deployments != 1 || s.Admitted != 1 || s.MaxNodeUtil <= 0 {
+		t.Fatalf("stats after deploy: %+v", s)
+	}
+
+	if err := f.Release(d.ID); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := f.Release(d.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double release: got %v, want ErrNotFound", err)
+	}
+
+	node, link := f.Utilization()
+	for v, u := range node {
+		if u != 0 {
+			t.Errorf("node %d utilization after release = %v, want exactly 0", v, u)
+		}
+	}
+	for l, u := range link {
+		if u != 0 {
+			t.Errorf("link %d utilization after release = %v, want exactly 0", l, u)
+		}
+	}
+}
+
+func TestDeployRejectsUnreachableSLO(t *testing.T) {
+	net := testNetwork(t)
+	f, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A delay SLO no mapping can meet.
+	_, err = f.Deploy(Request{
+		Pipeline:  testPipeline(t, 5, 1),
+		Src:       0,
+		Dst:       9,
+		Objective: model.MinDelay,
+		SLO:       SLO{MaxDelayMs: 1e-6},
+	})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("impossible delay SLO: got %v, want ErrRejected", err)
+	}
+	// A rate demand no mapping can sustain.
+	_, err = f.Deploy(Request{
+		Pipeline:  testPipeline(t, 5, 1),
+		Src:       0,
+		Dst:       9,
+		Objective: model.MaxFrameRate,
+		SLO:       SLO{MinRateFPS: 1e9},
+	})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("impossible rate SLO: got %v, want ErrRejected", err)
+	}
+	if s := f.Stats(); s.Rejected != 2 || s.Admitted != 0 {
+		t.Fatalf("stats after rejections: %+v", s)
+	}
+}
+
+func TestDeployBadRequestIsNotRejection(t *testing.T) {
+	f, err := New(testNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Deploy(Request{Src: 0, Dst: 9}); err == nil || errors.Is(err, ErrRejected) {
+		t.Fatalf("missing pipeline: got %v, want non-rejection error", err)
+	}
+	if _, err := f.Deploy(Request{Pipeline: testPipeline(t, 4, 1), Src: 0, Dst: 99}); err == nil || errors.Is(err, ErrRejected) {
+		t.Fatalf("bad endpoint: got %v, want non-rejection error", err)
+	}
+	if s := f.Stats(); s.Rejected != 0 {
+		t.Fatalf("bad requests must not count as rejections: %+v", s)
+	}
+}
+
+// TestAdmissionEventuallyRejects fills the fleet with streaming deployments
+// until capacity runs out and checks that contention degrades admitted rates
+// consistently: each successive deployment sees no better residual network.
+func TestAdmissionEventuallyRejects(t *testing.T) {
+	net := testNetwork(t)
+	f, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted []Deployment
+	var rejected bool
+	for i := 0; i < 200; i++ {
+		d, err := f.Deploy(Request{
+			Pipeline:  testPipeline(t, 6, uint64(i+1)),
+			Src:       0,
+			Dst:       9,
+			Objective: model.MaxFrameRate,
+			SLO:       SLO{MinRateFPS: 2},
+		})
+		if err != nil {
+			if !errors.Is(err, ErrRejected) {
+				t.Fatalf("deploy %d: %v", i, err)
+			}
+			rejected = true
+			break
+		}
+		admitted = append(admitted, d)
+	}
+	if !rejected {
+		t.Fatal("fleet never rejected despite 200 streaming deployments")
+	}
+	if len(admitted) == 0 {
+		t.Fatal("first deployment rejected on an empty fleet")
+	}
+	s := f.Stats()
+	if s.MaxNodeUtil > 1+1e-9 || s.MaxLinkUtil > 1+1e-9 {
+		t.Fatalf("utilization exceeds capacity: %+v", s)
+	}
+
+	// Release everything; accounting must balance to the empty-fleet state.
+	for _, d := range admitted {
+		if err := f.Release(d.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, link := f.Utilization()
+	for v, u := range node {
+		if u != 0 {
+			t.Errorf("node %d utilization not exactly restored: %v", v, u)
+		}
+	}
+	for l, u := range link {
+		if u != 0 {
+			t.Errorf("link %d utilization not exactly restored: %v", l, u)
+		}
+	}
+}
+
+// TestRebalanceImprovesAfterRelease deploys streaming tenants until the
+// network is contended, releases the early (well-placed) ones, and checks
+// that a rebalance pass re-solves laggards onto the freed capacity with a
+// positive reported gain — and that the migration-cost guard blocks
+// negligible moves.
+func TestRebalanceImprovesAfterRelease(t *testing.T) {
+	net := testNetwork(t)
+	f, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted []Deployment
+	for i := 0; i < 50; i++ {
+		d, err := f.Deploy(Request{
+			Pipeline:  testPipeline(t, 6, uint64(i+1)),
+			Src:       0,
+			Dst:       9,
+			Objective: model.MaxFrameRate,
+			SLO:       SLO{MinRateFPS: 1},
+		})
+		if err != nil {
+			break
+		}
+		admitted = append(admitted, d)
+	}
+	if len(admitted) < 3 {
+		t.Fatalf("too few admissions (%d) to exercise rebalance", len(admitted))
+	}
+	// Free the first half: the survivors were solved against a crowded
+	// network and should now have room to improve.
+	for _, d := range admitted[:len(admitted)/2] {
+		if err := f.Release(d.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := f.Rebalance(RebalanceOptions{MaxMoves: 8, MinGain: 0.01})
+	if rep.Considered == 0 {
+		t.Fatal("rebalance considered no deployments")
+	}
+	for _, mv := range rep.Moves {
+		if mv.Applied && mv.Gain < 0.01 {
+			t.Errorf("applied move %s gained only %v, below the guard", mv.ID, mv.Gain)
+		}
+		if !mv.Applied && mv.Reason == "" {
+			t.Errorf("skipped move %s has no reason", mv.ID)
+		}
+	}
+	if rep.Applied > 0 {
+		if rep.MeanGain < 0.01 {
+			t.Errorf("mean gain %v below guard", rep.MeanGain)
+		}
+		if f.Stats().Moves != uint64(rep.Applied) {
+			t.Errorf("stats moves %d != report applied %d", f.Stats().Moves, rep.Applied)
+		}
+	}
+	// A second pass right away should find (almost) nothing: improvements
+	// were already taken.
+	rep2 := f.Rebalance(RebalanceOptions{MaxMoves: 8, MinGain: 0.01})
+	for _, mv := range rep2.Moves {
+		if mv.Applied && mv.Gain > 0.25 {
+			t.Errorf("second pass still found a %v gain on %s; first pass left value behind", mv.Gain, mv.ID)
+		}
+	}
+	// Accounting still balances after migrations.
+	for _, d := range f.List() {
+		if err := f.Release(d.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, link := f.Utilization()
+	for v, u := range node {
+		if u != 0 {
+			t.Errorf("node %d utilization not restored after rebalance: %v", v, u)
+		}
+	}
+	for l, u := range link {
+		if u != 0 {
+			t.Errorf("link %d utilization not restored after rebalance: %v", l, u)
+		}
+	}
+}
+
+// TestRebalanceNoOpWithoutContention: a lone deployment re-solves to the
+// identical mapping (its freed residual equals the admission residual), so
+// the gain is exactly zero and no migration is applied or counted — and
+// its reserved rate must not change.
+func TestRebalanceNoOpWithoutContention(t *testing.T) {
+	f, err := New(testNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.Deploy(Request{
+		Pipeline:  testPipeline(t, 6, 7),
+		Src:       0,
+		Dst:       9,
+		Objective: model.MaxFrameRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Rebalance(RebalanceOptions{MinGain: 0.001})
+	if rep.Applied != 0 {
+		t.Fatalf("lone deployment migrated: %+v", rep)
+	}
+	if len(rep.Moves) != 1 || rep.Moves[0].Gain != 0 {
+		t.Fatalf("expected exactly one zero-gain skipped move, got %+v", rep.Moves)
+	}
+	got, _ := f.Describe(d.ID)
+	if got.ReservedFPS != d.ReservedFPS {
+		t.Fatalf("rebalance changed the reserved rate: %v -> %v", d.ReservedFPS, got.ReservedFPS)
+	}
+	if s := f.Stats(); s.Moves != 0 {
+		t.Fatalf("no-op rebalance counted a move: %+v", s)
+	}
+}
+
+// TestResidualContentionDegradesAdmission verifies the core multi-tenant
+// property: with tenants holding capacity, a newcomer's achievable rate on
+// the residual network never beats what it would get on the empty network.
+func TestResidualContentionDegradesAdmission(t *testing.T) {
+	net := testNetwork(t)
+	pl := testPipeline(t, 6, 7)
+
+	empty, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alone, err := empty.Deploy(Request{Pipeline: pl, Src: 0, Dst: 9, Objective: model.MaxFrameRate})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crowded, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := crowded.Deploy(Request{
+			Pipeline:  testPipeline(t, 5, uint64(100+i)),
+			Src:       1,
+			Dst:       8,
+			Objective: model.MaxFrameRate,
+			SLO:       SLO{MinRateFPS: 1},
+		}); err != nil {
+			t.Fatalf("background deploy %d: %v", i, err)
+		}
+	}
+	contended, err := crowded.Deploy(Request{Pipeline: pl, Src: 0, Dst: 9, Objective: model.MaxFrameRate})
+	if err != nil {
+		if errors.Is(err, ErrRejected) {
+			return // full rejection is consistent degradation
+		}
+		t.Fatal(err)
+	}
+	if contended.RateFPS > alone.RateFPS*(1+1e-9) {
+		t.Errorf("contended admission rate %v beats uncontended %v", contended.RateFPS, alone.RateFPS)
+	}
+}

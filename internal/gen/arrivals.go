@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"elpc/internal/model"
+)
+
+// EventKind tags one fleet workload event.
+type EventKind int
+
+const (
+	// Arrive asks the fleet to deploy the session's pipeline.
+	Arrive EventKind = iota
+	// Depart releases the session's deployment (if it was admitted).
+	Depart
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if k == Depart {
+		return "depart"
+	}
+	return "arrive"
+}
+
+// ArrivalEvent is one event of a multi-tenant workload: session Session
+// arrives (bringing a pipeline, endpoints, an objective, and an SLO) or
+// departs. Events are ordered by TimeMs.
+type ArrivalEvent struct {
+	TimeMs  float64
+	Kind    EventKind
+	Session int
+
+	// Deployment parameters; set on Arrive events only.
+	Pipeline   *model.Pipeline
+	Src, Dst   model.NodeID
+	Objective  model.Objective
+	MinRateFPS float64
+	MaxDelayMs float64
+}
+
+// ArrivalSpec shapes a generated multi-tenant workload. Interarrival and
+// holding times are exponentially distributed (a Poisson-ish birth–death
+// process), drawn deterministically from the generator seed so the whole
+// schedule replays bit-for-bit.
+type ArrivalSpec struct {
+	// Sessions is the number of arriving tenants.
+	Sessions int
+	// MeanInterarrivalMs spaces arrivals.
+	MeanInterarrivalMs float64
+	// MeanHoldMs is the mean time between a session's arrival and its
+	// departure.
+	MeanHoldMs float64
+	// ModulesMin..ModulesMax bounds each session's pipeline length.
+	ModulesMin, ModulesMax int
+	// StreamingShare is the fraction of sessions placed for max frame rate
+	// (the rest are interactive min-delay sessions), in [0, 1].
+	StreamingShare float64
+	// RateLo..RateHi bounds the streaming sessions' demanded frame rates
+	// (fps). Interactive sessions demand no explicit rate (the fleet's
+	// default applies).
+	RateLo, RateHi float64
+	// DelaySlackFactor relaxes interactive delay SLOs: 0 disables delay
+	// SLOs; otherwise each interactive session receives a budget of
+	// DelaySlackFactor times the suite's typical delay scale (1000 ms).
+	DelaySlackFactor float64
+}
+
+// DefaultArrivalSpec returns a workload calibrated for Suite20-class
+// networks: 40 sessions, moderate load, a 50/50 streaming/interactive mix,
+// and streaming demands of 1–6 fps.
+func DefaultArrivalSpec() ArrivalSpec {
+	return ArrivalSpec{
+		Sessions:           40,
+		MeanInterarrivalMs: 2000,
+		MeanHoldMs:         20000,
+		ModulesMin:         4,
+		ModulesMax:         8,
+		StreamingShare:     0.5,
+		RateLo:             1,
+		RateHi:             6,
+	}
+}
+
+func (s ArrivalSpec) validate(netNodes int) error {
+	if s.Sessions < 1 {
+		return fmt.Errorf("gen: arrivals need >= 1 session, got %d", s.Sessions)
+	}
+	if s.MeanInterarrivalMs <= 0 || s.MeanHoldMs <= 0 {
+		return fmt.Errorf("gen: arrival/hold means must be positive")
+	}
+	if s.ModulesMin < 2 || s.ModulesMax < s.ModulesMin {
+		return fmt.Errorf("gen: bad module bounds [%d, %d]", s.ModulesMin, s.ModulesMax)
+	}
+	if s.ModulesMax > netNodes {
+		return fmt.Errorf("gen: %d modules exceed %d network nodes (no-reuse streaming would always be infeasible)",
+			s.ModulesMax, netNodes)
+	}
+	if s.StreamingShare < 0 || s.StreamingShare > 1 {
+		return fmt.Errorf("gen: streaming share %v outside [0,1]", s.StreamingShare)
+	}
+	if s.RateLo < 0 || s.RateHi < s.RateLo {
+		return fmt.Errorf("gen: bad rate bounds [%v, %v]", s.RateLo, s.RateHi)
+	}
+	return nil
+}
+
+// Arrivals generates a deterministic multi-tenant workload over net: one
+// Arrive and one Depart event per session, merged into a single time-sorted
+// schedule. Replaying the schedule against a fleet (deploy on Arrive,
+// release on Depart when the session was admitted) exercises admission
+// control under churn.
+func Arrivals(spec ArrivalSpec, net *model.Network, r Ranges, rng *rand.Rand) ([]ArrivalEvent, error) {
+	if net == nil {
+		return nil, fmt.Errorf("gen: arrivals need a network")
+	}
+	if err := spec.validate(net.N()); err != nil {
+		return nil, err
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+
+	events := make([]ArrivalEvent, 0, 2*spec.Sessions)
+	clock := 0.0
+	for s := 0; s < spec.Sessions; s++ {
+		clock += rng.ExpFloat64() * spec.MeanInterarrivalMs
+		nMod := spec.ModulesMin + rng.IntN(spec.ModulesMax-spec.ModulesMin+1)
+		pl, err := Pipeline(nMod, r, rng)
+		if err != nil {
+			return nil, err
+		}
+		src := model.NodeID(rng.IntN(net.N()))
+		dst := model.NodeID(rng.IntN(net.N() - 1))
+		if dst >= src {
+			dst++
+		}
+		ev := ArrivalEvent{
+			TimeMs:   clock,
+			Kind:     Arrive,
+			Session:  s,
+			Pipeline: pl,
+			Src:      src,
+			Dst:      dst,
+		}
+		if rng.Float64() < spec.StreamingShare {
+			ev.Objective = model.MaxFrameRate
+			ev.MinRateFPS = uniform(rng, spec.RateLo, spec.RateHi)
+		} else {
+			ev.Objective = model.MinDelay
+			if spec.DelaySlackFactor > 0 {
+				ev.MaxDelayMs = spec.DelaySlackFactor * 1000
+			}
+		}
+		events = append(events, ev)
+		events = append(events, ArrivalEvent{
+			TimeMs:  clock + rng.ExpFloat64()*spec.MeanHoldMs,
+			Kind:    Depart,
+			Session: s,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TimeMs < events[j].TimeMs })
+	return events, nil
+}

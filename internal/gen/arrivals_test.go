@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"elpc/internal/model"
+)
+
+func arrivalsFixture(t *testing.T, seed uint64) []ArrivalEvent {
+	t.Helper()
+	net, err := Network(12, 70, DefaultRanges(), RNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := Arrivals(DefaultArrivalSpec(), net, DefaultRanges(), RNG(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+func TestArrivalsSchedule(t *testing.T) {
+	spec := DefaultArrivalSpec()
+	evs := arrivalsFixture(t, 3)
+	if len(evs) != 2*spec.Sessions {
+		t.Fatalf("got %d events, want %d", len(evs), 2*spec.Sessions)
+	}
+	arrived := map[int]ArrivalEvent{}
+	departed := map[int]bool{}
+	last := 0.0
+	for i, ev := range evs {
+		if ev.TimeMs < last {
+			t.Fatalf("event %d out of order: %v after %v", i, ev.TimeMs, last)
+		}
+		last = ev.TimeMs
+		switch ev.Kind {
+		case Arrive:
+			if _, dup := arrived[ev.Session]; dup {
+				t.Fatalf("session %d arrives twice", ev.Session)
+			}
+			if ev.Pipeline == nil || ev.Pipeline.N() < spec.ModulesMin || ev.Pipeline.N() > spec.ModulesMax {
+				t.Fatalf("session %d pipeline out of bounds: %+v", ev.Session, ev.Pipeline)
+			}
+			if ev.Src == ev.Dst {
+				t.Fatalf("session %d src == dst", ev.Session)
+			}
+			if ev.Objective == model.MaxFrameRate && (ev.MinRateFPS < spec.RateLo || ev.MinRateFPS > spec.RateHi) {
+				t.Fatalf("session %d streaming demand %v outside [%v, %v]",
+					ev.Session, ev.MinRateFPS, spec.RateLo, spec.RateHi)
+			}
+			arrived[ev.Session] = ev
+		case Depart:
+			a, ok := arrived[ev.Session]
+			if !ok {
+				t.Fatalf("session %d departs before arriving", ev.Session)
+			}
+			if departed[ev.Session] {
+				t.Fatalf("session %d departs twice", ev.Session)
+			}
+			if ev.TimeMs < a.TimeMs {
+				t.Fatalf("session %d departs at %v before arriving at %v", ev.Session, ev.TimeMs, a.TimeMs)
+			}
+			departed[ev.Session] = true
+		}
+	}
+	if len(arrived) != spec.Sessions || len(departed) != spec.Sessions {
+		t.Fatalf("sessions unbalanced: %d arrivals, %d departures", len(arrived), len(departed))
+	}
+
+	// Both objectives are represented in the default mix.
+	var streaming, interactive int
+	for _, ev := range arrived {
+		if ev.Objective == model.MaxFrameRate {
+			streaming++
+		} else {
+			interactive++
+		}
+	}
+	if streaming == 0 || interactive == 0 {
+		t.Errorf("default mix should contain both objectives: %d streaming, %d interactive", streaming, interactive)
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	a := arrivalsFixture(t, 7)
+	b := arrivalsFixture(t, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce the identical schedule")
+	}
+}
+
+func TestArrivalsValidation(t *testing.T) {
+	net, err := Network(6, 30, DefaultRanges(), RNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultArrivalSpec()
+	bad.ModulesMax = 7 // exceeds the 6-node network
+	if _, err := Arrivals(bad, net, DefaultRanges(), RNG(2)); err == nil {
+		t.Error("oversized pipelines must be rejected")
+	}
+	bad = DefaultArrivalSpec()
+	bad.Sessions = 0
+	if _, err := Arrivals(bad, net, DefaultRanges(), RNG(2)); err == nil {
+		t.Error("zero sessions must be rejected")
+	}
+}

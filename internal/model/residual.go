@@ -1,0 +1,195 @@
+package model
+
+import "fmt"
+
+// MinResidualFraction is the floor applied when materializing a residual
+// view: a fully saturated node or link keeps this fraction of its nominal
+// capacity so the materialized Network stays structurally valid (NewNetwork
+// requires positive power and bandwidth). The resulting compute and transfer
+// times are ~10^9 times their nominal values, so solvers avoid saturated
+// resources whenever any alternative exists, and admission control rejects
+// mappings that would overcommit them regardless.
+const MinResidualFraction = 1e-9
+
+// Reservation is the fractional capacity a deployment holds on every node
+// and link of a network: NodeFrac[v] (LinkFrac[l]) is the fraction of node
+// v's power (link l's bandwidth) consumed, each in [0, 1].
+type Reservation struct {
+	NodeFrac []float64
+	LinkFrac []float64
+}
+
+// MappingReservation computes the reservation a mapping imposes on net when
+// its pipeline streams at rateFPS frames per second: each resource's busy
+// time per frame (at nominal capacity) times the frame arrival rate. A
+// non-positive rate yields an all-zero reservation. Mappings that reuse a
+// node or link accumulate the utilization of every visit.
+func MappingReservation(net *Network, pl *Pipeline, m *Mapping, rateFPS float64) (Reservation, error) {
+	res := Reservation{
+		NodeFrac: make([]float64, net.N()),
+		LinkFrac: make([]float64, net.M()),
+	}
+	if rateFPS <= 0 {
+		return res, nil
+	}
+	framesPerMs := rateFPS / 1000.0
+	groups := m.Groups()
+	for gi, g := range groups {
+		power := net.Power(g.Node)
+		for j := g.First; j <= g.Last; j++ {
+			res.NodeFrac[g.Node] += pl.ComputeTime(j, power) * framesPerMs
+		}
+		if gi+1 < len(groups) {
+			link, ok := net.LinkBetween(g.Node, groups[gi+1].Node)
+			if !ok {
+				return Reservation{}, fmt.Errorf("model: reservation: no link %d->%d", g.Node, groups[gi+1].Node)
+			}
+			res.LinkFrac[link.ID] += link.TransferTime(pl.OutBytes(g.Last), false) * framesPerMs
+		}
+	}
+	return res, nil
+}
+
+// ResidualNetwork is a capacity view of a base Network shared by many
+// pipeline deployments: it tracks the outstanding fractional load on every
+// node and link and materializes scaled Network snapshots whose node powers
+// and link bandwidths are the unreserved remainder. The paper's solvers run
+// unchanged against a snapshot, which is what turns the single-pipeline
+// algorithms into multi-tenant placement.
+//
+// ResidualNetwork performs no synchronization; callers that share one across
+// goroutines (internal/fleet does) must serialize access.
+type ResidualNetwork struct {
+	base     *Network
+	nodeLoad []float64
+	linkLoad []float64
+}
+
+// NewResidualNetwork builds an unloaded residual view of base.
+func NewResidualNetwork(base *Network) *ResidualNetwork {
+	return &ResidualNetwork{
+		base:     base,
+		nodeLoad: make([]float64, base.N()),
+		linkLoad: make([]float64, base.M()),
+	}
+}
+
+// Base returns the underlying full-capacity network.
+func (r *ResidualNetwork) Base() *Network { return r.base }
+
+// checkShape validates that res matches the base network's dimensions.
+func (r *ResidualNetwork) checkShape(res Reservation) error {
+	if len(res.NodeFrac) != r.base.N() || len(res.LinkFrac) != r.base.M() {
+		return fmt.Errorf("model: reservation shape (%d nodes, %d links) does not match network (%d, %d)",
+			len(res.NodeFrac), len(res.LinkFrac), r.base.N(), r.base.M())
+	}
+	return nil
+}
+
+// SetLoad replaces the outstanding load with the exact sum of the given
+// reservations, accumulated in slice order. Recomputing from the outstanding
+// set — rather than incrementally adding and subtracting — makes Release
+// exact: the empty set restores every load to precisely zero, with no
+// floating-point residue.
+func (r *ResidualNetwork) SetLoad(outstanding []Reservation) error {
+	for i := range r.nodeLoad {
+		r.nodeLoad[i] = 0
+	}
+	for i := range r.linkLoad {
+		r.linkLoad[i] = 0
+	}
+	for _, res := range outstanding {
+		if err := r.checkShape(res); err != nil {
+			return err
+		}
+		for i, f := range res.NodeFrac {
+			r.nodeLoad[i] += f
+		}
+		for i, f := range res.LinkFrac {
+			r.linkLoad[i] += f
+		}
+	}
+	return nil
+}
+
+// Fits reports whether adding res keeps every node and link load at or below
+// full capacity (load + reservation <= 1, checked strictly).
+func (r *ResidualNetwork) Fits(res Reservation) bool {
+	if r.checkShape(res) != nil {
+		return false
+	}
+	for i, f := range res.NodeFrac {
+		if r.nodeLoad[i]+f > 1 {
+			return false
+		}
+	}
+	for i, f := range res.LinkFrac {
+		if r.linkLoad[i]+f > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeLoad returns the outstanding load fraction on node v.
+func (r *ResidualNetwork) NodeLoad(v NodeID) float64 { return r.nodeLoad[v] }
+
+// LinkLoad returns the outstanding load fraction on link id.
+func (r *ResidualNetwork) LinkLoad(id int) float64 { return r.linkLoad[id] }
+
+// residualFraction clamps the unreserved remainder into [MinResidualFraction, 1].
+func residualFraction(load float64) float64 {
+	f := 1 - load
+	if f < MinResidualFraction {
+		return MinResidualFraction
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// NodeResidual returns the unreserved fraction of node v's power, clamped to
+// [0, 1]: overcommitment (which admission control prevents, but float sums
+// may graze) never reads as negative capacity.
+func (r *ResidualNetwork) NodeResidual(v NodeID) float64 {
+	f := 1 - r.nodeLoad[v]
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// LinkResidual returns the unreserved fraction of link id's bandwidth,
+// clamped to [0, 1].
+func (r *ResidualNetwork) LinkResidual(id int) float64 {
+	f := 1 - r.linkLoad[id]
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Snapshot materializes the residual view as a standalone Network: node v's
+// power and link l's bandwidth are the base values scaled by the unreserved
+// fraction (floored at MinResidualFraction). Minimum link delays are
+// propagation latency and do not scale with load. The snapshot shares no
+// state with the residual view; solvers may use it freely while the view
+// keeps changing.
+func (r *ResidualNetwork) Snapshot() *Network {
+	nodes := append([]Node(nil), r.base.Nodes...)
+	for i := range nodes {
+		nodes[i].Power = r.base.Nodes[i].Power * residualFraction(r.nodeLoad[i])
+	}
+	links := append([]Link(nil), r.base.Links...)
+	for i := range links {
+		links[i].BWMbps = r.base.Links[i].BWMbps * residualFraction(r.linkLoad[i])
+	}
+	snap, err := NewNetwork(nodes, links)
+	if err != nil {
+		// The base was validated and scaling preserves positivity; this
+		// cannot fail.
+		panic(fmt.Sprintf("model: residual snapshot: %v", err))
+	}
+	return snap
+}

@@ -1,0 +1,200 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// residualTestNet builds a 3-node line v0 -> v1 -> v2 with known attributes:
+// powers 1000/2000/4000 ops/ms, both links 80 Mbps (10000 bytes/ms), MLD 1 ms.
+func residualTestNet(t *testing.T) *Network {
+	t.Helper()
+	net, err := NewNetwork(
+		[]Node{
+			{ID: 0, Power: 1000},
+			{ID: 1, Power: 2000},
+			{ID: 2, Power: 4000},
+		},
+		[]Link{
+			{ID: 0, From: 0, To: 1, BWMbps: 80, MLDms: 1},
+			{ID: 1, From: 1, To: 2, BWMbps: 80, MLDms: 1},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// residualTestPipe builds a 3-module pipeline: source emits 10000 bytes,
+// stage-1 (complexity 10) emits 5000 bytes, sink (complexity 4) emits none.
+func residualTestPipe(t *testing.T) *Pipeline {
+	t.Helper()
+	pl, err := NewPipeline([]Module{
+		{ID: 0, OutBytes: 10000},
+		{ID: 1, Complexity: 10, InBytes: 10000, OutBytes: 5000},
+		{ID: 2, Complexity: 4, InBytes: 5000, OutBytes: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestMappingReservationUtilization(t *testing.T) {
+	net := residualTestNet(t)
+	pl := residualTestPipe(t)
+	m := NewMapping([]NodeID{0, 1, 2})
+
+	// At 10 fps (one frame per 100 ms):
+	//   node 1: 10*10000/2000 = 50 ms/frame -> 0.5 utilization
+	//   node 2: 4*5000/4000  = 5 ms/frame  -> 0.05
+	//   link 0: 10000/10000  = 1 ms/frame  -> 0.01
+	//   link 1: 5000/10000   = 0.5 ms/frame -> 0.005
+	res, err := MappingReservation(net, pl, m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := struct {
+		node [3]float64
+		link [2]float64
+	}{
+		node: [3]float64{0, 0.5, 0.05},
+		link: [2]float64{0.01, 0.005},
+	}
+	for v, w := range want.node {
+		if math.Abs(res.NodeFrac[v]-w) > 1e-12 {
+			t.Errorf("node %d utilization = %v, want %v", v, res.NodeFrac[v], w)
+		}
+	}
+	for l, w := range want.link {
+		if math.Abs(res.LinkFrac[l]-w) > 1e-12 {
+			t.Errorf("link %d utilization = %v, want %v", l, res.LinkFrac[l], w)
+		}
+	}
+
+	// Zero rate reserves nothing.
+	zero, err := MappingReservation(net, pl, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range append(zero.NodeFrac, zero.LinkFrac...) {
+		if f != 0 {
+			t.Fatalf("zero-rate reservation has nonzero fraction %v", f)
+		}
+	}
+}
+
+func TestMappingReservationAccumulatesReuse(t *testing.T) {
+	net := residualTestNet(t)
+	pl := residualTestPipe(t)
+	// All modules on node 0: its utilization is the sum of both compute terms.
+	m := NewMapping([]NodeID{0, 0, 0})
+	res, err := MappingReservation(net, pl, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (10*10000 + 4*5000)/1000 = 120 ms/frame at 1 fps -> 0.12.
+	if got, want := res.NodeFrac[0], 0.12; math.Abs(got-want) > 1e-12 {
+		t.Errorf("reused node utilization = %v, want %v", got, want)
+	}
+}
+
+func TestResidualSnapshotScalesCapacity(t *testing.T) {
+	net := residualTestNet(t)
+	r := NewResidualNetwork(net)
+
+	res := Reservation{NodeFrac: []float64{0.25, 0.5, 0}, LinkFrac: []float64{0.75, 0}}
+	if !r.Fits(res) {
+		t.Fatal("reservation should fit an empty network")
+	}
+	if err := r.SetLoad([]Reservation{res}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := r.Snapshot()
+	if got, want := snap.Power(0), 750.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("node 0 residual power = %v, want %v", got, want)
+	}
+	if got, want := snap.Power(1), 1000.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("node 1 residual power = %v, want %v", got, want)
+	}
+	if got, want := snap.Links[0].BWMbps, 20.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("link 0 residual bandwidth = %v, want %v", got, want)
+	}
+	// MLD is propagation latency: load does not change it.
+	if got, want := snap.Links[0].MLDms, 1.0; got != want {
+		t.Errorf("link 0 MLD = %v, want %v", got, want)
+	}
+	// The base network is untouched.
+	if net.Power(0) != 1000 || net.Links[0].BWMbps != 80 {
+		t.Error("snapshot mutated the base network")
+	}
+}
+
+func TestResidualSaturationFloor(t *testing.T) {
+	net := residualTestNet(t)
+	r := NewResidualNetwork(net)
+	if err := r.SetLoad([]Reservation{{
+		NodeFrac: []float64{1, 0, 0},
+		LinkFrac: []float64{1, 0},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if snap.Power(0) <= 0 {
+		t.Error("saturated node must keep positive (floored) power")
+	}
+	if got, want := snap.Power(0), 1000*MinResidualFraction; math.Abs(got-want) > 1e-18 {
+		t.Errorf("saturated node power = %v, want floor %v", got, want)
+	}
+	if r.NodeResidual(0) != 0 {
+		t.Errorf("NodeResidual of saturated node = %v, want 0", r.NodeResidual(0))
+	}
+	// Anything more does not fit.
+	if r.Fits(Reservation{NodeFrac: []float64{1e-6, 0, 0}, LinkFrac: []float64{0, 0}}) {
+		t.Error("reservation on a saturated node must not fit")
+	}
+}
+
+func TestResidualSetLoadExactRestore(t *testing.T) {
+	net := residualTestNet(t)
+	r := NewResidualNetwork(net)
+	a := Reservation{NodeFrac: []float64{0.1, 0.2, 0.3}, LinkFrac: []float64{0.05, 0.15}}
+	b := Reservation{NodeFrac: []float64{0.3, 0.1, 0.2}, LinkFrac: []float64{0.25, 0.05}}
+	if err := r.SetLoad([]Reservation{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetLoad(nil); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < net.N(); v++ {
+		if got := r.NodeLoad(NodeID(v)); got != 0 {
+			t.Errorf("node %d load after full release = %v, want exactly 0", v, got)
+		}
+	}
+	for l := 0; l < net.M(); l++ {
+		if got := r.LinkLoad(l); got != 0 {
+			t.Errorf("link %d load after full release = %v, want exactly 0", l, got)
+		}
+	}
+	snap := r.Snapshot()
+	for v := 0; v < net.N(); v++ {
+		if snap.Power(NodeID(v)) != net.Power(NodeID(v)) {
+			t.Errorf("node %d power after full release = %v, want %v",
+				v, snap.Power(NodeID(v)), net.Power(NodeID(v)))
+		}
+	}
+}
+
+func TestResidualShapeMismatch(t *testing.T) {
+	net := residualTestNet(t)
+	r := NewResidualNetwork(net)
+	bad := Reservation{NodeFrac: []float64{0.1}, LinkFrac: []float64{0.1, 0.1}}
+	if err := r.SetLoad([]Reservation{bad}); err == nil {
+		t.Error("SetLoad accepted a mis-shaped reservation")
+	}
+	if r.Fits(bad) {
+		t.Error("Fits accepted a mis-shaped reservation")
+	}
+}

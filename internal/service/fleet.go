@@ -1,0 +1,301 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"elpc/internal/fleet"
+	"elpc/internal/model"
+)
+
+// errFleetNotConfigured is returned by fleet endpoints before a shared
+// network has been installed via POST /v1/fleet/network.
+var errFleetNotConfigured = errors.New("fleet network not configured (POST /v1/fleet/network first)")
+
+// fleetState guards the server's fleet. The Fleet itself is concurrency-
+// safe, but installing/replacing the shared network must be atomic with
+// respect to whole operations, not just pointer lookups: every handler runs
+// under the read lock for its full duration, so a network swap can never
+// orphan an in-flight deploy or release onto a discarded fleet.
+type fleetState struct {
+	mu sync.RWMutex
+	// op serializes the solve-bearing operations (deploy, rebalance) with
+	// each other *before* they claim a worker-pool slot. Fleet admission is
+	// serialized internally anyway, so without this, concurrent fleet
+	// requests would each occupy a slot only to queue on the fleet mutex,
+	// starving the planning endpoints of pool capacity.
+	op sync.Mutex
+	f  *fleet.Fleet
+}
+
+// withFleet runs fn on the current fleet under the read lock (or returns
+// the not-configured error).
+func (s *fleetState) withFleet(fn func(*fleet.Fleet) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.f == nil {
+		return errFleetNotConfigured
+	}
+	return fn(s.f)
+}
+
+// withSolve is withFleet plus the solve-op serialization.
+func (s *fleetState) withSolve(fn func(*fleet.Fleet) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.f == nil {
+		return errFleetNotConfigured
+	}
+	s.op.Lock()
+	defer s.op.Unlock()
+	return fn(s.f)
+}
+
+// install replaces the shared network. Replacing is refused while
+// deployments are outstanding — their reservations reference the old
+// topology. The write lock waits out every in-flight fleet operation.
+func (s *fleetState) install(net *model.Network) error {
+	f, err := fleet.New(net)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		if st := s.f.Stats(); st.Deployments > 0 {
+			return fmt.Errorf("fleet network already installed with %d outstanding deployments; release them first", st.Deployments)
+		}
+	}
+	s.f = f
+	return nil
+}
+
+// objectiveByOp maps the wire op strings onto placement objectives.
+func objectiveByOp(op Op) (model.Objective, error) {
+	switch op {
+	case "", OpMinDelay:
+		return model.MinDelay, nil
+	case OpMaxFrameRate:
+		return model.MaxFrameRate, nil
+	default:
+		return 0, fmt.Errorf("fleet: objective must be %q or %q, got %q", OpMinDelay, OpMaxFrameRate, op)
+	}
+}
+
+// opByObjective renders a placement objective as its wire op string.
+func opByObjective(obj model.Objective) Op {
+	if obj == model.MaxFrameRate {
+		return OpMaxFrameRate
+	}
+	return OpMinDelay
+}
+
+// fleetNetworkWire is the POST /v1/fleet/network body.
+type fleetNetworkWire struct {
+	Network *model.Network `json:"network"`
+}
+
+// fleetDeployWire is the POST /v1/fleet/deploy body.
+type fleetDeployWire struct {
+	Tenant     string          `json:"tenant,omitempty"`
+	Pipeline   *model.Pipeline `json:"pipeline"`
+	Src        model.NodeID    `json:"src"`
+	Dst        model.NodeID    `json:"dst"`
+	Op         Op              `json:"op,omitempty"`
+	MaxDelayMs float64         `json:"max_delay_ms,omitempty"`
+	MinRateFPS float64         `json:"min_rate_fps,omitempty"`
+}
+
+// fleetReleaseWire is the POST /v1/fleet/release body.
+type fleetReleaseWire struct {
+	ID string `json:"id"`
+}
+
+// deploymentWire is the JSON rendering of one deployment.
+type deploymentWire struct {
+	ID          string         `json:"id"`
+	Tenant      string         `json:"tenant,omitempty"`
+	Op          Op             `json:"op"`
+	Assignment  []model.NodeID `json:"assignment"`
+	Mapping     string         `json:"mapping"`
+	DelayMs     float64        `json:"delay_ms"`
+	RateFPS     float64        `json:"rate_fps"`
+	ReservedFPS float64        `json:"reserved_fps"`
+	SLO         fleet.SLO      `json:"slo"`
+	Seq         uint64         `json:"seq"`
+}
+
+func toDeploymentWire(d fleet.Deployment) deploymentWire {
+	return deploymentWire{
+		ID:          d.ID,
+		Tenant:      d.Tenant,
+		Op:          opByObjective(d.Objective),
+		Assignment:  d.Assignment,
+		Mapping:     d.Mapping,
+		DelayMs:     d.DelayMs,
+		RateFPS:     d.RateFPS,
+		ReservedFPS: d.ReservedFPS,
+		SLO:         d.SLO,
+		Seq:         d.Seq,
+	}
+}
+
+// fleetListWire is the GET /v1/fleet response.
+type fleetListWire struct {
+	Configured  bool             `json:"configured"`
+	Nodes       int              `json:"nodes,omitempty"`
+	Links       int              `json:"links,omitempty"`
+	Stats       *fleet.Stats     `json:"stats,omitempty"`
+	Deployments []deploymentWire `json:"deployments"`
+}
+
+// handleFleetNetwork installs the shared fleet network.
+func (s *Server) handleFleetNetwork(w http.ResponseWriter, r *http.Request) {
+	var wire fleetNetworkWire
+	if err := decode(w, r, &wire); err != nil {
+		writeError(w, err)
+		return
+	}
+	if wire.Network == nil {
+		writeError(w, fmt.Errorf("request missing network"))
+		return
+	}
+	if err := s.fleet.install(wire.Network); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Nodes int `json:"nodes"`
+		Links int `json:"links"`
+	}{Nodes: wire.Network.N(), Links: wire.Network.M()})
+}
+
+// handleFleetDeploy admits one pipeline onto the shared network. The solve
+// runs behind the solver's worker pool, so fleet placements and one-shot
+// planning requests share the same concurrency budget.
+func (s *Server) handleFleetDeploy(w http.ResponseWriter, r *http.Request) {
+	var wire fleetDeployWire
+	if err := decode(w, r, &wire); err != nil {
+		writeError(w, err)
+		return
+	}
+	obj, err := objectiveByOp(wire.Op)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var d fleet.Deployment
+	err = s.fleet.withSolve(func(f *fleet.Fleet) error {
+		release, err := s.solver.acquireSlot(r.Context())
+		if err != nil {
+			return fmt.Errorf("service: waiting for worker: %w", err)
+		}
+		defer release()
+		d, err = f.Deploy(fleet.Request{
+			Tenant:    wire.Tenant,
+			Pipeline:  wire.Pipeline,
+			Src:       wire.Src,
+			Dst:       wire.Dst,
+			Objective: obj,
+			SLO:       fleet.SLO{MaxDelayMs: wire.MaxDelayMs, MinRateFPS: wire.MinRateFPS},
+		})
+		return err
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDeploymentWire(d))
+}
+
+// handleFleetRelease returns one deployment's capacity.
+func (s *Server) handleFleetRelease(w http.ResponseWriter, r *http.Request) {
+	var wire fleetReleaseWire
+	if err := decode(w, r, &wire); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.fleet.withFleet(func(f *fleet.Fleet) error {
+		return f.Release(wire.ID)
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Released string `json:"released"`
+	}{Released: wire.ID})
+}
+
+// handleFleetRebalance runs one rebalance pass (solves share the worker
+// pool, like deploys).
+func (s *Server) handleFleetRebalance(w http.ResponseWriter, r *http.Request) {
+	var opt fleet.RebalanceOptions
+	if err := decode(w, r, &opt); err != nil {
+		writeError(w, err)
+		return
+	}
+	var rep fleet.Report
+	if err := s.fleet.withSolve(func(f *fleet.Fleet) error {
+		release, err := s.solver.acquireSlot(r.Context())
+		if err != nil {
+			return fmt.Errorf("service: waiting for worker: %w", err)
+		}
+		defer release()
+		rep = f.Rebalance(opt)
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleFleetList reports the fleet state: GET /v1/fleet.
+func (s *Server) handleFleetList(w http.ResponseWriter, _ *http.Request) {
+	out := fleetListWire{Deployments: []deploymentWire{}}
+	_ = s.fleet.withFleet(func(f *fleet.Fleet) error {
+		out.Configured = true
+		out.Nodes = f.Network().N()
+		out.Links = f.Network().M()
+		st := f.Stats()
+		out.Stats = &st
+		for _, d := range f.List() {
+			out.Deployments = append(out.Deployments, toDeploymentWire(d))
+		}
+		return nil
+	})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleFleetDescribe reports one deployment: GET /v1/fleet/{id}.
+func (s *Server) handleFleetDescribe(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var d fleet.Deployment
+	err := s.fleet.withFleet(func(f *fleet.Fleet) error {
+		var ok bool
+		if d, ok = f.Describe(id); !ok {
+			return fmt.Errorf("fleet: %w: %q", fleet.ErrNotFound, id)
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toDeploymentWire(d))
+}
+
+// fleetStats snapshots the fleet gauges for /v1/stats (nil when no network
+// is installed).
+func (s *Server) fleetStats() *fleet.Stats {
+	var st fleet.Stats
+	if err := s.fleet.withFleet(func(f *fleet.Fleet) error {
+		st = f.Stats()
+		return nil
+	}); err != nil {
+		return nil
+	}
+	return &st
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"elpc/internal/fleet"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// fleetTestNetwork draws the shared network used by the fleet HTTP tests.
+func fleetTestNetwork(t *testing.T) *model.Network {
+	t.Helper()
+	net, err := gen.Network(10, 60, gen.DefaultRanges(), gen.RNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func fleetTestPipeline(t *testing.T, n int, seed uint64) *model.Pipeline {
+	t.Helper()
+	pl, err := gen.Pipeline(n, gen.DefaultRanges(), gen.RNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func installFleetNetwork(t *testing.T, url string, net *model.Network) {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/fleet/network", fleetNetworkWire{Network: net}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("installing fleet network: status %d", resp.StatusCode)
+	}
+}
+
+// assertFleetEmpty asserts via the public API that the fleet is back to the
+// exact empty-fleet state: no deployments, zero utilization gauges.
+func assertFleetEmpty(t *testing.T, url string) {
+	t.Helper()
+	var list fleetListWire
+	resp := postGet(t, url+"/v1/fleet", &list)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/fleet: status %d", resp.StatusCode)
+	}
+	if !list.Configured || list.Stats == nil {
+		t.Fatalf("fleet not configured in list response: %+v", list)
+	}
+	if len(list.Deployments) != 0 || list.Stats.Deployments != 0 {
+		t.Fatalf("fleet not drained: %+v", list)
+	}
+	if list.Stats.MeanNodeUtil != 0 || list.Stats.MaxNodeUtil != 0 ||
+		list.Stats.MeanLinkUtil != 0 || list.Stats.MaxLinkUtil != 0 {
+		t.Fatalf("capacity accounting does not balance to empty-fleet state: %+v", *list.Stats)
+	}
+	if list.Stats.ReservedFPS != 0 {
+		t.Fatalf("reserved rate not returned: %+v", *list.Stats)
+	}
+}
+
+// postGet issues a GET and decodes JSON.
+func postGet(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response (status %d): %v", resp.StatusCode, err)
+		}
+	}
+	return resp
+}
+
+// TestFleetEndToEnd is the full lifecycle over httptest: install a network,
+// deploy pipelines until an admission rejection occurs, release some,
+// rebalance, drain, and assert the capacity accounting balances to the
+// empty-fleet state.
+func TestFleetEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	// Before installation every fleet operation is a 400.
+	resp := postJSON(t, ts.URL+"/v1/fleet/deploy", fleetDeployWire{
+		Pipeline: fleetTestPipeline(t, 5, 1), Src: 0, Dst: 9,
+	}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deploy before network install: status %d, want 400", resp.StatusCode)
+	}
+
+	net := fleetTestNetwork(t)
+	installFleetNetwork(t, ts.URL, net)
+
+	// Deploy streaming pipelines until the fleet rejects one.
+	var admitted []deploymentWire
+	rejected := false
+	for i := 0; i < 200 && !rejected; i++ {
+		var d deploymentWire
+		var raw json.RawMessage
+		resp := postJSON(t, ts.URL+"/v1/fleet/deploy", fleetDeployWire{
+			Tenant:     fmt.Sprintf("tenant-%d", i),
+			Pipeline:   fleetTestPipeline(t, 6, uint64(i+1)),
+			Src:        0,
+			Dst:        9,
+			Op:         OpMaxFrameRate,
+			MinRateFPS: 2,
+		}, &raw)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if err := json.Unmarshal(raw, &d); err != nil {
+				t.Fatal(err)
+			}
+			if d.RateFPS < 2 || d.ReservedFPS != 2 {
+				t.Fatalf("admitted deployment violates SLO: %+v", d)
+			}
+			admitted = append(admitted, d)
+		case http.StatusConflict:
+			rejected = true
+		default:
+			t.Fatalf("deploy %d: unexpected status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	if !rejected {
+		t.Fatal("no admission rejection after 200 deploys")
+	}
+	if len(admitted) == 0 {
+		t.Fatal("first deployment already rejected")
+	}
+
+	// Describe one deployment and list all of them.
+	var got deploymentWire
+	if resp := postGet(t, ts.URL+"/v1/fleet/"+admitted[0].ID, &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("describe: status %d", resp.StatusCode)
+	}
+	if got.ID != admitted[0].ID || got.Op != OpMaxFrameRate {
+		t.Fatalf("describe mismatch: %+v", got)
+	}
+	if resp := postGet(t, ts.URL+"/v1/fleet/d-999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("describe unknown: status %d, want 404", resp.StatusCode)
+	}
+	var list fleetListWire
+	postGet(t, ts.URL+"/v1/fleet", &list)
+	if len(list.Deployments) != len(admitted) {
+		t.Fatalf("list has %d deployments, want %d", len(list.Deployments), len(admitted))
+	}
+
+	// /v1/stats carries the fleet gauges.
+	var stats statsResponse
+	postGet(t, ts.URL+"/v1/stats", &stats)
+	if stats.Fleet == nil || stats.Fleet.Deployments != len(admitted) || stats.Fleet.Rejected == 0 {
+		t.Fatalf("stats fleet gauges missing or wrong: %+v", stats.Fleet)
+	}
+
+	// Replacing the network is refused while deployments are outstanding.
+	if resp := postJSON(t, ts.URL+"/v1/fleet/network", fleetNetworkWire{Network: net}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("network replace with outstanding deployments: status %d, want 400", resp.StatusCode)
+	}
+
+	// Release the first half, then rebalance the survivors onto the freed
+	// capacity.
+	half := len(admitted) / 2
+	if half == 0 {
+		half = 1
+	}
+	for _, d := range admitted[:half] {
+		if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: d.ID}, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("release %s: status %d", d.ID, resp.StatusCode)
+		}
+	}
+	if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: admitted[0].ID}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double release: status %d, want 404", resp.StatusCode)
+	}
+
+	var rep fleet.Report
+	if resp := postJSON(t, ts.URL+"/v1/fleet/rebalance", fleet.RebalanceOptions{MaxMoves: 8, MinGain: 0.01}, &rep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance: status %d", resp.StatusCode)
+	}
+	if rep.Considered == 0 {
+		t.Fatal("rebalance considered nothing with deployments outstanding")
+	}
+
+	// Drain the rest and check the accounting balances exactly.
+	postGet(t, ts.URL+"/v1/fleet", &list)
+	for _, d := range list.Deployments {
+		if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: d.ID}, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("drain release %s: status %d", d.ID, resp.StatusCode)
+		}
+	}
+	assertFleetEmpty(t, ts.URL)
+}
+
+// TestFleetDeployConcurrent drives parallel deploys and releases through the
+// HTTP API (run under -race in CI) and drains to the empty state.
+func TestFleetDeployConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4})
+	installFleetNetwork(t, ts.URL, fleetTestNetwork(t))
+
+	const workers = 6
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var leftover []string
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []string
+			for i := 0; i < 10; i++ {
+				var raw json.RawMessage
+				buf, _ := json.Marshal(fleetDeployWire{
+					Pipeline:   fleetTestPipeline(t, 5, uint64(w*100+i+1)),
+					Src:        model.NodeID(w % 10),
+					Dst:        model.NodeID((w + 5) % 10),
+					Op:         OpMinDelay,
+					MinRateFPS: 0.5,
+				})
+				resp, err := http.Post(ts.URL+"/v1/fleet/deploy", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errs <- err
+					return
+				}
+				json.NewDecoder(resp.Body).Decode(&raw)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var d deploymentWire
+					if err := json.Unmarshal(raw, &d); err != nil {
+						errs <- err
+						return
+					}
+					mine = append(mine, d.ID)
+				case http.StatusConflict:
+					// contention; fine
+				default:
+					errs <- fmt.Errorf("worker %d deploy %d: status %d: %s", w, i, resp.StatusCode, raw)
+					return
+				}
+				if len(mine) > 1 {
+					id := mine[0]
+					mine = mine[1:]
+					buf, _ := json.Marshal(fleetReleaseWire{ID: id})
+					resp, err := http.Post(ts.URL+"/v1/fleet/release", "application/json", bytes.NewReader(buf))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						errs <- fmt.Errorf("worker %d release %s: status %d", w, id, resp.StatusCode)
+						return
+					}
+				}
+			}
+			mu.Lock()
+			leftover = append(leftover, mine...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, id := range leftover {
+		if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: id}, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("drain %s: status %d", id, resp.StatusCode)
+		}
+	}
+	assertFleetEmpty(t, ts.URL)
+}

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRunGracefulShutdown exercises the drain path behind `elpcd`'s
+// SIGINT/SIGTERM handling: Run must serve until the context is canceled and
+// then return nil after a clean drain.
+func TestRunGracefulShutdown(t *testing.T) {
+	// Reserve a free port, release it, and hand it to Run.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Run(ctx, addr, Options{}, 5*time.Second) }()
+
+	// Wait for the listener to come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up on %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+
+	// The listener must actually be closed.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"elpc/internal/fleet"
 	"elpc/internal/model"
 	"elpc/internal/sim"
 )
@@ -87,12 +88,15 @@ type statsResponse struct {
 	Service  string      `json:"service"`
 	UptimeMs float64     `json:"uptime_ms"`
 	Solver   SolverStats `json:"solver"`
+	// Fleet gauges are present once a fleet network is installed.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
 }
 
 // Server is the elpcd HTTP planning server. Build one with NewServer and
 // mount Handler on any mux or listener (httptest works too).
 type Server struct {
 	solver *Solver
+	fleet  fleetState
 	mux    *http.ServeMux
 	start  time.Time
 }
@@ -105,6 +109,12 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/front", s.planHandler(OpFront))
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/fleet/network", s.handleFleetNetwork)
+	s.mux.HandleFunc("POST /v1/fleet/deploy", s.handleFleetDeploy)
+	s.mux.HandleFunc("POST /v1/fleet/release", s.handleFleetRelease)
+	s.mux.HandleFunc("POST /v1/fleet/rebalance", s.handleFleetRebalance)
+	s.mux.HandleFunc("GET /v1/fleet", s.handleFleetList)
+	s.mux.HandleFunc("GET /v1/fleet/{id}", s.handleFleetDescribe)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -121,14 +131,40 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Solver() *Solver { return s.solver }
 
 // ListenAndServe builds a Server and serves it on addr until the listener
-// fails. It is the programmatic equivalent of `elpc serve`.
+// fails. It is the programmatic equivalent of `elpc serve` without signal
+// handling; use Run for graceful shutdown.
 func ListenAndServe(addr string, opt Options) error {
+	return Run(context.Background(), addr, opt, 0)
+}
+
+// Run builds a Server and serves it on addr until the listener fails or ctx
+// is canceled. On cancellation it drains gracefully: the listener closes,
+// in-flight requests get up to drain to finish (0 waits indefinitely), and
+// the return is nil on a clean drain. Pair it with signal.NotifyContext for
+// SIGINT/SIGTERM handling — cmd/elpcd does.
+func Run(ctx context.Context, addr string, opt Options, drain time.Duration) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           NewServer(opt).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx := context.Background()
+		if drain > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(sctx, drain)
+			defer cancel()
+		}
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("service: draining: %w", err)
+		}
+		return nil
+	}
 }
 
 // decode reads and validates the request body.
@@ -150,12 +186,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // response already committed; nothing useful to do
 }
 
-// writeError maps solver errors onto HTTP statuses: infeasible problems are
-// 422 (well-formed, unsolvable), timeouts/cancellations are 503, and
+// writeError maps solver and fleet errors onto HTTP statuses: infeasible
+// problems are 422 (well-formed, unsolvable), fleet admission rejections are
+// 409 (the request conflicts with outstanding reservations or its SLO),
+// unknown deployments are 404, timeouts/cancellations are 503, and
 // everything else is a 400 input error.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
+	case errors.Is(err, fleet.ErrRejected):
+		status = http.StatusConflict
+	case errors.Is(err, fleet.ErrNotFound):
+		status = http.StatusNotFound
 	case errors.Is(err, model.ErrInfeasible):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -287,11 +329,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}{Results: out})
 }
 
-// handleStats reports solver and cache counters.
+// handleStats reports solver, cache, and fleet counters.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		Service:  "elpcd",
 		UptimeMs: float64(time.Since(s.start)) / float64(time.Millisecond),
 		Solver:   s.solver.Stats(),
+		Fleet:    s.fleetStats(),
 	})
 }

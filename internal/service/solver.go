@@ -222,6 +222,24 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 	}
 }
 
+// acquireSlot claims one worker slot (blocking on the pool, bounded by the
+// caller's context) and returns its release function. Fleet placements use
+// it so admission solves share the same concurrency budget as one-shot
+// planning requests.
+func (s *Solver) acquireSlot(ctx context.Context) (release func(), err error) {
+	select {
+	case s.slots <- struct{}{}:
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.slots
+		}, nil
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
 // finishFlight publishes the flight's outcome and retires it. The cache is
 // populated before the flight is removed, so no request can slip between
 // "flight gone" and "cache filled".
