@@ -1,0 +1,65 @@
+// Command benchdiff compares two pipebench -json documents and fails when
+// tier-1 scenario metrics regress beyond the thresholds — the standalone
+// form of the CI benchmark-baseline gate (pipebench -compare runs the suite
+// and the diff in one step):
+//
+//	pipebench -fig 2 -json fresh.json
+//	benchdiff BENCH_BASELINE.json fresh.json
+//
+// Exit status: 0 when the gate passes, 1 on regression, 2 on usage or I/O
+// errors. Quality metrics (per-case delays and rates, summary ratios, fleet
+// admission statistics) gate at -threshold (default 20%); wall-clock
+// metrics gate at -runtime-threshold (default 50%, machine noise) unless
+// -ignore-runtime is set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elpc/internal/benchfmt"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "relative quality-metric regression that fails the gate (0 = default 0.20)")
+	runtimeThreshold := flag.Float64("runtime-threshold", 0, "relative runtime-metric regression that fails the gate (0 = default 0.50)")
+	ignoreRuntime := flag.Bool("ignore-runtime", false, "exclude wall-clock metrics from gating (still reported)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] BASELINE.json FRESH.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ok, err := diff(flag.Arg(0), flag.Arg(1), benchfmt.CompareOptions{
+		QualityThreshold: *threshold,
+		RuntimeThreshold: *runtimeThreshold,
+		IgnoreRuntime:    *ignoreRuntime,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// diff loads both documents, prints the comparison report to stdout, and
+// reports whether the gate passed.
+func diff(baselinePath, freshPath string, opt benchfmt.CompareOptions) (bool, error) {
+	baseline, err := benchfmt.Load(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	fresh, err := benchfmt.Load(freshPath)
+	if err != nil {
+		return false, err
+	}
+	rep := benchfmt.Compare(baseline, fresh, opt)
+	fmt.Print(rep.Text())
+	return rep.OK(), nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"elpc/internal/benchfmt"
+)
+
+func writeDoc(t *testing.T, path string, suiteMs float64, rate float64) {
+	t.Helper()
+	doc := &benchfmt.Doc{
+		Schema:  benchfmt.Schema,
+		SuiteMs: suiteMs,
+		Results: []benchfmt.Case{{
+			Case: 1,
+			Rate: map[string]benchfmt.Outcome{
+				"ELPC": {Feasible: true, Value: &rate},
+			},
+		}},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := doc.Write(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	same := filepath.Join(dir, "same.json")
+	worse := filepath.Join(dir, "worse.json")
+	writeDoc(t, base, 1000, 50)
+	writeDoc(t, same, 1000, 50)
+	writeDoc(t, worse, 1000, 30)
+
+	ok, err := diff(base, same, benchfmt.CompareOptions{})
+	if err != nil || !ok {
+		t.Fatalf("identical docs: ok=%v err=%v", ok, err)
+	}
+	ok, err = diff(base, worse, benchfmt.CompareOptions{})
+	if err != nil || ok {
+		t.Fatalf("40%% rate regression: ok=%v err=%v", ok, err)
+	}
+	if _, err := diff(filepath.Join(dir, "missing.json"), same, benchfmt.CompareOptions{}); err == nil {
+		t.Fatal("missing baseline should error")
+	}
+}

@@ -1,103 +1,24 @@
 package main
 
 import (
-	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"elpc/internal/benchfmt"
 	"elpc/internal/harness"
 )
 
-// benchOutcomeJSON is one algorithm's result on one case. Value is omitted
-// (not NaN, which JSON cannot encode) when the outcome is infeasible.
-type benchOutcomeJSON struct {
-	Feasible  bool     `json:"feasible"`
-	Value     *float64 `json:"value,omitempty"`
-	RuntimeMs float64  `json:"runtime_ms"`
-	Err       string   `json:"error,omitempty"`
+// buildBenchDoc renders the suite results in the machine-readable
+// elpc-pipebench-v1 schema (internal/benchfmt) shared with benchdiff and
+// the CI regression gate.
+func buildBenchDoc(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, elapsed time.Duration) *benchfmt.Doc {
+	return benchfmt.Build(fig, results, fleet, elapsed)
 }
 
-// benchCaseJSON is one suite case: dimensions plus per-algorithm outcomes
-// under both objectives (delay values in ms, rate values in fps).
-type benchCaseJSON struct {
-	Case    int                         `json:"case"`
-	Modules int                         `json:"modules"`
-	Nodes   int                         `json:"nodes"`
-	Links   int                         `json:"links"`
-	Seed    uint64                      `json:"seed"`
-	Delay   map[string]benchOutcomeJSON `json:"min_delay_ms"`
-	Rate    map[string]benchOutcomeJSON `json:"max_frame_rate_fps"`
-}
-
-// benchJSON is the machine-readable experiment summary emitted by -json, so
-// successive PRs can track the performance trajectory (BENCH_*.json).
-type benchJSON struct {
-	Schema       string             `json:"schema"`
-	Figure       string             `json:"figure"`
-	Cases        int                `json:"cases"`
-	Algorithms   []string           `json:"algorithms"`
-	SuiteMs      float64            `json:"suite_ms"`
-	Results      []benchCaseJSON    `json:"results"`
-	DelayWins    map[string]int     `json:"delay_wins"`
-	RateWins     map[string]int     `json:"rate_wins"`
-	MeanDelayVsE map[string]float64 `json:"mean_delay_ratio_vs_elpc"`
-	MeanRateVsE  map[string]float64 `json:"mean_rate_ratio_vs_elpc"`
-	Feasible     map[string]int     `json:"feasible_outcomes"`
-	// Fleet is the multi-tenant placement scenario (admission rate and
-	// mean deployed frame rate over a deterministic arrival schedule on a
-	// Suite20 network).
-	Fleet *harness.FleetScenarioResult `json:"fleet,omitempty"`
-}
-
-func toOutcomeJSON(o harness.Outcome) benchOutcomeJSON {
-	out := benchOutcomeJSON{
-		Feasible:  o.Feasible,
-		RuntimeMs: float64(o.Runtime) / float64(time.Millisecond),
-		Err:       o.Err,
-	}
-	if o.Feasible {
-		v := o.Value
-		out.Value = &v
-	}
-	return out
-}
-
-// writeBenchJSON renders the suite results as JSON to path ("-" = stdout).
-func writeBenchJSON(path, fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, elapsed time.Duration) error {
-	doc := benchJSON{
-		Schema:     "elpc-pipebench-v1",
-		Figure:     fig,
-		Cases:      len(results),
-		Algorithms: harness.MapperNames(),
-		SuiteMs:    float64(elapsed) / float64(time.Millisecond),
-		Fleet:      fleet,
-	}
-	for _, r := range results {
-		c := benchCaseJSON{
-			Case:    r.Spec.ID,
-			Modules: r.Spec.Modules,
-			Nodes:   r.Spec.Nodes,
-			Links:   r.Spec.Links,
-			Seed:    r.Spec.Seed,
-			Delay:   map[string]benchOutcomeJSON{},
-			Rate:    map[string]benchOutcomeJSON{},
-		}
-		for name, o := range r.Delay {
-			c.Delay[name] = toOutcomeJSON(o)
-		}
-		for name, o := range r.Rate {
-			c.Rate[name] = toOutcomeJSON(o)
-		}
-		doc.Results = append(doc.Results, c)
-	}
-	s := harness.Summarize(results)
-	doc.DelayWins = s.DelayWins
-	doc.RateWins = s.RateWins
-	doc.MeanDelayVsE = s.MeanDelayRatio
-	doc.MeanRateVsE = s.MeanRateRatio
-	doc.Feasible = s.Feasible
-
+// writeBenchJSON writes the doc to path ("-" = stdout).
+func writeBenchJSON(path string, doc *benchfmt.Doc) error {
 	var w io.Writer = os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -107,7 +28,30 @@ func writeBenchJSON(path, fig string, results []harness.CaseResult, fleet *harne
 		defer f.Close()
 		w = f
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return doc.Write(w)
+}
+
+// compareOpts maps the parsed flags onto benchfmt's gate options.
+func compareOpts(cfg runConfig) benchfmt.CompareOptions {
+	return benchfmt.CompareOptions{
+		QualityThreshold: cfg.threshold,
+		RuntimeThreshold: cfg.runtimeThreshold,
+		IgnoreRuntime:    cfg.ignoreRuntime,
+	}
+}
+
+// compareBaseline diffs the fresh doc against the committed baseline and
+// returns an error (failing the process) when the gate trips. The report
+// always prints, so green runs still show the trend.
+func compareBaseline(baselinePath string, fresh *benchfmt.Doc, opt benchfmt.CompareOptions, out io.Writer) error {
+	baseline, err := benchfmt.Load(baselinePath)
+	if err != nil {
+		return fmt.Errorf("loading baseline: %w", err)
+	}
+	rep := benchfmt.Compare(baseline, fresh, opt)
+	fmt.Fprint(out, rep.Text())
+	if !rep.OK() {
+		return fmt.Errorf("benchmark gate failed: %d metric(s) regressed against %s", rep.Regressions, baselinePath)
+	}
+	return nil
 }

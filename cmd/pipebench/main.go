@@ -23,6 +23,8 @@ import (
 	"path/filepath"
 	"time"
 
+	"elpc/internal/benchfmt"
+	"elpc/internal/engine"
 	"elpc/internal/gen"
 	"elpc/internal/harness"
 )
@@ -34,19 +36,46 @@ func main() {
 	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
 	replicas := flag.Int("replicas", 5, "replicas per case for -fig replicated")
 	jsonPath := flag.String("json", "", "write a machine-readable JSON summary of the suite metrics to this file (- for stdout)")
+	parallel := flag.Int("parallel", 0, "engine pool parallelism for Pareto sweeps (0 = GOMAXPROCS, 1 = sequential)")
+	compare := flag.String("compare", "", "compare the run's metrics against this baseline JSON (e.g. BENCH_BASELINE.json) and fail on regression")
+	threshold := flag.Float64("threshold", 0, "relative quality-metric regression that fails -compare (0 = default 0.20)")
+	runtimeThreshold := flag.Float64("runtime-threshold", 0, "relative runtime-metric regression that fails -compare (0 = default 0.50)")
+	ignoreRuntime := flag.Bool("ignore-runtime", false, "exclude wall-clock metrics from the -compare gate (CI compares against a baseline from a different machine; quality metrics still gate)")
 	flag.Parse()
 
-	if err := run(*fig, *out, *workers, *cases, *replicas, *jsonPath); err != nil {
+	if err := run(runConfig{
+		fig: *fig, out: *out, workers: *workers, cases: *cases, replicas: *replicas,
+		jsonPath: *jsonPath, parallel: *parallel,
+		compare: *compare, threshold: *threshold, runtimeThreshold: *runtimeThreshold,
+		ignoreRuntime: *ignoreRuntime,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pipebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
+// runConfig carries the parsed flags.
+type runConfig struct {
+	fig, out                    string
+	workers, cases, replicas    int
+	jsonPath                    string
+	parallel                    int
+	compare                     string
+	threshold, runtimeThreshold float64
+	ignoreRuntime               bool
+}
+
+func run(cfg runConfig) error {
+	fig, out, workers, cases, replicas, jsonPath := cfg.fig, cfg.out, cfg.workers, cfg.cases, cfg.replicas, cfg.jsonPath
 	if cases < 1 || cases > 20 {
 		return fmt.Errorf("cases must be in [1,20], got %d", cases)
 	}
 	specs := gen.Suite20()[:cases]
+
+	// Pareto sweeps fan out over a shared engine pool; the suite itself
+	// parallelizes per case via -workers as before.
+	pool := engine.NewPool(cfg.parallel)
+	defer pool.Close()
 
 	// With -json -, stdout belongs to the JSON document alone; the artifact
 	// echoes move to stderr so the output stays machine-parseable.
@@ -65,7 +94,7 @@ func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
 		return os.WriteFile(filepath.Join(out, name), []byte(content), 0o644)
 	}
 
-	needSuite := fig == "all" || fig == "2" || fig == "5" || fig == "6" || jsonPath != ""
+	needSuite := fig == "all" || fig == "2" || fig == "5" || fig == "6" || jsonPath != "" || cfg.compare != ""
 	var results []harness.CaseResult
 	var suiteElapsed time.Duration
 	if needSuite {
@@ -82,7 +111,7 @@ func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
 	// The fleet scenario (multi-tenant admission + rebalance on a Suite20
 	// network) feeds both the -fig fleet artifact and the JSON summary.
 	var fleetRes *harness.FleetScenarioResult
-	if fig == "all" || fig == "fleet" || jsonPath != "" {
+	if fig == "all" || fig == "fleet" || jsonPath != "" || cfg.compare != "" {
 		var err error
 		// Case 2 (10 nodes, 60 links) with a heavier-than-default arrival
 		// load, so admission control visibly rejects and the admission-rate
@@ -98,8 +127,17 @@ func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
 		}
 	}
 
+	var doc *benchfmt.Doc
+	if jsonPath != "" || cfg.compare != "" {
+		doc = buildBenchDoc(fig, results, fleetRes, suiteElapsed)
+	}
 	if jsonPath != "" {
-		if err := writeBenchJSON(jsonPath, fig, results, fleetRes, suiteElapsed); err != nil {
+		if err := writeBenchJSON(jsonPath, doc); err != nil {
+			return err
+		}
+	}
+	if cfg.compare != "" {
+		if err := compareBaseline(cfg.compare, doc, compareOpts(cfg), echo); err != nil {
 			return err
 		}
 	}
@@ -170,7 +208,7 @@ func run(fig, out string, workers, cases, replicas int, jsonPath string) error {
 			if idx >= len(specs) {
 				continue
 			}
-			csv, err := harness.ParetoCSV(specs[idx], 10)
+			csv, err := harness.ParetoCSVPool(specs[idx], 10, pool)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "pareto case %d: %v\n", specs[idx].ID, err)
 				continue

@@ -8,9 +8,17 @@ import (
 	"testing"
 )
 
+// runFig invokes run with the defaulted flag set the pre-compare tests use.
+func runFig(fig, out string, workers, cases, replicas int, jsonPath string) error {
+	return run(runConfig{
+		fig: fig, out: out, workers: workers, cases: cases, replicas: replicas,
+		jsonPath: jsonPath, parallel: 1,
+	})
+}
+
 func TestRunEmitsArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("2", dir, 0, 2, 2, ""); err != nil {
+	if err := runFig("2", dir, 0, 2, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"fig2.md", "summary.txt", "runtimes.md"} {
@@ -26,7 +34,7 @@ func TestRunEmitsArtifacts(t *testing.T) {
 
 func TestRunFigures34(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("3", dir, 0, 1, 1, ""); err != nil {
+	if err := runFig("3", dir, 0, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig3.dot"))
@@ -39,7 +47,7 @@ func TestRunFigures34(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "fig4.dot")); err == nil {
 		t.Error("-fig 3 should not emit fig4")
 	}
-	if err := run("4", dir, 0, 1, 1, ""); err != nil {
+	if err := runFig("4", dir, 0, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig4.txt")); err != nil {
@@ -50,7 +58,7 @@ func TestRunFigures34(t *testing.T) {
 func TestRunSeriesAndAblations(t *testing.T) {
 	dir := t.TempDir()
 	for _, fig := range []string{"5", "6", "mld", "jitter", "pareto"} {
-		if err := run(fig, dir, 0, 2, 1, ""); err != nil {
+		if err := runFig(fig, dir, 0, 2, 1, ""); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 	}
@@ -63,7 +71,7 @@ func TestRunSeriesAndAblations(t *testing.T) {
 
 func TestRunReplicated(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("replicated", dir, 0, 1, 2, ""); err != nil {
+	if err := runFig("replicated", dir, 0, 1, 2, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "replicated.md"))
@@ -76,13 +84,13 @@ func TestRunReplicated(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "", 0, 1, 1, ""); err == nil {
+	if err := runFig("bogus", "", 0, 1, 1, ""); err == nil {
 		t.Error("unknown figure should error")
 	}
-	if err := run("2", "", 0, 0, 1, ""); err == nil {
+	if err := runFig("2", "", 0, 0, 1, ""); err == nil {
 		t.Error("cases=0 should error")
 	}
-	if err := run("2", "", 0, 21, 1, ""); err == nil {
+	if err := runFig("2", "", 0, 21, 1, ""); err == nil {
 		t.Error("cases=21 should error")
 	}
 }
@@ -91,7 +99,7 @@ func TestRunJSONSummary(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_suite.json")
 	// -json forces the suite even for figures that don't otherwise need it.
-	if err := run("ablation", "", 0, 2, 1, path); err != nil {
+	if err := runFig("ablation", "", 0, 2, 1, path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -133,9 +141,53 @@ func TestRunJSONSummary(t *testing.T) {
 	}
 }
 
+func TestRunCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	// Produce a baseline from a 2-case run, then compare a fresh identical
+	// run against it: quality metrics are deterministic, so the gate passes.
+	if err := runFig("2", "", 0, 2, 1, baseline); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{fig: "2", cases: 2, replicas: 1, parallel: 1, compare: baseline}); err != nil {
+		t.Fatalf("identical rerun failed the gate: %v", err)
+	}
+	// Corrupt the baseline's quality expectations: inflate every ELPC rate
+	// 10x so the fresh run regresses far past the threshold.
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, rc := range doc["results"].([]any) {
+		rates := rc.(map[string]any)["max_frame_rate_fps"].(map[string]any)
+		elpc := rates["ELPC"].(map[string]any)
+		if v, ok := elpc["value"].(float64); ok {
+			elpc["value"] = v * 10
+		}
+	}
+	data, err = json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runConfig{fig: "2", cases: 2, replicas: 1, parallel: 1, compare: baseline}); err == nil {
+		t.Fatal("10x rate regression passed the gate")
+	}
+	// Missing baseline file is a hard error, not a silent pass.
+	if err := run(runConfig{fig: "2", cases: 1, replicas: 1, parallel: 1, compare: filepath.Join(dir, "nope.json")}); err == nil {
+		t.Fatal("missing baseline passed")
+	}
+}
+
 func TestRunStdoutOnly(t *testing.T) {
 	// No -out directory: artifacts go to stdout only; must not error.
-	if err := run("ablation", "", 0, 1, 1, ""); err != nil {
+	if err := runFig("ablation", "", 0, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }

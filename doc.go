@@ -54,7 +54,24 @@
 //	fl.Rebalance(elpc.RebalanceOptions{})
 //	fl.Release(d.ID)
 //
+// # Parallel engine
+//
+// Decomposable solves — a Pareto sweep's budget points, a batch's problems,
+// a rebalance pass's re-solves — fan out across a shared work-stealing pool
+// bounded by GOMAXPROCS (NewEnginePool). The submitting goroutine always
+// participates, so nested fan-outs cannot deadlock; results are placed by
+// index, so parallel execution is byte-identical to sequential:
+//
+//	pool := elpc.NewEnginePool(0) // GOMAXPROCS
+//	defer pool.Close()
+//	front, _ := elpc.RateDelayFrontParallel(pool, p, 16)
+//
+// The solver hot paths are allocation-lean: DP tables, beam lists, and
+// consumed-node bitsets live in a reusable SolveContext (slab + arena), so
+// steady-state solving does not churn the garbage collector.
+//
 // See the examples directory for runnable scenarios (remote visualization,
 // video surveillance streaming, measurement-driven adaptive remapping,
-// multi-tenant fleet placement) and cmd/pipebench for the experiment suite.
+// multi-tenant fleet placement, parallel-scaling demo) and cmd/pipebench
+// for the experiment suite with its -compare benchmark-baseline gate.
 package elpc

@@ -5,6 +5,7 @@ import (
 
 	"elpc/internal/baseline"
 	"elpc/internal/core"
+	"elpc/internal/engine"
 	"elpc/internal/fleet"
 	"elpc/internal/gen"
 	"elpc/internal/measure"
@@ -106,6 +107,30 @@ type TradeoffPoint = core.TradeoffPoint
 // (delay, rate) points with their mappings.
 func RateDelayFront(p *Problem, points int) ([]TradeoffPoint, error) {
 	return core.ParetoFront(p, points, 0)
+}
+
+// SolveContext owns reusable DP scratch memory, making repeated solves on
+// one goroutine allocation-lean. Not safe for concurrent use; the package-
+// level solver functions manage a pool of these internally.
+type SolveContext = core.SolveContext
+
+// NewSolveContext returns an empty solve context; scratch grows lazily and
+// is reused across solves.
+func NewSolveContext() *SolveContext { return core.NewSolveContext() }
+
+// EnginePool is the bounded work-stealing executor behind parallel sweeps,
+// batch solving, and fleet rebalancing. A nil *EnginePool means sequential.
+type EnginePool = engine.Pool
+
+// NewEnginePool starts a pool targeting the given parallelism (<= 0 selects
+// GOMAXPROCS). Close it when done.
+func NewEnginePool(workers int) *EnginePool { return engine.NewPool(workers) }
+
+// RateDelayFrontParallel is RateDelayFront with the sweep's budget points
+// fanned out across the pool. The result is byte-identical to the
+// sequential sweep for any pool size.
+func RateDelayFrontParallel(pool *EnginePool, p *Problem, points int) ([]TradeoffPoint, error) {
+	return engine.ParetoFront(pool, p, points, 0)
 }
 
 // TotalDelay evaluates Eq. 1 (end-to-end delay, ms) of a mapping.

@@ -1,0 +1,87 @@
+// Command parallel demonstrates the parallel solve engine: it sweeps the
+// rate–delay Pareto front of a mid-size Suite20 case at every worker count
+// from 1 to NumCPU and prints the wall-clock speedup, verifying along the
+// way that every width returns the byte-identical front (parallelism is a
+// throughput knob, never a semantics knob).
+//
+//	go run ./examples/parallel
+//	go run ./examples/parallel -case 11 -points 16 -reps 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"elpc"
+)
+
+func main() {
+	caseIdx := flag.Int("case", 11, "Suite20 case index (0..19)")
+	points := flag.Int("points", 8, "Pareto sweep resolution")
+	reps := flag.Int("reps", 3, "timing repetitions per width (best is reported)")
+	flag.Parse()
+	if err := run(*caseIdx, *points, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "parallel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(caseIdx, points, reps int) error {
+	suite := elpc.Suite20()
+	if caseIdx < 0 || caseIdx >= len(suite) {
+		return fmt.Errorf("case must be in [0,%d)", len(suite))
+	}
+	spec := suite[caseIdx]
+	p, err := elpc.BuildCase(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("case %d (%s), %d-point rate–delay sweep, best of %d reps\n\n", spec.ID, spec, points, reps)
+
+	fingerprint := func(front []elpc.TradeoffPoint) string {
+		s := ""
+		for _, pt := range front {
+			s += fmt.Sprintf("%.9f/%.9f;", pt.DelayMs, pt.RateFPS)
+		}
+		return s
+	}
+
+	var baseline time.Duration
+	var want string
+	fmt.Printf("%-8s %-12s %-8s %s\n", "workers", "best", "speedup", "front")
+	for w := 1; w <= runtime.NumCPU(); w++ {
+		pool := elpc.NewEnginePool(w)
+		best := time.Duration(0)
+		var front []elpc.TradeoffPoint
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			front, err = elpc.RateDelayFrontParallel(pool, p, points)
+			elapsed := time.Since(start)
+			if err != nil {
+				pool.Close()
+				return err
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		pool.Close()
+		fp := fingerprint(front)
+		if w == 1 {
+			baseline = best
+			want = fp
+		} else if fp != want {
+			return fmt.Errorf("workers=%d produced a different front — determinism violated", w)
+		}
+		fmt.Printf("%-8d %-12v %-8.2f %d points (identical)\n",
+			w, best.Round(time.Microsecond), float64(baseline)/float64(best), len(front))
+	}
+	if runtime.NumCPU() == 1 {
+		fmt.Println("\n(single-CPU machine: speedup is capped at 1.0 here; the engine")
+		fmt.Println(" adds <1% overhead and scales with cores elsewhere)")
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Package benchfmt defines the machine-readable benchmark summary emitted
+// by pipebench -json (schema "elpc-pipebench-v1") and the baseline
+// comparison used by the CI regression gate: cmd/benchdiff and
+// pipebench -compare both diff a fresh run against a committed
+// BENCH_BASELINE.json and fail when tier-1 scenario metrics regress beyond
+// a threshold.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"elpc/internal/harness"
+)
+
+// Schema identifies the JSON document format.
+const Schema = "elpc-pipebench-v1"
+
+// Outcome is one algorithm's result on one case. Value is omitted (not NaN,
+// which JSON cannot encode) when the outcome is infeasible.
+type Outcome struct {
+	Feasible  bool     `json:"feasible"`
+	Value     *float64 `json:"value,omitempty"`
+	RuntimeMs float64  `json:"runtime_ms"`
+	Err       string   `json:"error,omitempty"`
+}
+
+// Case is one suite case: dimensions plus per-algorithm outcomes under both
+// objectives (delay values in ms, rate values in fps).
+type Case struct {
+	Case    int                `json:"case"`
+	Modules int                `json:"modules"`
+	Nodes   int                `json:"nodes"`
+	Links   int                `json:"links"`
+	Seed    uint64             `json:"seed"`
+	Delay   map[string]Outcome `json:"min_delay_ms"`
+	Rate    map[string]Outcome `json:"max_frame_rate_fps"`
+}
+
+// Doc is the machine-readable experiment summary emitted by -json, so
+// successive PRs can track the performance trajectory (BENCH_BASELINE.json
+// and the CI workflow artifact).
+type Doc struct {
+	Schema       string             `json:"schema"`
+	Figure       string             `json:"figure"`
+	Cases        int                `json:"cases"`
+	Algorithms   []string           `json:"algorithms"`
+	SuiteMs      float64            `json:"suite_ms"`
+	Results      []Case             `json:"results"`
+	DelayWins    map[string]int     `json:"delay_wins"`
+	RateWins     map[string]int     `json:"rate_wins"`
+	MeanDelayVsE map[string]float64 `json:"mean_delay_ratio_vs_elpc"`
+	MeanRateVsE  map[string]float64 `json:"mean_rate_ratio_vs_elpc"`
+	Feasible     map[string]int     `json:"feasible_outcomes"`
+	// Fleet is the multi-tenant placement scenario (admission rate and
+	// mean deployed frame rate over a deterministic arrival schedule on a
+	// Suite20 network).
+	Fleet *harness.FleetScenarioResult `json:"fleet,omitempty"`
+}
+
+func toOutcome(o harness.Outcome) Outcome {
+	out := Outcome{
+		Feasible:  o.Feasible,
+		RuntimeMs: float64(o.Runtime) / float64(time.Millisecond),
+		Err:       o.Err,
+	}
+	if o.Feasible {
+		v := o.Value
+		out.Value = &v
+	}
+	return out
+}
+
+// Build renders a suite run (plus the optional fleet scenario) as a Doc.
+func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, elapsed time.Duration) *Doc {
+	doc := &Doc{
+		Schema:     Schema,
+		Figure:     fig,
+		Cases:      len(results),
+		Algorithms: harness.MapperNames(),
+		SuiteMs:    float64(elapsed) / float64(time.Millisecond),
+		Fleet:      fleet,
+	}
+	for _, r := range results {
+		c := Case{
+			Case:    r.Spec.ID,
+			Modules: r.Spec.Modules,
+			Nodes:   r.Spec.Nodes,
+			Links:   r.Spec.Links,
+			Seed:    r.Spec.Seed,
+			Delay:   map[string]Outcome{},
+			Rate:    map[string]Outcome{},
+		}
+		for name, o := range r.Delay {
+			c.Delay[name] = toOutcome(o)
+		}
+		for name, o := range r.Rate {
+			c.Rate[name] = toOutcome(o)
+		}
+		doc.Results = append(doc.Results, c)
+	}
+	s := harness.Summarize(results)
+	doc.DelayWins = s.DelayWins
+	doc.RateWins = s.RateWins
+	doc.MeanDelayVsE = s.MeanDelayRatio
+	doc.MeanRateVsE = s.MeanRateRatio
+	doc.Feasible = s.Feasible
+	return doc
+}
+
+// Write renders the doc as indented JSON.
+func (d *Doc) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Load reads and validates a Doc from a JSON file.
+func Load(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("benchfmt: parsing %s: %w", path, err)
+	}
+	if d.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: %s has schema %q, want %q", path, d.Schema, Schema)
+	}
+	return &d, nil
+}

@@ -1,0 +1,234 @@
+package benchfmt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metric classes drive which threshold applies when diffing two Docs.
+const (
+	// ClassQuality marks deterministic solution-quality metrics (delays,
+	// rates, admission statistics). These are machine-independent, so the
+	// gate holds them to the tight QualityThreshold.
+	ClassQuality = "quality"
+	// ClassRuntime marks wall-clock metrics, which vary across machines
+	// and CI runners; they get the looser RuntimeThreshold and an absolute
+	// floor below which diffs are ignored as noise.
+	ClassRuntime = "runtime"
+	// ClassFeasibility marks feasible-outcome regressions (an algorithm
+	// that solved a case in the baseline but no longer does); any loss
+	// fails regardless of thresholds.
+	ClassFeasibility = "feasibility"
+)
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// QualityThreshold is the maximum tolerated relative regression of a
+	// quality metric; <= 0 selects DefaultQualityThreshold (20%).
+	QualityThreshold float64
+	// RuntimeThreshold is the maximum tolerated relative regression of a
+	// runtime metric; <= 0 selects DefaultRuntimeThreshold (50%, loose
+	// enough to absorb runner variance while still catching the 2-3x
+	// slowdowns the gate exists for). Set IgnoreRuntime to drop runtime
+	// checks from gating entirely.
+	RuntimeThreshold float64
+	// MinRuntimeMs ignores runtime regressions when both sides are below
+	// this floor (timer noise); <= 0 selects DefaultMinRuntimeMs.
+	MinRuntimeMs float64
+	// IgnoreRuntime drops runtime metrics from gating (they still appear
+	// in the report as informational rows).
+	IgnoreRuntime bool
+}
+
+// Defaults for CompareOptions.
+const (
+	DefaultQualityThreshold = 0.20
+	DefaultRuntimeThreshold = 0.50
+	DefaultMinRuntimeMs     = 50.0
+)
+
+func (o CompareOptions) normalized() CompareOptions {
+	if o.QualityThreshold <= 0 {
+		o.QualityThreshold = DefaultQualityThreshold
+	}
+	if o.RuntimeThreshold <= 0 {
+		o.RuntimeThreshold = DefaultRuntimeThreshold
+	}
+	if o.MinRuntimeMs <= 0 {
+		o.MinRuntimeMs = DefaultMinRuntimeMs
+	}
+	return o
+}
+
+// Delta is one compared metric.
+type Delta struct {
+	// Metric names the compared quantity ("case 11 rate ELPC",
+	// "fleet admission_rate", "suite_ms").
+	Metric string `json:"metric"`
+	// Class is ClassQuality, ClassRuntime, or ClassFeasibility.
+	Class string `json:"class"`
+	// Old and New are the baseline and fresh values.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// Change is the relative regression (positive = worse), using the
+	// metric's "worse" direction.
+	Change float64 `json:"change"`
+	// Regressed reports whether Change exceeded the class threshold.
+	Regressed bool `json:"regressed"`
+}
+
+// Report is the outcome of comparing a fresh Doc against a baseline.
+type Report struct {
+	Deltas      []Delta `json:"deltas"`
+	Regressions int     `json:"regressions"`
+	Compared    int     `json:"compared"`
+}
+
+// OK reports whether the gate passes.
+func (r *Report) OK() bool { return r.Regressions == 0 }
+
+// Text renders the report for logs: regressions first, then the largest
+// movements, then a one-line verdict.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compared %d metrics, %d regression(s)\n", r.Compared, r.Regressions)
+	for _, d := range r.Deltas {
+		if !d.Regressed {
+			continue
+		}
+		fmt.Fprintf(&b, "REGRESSION  %-40s %12.4g -> %-12.4g (%+.1f%%) [%s]\n",
+			d.Metric, d.Old, d.New, 100*d.Change, d.Class)
+	}
+	// The largest non-regressed movements give reviewers trend context.
+	moved := make([]Delta, 0, len(r.Deltas))
+	for _, d := range r.Deltas {
+		if !d.Regressed && d.Change != 0 {
+			moved = append(moved, d)
+		}
+	}
+	sort.Slice(moved, func(i, j int) bool { return abs(moved[i].Change) > abs(moved[j].Change) })
+	if len(moved) > 8 {
+		moved = moved[:8]
+	}
+	for _, d := range moved {
+		fmt.Fprintf(&b, "moved       %-40s %12.4g -> %-12.4g (%+.1f%%) [%s]\n",
+			d.Metric, d.Old, d.New, 100*d.Change, d.Class)
+	}
+	if r.OK() {
+		b.WriteString("benchmark gate: PASS\n")
+	} else {
+		b.WriteString("benchmark gate: FAIL\n")
+	}
+	return b.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Compare diffs a fresh Doc against the committed baseline and flags
+// regressions: quality metrics (per-case ELPC delay and rate, summary
+// ratios, fleet admission statistics) beyond the quality threshold, runtime
+// metrics (suite wall clock) beyond the runtime threshold, and any lost
+// feasibility. Metrics present on only one side are skipped — growing the
+// suite must not fail the gate.
+func Compare(baseline, fresh *Doc, opt CompareOptions) *Report {
+	opt = opt.normalized()
+	rep := &Report{}
+
+	// lowerBetter: regression when new > old (delay); otherwise rate-like.
+	add := func(metric, class string, old, cur float64, lowerBetter bool) {
+		var change float64
+		switch {
+		case old == cur:
+			change = 0
+		case lowerBetter && old > 0:
+			change = (cur - old) / old
+		case !lowerBetter && old > 0:
+			change = (old - cur) / old
+		}
+		threshold := opt.QualityThreshold
+		gated := true
+		if class == ClassRuntime {
+			threshold = opt.RuntimeThreshold
+			if opt.IgnoreRuntime || (old < opt.MinRuntimeMs && cur < opt.MinRuntimeMs) {
+				gated = false
+			}
+		}
+		d := Delta{Metric: metric, Class: class, Old: old, New: cur, Change: change}
+		if gated && change > threshold {
+			d.Regressed = true
+			rep.Regressions++
+		}
+		rep.Compared++
+		rep.Deltas = append(rep.Deltas, d)
+	}
+
+	freshCases := make(map[int]Case, len(fresh.Results))
+	for _, c := range fresh.Results {
+		freshCases[c.Case] = c
+	}
+	for _, oc := range baseline.Results {
+		nc, ok := freshCases[oc.Case]
+		if !ok {
+			continue
+		}
+		compareOutcomes(rep, add, fmt.Sprintf("case %d delay", oc.Case), oc.Delay, nc.Delay, true)
+		compareOutcomes(rep, add, fmt.Sprintf("case %d rate", oc.Case), oc.Rate, nc.Rate, false)
+	}
+
+	// Suite-level quality summaries (ELPC-relative geometric means).
+	for algo, old := range baseline.MeanDelayVsE {
+		if cur, ok := fresh.MeanDelayVsE[algo]; ok {
+			add("mean_delay_ratio_vs_elpc "+algo, ClassQuality, old, cur, true)
+		}
+	}
+	for algo, old := range baseline.MeanRateVsE {
+		if cur, ok := fresh.MeanRateVsE[algo]; ok {
+			add("mean_rate_ratio_vs_elpc "+algo, ClassQuality, old, cur, false)
+		}
+	}
+
+	if baseline.Fleet != nil && fresh.Fleet != nil {
+		add("fleet admission_rate", ClassQuality, baseline.Fleet.AdmissionRate, fresh.Fleet.AdmissionRate, false)
+		add("fleet mean_deployed_fps", ClassQuality, baseline.Fleet.MeanDeployedFPS, fresh.Fleet.MeanDeployedFPS, false)
+		add("fleet mean_reserved_fps", ClassQuality, baseline.Fleet.MeanReservedFPS, fresh.Fleet.MeanReservedFPS, false)
+	}
+
+	add("suite_ms", ClassRuntime, baseline.SuiteMs, fresh.SuiteMs, true)
+	return rep
+}
+
+// compareOutcomes diffs one objective's per-algorithm outcomes of one case:
+// lost feasibility always regresses; values compare as quality metrics.
+func compareOutcomes(rep *Report, add func(string, string, float64, float64, bool), prefix string, old, cur map[string]Outcome, lowerBetter bool) {
+	algos := make([]string, 0, len(old))
+	for a := range old {
+		algos = append(algos, a)
+	}
+	sort.Strings(algos)
+	for _, a := range algos {
+		oo := old[a]
+		no, ok := cur[a]
+		if !ok {
+			continue
+		}
+		metric := prefix + " " + a
+		if oo.Feasible && !no.Feasible {
+			rep.Compared++
+			rep.Regressions++
+			rep.Deltas = append(rep.Deltas, Delta{
+				Metric: metric + " feasibility", Class: ClassFeasibility,
+				Old: 1, New: 0, Change: 1, Regressed: true,
+			})
+			continue
+		}
+		if oo.Feasible && no.Feasible && oo.Value != nil && no.Value != nil {
+			add(metric, ClassQuality, *oo.Value, *no.Value, lowerBetter)
+		}
+	}
+}

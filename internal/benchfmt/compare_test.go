@@ -1,0 +1,174 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func twoDocs() (*Doc, *Doc) {
+	baseline := &Doc{
+		Schema:  Schema,
+		SuiteMs: 100,
+		Results: []Case{{
+			Case: 1,
+			Delay: map[string]Outcome{
+				"ELPC": {Feasible: true, Value: fp(10)},
+			},
+			Rate: map[string]Outcome{
+				"ELPC": {Feasible: true, Value: fp(50)},
+			},
+		}},
+		MeanDelayVsE: map[string]float64{"Greedy": 1.5},
+		MeanRateVsE:  map[string]float64{"Greedy": 0.4},
+	}
+	fresh := &Doc{
+		Schema:  Schema,
+		SuiteMs: 100,
+		Results: []Case{{
+			Case: 1,
+			Delay: map[string]Outcome{
+				"ELPC": {Feasible: true, Value: fp(10)},
+			},
+			Rate: map[string]Outcome{
+				"ELPC": {Feasible: true, Value: fp(50)},
+			},
+		}},
+		MeanDelayVsE: map[string]float64{"Greedy": 1.5},
+		MeanRateVsE:  map[string]float64{"Greedy": 0.4},
+	}
+	return baseline, fresh
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	b, f := twoDocs()
+	rep := Compare(b, f, CompareOptions{})
+	if !rep.OK() {
+		t.Fatalf("identical docs regressed: %s", rep.Text())
+	}
+	if rep.Compared == 0 {
+		t.Fatal("nothing compared")
+	}
+}
+
+func TestCompareDelayRegressionDirection(t *testing.T) {
+	b, f := twoDocs()
+	// Delay is lower-better: +30% delay must trip the 20% gate.
+	f.Results[0].Delay["ELPC"] = Outcome{Feasible: true, Value: fp(13)}
+	if rep := Compare(b, f, CompareOptions{}); rep.OK() {
+		t.Fatal("30% delay regression passed the gate")
+	}
+	// A delay *improvement* of any size must pass.
+	f.Results[0].Delay["ELPC"] = Outcome{Feasible: true, Value: fp(2)}
+	if rep := Compare(b, f, CompareOptions{}); !rep.OK() {
+		t.Fatalf("delay improvement failed the gate: %s", rep.Text())
+	}
+}
+
+func TestCompareRateRegressionDirection(t *testing.T) {
+	b, f := twoDocs()
+	// Rate is higher-better: -30% rate must trip the gate.
+	f.Results[0].Rate["ELPC"] = Outcome{Feasible: true, Value: fp(35)}
+	if rep := Compare(b, f, CompareOptions{}); rep.OK() {
+		t.Fatal("30% rate regression passed the gate")
+	}
+	// +30% rate must pass.
+	f.Results[0].Rate["ELPC"] = Outcome{Feasible: true, Value: fp(65)}
+	if rep := Compare(b, f, CompareOptions{}); !rep.OK() {
+		t.Fatalf("rate improvement failed the gate: %s", rep.Text())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	b, f := twoDocs()
+	f.Results[0].Delay["ELPC"] = Outcome{Feasible: true, Value: fp(11.5)} // +15%
+	f.Results[0].Rate["ELPC"] = Outcome{Feasible: true, Value: fp(42.5)}  // -15%
+	if rep := Compare(b, f, CompareOptions{}); !rep.OK() {
+		t.Fatalf("15%% movement tripped the 20%% gate: %s", rep.Text())
+	}
+	// But a tightened threshold catches it.
+	if rep := Compare(b, f, CompareOptions{QualityThreshold: 0.10}); rep.OK() {
+		t.Fatal("15% movement passed a 10% gate")
+	}
+}
+
+func TestCompareFeasibilityLossAlwaysFails(t *testing.T) {
+	b, f := twoDocs()
+	f.Results[0].Rate["ELPC"] = Outcome{Feasible: false, Err: "infeasible"}
+	rep := Compare(b, f, CompareOptions{QualityThreshold: 100})
+	if rep.OK() {
+		t.Fatal("feasibility loss passed the gate")
+	}
+	if !strings.Contains(rep.Text(), "feasibility") {
+		t.Errorf("report does not name the feasibility loss:\n%s", rep.Text())
+	}
+}
+
+func TestCompareRuntimeNoiseFloorAndThreshold(t *testing.T) {
+	b, f := twoDocs()
+	// Below the floor: even a 10x runtime blip is noise.
+	b.SuiteMs, f.SuiteMs = 3, 30
+	if rep := Compare(b, f, CompareOptions{}); !rep.OK() {
+		t.Fatalf("sub-floor runtime noise tripped the gate: %s", rep.Text())
+	}
+	// Above the floor, +40% passes the 50% default...
+	b.SuiteMs, f.SuiteMs = 1000, 1400
+	if rep := Compare(b, f, CompareOptions{}); !rep.OK() {
+		t.Fatalf("+40%% runtime tripped the 50%% gate: %s", rep.Text())
+	}
+	// ...and +100% fails it.
+	f.SuiteMs = 2000
+	if rep := Compare(b, f, CompareOptions{}); rep.OK() {
+		t.Fatal("2x runtime regression passed the gate")
+	}
+	// Unless runtime gating is off.
+	if rep := Compare(b, f, CompareOptions{IgnoreRuntime: true}); !rep.OK() {
+		t.Fatal("IgnoreRuntime still gated runtime")
+	}
+}
+
+func TestCompareSkipsMissingMetrics(t *testing.T) {
+	b, f := twoDocs()
+	// A case only in the fresh doc (suite grew) must not gate.
+	f.Results = append(f.Results, Case{Case: 99, Delay: map[string]Outcome{
+		"ELPC": {Feasible: true, Value: fp(1)},
+	}})
+	// A case only in the baseline (suite shrank) is skipped too.
+	b.Results = append(b.Results, Case{Case: 98, Delay: map[string]Outcome{
+		"ELPC": {Feasible: true, Value: fp(1)},
+	}})
+	if rep := Compare(b, f, CompareOptions{}); !rep.OK() {
+		t.Fatalf("asymmetric suites tripped the gate: %s", rep.Text())
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"something-else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("wrong schema loaded without error")
+	}
+	good := filepath.Join(dir, "good.json")
+	b, _ := twoDocs()
+	fh, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(fh); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	doc, err := Load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SuiteMs != b.SuiteMs {
+		t.Errorf("round-trip lost suite_ms: %v != %v", doc.SuiteMs, b.SuiteMs)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+
+	"elpc/internal/graph"
+)
+
+// SolveContext owns the reusable scratch memory of the DP solvers: the
+// min-delay distance columns and back-pointer slab, the beam-DP cell grids
+// and their entry slabs, and a bump-allocated bitset arena for the consumed-
+// node sets of partial paths. A context is cheap to create and amortizes to
+// zero steady-state allocations per solve once it has seen a problem of the
+// same shape.
+//
+// A SolveContext is NOT safe for concurrent use; give each goroutine its own
+// (the package-level solver functions draw from an internal sync.Pool, and
+// internal/engine hands one to every worker).
+type SolveContext struct {
+	// Min-delay scratch: two distance columns and an n*k back-pointer slab.
+	dist    []float64
+	parSlab []int32
+	parRows [][]int32
+
+	// Frame-rate beam DP: n*k cells of up to beam frEntry, slab-backed.
+	frSlab  []frEntry
+	frCells [][]frEntry
+	frRows  [][][]frEntry
+
+	// Tradeoff beam DP: n*k cells of up to beam+1 tradeEntry (insertPareto
+	// overshoots by one before truncating), slab-backed.
+	trSlab  []tradeEntry
+	trCells [][]tradeEntry
+	trRows  [][][]tradeEntry
+
+	// Bitset arena: consumed-node sets are bump-allocated here and recycled
+	// wholesale at the start of the next solve.
+	arena    []uint64
+	arenaOff int
+}
+
+// NewSolveContext returns an empty context; scratch memory is grown lazily
+// on first use and reused afterwards.
+func NewSolveContext() *SolveContext { return &SolveContext{} }
+
+// solveCtxPool backs the package-level convenience functions so one-shot
+// callers get the allocation-lean path without managing contexts.
+var solveCtxPool = sync.Pool{New: func() any { return NewSolveContext() }}
+
+func acquireCtx() *SolveContext   { return solveCtxPool.Get().(*SolveContext) }
+func releaseCtx(sc *SolveContext) { solveCtxPool.Put(sc) }
+
+// AcquireSolveContext hands out a context from the shared pool — the same
+// pool the package-level solver functions use, so external parallel drivers
+// (internal/engine) reuse the already-grown scratch instead of warming a
+// second pool. Pair every call with ReleaseSolveContext.
+func AcquireSolveContext() *SolveContext { return acquireCtx() }
+
+// ReleaseSolveContext returns a context to the shared pool. The context
+// must not be used after release.
+func ReleaseSolveContext(sc *SolveContext) { releaseCtx(sc) }
+
+// resetArena recycles the bitset arena for a new solve. Previously returned
+// bitsets are invalidated; every allocation is fully overwritten before use,
+// so no zeroing is needed.
+func (sc *SolveContext) resetArena() { sc.arenaOff = 0 }
+
+// allocBits bump-allocates w words. When the arena is exhausted it grows a
+// fresh backing array; slices handed out earlier keep pointing into the old
+// one and stay valid for the remainder of the solve.
+func (sc *SolveContext) allocBits(w int) graph.Bitset {
+	if sc.arenaOff+w > len(sc.arena) {
+		size := 2 * len(sc.arena)
+		if size < 1024 {
+			size = 1024
+		}
+		if size < w {
+			size = w
+		}
+		sc.arena = make([]uint64, size)
+		sc.arenaOff = 0
+	}
+	b := sc.arena[sc.arenaOff : sc.arenaOff+w]
+	sc.arenaOff += w
+	return graph.Bitset(b)
+}
+
+// newBitset allocates a zeroed bitset for values in [0, k).
+func (sc *SolveContext) newBitset(k int) graph.Bitset {
+	b := sc.allocBits((k + 63) / 64)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// cloneBitset copies b into the arena.
+func (sc *SolveContext) cloneBitset(b graph.Bitset) graph.Bitset {
+	c := sc.allocBits(len(b))
+	copy(c, b)
+	return c
+}
+
+// distCols returns the two k-wide min-delay distance columns.
+func (sc *SolveContext) distCols(k int) (prev, cur []float64) {
+	if cap(sc.dist) < 2*k {
+		sc.dist = make([]float64, 2*k)
+	}
+	d := sc.dist[:2*k]
+	return d[:k], d[k:]
+}
+
+// parentGrid returns n rows of k back-pointers backed by one slab.
+func (sc *SolveContext) parentGrid(n, k int) [][]int32 {
+	if cap(sc.parSlab) < n*k {
+		sc.parSlab = make([]int32, n*k)
+	}
+	slab := sc.parSlab[:n*k]
+	if cap(sc.parRows) < n {
+		sc.parRows = make([][]int32, n)
+	}
+	rows := sc.parRows[:n]
+	for j := range rows {
+		rows[j] = slab[j*k : (j+1)*k]
+	}
+	return rows
+}
+
+// frGrid returns the n×k frame-rate DP cell grid with every cell an empty
+// slice of capacity beam carved out of one slab, so insertEntry never
+// allocates.
+func (sc *SolveContext) frGrid(n, k, beam int) [][][]frEntry {
+	need := n * k * beam
+	if cap(sc.frSlab) < need {
+		sc.frSlab = make([]frEntry, need)
+	}
+	slab := sc.frSlab[:need]
+	if cap(sc.frCells) < n*k {
+		sc.frCells = make([][]frEntry, n*k)
+	}
+	cells := sc.frCells[:n*k]
+	for i := range cells {
+		off := i * beam
+		cells[i] = slab[off : off : off+beam]
+	}
+	if cap(sc.frRows) < n {
+		sc.frRows = make([][][]frEntry, n)
+	}
+	rows := sc.frRows[:n]
+	for j := range rows {
+		rows[j] = cells[j*k : (j+1)*k]
+	}
+	return rows
+}
+
+// maxSlabBeam bounds the beam width the grids slab-allocate for. The slab
+// reserves beam(+1) entries per cell up front, which is the right trade for
+// the routine widths (DefaultBeam..tens) but would reserve gigabytes for an
+// extreme explicit beam (the tradeoff DP accepts up to 32767) even though
+// pruning leaves most cells empty — past the cutoff, cells start nil and
+// grow per survivor like the pre-slab implementation.
+const maxSlabBeam = 128
+
+// trGrid is frGrid for the bicriteria DP; cells get capacity beam+1 because
+// insertPareto appends before truncating back to beam.
+func (sc *SolveContext) trGrid(n, k, beam int) [][][]tradeEntry {
+	lazy := beam > maxSlabBeam
+	c := beam + 1
+	if lazy {
+		c = 0
+	}
+	need := n * k * c
+	if cap(sc.trSlab) < need {
+		sc.trSlab = make([]tradeEntry, need)
+	}
+	slab := sc.trSlab[:need]
+	if cap(sc.trCells) < n*k {
+		sc.trCells = make([][]tradeEntry, n*k)
+	}
+	cells := sc.trCells[:n*k]
+	for i := range cells {
+		if lazy {
+			cells[i] = nil
+			continue
+		}
+		off := i * c
+		cells[i] = slab[off : off : off+c]
+	}
+	if cap(sc.trRows) < n {
+		sc.trRows = make([][][]tradeEntry, n)
+	}
+	rows := sc.trRows[:n]
+	for j := range rows {
+		rows[j] = cells[j*k : (j+1)*k]
+	}
+	return rows
+}

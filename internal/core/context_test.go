@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// TestSolveContextReuseMatchesFresh runs every solver twice on a rotation of
+// differently shaped problems through one reused context and checks each
+// answer against a fresh context: stale slab contents, arena recycling, and
+// grid resizing must never leak into results.
+func TestSolveContextReuseMatchesFresh(t *testing.T) {
+	shared := core.NewSolveContext()
+	solved := 0
+	for seed := uint64(0); seed < 25; seed++ {
+		// Alternate sizes so the reused context keeps regrowing/shrinking.
+		maxM, maxN := 4+int(seed%3), 6+int(seed%5)
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+4321), maxM, maxN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			fresh := core.NewSolveContext()
+
+			mShared, errShared := shared.MinDelay(p)
+			mFresh, errFresh := fresh.MinDelay(p)
+			compareSolves(t, "MinDelay", seed, mShared, errShared, mFresh, errFresh)
+
+			mShared, errShared = shared.MaxFrameRate(p, core.FrameRateOptions{})
+			mFresh, errFresh = fresh.MaxFrameRate(p, core.FrameRateOptions{})
+			compareSolves(t, "MaxFrameRate", seed, mShared, errShared, mFresh, errFresh)
+
+			mShared, errShared = shared.MaxFrameRateWithBudget(p, core.TradeoffOptions{})
+			mFresh, errFresh = fresh.MaxFrameRateWithBudget(p, core.TradeoffOptions{})
+			compareSolves(t, "MaxFrameRateWithBudget", seed, mShared, errShared, mFresh, errFresh)
+			if errShared == nil {
+				solved++
+			}
+
+			if v1, v2 := shared.MinDelayValue(p), fresh.MinDelayValue(p); v1 != v2 {
+				t.Errorf("seed %d: MinDelayValue reuse %v != fresh %v", seed, v1, v2)
+			}
+		}
+	}
+	if solved == 0 {
+		t.Fatal("no instance solved; test exercised nothing")
+	}
+}
+
+func compareSolves(t *testing.T, name string, seed uint64, a *model.Mapping, aerr error, b *model.Mapping, berr error) {
+	t.Helper()
+	if (aerr == nil) != (berr == nil) {
+		t.Fatalf("seed %d: %s reuse err=%v, fresh err=%v", seed, name, aerr, berr)
+	}
+	if aerr != nil {
+		return
+	}
+	if len(a.Assign) != len(b.Assign) {
+		t.Fatalf("seed %d: %s lengths differ", seed, name)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("seed %d: %s reuse %v != fresh %v", seed, name, a.Assign, b.Assign)
+		}
+	}
+}
+
+// TestSolveContextAllocationLean: after a warm-up solve, repeating the same
+// solve on the same context must not allocate per-cell or per-entry memory —
+// only the returned mapping (and its internal rendering) may allocate.
+func TestSolveContextAllocationLean(t *testing.T) {
+	p, err := gen.Suite20()[0].Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := core.NewSolveContext()
+	if _, err := sc.MaxFrameRate(p, core.FrameRateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := sc.MaxFrameRate(p, core.FrameRateOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The warm path allocates the result mapping (assign slice + Mapping +
+	// group rendering) but no DP tables; give it a small cushion so model-
+	// side changes don't flake this test.
+	if allocs > 24 {
+		t.Errorf("warm MaxFrameRate solve allocates %.0f objects; DP scratch is leaking out of the context", allocs)
+	}
+}

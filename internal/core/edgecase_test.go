@@ -1,0 +1,195 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"elpc/internal/core"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// feasibleTinyProblem returns a small random instance on which the
+// unconstrained tradeoff DP succeeds, so edge-case behavior is about the
+// parameters rather than infeasibility.
+func feasibleTinyProblem(t *testing.T) *model.Problem {
+	t.Helper()
+	for seed := uint64(0); seed < 50; seed++ {
+		p, err := gen.RandomTinyProblem(gen.RNG(seed+77), 5, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.MaxFrameRateWithBudget(p, core.TradeoffOptions{}); err == nil {
+			return p
+		}
+	}
+	t.Fatal("no feasible tiny instance found")
+	return nil
+}
+
+// TestParetoFrontEdgeCases pins down the defined behavior of degenerate
+// sweep parameters: points < 1 is an error, points == 1 is the single
+// unconstrained best-rate point, beam <= 0 selects DefaultBeam, and an
+// oversized beam errors rather than overflowing back-pointer indices.
+func TestParetoFrontEdgeCases(t *testing.T) {
+	p := feasibleTinyProblem(t)
+
+	tests := []struct {
+		name    string
+		points  int
+		beam    int
+		wantErr bool
+		check   func(t *testing.T, front []core.TradeoffPoint)
+	}{
+		{name: "points=0 errors", points: 0, beam: 4, wantErr: true},
+		{name: "points=-3 errors", points: -3, beam: 4, wantErr: true},
+		{
+			name: "points=1 single unconstrained point", points: 1, beam: 4,
+			check: func(t *testing.T, front []core.TradeoffPoint) {
+				if len(front) != 1 {
+					t.Fatalf("front has %d points, want exactly 1", len(front))
+				}
+				un, err := core.MaxFrameRateWithBudget(p, core.TradeoffOptions{Beam: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantRate := model.FrameRate(model.Bottleneck(p.Net, p.Pipe, un))
+				if math.Abs(front[0].RateFPS-wantRate) > 1e-9 {
+					t.Errorf("one-point front rate %v, want unconstrained %v", front[0].RateFPS, wantRate)
+				}
+			},
+		},
+		{
+			name: "points=2 both ends", points: 2, beam: 4,
+			check: func(t *testing.T, front []core.TradeoffPoint) {
+				if len(front) < 1 {
+					t.Fatal("empty front")
+				}
+			},
+		},
+		{
+			name: "beam=0 uses default", points: 4, beam: 0,
+			check: func(t *testing.T, front []core.TradeoffPoint) {
+				want, err := core.ParetoFront(p, 4, core.DefaultBeam)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(front) != len(want) {
+					t.Fatalf("beam=0 front has %d points, DefaultBeam %d", len(front), len(want))
+				}
+				for i := range front {
+					if front[i].DelayMs != want[i].DelayMs || front[i].RateFPS != want[i].RateFPS {
+						t.Errorf("point %d: beam=0 %+v != DefaultBeam %+v", i, front[i], want[i])
+					}
+				}
+			},
+		},
+		{name: "beam=-5 uses default", points: 3, beam: -5},
+		{name: "oversized beam errors", points: 3, beam: 1 << 16, wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			front, err := core.ParetoFront(p, tc.points, tc.beam)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParetoFront(points=%d, beam=%d) = %d points, want error", tc.points, tc.beam, len(front))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParetoFront(points=%d, beam=%d): %v", tc.points, tc.beam, err)
+			}
+			if len(front) == 0 {
+				t.Fatal("empty front without error")
+			}
+			for i, pt := range front {
+				if pt.Mapping == nil {
+					t.Fatalf("point %d has nil mapping", i)
+				}
+				if err := p.ValidateMapping(pt.Mapping, model.MaxFrameRate); err != nil {
+					t.Errorf("point %d invalid: %v", i, err)
+				}
+			}
+			if tc.check != nil {
+				tc.check(t, front)
+			}
+		})
+	}
+}
+
+// TestParetoFrontSinglePointValidates: the points==1 fast path must report
+// input errors as input errors, not fold them into "every budget
+// infeasible" (which writeError would map to 422 instead of 400).
+func TestParetoFrontSinglePointValidates(t *testing.T) {
+	if _, err := core.ParetoFront(&model.Problem{}, 1, 0); err == nil || errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("invalid problem with points=1: err = %v, want a non-infeasible validation error", err)
+	}
+	p := feasibleTinyProblem(t)
+	if _, err := core.ParetoFront(p, 1, 1<<16); err == nil || errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("oversized beam with points=1: err = %v, want a non-infeasible beam error", err)
+	}
+}
+
+// TestTradeoffLargeBeamLazyGrid: beams past the slab cutoff take the lazy
+// per-cell path and must still produce a valid mapping.
+func TestTradeoffLargeBeamLazyGrid(t *testing.T) {
+	p := feasibleTinyProblem(t)
+	m, err := core.MaxFrameRateWithBudget(p, core.TradeoffOptions{Beam: 500})
+	if err != nil {
+		t.Fatalf("beam 500: %v", err)
+	}
+	if err := p.ValidateMapping(m, model.MaxFrameRate); err != nil {
+		t.Errorf("beam 500 mapping invalid: %v", err)
+	}
+	// A huge beam subsumes the default beam's search space, so the
+	// bottleneck can only be equal or better.
+	def, err := core.MaxFrameRateWithBudget(p, core.TradeoffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigV, defV := model.Bottleneck(p.Net, p.Pipe, m), model.Bottleneck(p.Net, p.Pipe, def); bigV > defV+1e-9 {
+		t.Errorf("beam 500 bottleneck %v worse than default-beam %v", bigV, defV)
+	}
+}
+
+// TestFrontBudgetsEdgeCases pins the budget-ladder contract the parallel
+// engine relies on.
+func TestFrontBudgetsEdgeCases(t *testing.T) {
+	p := feasibleTinyProblem(t)
+
+	if _, err := core.FrontBudgets(p, 0, 0); err == nil {
+		t.Error("points=0 should error")
+	}
+	one, err := core.FrontBudgets(p, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || !math.IsInf(one[0], 1) {
+		t.Errorf("points=1 ladder = %v, want [+Inf]", one)
+	}
+	five, err := core.FrontBudgets(p, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(five) != 5 {
+		t.Fatalf("points=5 ladder has %d budgets", len(five))
+	}
+	for i := 1; i < len(five); i++ {
+		if five[i] < five[i-1] {
+			t.Errorf("ladder not nondecreasing at %d: %v", i, five)
+		}
+	}
+}
+
+// TestMaxFrameRateBeamCap: the frame-rate DP's int8 parent index caps beam
+// at 127 with a clear error, not an overflow.
+func TestMaxFrameRateBeamCap(t *testing.T) {
+	p := feasibleTinyProblem(t)
+	if _, err := core.MaxFrameRateOpt(p, core.FrameRateOptions{Beam: 128}); err == nil {
+		t.Error("beam 128 should error")
+	}
+	if _, err := core.MaxFrameRateOpt(p, core.FrameRateOptions{Beam: 127}); err != nil && !errors.Is(err, model.ErrInfeasible) {
+		t.Errorf("beam 127 should be accepted, got %v", err)
+	}
+}

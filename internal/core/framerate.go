@@ -40,6 +40,15 @@ func MaxFrameRate(p *model.Problem) (*model.Mapping, error) {
 }
 
 // MaxFrameRateOpt computes a maximum frame rate mapping without node reuse
+// (ELPC heuristic, Section 3.1.2) using a pooled SolveContext. See
+// SolveContext.MaxFrameRate for the algorithm.
+func MaxFrameRateOpt(p *model.Problem, opt FrameRateOptions) (*model.Mapping, error) {
+	sc := acquireCtx()
+	defer releaseCtx(sc)
+	return sc.MaxFrameRate(p, opt)
+}
+
+// MaxFrameRate computes a maximum frame rate mapping without node reuse
 // (ELPC heuristic, Section 3.1.2): every module runs on a distinct node and
 // consecutive modules must be joined by a directed link, i.e. the mapping is
 // a simple path of exactly n nodes from p.Src to p.Dst. The objective is the
@@ -54,7 +63,7 @@ func MaxFrameRate(p *model.Problem) (*model.Mapping, error) {
 // model.ErrInfeasible (wrapped) when no simple path of the right length is
 // found — which may occasionally be a heuristic miss rather than true
 // infeasibility; baseline.Brute provides the exact check on small instances.
-func MaxFrameRateOpt(p *model.Problem, opt FrameRateOptions) (*model.Mapping, error) {
+func (sc *SolveContext) MaxFrameRate(p *model.Problem, opt FrameRateOptions) (*model.Mapping, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,13 +91,11 @@ func MaxFrameRateOpt(p *model.Problem, opt FrameRateOptions) (*model.Mapping, er
 	toDst := topo.HopsTo(int(p.Dst))
 
 	// cells[j][v] holds up to beam entries sorted by ascending val.
-	cells := make([][][]frEntry, n)
-	for j := range cells {
-		cells[j] = make([][]frEntry, k)
-	}
-	srcUsed := graph.NewBitset(k)
+	sc.resetArena()
+	cells := sc.frGrid(n, k, beam)
+	srcUsed := sc.newBitset(k)
 	srcUsed.Set(int(p.Src))
-	cells[0][p.Src] = []frEntry{{val: 0, parent: -1, parentIdx: -1, used: srcUsed}}
+	cells[0][p.Src] = append(cells[0][p.Src], frEntry{val: 0, parent: -1, parentIdx: -1, used: srcUsed})
 
 	for j := 1; j < n; j++ {
 		inBytes := p.Pipe.Modules[j].InBytes
@@ -104,7 +111,7 @@ func MaxFrameRateOpt(p *model.Problem, opt FrameRateOptions) (*model.Mapping, er
 				continue
 			}
 			compute := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v)))
-			var entries []frEntry
+			entries := cells[j][v]
 			for _, eid := range topo.InEdges(v) {
 				u := topo.Edge(int(eid)).From
 				transfer := p.Net.Links[eid].TransferTime(inBytes, false)
@@ -131,7 +138,7 @@ func MaxFrameRateOpt(p *model.Problem, opt FrameRateOptions) (*model.Mapping, er
 			for i := range entries {
 				e := &entries[i]
 				parentUsed := cells[j-1][e.parent][e.parentIdx].used
-				e.used = parentUsed.Clone()
+				e.used = sc.cloneBitset(parentUsed)
 				e.used.Set(v)
 			}
 			cells[j][v] = entries
@@ -164,7 +171,8 @@ func MaxFrameRateOpt(p *model.Problem, opt FrameRateOptions) (*model.Mapping, er
 // insertEntry inserts e into the ascending-by-val list, keeping at most beam
 // entries. The used field of candidates is not consulted, so duplicate
 // partial paths may coexist; distinct predecessors give diversity, which is
-// what protects against dead ends.
+// what protects against dead ends. The list's backing array is never grown
+// past beam, so slab-backed cells stay allocation-free.
 func insertEntry(list []frEntry, e frEntry, beam int) []frEntry {
 	if len(list) == beam && e.val >= list[beam-1].val {
 		return list

@@ -7,6 +7,14 @@ import (
 	"elpc/internal/model"
 )
 
+// MinDelay computes an optimal minimum end-to-end delay mapping using a
+// pooled SolveContext. See SolveContext.MinDelay.
+func MinDelay(p *model.Problem) (*model.Mapping, error) {
+	sc := acquireCtx()
+	defer releaseCtx(sc)
+	return sc.MinDelay(p)
+}
+
 // MinDelay computes an optimal minimum end-to-end delay mapping of the
 // pipeline onto the network with node reuse allowed (ELPC, Section 3.1.1).
 //
@@ -17,7 +25,7 @@ import (
 //
 // It returns model.ErrInfeasible (wrapped) when no walk of at most n-1 hops
 // connects source and destination.
-func MinDelay(p *model.Problem) (*model.Mapping, error) {
+func (sc *SolveContext) MinDelay(p *model.Problem) (*model.Mapping, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -29,17 +37,16 @@ func MinDelay(p *model.Problem) (*model.Mapping, error) {
 	// ran module j-1 in the best partial mapping ending with module j on v
 	// (-1 when T^j(v) is infinite). Column j=0 is the base: module 0 (the
 	// data source, zero compute) sits on Src.
-	prev := make([]float64, k)
-	cur := make([]float64, k)
+	prev, cur := sc.distCols(k)
 	for v := range prev {
 		prev[v] = math.Inf(1)
 	}
 	prev[p.Src] = 0
-	parents := make([][]int32, n)
+	parents := sc.parentGrid(n, k)
 
 	for j := 1; j < n; j++ {
 		inBytes := p.Pipe.Modules[j].InBytes
-		par := make([]int32, k)
+		par := parents[j]
 		for v := 0; v < k; v++ {
 			power := p.Net.Power(model.NodeID(v))
 			compute := p.Pipe.ComputeTime(j, power)
@@ -67,7 +74,6 @@ func MinDelay(p *model.Problem) (*model.Mapping, error) {
 			cur[v] = best
 			par[v] = bestPar
 		}
-		parents[j] = par
 		prev, cur = cur, prev
 	}
 
@@ -92,15 +98,22 @@ func MinDelay(p *model.Problem) (*model.Mapping, error) {
 	return model.NewMapping(assign), nil
 }
 
+// MinDelayValue returns only the optimal delay in ms via a pooled
+// SolveContext. See SolveContext.MinDelayValue.
+func MinDelayValue(p *model.Problem) float64 {
+	sc := acquireCtx()
+	defer releaseCtx(sc)
+	return sc.MinDelayValue(p)
+}
+
 // MinDelayValue returns only the optimal delay in ms, computed exactly like
 // MinDelay but without retaining back-pointers — useful for benchmarking the
 // DP kernel itself. It returns +Inf when infeasible.
-func MinDelayValue(p *model.Problem) float64 {
+func (sc *SolveContext) MinDelayValue(p *model.Problem) float64 {
 	n := p.Pipe.N()
 	k := p.Net.N()
 	topo := p.Net.Topology()
-	prev := make([]float64, k)
-	cur := make([]float64, k)
+	prev, cur := sc.distCols(k)
 	for v := range prev {
 		prev[v] = math.Inf(1)
 	}

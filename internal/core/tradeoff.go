@@ -20,6 +20,9 @@ type TradeoffOptions struct {
 	DelayBudgetMs float64
 }
 
+// maxTradeoffBeam bounds the bicriteria beam so parentIdx fits in int16.
+const maxTradeoffBeam = 1<<15 - 1
+
 // tradeEntry is a bicriteria DP cell entry: bottleneck so far, accumulated
 // delay, predecessor, consumed node set.
 type tradeEntry struct {
@@ -28,6 +31,15 @@ type tradeEntry struct {
 	parent    int32
 	parentIdx int16
 	used      graph.Bitset
+}
+
+// MaxFrameRateWithBudget solves the streaming mapping problem under an
+// additional interactivity constraint using a pooled SolveContext. See
+// SolveContext.MaxFrameRateWithBudget.
+func MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mapping, error) {
+	sc := acquireCtx()
+	defer releaseCtx(sc)
+	return sc.MaxFrameRateWithBudget(p, opt)
 }
 
 // MaxFrameRateWithBudget solves the streaming mapping problem of Section
@@ -40,13 +52,16 @@ type tradeEntry struct {
 // Cells retain Pareto-nondominated (bottleneck, delay) pairs, capped at
 // Beam entries (kept in ascending bottleneck order), so the algorithm is a
 // heuristic like the paper's single-criterion DP.
-func MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mapping, error) {
+func (sc *SolveContext) MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mapping, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	beam := opt.Beam
 	if beam <= 0 {
 		beam = DefaultBeam
+	}
+	if beam > maxTradeoffBeam {
+		return nil, fmt.Errorf("core: tradeoff: beam %d exceeds %d", beam, maxTradeoffBeam)
 	}
 	budget := opt.DelayBudgetMs
 	if budget <= 0 {
@@ -63,13 +78,11 @@ func MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mappi
 	topo := p.Net.Topology()
 	toDst := topo.HopsTo(int(p.Dst))
 
-	cells := make([][][]tradeEntry, n)
-	for j := range cells {
-		cells[j] = make([][]tradeEntry, k)
-	}
-	srcUsed := graph.NewBitset(k)
+	sc.resetArena()
+	cells := sc.trGrid(n, k, beam)
+	srcUsed := sc.newBitset(k)
 	srcUsed.Set(int(p.Src))
-	cells[0][p.Src] = []tradeEntry{{val: 0, delay: 0, parent: -1, parentIdx: -1, used: srcUsed}}
+	cells[0][p.Src] = append(cells[0][p.Src], tradeEntry{val: 0, delay: 0, parent: -1, parentIdx: -1, used: srcUsed})
 
 	for j := 1; j < n; j++ {
 		inBytes := p.Pipe.Modules[j].InBytes
@@ -82,7 +95,7 @@ func MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mappi
 				continue
 			}
 			compute := p.Pipe.ComputeTime(j, p.Net.Power(model.NodeID(v)))
-			var entries []tradeEntry
+			entries := cells[j][v]
 			for _, eid := range topo.InEdges(v) {
 				u := topo.Edge(int(eid)).From
 				link := p.Net.Links[eid]
@@ -110,7 +123,7 @@ func MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mappi
 			}
 			for i := range entries {
 				e := &entries[i]
-				e.used = cells[j-1][e.parent][e.parentIdx].used.Clone()
+				e.used = sc.cloneBitset(cells[j-1][e.parent][e.parentIdx].used)
 				e.used.Set(v)
 			}
 			cells[j][v] = entries
@@ -140,7 +153,9 @@ func MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mappi
 // ascending val order, capped at beam. Dominance is strict (better in one
 // criterion, no worse in the other): entries with identical costs are kept
 // as separate candidates because they may consume different node sets, and
-// that path diversity is what protects the DP from dead ends.
+// that path diversity is what protects the DP from dead ends. The list may
+// momentarily hold beam+1 entries before truncation, which slab-backed
+// cells size for so the append never reallocates.
 func insertPareto(list []tradeEntry, e tradeEntry, beam int) []tradeEntry {
 	dominates := func(a, b tradeEntry) bool {
 		return (a.val < b.val && a.delay <= b.delay) || (a.val <= b.val && a.delay < b.delay)
@@ -182,40 +197,79 @@ type TradeoffPoint struct {
 	Mapping *model.Mapping
 }
 
-// ParetoFront sweeps delay budgets between the (reuse-allowed) minimum
-// delay — a lower bound for any no-reuse mapping — and the delay of the
-// unconstrained best-rate mapping, returning the nondominated (delay, rate)
-// points discovered. points controls the sweep resolution.
-func ParetoFront(p *model.Problem, points, beam int) ([]TradeoffPoint, error) {
-	if points < 2 {
-		return nil, fmt.Errorf("core: ParetoFront needs >= 2 points, got %d", points)
+// FrontBudgets computes the delay-budget ladder a Pareto sweep solves: an
+// evenly spaced ramp from the (reuse-allowed) minimum delay — a lower bound
+// for any no-reuse mapping — up to the delay of the unconstrained best-rate
+// mapping. It is the shared first phase of the sequential ParetoFront and
+// internal/engine's parallel sweep, so both solve byte-identical budget
+// lists.
+//
+// points must be >= 1; points == 1 yields a single unconstrained budget
+// (+Inf), making the one-point front the unconstrained best-rate mapping by
+// definition. beam <= 0 selects DefaultBeam.
+func FrontBudgets(p *model.Problem, points, beam int) ([]float64, error) {
+	sc := acquireCtx()
+	defer releaseCtx(sc)
+	return sc.frontBudgets(p, points, beam)
+}
+
+// frontBudgets is FrontBudgets on this context.
+func (sc *SolveContext) frontBudgets(p *model.Problem, points, beam int) ([]float64, error) {
+	if points < 1 {
+		return nil, fmt.Errorf("core: ParetoFront needs >= 1 point, got %d", points)
 	}
-	unconstrained, err := MaxFrameRateWithBudget(p, TradeoffOptions{Beam: beam})
+	if points == 1 {
+		// The single-point sweep never reaches the solver's own argument
+		// checks through a failed budget (FrontPointAt deliberately folds
+		// solve errors into "infeasible"), so validate here: a bad problem
+		// or beam must surface as the input error it is.
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if beam > maxTradeoffBeam {
+			return nil, fmt.Errorf("core: tradeoff: beam %d exceeds %d", beam, maxTradeoffBeam)
+		}
+		return []float64{math.Inf(1)}, nil
+	}
+	unconstrained, err := sc.MaxFrameRateWithBudget(p, TradeoffOptions{Beam: beam})
 	if err != nil {
 		return nil, err
 	}
 	hiDelay := model.TotalDelay(p.Net, p.Pipe, unconstrained, p.Cost)
-	loDelay := MinDelayValue(p) // reuse-allowed optimum: valid lower bound
+	loDelay := sc.MinDelayValue(p) // reuse-allowed optimum: valid lower bound
 	if math.IsInf(loDelay, 1) {
 		loDelay = 0
 	}
-	var raw []TradeoffPoint
-	for i := 0; i < points; i++ {
-		budget := loDelay + (hiDelay-loDelay)*float64(i)/float64(points-1)
-		m, err := MaxFrameRateWithBudget(p, TradeoffOptions{Beam: beam, DelayBudgetMs: budget})
-		if err != nil {
-			continue
-		}
-		raw = append(raw, TradeoffPoint{
-			DelayMs: model.TotalDelay(p.Net, p.Pipe, m, p.Cost),
-			RateFPS: model.FrameRate(model.Bottleneck(p.Net, p.Pipe, m)),
-			Mapping: m,
-		})
+	budgets := make([]float64, points)
+	for i := range budgets {
+		budgets[i] = loDelay + (hiDelay-loDelay)*float64(i)/float64(points-1)
 	}
-	if len(raw) == 0 {
-		return nil, fmt.Errorf("core: ParetoFront: every budget infeasible: %w", model.ErrInfeasible)
+	return budgets, nil
+}
+
+// FrontPointAt solves one sweep budget and scores the mapping; ok is false
+// when the budget is infeasible (which the sweep simply skips).
+func (sc *SolveContext) FrontPointAt(p *model.Problem, budget float64, beam int) (TradeoffPoint, bool) {
+	opt := TradeoffOptions{Beam: beam}
+	if !math.IsInf(budget, 1) {
+		opt.DelayBudgetMs = budget
 	}
-	// Keep the nondominated set: lower delay and higher rate both win.
+	m, err := sc.MaxFrameRateWithBudget(p, opt)
+	if err != nil {
+		return TradeoffPoint{}, false
+	}
+	return TradeoffPoint{
+		DelayMs: model.TotalDelay(p.Net, p.Pipe, m, p.Cost),
+		RateFPS: model.FrameRate(model.Bottleneck(p.Net, p.Pipe, m)),
+		Mapping: m,
+	}, true
+}
+
+// FrontFilter reduces raw sweep points to the nondominated (delay, rate)
+// set, sorted by ascending delay: lower delay and higher rate both win. It
+// is deterministic in the raw order, which the sequential and parallel
+// sweeps both produce in budget order.
+func FrontFilter(raw []TradeoffPoint) []TradeoffPoint {
 	sort.Slice(raw, func(a, b int) bool {
 		if raw[a].DelayMs != raw[b].DelayMs {
 			return raw[a].DelayMs < raw[b].DelayMs
@@ -230,5 +284,41 @@ func ParetoFront(p *model.Problem, points, beam int) ([]TradeoffPoint, error) {
 			bestRate = pt.RateFPS
 		}
 	}
-	return front, nil
+	return front
+}
+
+// ParetoFront sweeps delay budgets between the (reuse-allowed) minimum
+// delay and the delay of the unconstrained best-rate mapping, returning the
+// nondominated (delay, rate) points discovered, using a pooled
+// SolveContext. See SolveContext.ParetoFront.
+func ParetoFront(p *model.Problem, points, beam int) ([]TradeoffPoint, error) {
+	sc := acquireCtx()
+	defer releaseCtx(sc)
+	return sc.ParetoFront(p, points, beam)
+}
+
+// ParetoFront sweeps delay budgets between the (reuse-allowed) minimum
+// delay — a lower bound for any no-reuse mapping — and the delay of the
+// unconstrained best-rate mapping, returning the nondominated (delay, rate)
+// points discovered. points controls the sweep resolution: points == 1
+// degenerates to the single unconstrained best-rate point, points < 1 is an
+// error. beam <= 0 selects DefaultBeam.
+//
+// internal/engine.ParetoFront fans the same sweep out over a worker pool
+// and returns byte-identical results.
+func (sc *SolveContext) ParetoFront(p *model.Problem, points, beam int) ([]TradeoffPoint, error) {
+	budgets, err := sc.frontBudgets(p, points, beam)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]TradeoffPoint, 0, len(budgets))
+	for _, budget := range budgets {
+		if pt, ok := sc.FrontPointAt(p, budget, beam); ok {
+			raw = append(raw, pt)
+		}
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("core: ParetoFront: every budget infeasible: %w", model.ErrInfeasible)
+	}
+	return FrontFilter(raw), nil
 }

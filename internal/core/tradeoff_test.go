@@ -131,8 +131,8 @@ func TestParetoFrontErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.ParetoFront(p, 1, 4); err == nil {
-		t.Error("points < 2 should error")
+	if _, err := core.ParetoFront(p, 0, 4); err == nil {
+		t.Error("points < 1 should error")
 	}
 	if _, err := core.MaxFrameRateWithBudget(&model.Problem{}, core.TradeoffOptions{}); err == nil {
 		t.Error("invalid problem should error")

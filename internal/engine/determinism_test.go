@@ -1,0 +1,137 @@
+package engine_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"elpc/internal/core"
+	"elpc/internal/engine"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// frontBytes canonicalizes a front for byte comparison: every float and
+// every assignment, via JSON.
+func frontBytes(t *testing.T, front []core.TradeoffPoint) []byte {
+	t.Helper()
+	type pt struct {
+		Delay  float64        `json:"delay"`
+		Rate   float64        `json:"rate"`
+		Assign []model.NodeID `json:"assign"`
+	}
+	out := make([]pt, len(front))
+	for i, p := range front {
+		out[i] = pt{Delay: p.DelayMs, Rate: p.RateFPS, Assign: p.Mapping.Assign}
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParetoFrontParallelDeterministic: the parallel sweep must be byte-
+// identical to the sequential core implementation on every Suite20 case,
+// at several pool sizes, run twice (so scheduling nondeterminism would
+// show up as run-to-run drift too).
+func TestParetoFrontParallelDeterministic(t *testing.T) {
+	specs := gen.Suite20()
+	if testing.Short() {
+		specs = specs[:12]
+	}
+	pools := []*engine.Pool{engine.NewPool(2), engine.NewPool(4), engine.NewPool(0)}
+	defer func() {
+		for _, p := range pools {
+			p.Close()
+		}
+	}()
+	const points = 8
+	checked := 0
+	for _, spec := range specs {
+		prob, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, seqErr := core.ParetoFront(prob, points, 0)
+		for _, pool := range pools {
+			for rep := 0; rep < 2; rep++ {
+				par, parErr := engine.ParetoFront(pool, prob, points, 0)
+				if (seqErr == nil) != (parErr == nil) {
+					t.Fatalf("case %d pool=%d: sequential err=%v, parallel err=%v",
+						spec.ID, pool.Workers(), seqErr, parErr)
+				}
+				if seqErr != nil {
+					continue
+				}
+				want, got := frontBytes(t, seq), frontBytes(t, par)
+				if !bytes.Equal(want, got) {
+					t.Fatalf("case %d pool=%d rep=%d: parallel front differs\nseq: %s\npar: %s",
+						spec.ID, pool.Workers(), rep, want, got)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no fronts compared")
+	}
+}
+
+// TestNilPoolMatchesSequential: engine.ParetoFront with a nil pool is the
+// sequential path and must agree with core.ParetoFront exactly.
+func TestNilPoolMatchesSequential(t *testing.T) {
+	prob, err := gen.Suite20()[7].Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := core.ParetoFront(prob, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := engine.ParetoFront(nil, prob, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frontBytes(t, seq), frontBytes(t, par)) {
+		t.Fatal("nil-pool front differs from core.ParetoFront")
+	}
+}
+
+// TestBatchSolveDeterministic: a /v1/batch-shaped fan-out over the engine
+// pool returns results in request order with identical payloads across
+// repetitions. Exercised through the service path in
+// internal/service/solver_test.go; here we pin the engine-level invariant
+// that parallel index placement is stable.
+func TestBatchSolveDeterministic(t *testing.T) {
+	pool := engine.NewPool(4)
+	defer pool.Close()
+	specs := gen.Suite20()[:6]
+	probs := make([]*model.Problem, len(specs))
+	for i, spec := range specs {
+		p, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs[i] = p
+	}
+	run := func() [][]byte {
+		outs := make([][]byte, len(probs))
+		pool.ParallelFor(len(probs), func(i int) {
+			front, err := engine.ParetoFront(pool, probs[i], 6, 0)
+			if err != nil {
+				outs[i] = []byte(err.Error())
+				return
+			}
+			outs[i] = frontBytes(t, front)
+		})
+		return outs
+	}
+	first := run()
+	second := run()
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Fatalf("problem %d: repeated parallel batch differs", i)
+		}
+	}
+}

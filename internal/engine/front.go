@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"fmt"
+
+	"elpc/internal/core"
+	"elpc/internal/model"
+)
+
+// ParetoFront is the parallel rate–delay sweep: the budget ladder is
+// computed once (one unconstrained solve + one min-delay bound, exactly as
+// core.ParetoFront), the per-budget bicriteria solves fan out across the
+// pool with results placed by budget index, and the identical nondominated
+// filter runs over the raw points in budget order. The returned front is
+// byte-identical to core.ParetoFront on the same inputs for any pool size —
+// parallelism changes wall-clock time, never the answer.
+//
+// A nil pool degenerates to the sequential sweep.
+func ParetoFront(pool *Pool, p *model.Problem, points, beam int) ([]core.TradeoffPoint, error) {
+	budgets, err := core.FrontBudgets(p, points, beam)
+	if err != nil {
+		return nil, err
+	}
+	type slot struct {
+		pt core.TradeoffPoint
+		ok bool
+	}
+	slots := make([]slot, len(budgets))
+	pool.ParallelFor(len(budgets), func(i int) {
+		// Each iteration gets its own context from core's shared pool, so
+		// the hot path stays allocation-lean without sharing scratch
+		// across goroutines (and without warming a second context pool).
+		sc := core.AcquireSolveContext()
+		defer core.ReleaseSolveContext(sc)
+		slots[i].pt, slots[i].ok = sc.FrontPointAt(p, budgets[i], beam)
+	})
+	raw := make([]core.TradeoffPoint, 0, len(slots))
+	for _, s := range slots {
+		if s.ok {
+			raw = append(raw, s.pt)
+		}
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("engine: ParetoFront: every budget infeasible: %w", model.ErrInfeasible)
+	}
+	return core.FrontFilter(raw), nil
+}

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"elpc/internal/core"
+	"elpc/internal/engine"
 	"elpc/internal/model"
 )
 
@@ -149,6 +150,7 @@ type Fleet struct {
 	deps     map[string]*Deployment
 	order    []string // admission order; recompute accumulates in this order
 	seq      uint64
+	pool     *engine.Pool // shared parallel substrate for rebalance re-solves
 
 	admitted uint64
 	rejected uint64
@@ -170,6 +172,17 @@ func New(base *model.Network) (*Fleet, error) {
 
 // Network returns the shared base network (full nominal capacity).
 func (f *Fleet) Network() *model.Network { return f.base }
+
+// UsePool installs the engine pool that parallel rebalance passes fan their
+// re-solves out over. Sharing the planning service's pool keeps fleet and
+// planning solves on one bounded concurrency budget, so neither can starve
+// the other. A nil pool (the default) makes parallel passes spin up a
+// transient pool per call.
+func (f *Fleet) UsePool(p *engine.Pool) {
+	f.mu.Lock()
+	f.pool = p
+	f.mu.Unlock()
+}
 
 // recomputeLocked rebuilds the residual loads as the exact ordered sum of
 // outstanding reservations. Caller holds f.mu.
@@ -396,6 +409,17 @@ type RebalanceOptions struct {
 	// its relative improvement (delay decrease or rate increase) is at
 	// least this fraction; <= 0 selects DefaultMinGain.
 	MinGain float64 `json:"min_gain,omitempty"`
+	// Workers > 1 enables the concurrent proposal phase: candidate
+	// re-solves run ahead of the application loop in chunks, each against
+	// its own residual snapshot of the committed state at chunk time (the
+	// candidate's reservation removed, everyone else's kept), then
+	// proposals are applied sequentially in the usual latest-first order
+	// with every guard re-validated against the live residual network.
+	// Concurrency is capped at Workers (further bounded by the installed
+	// engine pool — UsePool — or a transient pool). <= 1 keeps the fully
+	// sequential pass, whose re-solves additionally observe every earlier
+	// move of the same pass rather than only earlier chunks'.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Defaults for RebalanceOptions.
@@ -433,6 +457,49 @@ type Report struct {
 	MeanGain float64 `json:"mean_gain"`
 }
 
+// proposal is one precomputed rebalance re-solve from the concurrent
+// proposal phase.
+type proposal struct {
+	m   *model.Mapping
+	err error
+}
+
+// proposeLocked concurrently re-solves the candidates ids[start:end], each
+// against its own residual snapshot of the current committed state (the
+// candidate's reservation removed, everyone else's kept), writing into
+// out[start:end]. Concurrency is capped at width on top of the pool's own
+// bound. Caller holds f.mu, which is exactly what makes the unlocked reads
+// inside the workers safe: nothing can mutate deployments or reservations
+// while the chunk solves. Per-goroutine snapshots and solver scratch make
+// the chunk embarrassingly parallel.
+func (f *Fleet) proposeLocked(ids []string, out []proposal, start, end, width int, pool *engine.Pool) {
+	pool.ParallelForN(width, end-start, func(i int) {
+		i += start
+		d := f.deps[ids[i]]
+		others := make([]model.Reservation, 0, len(f.order)-1)
+		for _, oid := range f.order {
+			if oid != ids[i] {
+				others = append(others, f.deps[oid].reservation)
+			}
+		}
+		rn := model.NewResidualNetwork(f.base)
+		if err := rn.SetLoad(others); err != nil {
+			out[i] = proposal{err: err}
+			return
+		}
+		req := Request{
+			Tenant:    d.Tenant,
+			Pipeline:  d.pipe,
+			Src:       d.src,
+			Dst:       d.dst,
+			Objective: d.Objective,
+			SLO:       d.SLO,
+		}
+		m, _, _, err := solve(rn.Snapshot(), req, d.cost)
+		out[i] = proposal{m: m, err: err}
+	})
+}
+
 // Rebalance re-solves deployments against the capacity freed since they
 // were admitted: each candidate's own reservation is removed, its objective
 // re-solved on the resulting residual network, and the migration applied
@@ -440,6 +507,12 @@ type Report struct {
 // guard) and the new reservation fits. Deployments admitted latest are
 // considered first — they were solved against the most contended network,
 // so freed capacity helps them most.
+//
+// With opt.Workers > 1 the re-solves run concurrently in chunks ahead of
+// the application loop (see RebalanceOptions.Workers); applications stay
+// sequential and every guard — gain, SLO, reserved rate, fit — is evaluated
+// against the live residual network at application time, so a stale
+// proposal can be skipped but never corrupt capacity accounting.
 func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 	if opt.MaxMoves <= 0 {
 		opt.MaxMoves = DefaultMaxMoves
@@ -455,15 +528,47 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 		return f.deps[ids[i]].Seq > f.deps[ids[j]].Seq
 	})
 
+	// Parallel mode solves candidates ahead of the application loop in
+	// chunks, so a pass that stops at MaxMoves applied migrations wastes at
+	// most one chunk of speculative solves — and every Deploy/Release
+	// blocked on f.mu waits for at most the current chunk, not all of ids.
+	parallel := opt.Workers > 1 && len(ids) > 1
+	var proposals []proposal
+	var pool *engine.Pool
+	proposed := 0
+	chunk := 0
+	if parallel {
+		proposals = make([]proposal, len(ids))
+		pool = f.pool
+		if pool == nil {
+			transient := engine.NewPool(opt.Workers)
+			defer transient.Close()
+			pool = transient
+		}
+		chunk = 2 * opt.Workers
+		if chunk < opt.MaxMoves {
+			chunk = opt.MaxMoves
+		}
+	}
+
 	var rep Report
-	for _, id := range ids {
+	for ci, id := range ids {
 		if rep.Applied >= opt.MaxMoves {
 			break
+		}
+		if parallel && ci >= proposed {
+			end := ci + chunk
+			if end > len(ids) {
+				end = len(ids)
+			}
+			f.proposeLocked(ids, proposals, ci, end, opt.Workers, pool)
+			proposed = end
 		}
 		d := f.deps[id]
 		rep.Considered++
 
-		// Free the candidate's own reservation for the re-solve.
+		// Free the candidate's own reservation for the scoring snapshot
+		// (and, in the sequential pass, the re-solve).
 		saved := d.reservation
 		d.reservation = model.Reservation{
 			NodeFrac: make([]float64, f.base.N()),
@@ -472,15 +577,21 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 		f.recomputeLocked()
 		snap := f.residual.Snapshot()
 
-		req := Request{
-			Tenant:    d.Tenant,
-			Pipeline:  d.pipe,
-			Src:       d.src,
-			Dst:       d.dst,
-			Objective: d.Objective,
-			SLO:       d.SLO,
+		var m *model.Mapping
+		var err error
+		if parallel {
+			m, err = proposals[ci].m, proposals[ci].err
+		} else {
+			req := Request{
+				Tenant:    d.Tenant,
+				Pipeline:  d.pipe,
+				Src:       d.src,
+				Dst:       d.dst,
+				Objective: d.Objective,
+				SLO:       d.SLO,
+			}
+			m, _, _, err = solve(snap, req, d.cost)
 		}
-		m, delay, rate, err := solve(snap, req, d.cost)
 		move := Move{ID: id}
 		restore := func(reason string) {
 			d.reservation = saved
@@ -493,6 +604,13 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 			restore(fmt.Sprintf("re-solve failed: %v", err))
 			continue
 		}
+		// Score the proposed mapping on the live freed snapshot. In the
+		// sequential pass this snapshot is the one the solve ran against;
+		// in the parallel pass it additionally reflects moves applied
+		// earlier in this pass, keeping the guards honest for stale
+		// proposals.
+		delay := model.TotalDelay(snap, d.pipe, m, d.cost)
+		rate := model.FrameRate(model.SharedBottleneck(snap, d.pipe, m))
 		// Baseline: the existing mapping re-scored on the same freed
 		// snapshot, so gain measures better placement rather than the
 		// freed capacity both mappings would enjoy.

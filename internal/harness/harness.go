@@ -18,6 +18,7 @@ import (
 
 	"elpc/internal/baseline"
 	"elpc/internal/core"
+	"elpc/internal/engine"
 	"elpc/internal/gen"
 	"elpc/internal/model"
 	"elpc/internal/refine"
@@ -271,11 +272,17 @@ func (s Summary) SummaryText() string {
 // ParetoCSV computes the rate-delay frontier of a case and renders it as
 // CSV (delay_ms,rate_fps), the bicriteria extension artifact.
 func ParetoCSV(spec gen.CaseSpec, points int) (string, error) {
+	return ParetoCSVPool(spec, points, nil)
+}
+
+// ParetoCSVPool is ParetoCSV with the sweep's budget points fanned out over
+// an engine pool (nil = sequential); the rendered front is identical.
+func ParetoCSVPool(spec gen.CaseSpec, points int, pool *engine.Pool) (string, error) {
 	p, err := spec.Build()
 	if err != nil {
 		return "", err
 	}
-	front, err := core.ParetoFront(p, points, 0)
+	front, err := engine.ParetoFront(pool, p, points, 0)
 	if err != nil {
 		return "", err
 	}

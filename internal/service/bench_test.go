@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"testing"
 )
 
@@ -53,6 +54,37 @@ func BenchmarkSolverColdSolve(b *testing.B) {
 		if res.Cached {
 			b.Fatal("unexpected cache hit with caching disabled")
 		}
+	}
+}
+
+// BenchmarkBatchSolve measures a /v1/batch-shaped fan-out of cold solves
+// across the shared engine pool: distinct mid-size Suite20 problems, both
+// objectives, cache disabled so every iteration pays the full DP cost. The
+// workers=1 sub-benchmark is the sequential baseline; higher widths show
+// the batch-level scaling the engine buys.
+func BenchmarkBatchSolve(b *testing.B) {
+	var reqs []Request
+	for _, c := range []int{6, 7, 8, 9} {
+		p := buildSuiteProblem(b, c)
+		reqs = append(reqs,
+			Request{Op: OpMinDelay, Problem: p},
+			Request{Op: OpMaxFrameRate, Problem: p},
+		)
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := NewSolver(Options{Workers: w, CacheCapacity: -1})
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, item := range s.SolveBatch(context.Background(), reqs) {
+					if item.Err != nil {
+						b.Fatal(item.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 
+	"elpc/internal/engine"
 	"elpc/internal/fleet"
 	"elpc/internal/model"
 )
@@ -55,12 +56,15 @@ func (s *fleetState) withSolve(fn func(*fleet.Fleet) error) error {
 
 // install replaces the shared network. Replacing is refused while
 // deployments are outstanding — their reservations reference the old
-// topology. The write lock waits out every in-flight fleet operation.
-func (s *fleetState) install(net *model.Network) error {
+// topology. The write lock waits out every in-flight fleet operation. The
+// fleet shares the solver's engine pool so parallel rebalance passes and
+// planning requests draw from one concurrency budget.
+func (s *fleetState) install(net *model.Network, pool *engine.Pool) error {
 	f, err := fleet.New(net)
 	if err != nil {
 		return err
 	}
+	f.UsePool(pool)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f != nil {
@@ -162,7 +166,7 @@ func (s *Server) handleFleetNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("request missing network"))
 		return
 	}
-	if err := s.fleet.install(wire.Network); err != nil {
+	if err := s.fleet.install(wire.Network, s.solver.Pool()); err != nil {
 		writeError(w, err)
 		return
 	}

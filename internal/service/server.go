@@ -130,6 +130,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // in-process callers; its cache then serves both).
 func (s *Server) Solver() *Solver { return s.solver }
 
+// Close releases the server's solver resources (engine-pool goroutines).
+// Handlers still work afterwards — solves just lose helper parallelism —
+// so it is safe to call once the listener is down.
+func (s *Server) Close() { s.solver.Close() }
+
 // ListenAndServe builds a Server and serves it on addr until the listener
 // fails. It is the programmatic equivalent of `elpc serve` without signal
 // handling; use Run for graceful shutdown.
@@ -143,9 +148,11 @@ func ListenAndServe(addr string, opt Options) error {
 // the return is nil on a clean drain. Pair it with signal.NotifyContext for
 // SIGINT/SIGTERM handling — cmd/elpcd does.
 func Run(ctx context.Context, addr string, opt Options, drain time.Duration) error {
+	s := NewServer(opt)
+	defer s.Close()
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           NewServer(opt).Handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

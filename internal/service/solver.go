@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"elpc/internal/core"
+	"elpc/internal/engine"
 	"elpc/internal/model"
 )
 
@@ -16,10 +17,17 @@ import (
 // simultaneous DP solves, and a sharded LRU cache keyed by the canonical
 // problem hash serves repeated requests in O(lookup). A Solver is safe for
 // concurrent use by any number of goroutines.
+//
+// Inside a single solve, work that decomposes (a Pareto sweep's budget
+// points, a batch's problems) additionally fans out across a shared
+// engine.Pool sized like the worker pool, so one expensive request uses the
+// whole machine instead of one core — and fleet re-solves share the same
+// pool, so they cannot starve planning requests.
 type Solver struct {
 	opt   Options
 	cache *cache
 	slots chan struct{}
+	pool  *engine.Pool
 
 	// flights coalesces concurrent identical requests onto one solve
 	// (singleflight), so a thundering herd of the same problem costs one
@@ -69,12 +77,26 @@ func NewSolver(opt Options) *Solver {
 		opt:     n,
 		cache:   newCache(n.CacheCapacity, n.CacheShards),
 		slots:   make(chan struct{}, n.Workers),
+		pool:    engine.NewPool(n.Workers),
 		flights: make(map[cacheKey]*flight),
 	}
 }
 
 // Options returns the normalized options the solver runs with.
 func (s *Solver) Options() Options { return s.opt }
+
+// Pool exposes the solver's shared parallel-execution pool so co-located
+// subsystems (the fleet manager, embedders) fan their own decomposable work
+// out over the same bounded concurrency budget.
+func (s *Solver) Pool() *engine.Pool { return s.pool }
+
+// Close stops the solver's engine-pool helper goroutines. In-flight and
+// future solves still complete (the pool degrades to caller-only,
+// sequential execution), so Close is safe to call at any point during
+// shutdown. Programs that build solvers long-term can ignore it; anything
+// constructing solvers repeatedly (tests, per-tenant embedders) should
+// defer it.
+func (s *Solver) Close() { s.pool.Close() }
 
 // Stats snapshots the solver and cache counters.
 func (s *Solver) Stats() SolverStats {
@@ -198,7 +220,7 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 			<-s.slots
 		}()
 		start := time.Now()
-		sol, err := solveProblem(req)
+		sol, err := solveProblem(req, s.pool)
 		elapsed := time.Since(start)
 		if err == nil {
 			s.coldSolves.Add(1)
@@ -259,27 +281,24 @@ type BatchItem struct {
 }
 
 // SolveBatch solves many requests in one call. Requests fan out over the
-// worker pool (concurrency stays bounded by Options.Workers) and results
-// come back in request order, each with its own error. Identical problems
-// within a batch coalesce onto a single solve via the cache and singleflight.
+// shared engine pool (cold solves additionally stay bounded by the worker-
+// slot pool) and results come back in request order, each with its own
+// error. Identical problems within a batch coalesce onto a single solve via
+// the cache and singleflight.
 func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) []BatchItem {
 	items := make([]BatchItem, len(reqs))
-	var wg sync.WaitGroup
-	for i, req := range reqs {
-		wg.Add(1)
-		go func(i int, req Request) {
-			defer wg.Done()
-			res, err := s.Solve(ctx, req)
-			items[i] = BatchItem{Index: i, Result: res, Err: err}
-		}(i, req)
-	}
-	wg.Wait()
+	s.pool.ParallelFor(len(reqs), func(i int) {
+		res, err := s.Solve(ctx, reqs[i])
+		items[i] = BatchItem{Index: i, Result: res, Err: err}
+	})
 	return items
 }
 
 // solveProblem dispatches to the underlying algorithms and evaluates the
-// analytical cost models on the winning mapping.
-func solveProblem(req Request) (*solution, error) {
+// analytical cost models on the winning mapping. Pareto sweeps fan their
+// budget points out over the pool (nil pool = sequential); the result is
+// identical either way.
+func solveProblem(req Request, pool *engine.Pool) (*solution, error) {
 	p := req.Problem
 	switch req.Op {
 	case OpMinDelay:
@@ -301,7 +320,7 @@ func solveProblem(req Request) (*solution, error) {
 		}
 		return mappingSolution(p, m), nil
 	case OpFront:
-		pts, err := core.ParetoFront(p, req.Points, 0)
+		pts, err := engine.ParetoFront(pool, p, req.Points, 0)
 		if err != nil {
 			return nil, err
 		}
