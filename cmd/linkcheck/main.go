@@ -1,0 +1,163 @@
+// Command linkcheck verifies the repository's Markdown documentation:
+// every relative link must resolve to an existing file or directory, and
+// every intra-document anchor (#heading) must match a heading in the
+// target file. External links (http/https/mailto) are not fetched — CI
+// must not depend on the network.
+//
+//	go run ./cmd/linkcheck README.md CONTRIBUTING.md docs/*.md
+//
+// Exit status is nonzero when any link is dead, with one line per
+// offender. This is the docs CI job's gate; run it locally after moving
+// or renaming files.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck FILE.md ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		problems, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d dead link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// linkRe matches inline Markdown links [text](target); images share the
+// syntax with a leading ! and are checked the same way.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings; their text generates the GitHub-style
+// anchors intra-document links point at.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// checkFile returns one message per dead link in the file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := stripCodeBlocks(string(data))
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+		target := m[1]
+		if msg := checkLink(path, target); msg != "" {
+			problems = append(problems, fmt.Sprintf("%s: %s", path, msg))
+		}
+	}
+	return problems, nil
+}
+
+// stripCodeBlocks removes fenced code blocks and inline code spans so
+// example snippets cannot produce false positives.
+func stripCodeBlocks(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		// Drop inline code spans.
+		for {
+			i := strings.IndexByte(line, '`')
+			if i < 0 {
+				break
+			}
+			j := strings.IndexByte(line[i+1:], '`')
+			if j < 0 {
+				break
+			}
+			line = line[:i] + line[i+1+j+1:]
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// checkLink validates one link target relative to the file that holds it;
+// the empty string means the link is fine.
+func checkLink(file, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not fetched
+	}
+	rel, anchor, _ := strings.Cut(target, "#")
+	resolved := file
+	if rel != "" {
+		resolved = filepath.Join(filepath.Dir(file), rel)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("dead link (%s): %s does not exist", target, resolved)
+		}
+	}
+	if anchor == "" {
+		return ""
+	}
+	// Anchors are only checkable against Markdown targets.
+	if !strings.HasSuffix(resolved, ".md") {
+		return ""
+	}
+	ok, err := hasAnchor(resolved, anchor)
+	if err != nil {
+		return fmt.Sprintf("dead link (%s): %v", target, err)
+	}
+	if !ok {
+		return fmt.Sprintf("dead anchor (%s): no heading generates #%s in %s", target, anchor, resolved)
+	}
+	return ""
+}
+
+// hasAnchor reports whether the Markdown file contains a heading whose
+// GitHub-style slug equals anchor.
+func hasAnchor(path, anchor string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		if slugify(m[1]) == anchor {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase, spaces
+// to dashes, punctuation dropped (backticks and formatting included).
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

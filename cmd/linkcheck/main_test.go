@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/TARGET.md", "# Target\n\n## Deep Section\n")
+	write(t, dir, "code.go", "package x\n")
+	doc := write(t, dir, "README.md", strings.Join([]string{
+		"# Readme",
+		"",
+		"[good](docs/TARGET.md) and [anchored](docs/TARGET.md#deep-section)",
+		"[self](#readme) [external](https://example.com/nope) [mail](mailto:a@b.c)",
+		"[code](code.go)",
+		"",
+		"```sh",
+		"this [fenced](missing-in-fence.md) link is not real",
+		"```",
+		"",
+		"inline `[span](also-not-real.md)` is code too",
+	}, "\n"))
+
+	problems, err := checkFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean file reported problems: %v", problems)
+	}
+
+	bad := write(t, dir, "BAD.md", strings.Join([]string{
+		"# Bad",
+		"[dead](docs/NOPE.md)",
+		"[dead anchor](docs/TARGET.md#no-such-heading)",
+		"[bad self](#missing)",
+	}, "\n"))
+	problems, err = checkFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 {
+		t.Fatalf("got %d problems, want 3: %v", len(problems), problems)
+	}
+	for i, want := range []string{"docs/NOPE.md", "no-such-heading", "#missing"} {
+		if !strings.Contains(problems[i], want) {
+			t.Errorf("problem %d = %q, want mention of %q", i, problems[i], want)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Quick start":                        "quick-start",
+		"Fleet — multi-tenant placement":     "fleet--multi-tenant-placement",
+		"GET /v1/fleet — GET /v1/fleet/{id}": "get-v1fleet--get-v1fleetid",
+		"`elpcd` HTTP API":                   "elpcd-http-api",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRepositoryDocsAreClean runs the checker over the real repository
+// docs, so a dead link fails `go test` even before the CI docs job.
+func TestRepositoryDocsAreClean(t *testing.T) {
+	root := "../.."
+	files := []string{"README.md", "CONTRIBUTING.md"}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		files = append(files, strings.TrimPrefix(d, root+string(filepath.Separator)))
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected README, CONTRIBUTING, and at least 2 docs files, got %v", files)
+	}
+	for _, f := range files {
+		problems, err := checkFile(filepath.Join(root, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range problems {
+			t.Error(p)
+		}
+	}
+}

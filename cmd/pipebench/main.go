@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, or all")
 	out := flag.String("out", "", "directory to write artifacts into (optional)")
 	workers := flag.Int("workers", 0, "parallel workers for the case suite (0 = GOMAXPROCS)")
 	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
@@ -127,9 +127,22 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// The churn scenario (failure/degradation/drift trace with incremental
+	// repair on a populated fleet) feeds -fig churn and the JSON summary.
+	var churnRes *harness.ChurnScenarioResult
+	if fig == "all" || fig == "churn" || jsonPath != "" || cfg.compare != "" {
+		var err error
+		// Same case-2 network as the fleet scenario; 16 tenants under the
+		// default 60-event mixed trace.
+		churnRes, err = harness.RunChurnScenario(gen.Suite20()[1], gen.DefaultChurnSpec(), 16, 2026)
+		if err != nil {
+			return err
+		}
+	}
+
 	var doc *benchfmt.Doc
 	if jsonPath != "" || cfg.compare != "" {
-		doc = buildBenchDoc(fig, results, fleetRes, suiteElapsed)
+		doc = buildBenchDoc(fig, results, fleetRes, churnRes, suiteElapsed)
 	}
 	if jsonPath != "" {
 		if err := writeBenchJSON(jsonPath, doc); err != nil {
@@ -181,6 +194,11 @@ func run(cfg runConfig) error {
 	}
 	if fig == "all" || fig == "fleet" {
 		if err := emit("fleet.md", harness.FleetScenarioTable(fleetRes)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "churn" {
+		if err := emit("churn.md", harness.ChurnScenarioTable(churnRes)); err != nil {
 			return err
 		}
 	}
@@ -247,7 +265,7 @@ func run(cfg runConfig) error {
 		}
 	}
 	switch fig {
-	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet":
+	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn":
 		return nil
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

@@ -70,6 +70,24 @@
 // consumed-node bitsets live in a reusable SolveContext (slab + arena), so
 // steady-state solving does not churn the garbage collector.
 //
+// # Churn — dynamic networks and self-healing placement
+//
+// Production networks are not static: nodes fail and recover, links
+// degrade, capacity drifts. ChurnEvent models those mutations (NodeDown,
+// NodeUp, LinkDegrade, LinkRestore, CapacityDrift), applied
+// transactionally to a ResidualNetwork's capacity factors, and a
+// Reconciler (NewReconciler) keeps a Fleet consistent with them through
+// incremental repair: each event batch re-solves only the deployments
+// whose placements touch the mutated elements, migrates what still fits,
+// parks what does not, and re-queues parked deployments when capacity
+// returns. GenerateChurn draws deterministic, state-consistent event
+// traces for experiments; elpcd serves the same cycle via POST /v1/events
+// and GET /v1/events/log.
+//
+//	rec := elpc.NewReconciler(fl, elpc.ReconcilerOptions{})
+//	record, _ := rec.Apply([]elpc.ChurnEvent{{Kind: elpc.NodeDown, Node: 3}})
+//	fmt.Println(record.Affected, record.Migrated, record.Parked)
+//
 // See the examples directory for runnable scenarios (remote visualization,
 // video surveillance streaming, measurement-driven adaptive remapping,
 // multi-tenant fleet placement, parallel-scaling demo) and cmd/pipebench

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 
 	"elpc/internal/baseline"
+	"elpc/internal/churn"
 	"elpc/internal/core"
 	"elpc/internal/engine"
 	"elpc/internal/fleet"
@@ -337,3 +338,69 @@ func DefaultArrivalSpec() ArrivalSpec { return gen.DefaultArrivalSpec() }
 func GenerateArrivals(spec ArrivalSpec, net *Network, r Ranges, rng *rand.Rand) ([]ArrivalEvent, error) {
 	return gen.Arrivals(spec, net, r, rng)
 }
+
+// Churn (dynamic-network) subsystem, embeddable pieces.
+
+type (
+	// ChurnEvent is one network mutation: node failure/recovery, link
+	// degradation/restoration, or capacity drift, applied transactionally
+	// to a ResidualNetwork or a Fleet.
+	ChurnEvent = model.ChurnEvent
+	// ChurnKind names a churn event kind.
+	ChurnKind = model.ChurnKind
+	// Reconciler applies churn events to a Fleet and repairs incrementally:
+	// only deployments touching mutated elements are re-solved; what no
+	// longer fits is parked and re-queued when capacity returns.
+	Reconciler = churn.Reconciler
+	// ReconcilerOptions tunes a Reconciler (repair parallelism, requeue
+	// pacing).
+	ReconcilerOptions = churn.Options
+	// ChurnRecord summarizes one applied event batch (affected, migrated,
+	// parked, requeued counts and repair latency).
+	ChurnRecord = churn.Record
+	// ChurnStats aggregates a Reconciler's lifetime counters.
+	ChurnStats = churn.Stats
+	// ChurnSpec shapes a generated churn trace.
+	ChurnSpec = gen.ChurnSpec
+	// TimedChurnEvent is one timed event of a generated churn trace.
+	TimedChurnEvent = gen.ChurnEvent
+	// RepairReport summarizes one incremental Fleet.Repair pass.
+	RepairReport = fleet.RepairReport
+	// RepairOptions tunes a Fleet.Repair pass.
+	RepairOptions = fleet.RepairOptions
+)
+
+// Churn event kinds.
+const (
+	// NodeDown fails a node (capacity factor 0).
+	NodeDown = model.NodeDown
+	// NodeUp restores a failed node to nominal capacity.
+	NodeUp = model.NodeUp
+	// LinkDegrade reduces a link to a fraction of nominal bandwidth.
+	LinkDegrade = model.LinkDegrade
+	// LinkRestore returns a link to nominal bandwidth.
+	LinkRestore = model.LinkRestore
+	// CapacityDrift multiplies a node's or link's capacity factor.
+	CapacityDrift = model.CapacityDrift
+)
+
+// Churn error sentinels (wrapped by returned errors).
+var (
+	// ErrChurnUnknownTarget marks events naming nonexistent nodes/links.
+	ErrChurnUnknownTarget = model.ErrUnknownTarget
+	// ErrChurnConflict marks events contradicting current capacity state
+	// (double-down, up-on-up, drift on a down node).
+	ErrChurnConflict = model.ErrChurnConflict
+)
+
+// NewReconciler builds a churn reconciler over the fleet.
+func NewReconciler(f *Fleet, opt ReconcilerOptions) *Reconciler { return churn.New(f, opt) }
+
+// GenerateChurn draws a deterministic, state-consistent timed churn trace
+// over net; replaying it in order always applies cleanly.
+func GenerateChurn(spec ChurnSpec, net *Network, rng *rand.Rand) ([]TimedChurnEvent, error) {
+	return gen.Churn(spec, net, rng)
+}
+
+// DefaultChurnSpec returns the calibrated churn trace shape.
+func DefaultChurnSpec() ChurnSpec { return gen.DefaultChurnSpec() }

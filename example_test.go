@@ -1,0 +1,55 @@
+package elpc_test
+
+import (
+	"errors"
+	"fmt"
+
+	"elpc"
+)
+
+// ExampleNewFleet shows the multi-tenant lifecycle on a deterministic
+// 10-node network: admission-controlled deploys, an SLO-driven rejection,
+// a churn event repaired by the reconciler, and an exact capacity release.
+func ExampleNewFleet() {
+	net, _ := elpc.GenerateNetwork(10, 60, elpc.DefaultRanges(), elpc.RNG(42))
+	fl, _ := elpc.NewFleet(net)
+
+	pipe, _ := elpc.GeneratePipeline(5, elpc.DefaultRanges(), elpc.RNG(7))
+	d, err := fl.Deploy(elpc.FleetRequest{
+		Tenant:    "cam-1",
+		Pipeline:  pipe,
+		Src:       0,
+		Dst:       9,
+		Objective: elpc.MaxFrameRate,
+		SLO:       elpc.FleetSLO{MinRateFPS: 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("admitted %s, reserving %.0f fps\n", d.ID, d.ReservedFPS)
+
+	// An impossible demand is rejected, not deployed.
+	_, err = fl.Deploy(elpc.FleetRequest{
+		Pipeline:  pipe,
+		Src:       0,
+		Dst:       9,
+		Objective: elpc.MaxFrameRate,
+		SLO:       elpc.FleetSLO{MinRateFPS: 1e6},
+	})
+	fmt.Println("impossible demand rejected:", errors.Is(err, elpc.ErrFleetRejected))
+
+	// A churn event touching the deployment triggers incremental repair.
+	rec := elpc.NewReconciler(fl, elpc.ReconcilerOptions{})
+	record, _ := rec.Apply([]elpc.ChurnEvent{{Kind: elpc.NodeDown, Node: d.Assignment[1]}})
+	fmt.Printf("node_down: affected=%d displaced=%d\n", record.Affected, record.Displaced)
+
+	for _, live := range fl.List() {
+		_ = fl.Release(live.ID)
+	}
+	fmt.Println("deployments after release:", fl.Stats().Deployments)
+	// Output:
+	// admitted d-000001, reserving 2 fps
+	// impossible demand rejected: true
+	// node_down: affected=1 displaced=1
+	// deployments after release: 0
+}

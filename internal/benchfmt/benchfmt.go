@@ -59,6 +59,9 @@ type Doc struct {
 	// mean deployed frame rate over a deterministic arrival schedule on a
 	// Suite20 network).
 	Fleet *harness.FleetScenarioResult `json:"fleet,omitempty"`
+	// Churn is the dynamic-network scenario (incremental repair of a
+	// populated fleet over a seeded failure/degradation/drift trace).
+	Churn *harness.ChurnScenarioResult `json:"churn,omitempty"`
 }
 
 func toOutcome(o harness.Outcome) Outcome {
@@ -74,8 +77,9 @@ func toOutcome(o harness.Outcome) Outcome {
 	return out
 }
 
-// Build renders a suite run (plus the optional fleet scenario) as a Doc.
-func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, elapsed time.Duration) *Doc {
+// Build renders a suite run (plus the optional fleet and churn scenarios)
+// as a Doc.
+func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, elapsed time.Duration) *Doc {
 	doc := &Doc{
 		Schema:     Schema,
 		Figure:     fig,
@@ -83,6 +87,7 @@ func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenari
 		Algorithms: harness.MapperNames(),
 		SuiteMs:    float64(elapsed) / float64(time.Millisecond),
 		Fleet:      fleet,
+		Churn:      churn,
 	}
 	for _, r := range results {
 		c := Case{

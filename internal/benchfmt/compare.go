@@ -199,6 +199,16 @@ func Compare(baseline, fresh *Doc, opt CompareOptions) *Report {
 		add("fleet mean_reserved_fps", ClassQuality, baseline.Fleet.MeanReservedFPS, fresh.Fleet.MeanReservedFPS, false)
 	}
 
+	if baseline.Churn != nil && fresh.Churn != nil {
+		// Deterministic repair-quality metrics: more survivors is better,
+		// displacement and churn-phase solves (incrementality) lower is
+		// better. Repair latency is wall clock and gates like suite_ms.
+		add("churn final_deployments", ClassQuality, float64(baseline.Churn.FinalDeployments), float64(fresh.Churn.FinalDeployments), false)
+		add("churn displaced", ClassQuality, float64(baseline.Churn.Displaced), float64(fresh.Churn.Displaced), true)
+		add("churn churn_solves", ClassQuality, float64(baseline.Churn.ChurnSolves), float64(fresh.Churn.ChurnSolves), true)
+		add("churn mean_repair_ms", ClassRuntime, baseline.Churn.MeanRepairMs, fresh.Churn.MeanRepairMs, true)
+	}
+
 	add("suite_ms", ClassRuntime, baseline.SuiteMs, fresh.SuiteMs, true)
 	return rep
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"elpc/internal/harness"
 )
 
 func fp(v float64) *float64 { return &v }
@@ -170,5 +172,48 @@ func TestLoadRejectsWrongSchema(t *testing.T) {
 	}
 	if doc.SuiteMs != b.SuiteMs {
 		t.Errorf("round-trip lost suite_ms: %v != %v", doc.SuiteMs, b.SuiteMs)
+	}
+}
+
+func TestCompareChurnMetrics(t *testing.T) {
+	baseline, fresh := twoDocs()
+	baseline.Churn = &harness.ChurnScenarioResult{
+		FinalDeployments: 10, Displaced: 4, ChurnSolves: 20, MeanRepairMs: 1,
+	}
+	fresh.Churn = &harness.ChurnScenarioResult{
+		FinalDeployments: 10, Displaced: 4, ChurnSolves: 20, MeanRepairMs: 1,
+	}
+	if rep := Compare(baseline, fresh, CompareOptions{}); !rep.OK() {
+		t.Fatalf("identical churn blocks must pass: %s", rep.Text())
+	}
+
+	// Losing survivors regresses.
+	fresh.Churn.FinalDeployments = 6
+	rep := Compare(baseline, fresh, CompareOptions{})
+	if rep.OK() || !strings.Contains(rep.Text(), "churn final_deployments") {
+		t.Errorf("survivor loss must regress:\n%s", rep.Text())
+	}
+	fresh.Churn.FinalDeployments = 10
+
+	// More displacement regresses.
+	fresh.Churn.Displaced = 8
+	if rep := Compare(baseline, fresh, CompareOptions{}); rep.OK() {
+		t.Errorf("doubled displacement must regress:\n%s", rep.Text())
+	}
+	fresh.Churn.Displaced = 4
+
+	// Losing incrementality (many more solves per trace) regresses.
+	fresh.Churn.ChurnSolves = 60
+	if rep := Compare(baseline, fresh, CompareOptions{}); rep.OK() {
+		t.Errorf("tripled churn solves must regress:\n%s", rep.Text())
+	}
+	fresh.Churn.ChurnSolves = 20
+
+	// A baseline without a churn block skips the metrics (suite growth
+	// must not fail the gate).
+	baseline.Churn = nil
+	fresh.Churn.ChurnSolves = 999
+	if rep := Compare(baseline, fresh, CompareOptions{}); !rep.OK() {
+		t.Errorf("missing baseline churn block must skip, not fail:\n%s", rep.Text())
 	}
 }

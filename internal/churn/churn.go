@@ -1,0 +1,336 @@
+// Package churn turns the fleet manager into a self-healing placement
+// system under dynamic network conditions: nodes fail and recover, links
+// degrade and restore, and capacity drifts — and the fleet's deployments
+// must follow.
+//
+// The Reconciler is the subsystem's heart. Each Apply call takes one batch
+// of network-mutation events ([]model.ChurnEvent), applies it
+// transactionally to the fleet's residual capacity view, and then runs the
+// *incremental* repair cycle:
+//
+//  1. Identify — fleet.Affected computes exactly the deployments whose
+//     placements touch a mutated node or link; everything else is provably
+//     untouched and never examined.
+//  2. Repair — fleet.Repair keeps still-valid placements without a solve,
+//     re-solves only the broken ones (optionally fanning the re-solves out
+//     over the shared engine pool), migrates what fits, and parks what no
+//     longer has a feasible placement.
+//  3. Requeue — parked deployments are displaced, not lost: the Reconciler
+//     holds their reconstructed admission requests and re-admits them when
+//     capacity returns, either on a later capacity-raising event batch or
+//     from the background requeue loop (Start/Stop).
+//
+// Every batch produces a Record — affected/kept/migrated/parked counts,
+// the number of displaced deployments, and the wall-clock repair latency —
+// appended to a bounded in-memory log served by elpcd's GET /v1/events/log.
+package churn
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"elpc/internal/fleet"
+	"elpc/internal/model"
+)
+
+// DefaultRequeueInterval paces the background requeue loop between
+// attempts to re-admit parked deployments.
+const DefaultRequeueInterval = 2 * time.Second
+
+// DefaultLogCapacity bounds the in-memory event log (oldest records are
+// dropped first).
+const DefaultLogCapacity = 1024
+
+// Options tunes a Reconciler.
+type Options struct {
+	// Workers > 1 lets each repair pass precompute its broken candidates'
+	// re-solves concurrently (see fleet.RepairOptions.Workers).
+	Workers int
+	// RequeueInterval paces the background requeue loop; <= 0 selects
+	// DefaultRequeueInterval.
+	RequeueInterval time.Duration
+	// LogCapacity bounds the in-memory record log; <= 0 selects
+	// DefaultLogCapacity.
+	LogCapacity int
+}
+
+// Record summarizes one applied event batch and its repair cycle.
+type Record struct {
+	// Seq numbers applied batches from 1, in application order.
+	Seq int `json:"seq"`
+	// Events is the applied batch.
+	Events []model.ChurnEvent `json:"events"`
+	// Affected is the size of the incremental-repair frontier: deployments
+	// whose placements touch a mutated element. Kept survived unchanged
+	// (no re-solve), Resolved were re-solved, Migrated moved to a new
+	// mapping, Parked were evicted with their requests retained.
+	Affected int `json:"affected"`
+	Kept     int `json:"kept"`
+	Resolved int `json:"resolved"`
+	Migrated int `json:"migrated"`
+	Parked   int `json:"parked"`
+	// Requeued is the number of previously parked deployments re-admitted
+	// while handling this batch.
+	Requeued int `json:"requeued"`
+	// Displaced = Migrated + Parked: deployments the batch moved or
+	// evicted.
+	Displaced int `json:"displaced"`
+	// RepairMs is the wall-clock latency of the full repair cycle
+	// (identify + repair + requeue).
+	RepairMs float64 `json:"repair_ms"`
+}
+
+// Stats aggregates the reconciler's lifetime counters.
+type Stats struct {
+	// Batches counts applied event batches, EventsApplied single events.
+	Batches       uint64 `json:"batches"`
+	EventsApplied uint64 `json:"events_applied"`
+	// Affected/Migrated/ParkEvictions/Requeued accumulate the per-record
+	// counts of the same names. RequeueAttempts additionally counts every
+	// re-admission try (each costs one admission solve), successful or not.
+	Affected        uint64 `json:"affected"`
+	Migrated        uint64 `json:"migrated"`
+	ParkEvictions   uint64 `json:"park_evictions"`
+	Requeued        uint64 `json:"requeued"`
+	RequeueAttempts uint64 `json:"requeue_attempts"`
+	Displaced       uint64 `json:"displaced"`
+	// ParkedNow is the current parked-queue length (a gauge, not a
+	// counter).
+	ParkedNow int `json:"parked_now"`
+	// MeanRepairMs and MaxRepairMs summarize per-batch repair latency.
+	MeanRepairMs float64 `json:"mean_repair_ms"`
+	MaxRepairMs  float64 `json:"max_repair_ms"`
+}
+
+// Reconciler applies churn events to one fleet and keeps its placements
+// consistent with the surviving capacity. All methods are safe for
+// concurrent use; event batches are serialized so each Record reflects one
+// well-ordered mutation of the network.
+type Reconciler struct {
+	f   *fleet.Fleet
+	opt Options
+
+	mu     sync.Mutex
+	seq    int
+	log    []Record
+	parked []fleet.ParkedDeployment
+
+	batches     uint64
+	events      uint64
+	affected    uint64
+	migrated    uint64
+	parkTotal   uint64
+	requeued    uint64
+	reqAttempts uint64
+	repairMs    float64
+	maxMs       float64
+
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// New builds a Reconciler over the fleet.
+func New(f *fleet.Fleet, opt Options) *Reconciler {
+	if opt.RequeueInterval <= 0 {
+		opt.RequeueInterval = DefaultRequeueInterval
+	}
+	if opt.LogCapacity <= 0 {
+		opt.LogCapacity = DefaultLogCapacity
+	}
+	return &Reconciler{f: f, opt: opt}
+}
+
+// Fleet returns the reconciler's fleet.
+func (r *Reconciler) Fleet() *fleet.Fleet { return r.f }
+
+// raisesCapacity reports whether the batch can make room it did not take
+// away: node/link restores, or upward drift.
+func raisesCapacity(events []model.ChurnEvent) bool {
+	for _, ev := range events {
+		switch ev.Kind {
+		case model.NodeUp, model.LinkRestore:
+			return true
+		case model.CapacityDrift:
+			if ev.Factor > 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Apply applies one event batch transactionally and runs the incremental
+// repair cycle. On error (unknown target, conflicting event, bad factor)
+// the network, the fleet, and the log are unchanged. The returned Record
+// is also appended to the log.
+func (r *Reconciler) Apply(events []model.ChurnEvent) (Record, error) {
+	if len(events) == 0 {
+		return Record{}, fmt.Errorf("churn: empty event batch")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	start := time.Now()
+	if err := r.f.ApplyChurn(events); err != nil {
+		return Record{}, fmt.Errorf("churn: %w", err)
+	}
+	affected := r.f.Affected(events)
+	rep := r.f.Repair(affected, fleet.RepairOptions{Workers: r.opt.Workers})
+	r.parked = append(r.parked, rep.Parked...)
+
+	requeued := 0
+	if len(r.parked) > 0 && raisesCapacity(events) {
+		requeued = r.requeueLocked()
+	}
+
+	rec := Record{
+		Seq:       r.seq + 1,
+		Events:    append([]model.ChurnEvent(nil), events...),
+		Affected:  rep.Checked,
+		Kept:      rep.Kept,
+		Resolved:  rep.Resolved,
+		Migrated:  rep.Migrated,
+		Parked:    len(rep.Parked),
+		Requeued:  requeued,
+		Displaced: rep.Displaced(),
+		RepairMs:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	r.seq++
+	r.log = append(r.log, rec)
+	if over := len(r.log) - r.opt.LogCapacity; over > 0 {
+		r.log = append(r.log[:0], r.log[over:]...)
+	}
+
+	r.batches++
+	r.events += uint64(len(events))
+	r.affected += uint64(rec.Affected)
+	r.migrated += uint64(rec.Migrated)
+	r.parkTotal += uint64(rec.Parked)
+	r.requeued += uint64(requeued)
+	r.repairMs += rec.RepairMs
+	if rec.RepairMs > r.maxMs {
+		r.maxMs = rec.RepairMs
+	}
+	return rec, nil
+}
+
+// requeueLocked tries to re-admit every parked deployment once, in parking
+// order, keeping the ones the fleet still rejects. Caller holds r.mu.
+func (r *Reconciler) requeueLocked() int {
+	if len(r.parked) == 0 {
+		return 0
+	}
+	kept := r.parked[:0]
+	admitted := 0
+	for _, p := range r.parked {
+		r.reqAttempts++
+		if _, err := r.f.Deploy(p.Req); err != nil {
+			kept = append(kept, p)
+			continue
+		}
+		admitted++
+	}
+	r.parked = kept
+	return admitted
+}
+
+// Requeue tries to re-admit every parked deployment once and returns how
+// many were admitted. The background loop calls it on every tick; callers
+// may invoke it directly after out-of-band capacity changes.
+func (r *Reconciler) Requeue() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.requeueLocked()
+	r.requeued += uint64(n)
+	return n
+}
+
+// Parked returns a copy of the parked queue, oldest first.
+func (r *Reconciler) Parked() []fleet.ParkedDeployment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]fleet.ParkedDeployment(nil), r.parked...)
+}
+
+// Log returns the most recent records, oldest first; limit <= 0 returns
+// the whole retained log.
+func (r *Reconciler) Log(limit int) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.log
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return append([]Record(nil), out...)
+}
+
+// Stats snapshots the lifetime counters.
+func (r *Reconciler) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Batches:         r.batches,
+		EventsApplied:   r.events,
+		Affected:        r.affected,
+		Migrated:        r.migrated,
+		ParkEvictions:   r.parkTotal,
+		Requeued:        r.requeued,
+		RequeueAttempts: r.reqAttempts,
+		Displaced:       r.migrated + r.parkTotal,
+		ParkedNow:       len(r.parked),
+		MaxRepairMs:     r.maxMs,
+	}
+	if r.batches > 0 {
+		s.MeanRepairMs = r.repairMs / float64(r.batches)
+	}
+	return s
+}
+
+// Start launches the background requeue loop: every RequeueInterval it
+// tries to re-admit parked deployments (capacity may have drifted back
+// without an explicit restore event). Start is idempotent while running.
+func (r *Reconciler) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.running {
+		return
+	}
+	r.running = true
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.loop(r.opt.RequeueInterval, r.stop, r.done)
+}
+
+// loop is the background requeue goroutine.
+func (r *Reconciler) loop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			r.Requeue()
+		}
+	}
+}
+
+// Stop halts the background requeue loop and waits for it to exit; it is
+// idempotent and safe to call when the loop never started. The reconciler
+// remains usable afterwards (Apply/Requeue still work), so shutdown order
+// does not matter.
+func (r *Reconciler) Stop() {
+	r.mu.Lock()
+	if !r.running {
+		r.mu.Unlock()
+		return
+	}
+	r.running = false
+	stop, done := r.stop, r.done
+	r.mu.Unlock()
+	close(stop)
+	<-done
+}

@@ -1,0 +1,52 @@
+package churn_test
+
+import (
+	"fmt"
+
+	"elpc/internal/churn"
+	"elpc/internal/fleet"
+	"elpc/internal/model"
+)
+
+// ExampleReconciler_Apply walks the whole churn cycle on a hand-built
+// 3-node line network: a deployment spans v0 -> v1 -> v2; v1 fails, the
+// reconciler parks the deployment (no alternative path exists); v1
+// recovers and the deployment is re-admitted automatically.
+func ExampleReconciler_Apply() {
+	nodes := []model.Node{
+		{ID: 0, Power: 5e6},
+		{ID: 1, Power: 5e6},
+		{ID: 2, Power: 5e6},
+	}
+	links := []model.Link{
+		{ID: 0, From: 0, To: 1, BWMbps: 500, MLDms: 1},
+		{ID: 1, From: 1, To: 2, BWMbps: 500, MLDms: 1},
+	}
+	net, _ := model.NewNetwork(nodes, links)
+	pipe, _ := model.NewPipeline([]model.Module{
+		{ID: 0, Name: "source", OutBytes: 1e5},
+		{ID: 1, Name: "filter", Complexity: 50, InBytes: 1e5, OutBytes: 5e4},
+		{ID: 2, Name: "sink", Complexity: 20, InBytes: 5e4},
+	})
+
+	f, _ := fleet.New(net)
+	d, _ := f.Deploy(fleet.Request{
+		Pipeline:  pipe,
+		Src:       0,
+		Dst:       2,
+		Objective: model.MaxFrameRate,
+		SLO:       fleet.SLO{MinRateFPS: 1},
+	})
+	fmt.Printf("deployed %s\n", d.ID)
+
+	r := churn.New(f, churn.Options{})
+	rec, _ := r.Apply([]model.ChurnEvent{{Kind: model.NodeDown, Node: 1}})
+	fmt.Printf("node_down: affected=%d parked=%d\n", rec.Affected, rec.Parked)
+
+	rec, _ = r.Apply([]model.ChurnEvent{{Kind: model.NodeUp, Node: 1}})
+	fmt.Printf("node_up: requeued=%d deployments=%d\n", rec.Requeued, f.Stats().Deployments)
+	// Output:
+	// deployed d-000001
+	// node_down: affected=1 parked=1
+	// node_up: requeued=1 deployments=1
+}

@@ -352,7 +352,7 @@ func cmdServe(env Env, args []string) error {
 			Options service.Options `json:"options"`
 		}{Addr: *addr, Options: resolved}, env.Stdout)
 	}
-	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch /v1/fleet/*, GET /v1/fleet /v1/stats /healthz)\n", *addr)
+	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch /v1/fleet/* /v1/events, GET /v1/fleet /v1/events/log /v1/stats /healthz)\n", *addr)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := service.Run(ctx, *addr, opt, *drain)

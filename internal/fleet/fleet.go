@@ -18,6 +18,12 @@
 //   - Live rebalancing: Rebalance re-solves deployments against the
 //     capacity freed since they were admitted and migrates the ones whose
 //     improvement clears a migration-cost guard.
+//   - Incremental repair: when churn events mutate the network's capacity
+//     (ApplyChurn), Affected identifies exactly the deployments whose
+//     placements touch the mutated elements and Repair re-solves only the
+//     broken ones — migrating what fits, parking (evicting with a
+//     reusable admission request) what does not. internal/churn drives
+//     this cycle and re-queues parked deployments when capacity returns.
 package fleet
 
 import (
@@ -26,6 +32,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"elpc/internal/core"
 	"elpc/internal/engine"
@@ -130,6 +137,14 @@ type Stats struct {
 	Rejected uint64 `json:"rejected"`
 	Released uint64 `json:"released"`
 	Moves    uint64 `json:"rebalance_moves"`
+	// Repaired counts deployments examined by Repair passes; RepairMoves
+	// the migrations they applied; ParkEvictions the deployments evicted
+	// because no feasible placement remained after churn.
+	Repaired      uint64 `json:"repaired"`
+	RepairMoves   uint64 `json:"repair_moves"`
+	ParkEvictions uint64 `json:"park_evictions"`
+	// SolverCalls counts every objective solve run on the fleet's behalf.
+	SolverCalls uint64 `json:"solver_calls"`
 	// ReservedFPS is the total frame rate reserved across deployments.
 	ReservedFPS float64 `json:"reserved_fps"`
 	// MeanNodeUtil / MaxNodeUtil (MeanLinkUtil / MaxLinkUtil) gauge the
@@ -152,10 +167,20 @@ type Fleet struct {
 	seq      uint64
 	pool     *engine.Pool // shared parallel substrate for rebalance re-solves
 
-	admitted uint64
-	rejected uint64
-	released uint64
-	moves    uint64
+	admitted    uint64
+	rejected    uint64
+	released    uint64
+	moves       uint64
+	repaired    uint64
+	repairMoves uint64
+	parkEvicts  uint64
+
+	// solves counts every objective solve run on the fleet's behalf
+	// (admission, rebalance proposals, repair re-solves). Atomic because
+	// parallel proposal phases increment it from pool goroutines while the
+	// coordinating call holds mu. Tests use it to assert repair is
+	// incremental: an event touching k deployments costs exactly k solves.
+	solves atomic.Uint64
 }
 
 // New builds an empty fleet over the shared base network.
@@ -225,6 +250,17 @@ func solve(snap *model.Network, req Request, cost model.CostOptions) (*model.Map
 	return m, delay, model.FrameRate(period), nil
 }
 
+// solveCounted is solve plus the fleet's solver-call accounting; every
+// fleet-initiated solve goes through it.
+func (f *Fleet) solveCounted(snap *model.Network, req Request, cost model.CostOptions) (*model.Mapping, float64, float64, error) {
+	f.solves.Add(1)
+	return solve(snap, req, cost)
+}
+
+// SolveCount returns the number of objective solves the fleet has run
+// (admission, rebalance proposals, repair re-solves).
+func (f *Fleet) SolveCount() uint64 { return f.solves.Load() }
+
 // admissionRate resolves the frame rate a deployment reserves capacity for
 // given its achieved sustainable rate.
 func admissionRate(req Request, rateFPS float64) float64 {
@@ -259,12 +295,24 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 	defer f.mu.Unlock()
 
 	snap := f.residual.Snapshot()
-	m, delay, rate, err := solve(snap, req, cost)
+	m, delay, rate, err := f.solveCounted(snap, req, cost)
 	if err != nil {
 		if errors.Is(err, model.ErrInfeasible) {
 			return Deployment{}, f.reject("no feasible mapping on residual network: %v", err)
 		}
 		return Deployment{}, err
+	}
+	// The solver can still route zero-cost modules (the pinned source or
+	// sink, in particular) through a down node — the residual snapshot
+	// floors it at MinResidualFraction rather than removing it, and a
+	// zero-cost module reserves nothing there, so Fits would pass. A
+	// mapping with a hostless module must never be admitted; this is the
+	// admission-side twin of the Repair/Rebalance down-node guards, so
+	// repair, rebalance, requeue, and deploy agree.
+	for _, v := range m.Assign {
+		if f.residual.NodeIsDown(v) {
+			return Deployment{}, f.reject("no feasible placement: node v%d is down", v)
+		}
 	}
 	if req.SLO.MaxDelayMs > 0 && delay > req.SLO.MaxDelayMs {
 		return Deployment{}, f.reject("delay %.3f ms exceeds SLO %.3f ms", delay, req.SLO.MaxDelayMs)
@@ -352,11 +400,15 @@ func (f *Fleet) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	s := Stats{
-		Deployments: len(f.deps),
-		Admitted:    f.admitted,
-		Rejected:    f.rejected,
-		Released:    f.released,
-		Moves:       f.moves,
+		Deployments:   len(f.deps),
+		Admitted:      f.admitted,
+		Rejected:      f.rejected,
+		Released:      f.released,
+		Moves:         f.moves,
+		Repaired:      f.repaired,
+		RepairMoves:   f.repairMoves,
+		ParkEvictions: f.parkEvicts,
+		SolverCalls:   f.solves.Load(),
 	}
 	for _, d := range f.deps {
 		s.ReservedFPS += d.ReservedFPS
@@ -482,7 +534,11 @@ func (f *Fleet) proposeLocked(ids []string, out []proposal, start, end, width in
 				others = append(others, f.deps[oid].reservation)
 			}
 		}
-		rn := model.NewResidualNetwork(f.base)
+		// CloneEmpty keeps the churn capacity factors: a proposal solved
+		// against a fresh NewResidualNetwork would see every down node at
+		// full nominal power and re-propose it, making the parallel path
+		// diverge from the sequential one on churned networks.
+		rn := f.residual.CloneEmpty()
 		if err := rn.SetLoad(others); err != nil {
 			out[i] = proposal{err: err}
 			return
@@ -495,7 +551,7 @@ func (f *Fleet) proposeLocked(ids []string, out []proposal, start, end, width in
 			Objective: d.Objective,
 			SLO:       d.SLO,
 		}
-		m, _, _, err := solve(rn.Snapshot(), req, d.cost)
+		m, _, _, err := f.solveCounted(rn.Snapshot(), req, d.cost)
 		out[i] = proposal{m: m, err: err}
 	})
 }
@@ -590,7 +646,7 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 				Objective: d.Objective,
 				SLO:       d.SLO,
 			}
-			m, _, _, err = solve(snap, req, d.cost)
+			m, _, _, err = f.solveCounted(snap, req, d.cost)
 		}
 		move := Move{ID: id}
 		restore := func(reason string) {
@@ -602,6 +658,21 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 		}
 		if err != nil {
 			restore(fmt.Sprintf("re-solve failed: %v", err))
+			continue
+		}
+		// Never migrate onto a down node: a zero-cost module (pinned
+		// source/sink) reserves nothing there, so the capacity guards
+		// alone would let a hostless mapping commit. Deploy and Repair
+		// carry the same guard.
+		downNode := -1
+		for _, v := range m.Assign {
+			if f.residual.NodeIsDown(v) {
+				downNode = int(v)
+				break
+			}
+		}
+		if downNode >= 0 {
+			restore(fmt.Sprintf("proposed mapping uses down node v%d", downNode))
 			continue
 		}
 		// Score the proposed mapping on the live freed snapshot. In the

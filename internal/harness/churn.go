@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"elpc/internal/churn"
+	"elpc/internal/fleet"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// ChurnScenarioResult summarizes one churn replay: a populated fleet on a
+// suite network subjected to a deterministic trace of failures,
+// degradations, and drift, with the reconciler repairing incrementally
+// after every event.
+type ChurnScenarioResult struct {
+	Case    int    `json:"case"`
+	Network string `json:"network"` // "n10 l60"
+	// Deployments is the number admitted before the trace starts; Events
+	// the trace length (every event applies cleanly by construction).
+	Deployments int `json:"deployments"`
+	Events      int `json:"events"`
+	// Affected counts deployment examinations across all repair cycles;
+	// Kept/Resolved/Migrated/Parked/Requeued accumulate the per-event
+	// outcomes.
+	Affected int `json:"affected"`
+	Kept     int `json:"kept"`
+	Resolved int `json:"resolved"`
+	Migrated int `json:"migrated"`
+	Parked   int `json:"parked"`
+	Requeued int `json:"requeued"`
+	// Displaced = Migrated + Parked over the whole trace.
+	Displaced int `json:"displaced"`
+	// FinalDeployments and FinalParked describe the end state.
+	FinalDeployments int `json:"final_deployments"`
+	FinalParked      int `json:"final_parked"`
+	// SolverCalls is the fleet's total solve count; ChurnSolves the subset
+	// spent during the trace — exactly Resolved repair re-solves plus
+	// RequeueAttempts re-admission tries, which is what makes the repair
+	// measurably incremental (kept placements cost zero solves).
+	SolverCalls     uint64 `json:"solver_calls"`
+	ChurnSolves     uint64 `json:"churn_solves"`
+	RequeueAttempts uint64 `json:"requeue_attempts"`
+	// MeanRepairMs and MaxRepairMs are per-event repair latencies (wall
+	// clock; machine-dependent).
+	MeanRepairMs float64 `json:"mean_repair_ms"`
+	MaxRepairMs  float64 `json:"max_repair_ms"`
+}
+
+// RunChurnScenario populates a fleet on the given suite case's network
+// with a deterministic tenant mix, generates a seeded churn trace, and
+// replays it event by event through a Reconciler.
+func RunChurnScenario(spec gen.CaseSpec, cs gen.ChurnSpec, sessions int, seed uint64) (*ChurnScenarioResult, error) {
+	net, err := gen.Network(spec.Nodes, spec.Links, gen.DefaultRanges(), gen.RNG(spec.Seed))
+	if err != nil {
+		return nil, err
+	}
+	f, err := fleet.New(net)
+	if err != nil {
+		return nil, err
+	}
+
+	// Populate: a deterministic mix of streaming and interactive tenants.
+	rng := gen.RNG(seed)
+	admitted := 0
+	for s := 0; s < sessions; s++ {
+		pl, err := gen.Pipeline(4+rng.IntN(4), gen.DefaultRanges(), rng)
+		if err != nil {
+			return nil, err
+		}
+		src := model.NodeID(rng.IntN(net.N()))
+		dst := model.NodeID(rng.IntN(net.N() - 1))
+		if dst >= src {
+			dst++
+		}
+		req := fleet.Request{
+			Tenant:   fmt.Sprintf("s%d", s),
+			Pipeline: pl,
+			Src:      src,
+			Dst:      dst,
+		}
+		if s%2 == 0 {
+			req.Objective = model.MaxFrameRate
+			req.SLO = fleet.SLO{MinRateFPS: 1 + 2*rng.Float64()}
+		} else {
+			req.Objective = model.MinDelay
+		}
+		if _, err := f.Deploy(req); err != nil {
+			continue // rejections just thin the population
+		}
+		admitted++
+	}
+
+	trace, err := gen.Churn(cs, net, gen.RNG(seed^0x9e3779b97f4a7c15))
+	if err != nil {
+		return nil, err
+	}
+
+	preSolves := f.SolveCount()
+	rec := churn.New(f, churn.Options{})
+	res := &ChurnScenarioResult{
+		Case:        spec.ID,
+		Network:     fmt.Sprintf("n%d l%d", spec.Nodes, spec.Links),
+		Deployments: admitted,
+		Events:      len(trace),
+	}
+	for i, ev := range trace {
+		r, err := rec.Apply([]model.ChurnEvent{ev.Event})
+		if err != nil {
+			return nil, fmt.Errorf("harness: churn scenario event %d (%s): %w", i, ev.Event, err)
+		}
+		res.Affected += r.Affected
+		res.Kept += r.Kept
+		res.Resolved += r.Resolved
+		res.Migrated += r.Migrated
+		res.Parked += r.Parked
+		res.Requeued += r.Requeued
+		res.Displaced += r.Displaced
+	}
+	st := rec.Stats()
+	res.FinalDeployments = f.Stats().Deployments
+	res.FinalParked = st.ParkedNow
+	res.MeanRepairMs = st.MeanRepairMs
+	res.MaxRepairMs = st.MaxRepairMs
+	res.SolverCalls = f.SolveCount()
+	res.ChurnSolves = f.SolveCount() - preSolves
+	res.RequeueAttempts = st.RequeueAttempts
+	return res, nil
+}
+
+// ChurnScenarioTable renders the scenario as a small Markdown block for
+// the pipebench artifacts.
+func ChurnScenarioTable(r *ChurnScenarioResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Churn scenario (case %d, %s)\n\n", r.Case, r.Network)
+	fmt.Fprintf(&b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| deployments before churn | %d |\n", r.Deployments)
+	fmt.Fprintf(&b, "| events | %d |\n", r.Events)
+	fmt.Fprintf(&b, "| deployments examined | %d |\n", r.Affected)
+	fmt.Fprintf(&b, "| kept without re-solve | %d |\n", r.Kept)
+	fmt.Fprintf(&b, "| re-solved | %d |\n", r.Resolved)
+	fmt.Fprintf(&b, "| migrated | %d |\n", r.Migrated)
+	fmt.Fprintf(&b, "| parked | %d |\n", r.Parked)
+	fmt.Fprintf(&b, "| requeued | %d |\n", r.Requeued)
+	fmt.Fprintf(&b, "| displaced | %d |\n", r.Displaced)
+	fmt.Fprintf(&b, "| final deployments | %d |\n", r.FinalDeployments)
+	fmt.Fprintf(&b, "| final parked | %d |\n", r.FinalParked)
+	fmt.Fprintf(&b, "| churn-phase solver calls | %d |\n", r.ChurnSolves)
+	fmt.Fprintf(&b, "| mean repair latency | %.3f ms |\n", r.MeanRepairMs)
+	fmt.Fprintf(&b, "| max repair latency | %.3f ms |\n", r.MaxRepairMs)
+	return b.String()
+}

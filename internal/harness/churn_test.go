@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"elpc/internal/gen"
+)
+
+func TestRunChurnScenario(t *testing.T) {
+	spec := gen.Suite20()[1] // 10 nodes, 60 links
+	cs := gen.DefaultChurnSpec()
+	cs.Events = 40
+
+	r, err := RunChurnScenario(spec, cs, 16, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Deployments == 0 {
+		t.Fatal("scenario admitted no deployments; churn has nothing to touch")
+	}
+	if r.Events != 40 {
+		t.Errorf("events = %d, want 40", r.Events)
+	}
+	if r.Affected == 0 {
+		t.Error("40 default-spec events touched no deployment; trace too mild")
+	}
+	if r.Kept+r.Resolved != r.Affected {
+		t.Errorf("kept %d + resolved %d != affected %d", r.Kept, r.Resolved, r.Affected)
+	}
+	if r.Migrated+r.Parked != r.Displaced {
+		t.Errorf("displaced accounting broken: %+v", r)
+	}
+	if r.FinalDeployments+r.FinalParked < r.Deployments-r.Parked {
+		t.Errorf("deployments lost: %+v", r)
+	}
+	// Incremental repair: every churn-phase solve is either a repair
+	// re-solve of a broken placement or a requeue admission try — kept
+	// placements cost zero solves.
+	if r.ChurnSolves != uint64(r.Resolved)+r.RequeueAttempts {
+		t.Errorf("churn solves %d != resolved %d + requeue attempts %d; repair is not incremental",
+			r.ChurnSolves, r.Resolved, r.RequeueAttempts)
+	}
+	if r.MeanRepairMs < 0 || r.MaxRepairMs < r.MeanRepairMs {
+		t.Errorf("latency stats inconsistent: mean %v max %v", r.MeanRepairMs, r.MaxRepairMs)
+	}
+
+	// Determinism of the quality metrics (latencies are wall clock).
+	r2, err := RunChurnScenario(spec, cs, 16, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Displaced != r2.Displaced || r.FinalDeployments != r2.FinalDeployments ||
+		r.Affected != r2.Affected || r.ChurnSolves != r2.ChurnSolves {
+		t.Errorf("scenario not deterministic: %+v vs %+v", r, r2)
+	}
+
+	table := ChurnScenarioTable(r)
+	for _, want := range []string{"## Churn scenario", "| events |", "| displaced |", "mean repair latency"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -57,25 +57,60 @@ func MappingReservation(net *Network, pl *Pipeline, m *Mapping, rateFPS float64)
 // unchanged against a snapshot, which is what turns the single-pipeline
 // algorithms into multi-tenant placement.
 //
+// Besides load, the view carries per-element capacity factors mutated by
+// churn events (ApplyChurn): a node's effective capacity is its nominal
+// power times the factor (1 nominal, 0 down), and loads are always
+// fractions of *nominal* capacity, so a factor drop can leave an element
+// over capacity until its reservations are repaired.
+//
 // ResidualNetwork performs no synchronization; callers that share one across
 // goroutines (internal/fleet does) must serialize access.
 type ResidualNetwork struct {
 	base     *Network
 	nodeLoad []float64
 	linkLoad []float64
+	// nodeCap and linkCap are the churn capacity factors in [0, 1]
+	// (1 = nominal); see ApplyChurn in churn.go.
+	nodeCap []float64
+	linkCap []float64
 }
 
-// NewResidualNetwork builds an unloaded residual view of base.
+// NewResidualNetwork builds an unloaded residual view of base at full
+// nominal capacity.
 func NewResidualNetwork(base *Network) *ResidualNetwork {
-	return &ResidualNetwork{
+	r := &ResidualNetwork{
 		base:     base,
 		nodeLoad: make([]float64, base.N()),
 		linkLoad: make([]float64, base.M()),
+		nodeCap:  make([]float64, base.N()),
+		linkCap:  make([]float64, base.M()),
 	}
+	for i := range r.nodeCap {
+		r.nodeCap[i] = 1
+	}
+	for i := range r.linkCap {
+		r.linkCap[i] = 1
+	}
+	return r
 }
 
 // Base returns the underlying full-capacity network.
 func (r *ResidualNetwork) Base() *Network { return r.base }
+
+// CloneEmpty returns a new residual view of the same base network carrying
+// the same churn capacity factors but zero outstanding load. Parallel
+// proposal phases use it to build per-goroutine views that still see the
+// churned network — a plain NewResidualNetwork would silently reset every
+// down node to full capacity.
+func (r *ResidualNetwork) CloneEmpty() *ResidualNetwork {
+	return &ResidualNetwork{
+		base:     r.base,
+		nodeLoad: make([]float64, r.base.N()),
+		linkLoad: make([]float64, r.base.M()),
+		nodeCap:  append([]float64(nil), r.nodeCap...),
+		linkCap:  append([]float64(nil), r.linkCap...),
+	}
+}
 
 // checkShape validates that res matches the base network's dimensions.
 func (r *ResidualNetwork) checkShape(res Reservation) error {
@@ -113,18 +148,19 @@ func (r *ResidualNetwork) SetLoad(outstanding []Reservation) error {
 }
 
 // Fits reports whether adding res keeps every node and link load at or below
-// full capacity (load + reservation <= 1, checked strictly).
+// its current capacity factor (load + reservation <= factor, checked
+// strictly; the factor is 1 unless churn reduced it).
 func (r *ResidualNetwork) Fits(res Reservation) bool {
 	if r.checkShape(res) != nil {
 		return false
 	}
 	for i, f := range res.NodeFrac {
-		if r.nodeLoad[i]+f > 1 {
+		if r.nodeLoad[i]+f > r.nodeCap[i] {
 			return false
 		}
 	}
 	for i, f := range res.LinkFrac {
-		if r.linkLoad[i]+f > 1 {
+		if r.linkLoad[i]+f > r.linkCap[i] {
 			return false
 		}
 	}
@@ -137,9 +173,11 @@ func (r *ResidualNetwork) NodeLoad(v NodeID) float64 { return r.nodeLoad[v] }
 // LinkLoad returns the outstanding load fraction on link id.
 func (r *ResidualNetwork) LinkLoad(id int) float64 { return r.linkLoad[id] }
 
-// residualFraction clamps the unreserved remainder into [MinResidualFraction, 1].
-func residualFraction(load float64) float64 {
-	f := 1 - load
+// residualFraction clamps the unreserved remainder of the effective
+// capacity (factor minus load, both fractions of nominal) into
+// [MinResidualFraction, 1].
+func residualFraction(capFactor, load float64) float64 {
+	f := capFactor - load
 	if f < MinResidualFraction {
 		return MinResidualFraction
 	}
@@ -149,21 +187,22 @@ func residualFraction(load float64) float64 {
 	return f
 }
 
-// NodeResidual returns the unreserved fraction of node v's power, clamped to
-// [0, 1]: overcommitment (which admission control prevents, but float sums
-// may graze) never reads as negative capacity.
+// NodeResidual returns the unreserved fraction of node v's nominal power
+// (capacity factor minus load), clamped to [0, 1]: overcommitment — which
+// admission control prevents for load, but churn can force — never reads as
+// negative capacity.
 func (r *ResidualNetwork) NodeResidual(v NodeID) float64 {
-	f := 1 - r.nodeLoad[v]
+	f := r.nodeCap[v] - r.nodeLoad[v]
 	if f < 0 {
 		return 0
 	}
 	return f
 }
 
-// LinkResidual returns the unreserved fraction of link id's bandwidth,
-// clamped to [0, 1].
+// LinkResidual returns the unreserved fraction of link id's nominal
+// bandwidth, clamped to [0, 1].
 func (r *ResidualNetwork) LinkResidual(id int) float64 {
-	f := 1 - r.linkLoad[id]
+	f := r.linkCap[id] - r.linkLoad[id]
 	if f < 0 {
 		return 0
 	}
@@ -172,18 +211,19 @@ func (r *ResidualNetwork) LinkResidual(id int) float64 {
 
 // Snapshot materializes the residual view as a standalone Network: node v's
 // power and link l's bandwidth are the base values scaled by the unreserved
-// fraction (floored at MinResidualFraction). Minimum link delays are
-// propagation latency and do not scale with load. The snapshot shares no
-// state with the residual view; solvers may use it freely while the view
-// keeps changing.
+// remainder of the effective capacity (floored at MinResidualFraction, so a
+// down node stays structurally present but priced out of every solve).
+// Minimum link delays are propagation latency and do not scale with load.
+// The snapshot shares no state with the residual view; solvers may use it
+// freely while the view keeps changing.
 func (r *ResidualNetwork) Snapshot() *Network {
 	nodes := append([]Node(nil), r.base.Nodes...)
 	for i := range nodes {
-		nodes[i].Power = r.base.Nodes[i].Power * residualFraction(r.nodeLoad[i])
+		nodes[i].Power = r.base.Nodes[i].Power * residualFraction(r.nodeCap[i], r.nodeLoad[i])
 	}
 	links := append([]Link(nil), r.base.Links...)
 	for i := range links {
-		links[i].BWMbps = r.base.Links[i].BWMbps * residualFraction(r.linkLoad[i])
+		links[i].BWMbps = r.base.Links[i].BWMbps * residualFraction(r.linkCap[i], r.linkLoad[i])
 	}
 	snap, err := NewNetwork(nodes, links)
 	if err != nil {

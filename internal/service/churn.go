@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"elpc/internal/churn"
+	"elpc/internal/fleet"
+	"elpc/internal/model"
+)
+
+// This file wires the churn subsystem (internal/churn) into elpcd:
+// POST /v1/events applies a transactional batch of network-mutation events
+// and runs the incremental repair cycle; GET /v1/events/log serves the
+// reconciliation log, parked queue, and churn gauges.
+
+// eventsWire is the POST /v1/events body.
+type eventsWire struct {
+	Events []model.ChurnEvent `json:"events"`
+}
+
+// parkedWire is the JSON rendering of one parked deployment.
+type parkedWire struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	Reason string `json:"reason"`
+}
+
+// eventsLogWire is the GET /v1/events/log response.
+type eventsLogWire struct {
+	Records []churn.Record `json:"records"`
+	Parked  []parkedWire   `json:"parked"`
+	Stats   churn.Stats    `json:"stats"`
+}
+
+// handleEvents applies one churn event batch: POST /v1/events. The repair
+// solves run behind the solver's worker pool, like fleet deploys, so churn
+// reconciliation and planning requests share one concurrency budget.
+// Transactionality is end to end: an invalid batch (unknown target -> 404,
+// conflicting event -> 409, bad factor -> 400) changes nothing.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var wire eventsWire
+	if err := decode(w, r, &wire); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(wire.Events) == 0 {
+		writeError(w, fmt.Errorf("request has no events"))
+		return
+	}
+	var rec churn.Record
+	err := s.fleet.withSolve(func(*fleet.Fleet) error {
+		release, err := s.solver.acquireSlot(r.Context())
+		if err != nil {
+			return fmt.Errorf("service: waiting for worker: %w", err)
+		}
+		defer release()
+		rec, err = s.fleet.rec.Apply(wire.Events)
+		return err
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleEventsLog serves the reconciliation log: GET /v1/events/log
+// (?limit=N returns the most recent N records; default 64, 0 = all
+// retained).
+func (s *Server) handleEventsLog(w http.ResponseWriter, r *http.Request) {
+	limit := 64
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, fmt.Errorf("limit must be a non-negative integer, got %q", raw))
+			return
+		}
+		limit = n
+	}
+	out := eventsLogWire{Records: []churn.Record{}, Parked: []parkedWire{}}
+	err := s.fleet.withFleet(func(*fleet.Fleet) error {
+		rec := s.fleet.rec
+		out.Records = append(out.Records, rec.Log(limit)...)
+		for _, p := range rec.Parked() {
+			out.Parked = append(out.Parked, parkedWire{ID: p.ID, Tenant: p.Tenant, Reason: p.Reason})
+		}
+		out.Stats = rec.Stats()
+		return nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// churnStats snapshots the reconciler gauges for /v1/stats (nil when no
+// fleet network is installed).
+func (s *Server) churnStats() *churn.Stats {
+	var st churn.Stats
+	if err := s.fleet.withFleet(func(*fleet.Fleet) error {
+		st = s.fleet.rec.Stats()
+		return nil
+	}); err != nil {
+		return nil
+	}
+	return &st
+}

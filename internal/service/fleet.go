@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 
+	"elpc/internal/churn"
 	"elpc/internal/engine"
 	"elpc/internal/fleet"
 	"elpc/internal/model"
@@ -22,13 +23,18 @@ var errFleetNotConfigured = errors.New("fleet network not configured (POST /v1/f
 // orphan an in-flight deploy or release onto a discarded fleet.
 type fleetState struct {
 	mu sync.RWMutex
-	// op serializes the solve-bearing operations (deploy, rebalance) with
-	// each other *before* they claim a worker-pool slot. Fleet admission is
-	// serialized internally anyway, so without this, concurrent fleet
-	// requests would each occupy a slot only to queue on the fleet mutex,
-	// starving the planning endpoints of pool capacity.
+	// op serializes the solve-bearing operations (deploy, rebalance, churn
+	// event application) with each other *before* they claim a worker-pool
+	// slot. Fleet admission is serialized internally anyway, so without
+	// this, concurrent fleet requests would each occupy a slot only to
+	// queue on the fleet mutex, starving the planning endpoints of pool
+	// capacity.
 	op sync.Mutex
 	f  *fleet.Fleet
+	// rec reconciles churn events against f; its background requeue loop
+	// runs from install until close (or the next install). Always non-nil
+	// when f is.
+	rec *churn.Reconciler
 }
 
 // withFleet runs fn on the current fleet under the read lock (or returns
@@ -57,14 +63,16 @@ func (s *fleetState) withSolve(fn func(*fleet.Fleet) error) error {
 // install replaces the shared network. Replacing is refused while
 // deployments are outstanding — their reservations reference the old
 // topology. The write lock waits out every in-flight fleet operation. The
-// fleet shares the solver's engine pool so parallel rebalance passes and
-// planning requests draw from one concurrency budget.
+// fleet shares the solver's engine pool so parallel rebalance passes,
+// churn repairs, and planning requests draw from one concurrency budget;
+// the old reconciliation loop is stopped before the new one starts.
 func (s *fleetState) install(net *model.Network, pool *engine.Pool) error {
 	f, err := fleet.New(net)
 	if err != nil {
 		return err
 	}
 	f.UsePool(pool)
+	rec := churn.New(f, churn.Options{Workers: pool.Workers()})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f != nil {
@@ -72,8 +80,24 @@ func (s *fleetState) install(net *model.Network, pool *engine.Pool) error {
 			return fmt.Errorf("fleet network already installed with %d outstanding deployments; release them first", st.Deployments)
 		}
 	}
+	if s.rec != nil {
+		s.rec.Stop()
+	}
 	s.f = f
+	s.rec = rec
+	rec.Start()
 	return nil
+}
+
+// close stops the reconciliation loop (if any). The fleet remains usable —
+// only the background requeue goroutine exits — so close is safe at any
+// point during shutdown.
+func (s *fleetState) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rec != nil {
+		s.rec.Stop()
+	}
 }
 
 // objectiveByOp maps the wire op strings onto placement objectives.

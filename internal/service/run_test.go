@@ -1,17 +1,25 @@
 package service
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"net"
 	"net/http"
+	"runtime"
 	"testing"
 	"time"
+
+	"elpc/internal/gen"
 )
 
 // TestRunGracefulShutdown exercises the drain path behind `elpcd`'s
 // SIGINT/SIGTERM handling: Run must serve until the context is canceled and
-// then return nil after a clean drain.
+// then return nil after a clean drain — including stopping the fleet's
+// churn reconciliation loop, asserted by a goroutine-leak check.
 func TestRunGracefulShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+
 	// Reserve a free port, release it, and hand it to Run.
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -38,6 +46,25 @@ func TestRunGracefulShutdown(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
+	// Install a fleet network so the churn reconciliation loop is running
+	// when the drain begins; the leak check below proves Run stops it.
+	netw, err := gen.Network(6, 20, gen.DefaultRanges(), gen.RNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(fleetNetworkWire{Network: netw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/fleet/network", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("installing fleet network: status %d", resp.StatusCode)
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -51,5 +78,24 @@ func TestRunGracefulShutdown(t *testing.T) {
 	// The listener must actually be closed.
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Error("server still answering after shutdown")
+	}
+
+	// No goroutine leak: the HTTP server, the solver's engine pool, and
+	// the churn reconciliation loop must all be gone. Idle HTTP keep-alive
+	// and runtime goroutines wind down asynchronously, so poll with a
+	// deadline and a small tolerance.
+	http.DefaultClient.CloseIdleConnections()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked across shutdown: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

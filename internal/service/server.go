@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"elpc/internal/churn"
 	"elpc/internal/fleet"
 	"elpc/internal/model"
 	"elpc/internal/sim"
@@ -88,8 +89,9 @@ type statsResponse struct {
 	Service  string      `json:"service"`
 	UptimeMs float64     `json:"uptime_ms"`
 	Solver   SolverStats `json:"solver"`
-	// Fleet gauges are present once a fleet network is installed.
+	// Fleet and Churn gauges are present once a fleet network is installed.
 	Fleet *fleet.Stats `json:"fleet,omitempty"`
+	Churn *churn.Stats `json:"churn,omitempty"`
 }
 
 // Server is the elpcd HTTP planning server. Build one with NewServer and
@@ -115,6 +117,8 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/fleet/rebalance", s.handleFleetRebalance)
 	s.mux.HandleFunc("GET /v1/fleet", s.handleFleetList)
 	s.mux.HandleFunc("GET /v1/fleet/{id}", s.handleFleetDescribe)
+	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/events/log", s.handleEventsLog)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -130,10 +134,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // in-process callers; its cache then serves both).
 func (s *Server) Solver() *Solver { return s.solver }
 
-// Close releases the server's solver resources (engine-pool goroutines).
-// Handlers still work afterwards — solves just lose helper parallelism —
-// so it is safe to call once the listener is down.
-func (s *Server) Close() { s.solver.Close() }
+// Close releases the server's background resources: the solver's
+// engine-pool goroutines and the fleet's churn reconciliation loop.
+// Handlers still work afterwards — solves just lose helper parallelism and
+// parked deployments wait for explicit capacity-raising events — so it is
+// safe to call once the listener is down.
+func (s *Server) Close() {
+	s.fleet.close()
+	s.solver.Close()
+}
 
 // ListenAndServe builds a Server and serves it on addr until the listener
 // fails. It is the programmatic equivalent of `elpc serve` without signal
@@ -193,17 +202,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // response already committed; nothing useful to do
 }
 
-// writeError maps solver and fleet errors onto HTTP statuses: infeasible
-// problems are 422 (well-formed, unsolvable), fleet admission rejections are
-// 409 (the request conflicts with outstanding reservations or its SLO),
-// unknown deployments are 404, timeouts/cancellations are 503, and
-// everything else is a 400 input error.
+// writeError maps solver, fleet, and churn errors onto HTTP statuses:
+// infeasible problems are 422 (well-formed, unsolvable), fleet admission
+// rejections and conflicting churn events (double-down) are 409 (the
+// request conflicts with current state), unknown deployments and unknown
+// churn targets are 404, timeouts/cancellations are 503, and everything
+// else is a 400 input error.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, fleet.ErrRejected):
+	case errors.Is(err, fleet.ErrRejected), errors.Is(err, model.ErrChurnConflict):
 		status = http.StatusConflict
-	case errors.Is(err, fleet.ErrNotFound):
+	case errors.Is(err, fleet.ErrNotFound), errors.Is(err, model.ErrUnknownTarget):
 		status = http.StatusNotFound
 	case errors.Is(err, model.ErrInfeasible):
 		status = http.StatusUnprocessableEntity
@@ -343,5 +353,6 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		UptimeMs: float64(time.Since(s.start)) / float64(time.Millisecond),
 		Solver:   s.solver.Stats(),
 		Fleet:    s.fleetStats(),
+		Churn:    s.churnStats(),
 	})
 }
