@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"elpc"
@@ -432,4 +433,73 @@ func BenchmarkParetoFront(b *testing.B) {
 		pts = len(front)
 	}
 	b.ReportMetric(float64(pts), "front_points")
+}
+
+// BenchmarkShardedDeploy measures sharded multi-tenant placement throughput
+// on the clustered ~n500/l5000 topology (gen.DefaultClusterSpec): each op
+// is one intra-cluster Deploy plus its Release (keeping occupancy stable),
+// issued from per-cluster goroutines via RunParallel. At shards-1 every
+// deploy serializes on one mutex and solves on the full 504-node network;
+// at shards-8 deployments hold only their region's lock and solve on a
+// ~63-node sub-network, so throughput scales with shards — through cheaper
+// regional solves on any machine and lock concurrency on multicore ones.
+func BenchmarkShardedDeploy(b *testing.B) {
+	spec := gen.DefaultClusterSpec()
+	net, err := gen.ClusteredNetwork(spec, gen.DefaultRanges(), gen.RNG(2026))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const variants = 8
+	reqs := make([][]fleet.Request, spec.Clusters)
+	for c := range reqs {
+		rng := gen.RNG(uint64(500 + c))
+		for i := 0; i < variants; i++ {
+			pl, err := gen.Pipeline(4+i%3, gen.DefaultRanges(), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := model.NodeID(c*spec.Nodes + rng.IntN(spec.Nodes))
+			dst := model.NodeID(c*spec.Nodes + rng.IntN(spec.Nodes-1))
+			if dst >= src {
+				dst++
+			}
+			reqs[c] = append(reqs[c], fleet.Request{
+				Pipeline:  pl,
+				Src:       src,
+				Dst:       dst,
+				Objective: model.MaxFrameRate,
+				SLO:       fleet.SLO{MinRateFPS: 1},
+			})
+		}
+	}
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			sf, err := fleet.NewSharded(net, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				c := int(next.Add(1)-1) % spec.Clusters
+				i := 0
+				for pb.Next() {
+					req := reqs[c][i%variants]
+					i++
+					d, err := sf.Deploy(req)
+					if err != nil {
+						if !errors.Is(err, fleet.ErrRejected) {
+							b.Error(err)
+							return
+						}
+						continue
+					}
+					if err := sf.Release(d.ID); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
 }

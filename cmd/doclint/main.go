@@ -1,0 +1,133 @@
+// Command doclint fails when exported package-level identifiers lack doc
+// comments. It is the docs CI job's godoc gate: the packages listed on the
+// command line (directories) are parsed and every exported top-level type,
+// function, method, constant, and variable must carry a doc comment —
+// either its own or its declaration group's.
+//
+//	doclint ./internal/fleet ./internal/model .
+//
+// Test files are ignored. Struct fields and interface methods are not
+// checked (package review keeps those honest); the gate exists to stop new
+// exported API from landing undocumented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir> [package-dir ...]")
+		os.Exit(2)
+	}
+	failures := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Printf("%s\n", m)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) missing doc comments\n", failures)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses the non-test files of one package directory and returns a
+// "file:line: name" entry per undocumented exported identifier.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not reachable API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintGenDecl checks a const/var/type declaration: a documented group
+// covers its members; otherwise each exported spec needs its own comment.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Doc != nil {
+		return
+	}
+	kind := map[token.Token]string{token.CONST: "constant", token.VAR: "variable", token.TYPE: "type"}[d.Tok]
+	if kind == "" {
+		return // import declarations
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(s.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLintDirFlagsUndocumentedExports(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Bad struct{}
+
+// Good is fine.
+type Good struct{}
+
+func (Good) NoDoc() {}
+
+// Grouped constants are covered by the group comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var Loose = 3
+
+func internalHelper() {}
+
+type hidden struct{}
+
+func (hidden) Exported() {} // method on unexported type: not reachable API
+`)
+	// Undocumented exports inside test files are ignored.
+	writeFile(t, dir, "a_test.go", `package a
+
+func TestExportedHelper() {}
+`)
+	missing, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(missing, "\n")
+	for _, want := range []string{"function Undocumented", "type Bad", "method NoDoc", "variable Loose"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing finding %q in:\n%s", want, joined)
+		}
+	}
+	for _, fine := range []string{"Documented", "Good", "GroupedA", "internalHelper", "Exported"} {
+		for _, m := range missing {
+			if strings.Contains(m, fine+" ") || strings.HasSuffix(m, fine+" has no doc comment") {
+				t.Fatalf("false positive on %s: %s", fine, m)
+			}
+		}
+	}
+	if len(missing) != 4 {
+		t.Fatalf("got %d findings, want 4:\n%s", len(missing), joined)
+	}
+}
+
+func TestLintDirCleanPackage(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "b.go", `// Package b is documented.
+package b
+
+// Exported is documented.
+func Exported() {}
+`)
+	missing, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("clean package flagged: %v", missing)
+	}
+}

@@ -13,8 +13,8 @@ import (
 // buildBenchDoc renders the suite results in the machine-readable
 // elpc-pipebench-v1 schema (internal/benchfmt) shared with benchdiff and
 // the CI regression gate.
-func buildBenchDoc(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, elapsed time.Duration) *benchfmt.Doc {
-	return benchfmt.Build(fig, results, fleet, churn, elapsed)
+func buildBenchDoc(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, elapsed time.Duration) *benchfmt.Doc {
+	return benchfmt.Build(fig, results, fleet, churn, scale, elapsed)
 }
 
 // writeBenchJSON writes the doc to path ("-" = stdout).

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, scale, or all")
 	out := flag.String("out", "", "directory to write artifacts into (optional)")
 	workers := flag.Int("workers", 0, "parallel workers for the case suite (0 = GOMAXPROCS)")
 	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
@@ -140,9 +140,20 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// The scale scenario (sharded vs unsharded placement on a clustered
+	// topology) feeds -fig scale and the JSON summary.
+	var scaleRes *harness.ScaleScenarioResult
+	if fig == "all" || fig == "scale" || jsonPath != "" || cfg.compare != "" {
+		var err error
+		scaleRes, err = harness.RunScaleScenario(harness.DefaultScaleSpec())
+		if err != nil {
+			return err
+		}
+	}
+
 	var doc *benchfmt.Doc
 	if jsonPath != "" || cfg.compare != "" {
-		doc = buildBenchDoc(fig, results, fleetRes, churnRes, suiteElapsed)
+		doc = buildBenchDoc(fig, results, fleetRes, churnRes, scaleRes, suiteElapsed)
 	}
 	if jsonPath != "" {
 		if err := writeBenchJSON(jsonPath, doc); err != nil {
@@ -199,6 +210,11 @@ func run(cfg runConfig) error {
 	}
 	if fig == "all" || fig == "churn" {
 		if err := emit("churn.md", harness.ChurnScenarioTable(churnRes)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "scale" {
+		if err := emit("scale.md", harness.ScaleScenarioTable(scaleRes)); err != nil {
 			return err
 		}
 	}
@@ -265,7 +281,7 @@ func run(cfg runConfig) error {
 		}
 	}
 	switch fig {
-	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn":
+	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn", "scale":
 		return nil
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

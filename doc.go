@@ -54,6 +54,23 @@
 //	fl.Rebalance(elpc.RebalanceOptions{})
 //	fl.Release(d.ID)
 //
+// # Sharded fleet — region-partitioned placement
+//
+// At scale one fleet lock throttles every operation, so the fleet shards:
+// PartitionNetwork splits the network into K connected regions with an
+// explicit cross-region boundary-link set, and NewShardedFleet runs one
+// independently locked fleet per region. Same-region deployments take
+// only their shard's lock and solve on the region's sub-network (K×
+// smaller); cross-region deployments go through a coordinator that
+// two-phase-reserves boundary links; churn events route to the owning
+// shard so repair stays regional. A one-shard ShardedFleet is
+// behaviorally identical to a plain Fleet. Both satisfy FleetManager, and
+// elpcd installs either via the shards option of POST /v1/fleet/network.
+//
+//	sf, _ := elpc.NewShardedFleet(net, 8)
+//	d, _ = sf.Deploy(elpc.FleetRequest{Pipeline: pl, Src: 0, Dst: 9})
+//	fmt.Println(sf.ShardStats().Coordinator.BoundaryLinks)
+//
 // # Parallel engine
 //
 // Decomposable solves — a Pareto sweep's budget points, a batch's problems,

@@ -321,6 +321,63 @@ var ErrFleetRejected = fleet.ErrRejected
 // NewFleet builds an empty fleet over the shared base network.
 func NewFleet(net *Network) (*Fleet, error) { return fleet.New(net) }
 
+// Sharded fleet (region-partitioned placement), embeddable pieces.
+
+type (
+	// FleetManager is the placement-management surface shared by Fleet and
+	// ShardedFleet (deploy/release/list/stats/rebalance/churn/repair).
+	FleetManager = fleet.Manager
+	// ShardedFleet partitions the shared network into regions, one
+	// independently locked fleet each: same-region deployments never
+	// contend, cross-region ones two-phase-reserve boundary links through a
+	// coordinator. One shard is behaviorally identical to a plain Fleet.
+	ShardedFleet = fleet.ShardedFleet
+	// ShardStat is one region's gauge block in ShardedStats.
+	ShardStat = fleet.ShardStat
+	// ShardedStats is the per-region and coordinator gauge breakdown served
+	// by elpcd's /v1/stats as fleet_shards.
+	ShardedStats = fleet.ShardedStats
+	// NetworkPartition is a K-way region partition of a network's nodes and
+	// links, with the explicit cross-region boundary-link set.
+	NetworkPartition = model.Partition
+	// RegionView is the index translation between a network and one
+	// region's sub-network.
+	RegionView = model.RegionView
+	// ClusterSpec shapes a generated clustered topology (K dense clusters
+	// joined by sparse inter-cluster links).
+	ClusterSpec = gen.ClusterSpec
+)
+
+// NewShardedFleet partitions net into the given number of regions and
+// builds a sharded fleet over them (see fleet.NewSharded).
+func NewShardedFleet(net *Network, shards int) (*ShardedFleet, error) {
+	return fleet.NewSharded(net, shards)
+}
+
+// NewShardedFleetWithPartition builds a sharded fleet over a caller-supplied
+// partition (e.g. ClusterSpec.ClusterPartition for generated topologies).
+func NewShardedFleetWithPartition(net *Network, part *NetworkPartition) (*ShardedFleet, error) {
+	return fleet.NewShardedWithPartition(net, part)
+}
+
+// PartitionNetwork splits net into k regions with the deterministic
+// balanced graph partitioner and derives link ownership and the boundary
+// set.
+func PartitionNetwork(net *Network, k int) (*NetworkPartition, error) {
+	return model.PartitionNetwork(net, k)
+}
+
+// DefaultClusterSpec returns the large clustered topology (~n500/l5000) the
+// scale benchmarks run on.
+func DefaultClusterSpec() ClusterSpec { return gen.DefaultClusterSpec() }
+
+// GenerateClusteredNetwork draws a strongly connected clustered network:
+// K dense random clusters joined by a tunable number of inter-cluster
+// links.
+func GenerateClusteredNetwork(spec ClusterSpec, r Ranges, rng *rand.Rand) (*Network, error) {
+	return gen.ClusteredNetwork(spec, r, rng)
+}
+
 // NewResidualNetwork builds an unloaded residual capacity view of base.
 func NewResidualNetwork(base *Network) *ResidualNetwork { return model.NewResidualNetwork(base) }
 

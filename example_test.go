@@ -53,3 +53,61 @@ func ExampleNewFleet() {
 	// node_down: affected=1 displaced=1
 	// deployments after release: 0
 }
+
+// ExamplePartitionNetwork splits a clustered topology into regions: the
+// deterministic partitioner recovers the generated clusters, and every
+// link is either owned by one region or a member of the explicit
+// cross-region boundary set.
+func ExamplePartitionNetwork() {
+	spec := elpc.ClusterSpec{Clusters: 2, Nodes: 6, Links: 16, InterLinks: 4}
+	net, _ := elpc.GenerateClusteredNetwork(spec, elpc.DefaultRanges(), elpc.RNG(1))
+
+	part, _ := elpc.PartitionNetwork(net, 2)
+	fmt.Printf("regions: %d (%d + %d nodes)\n", part.K, len(part.Regions[0]), len(part.Regions[1]))
+	fmt.Println("boundary links:", len(part.Boundary))
+	owned := 0
+	for _, owner := range part.LinkOwner {
+		if owner >= 0 {
+			owned++
+		}
+	}
+	fmt.Println("region-owned links:", owned)
+	// Output:
+	// regions: 2 (6 + 6 nodes)
+	// boundary links: 4
+	// region-owned links: 32
+}
+
+// ExampleNewShardedFleet routes deployments by placement affinity on a
+// two-region sharded fleet: same-region traffic is solved inside its shard
+// alone (s<k>- IDs), cross-region traffic goes through the coordinator's
+// two-phase boundary reservation (x- IDs); one shard would be behaviorally
+// identical to a plain Fleet.
+func ExampleNewShardedFleet() {
+	spec := elpc.ClusterSpec{Clusters: 2, Nodes: 6, Links: 16, InterLinks: 4}
+	net, _ := elpc.GenerateClusteredNetwork(spec, elpc.DefaultRanges(), elpc.RNG(1))
+	fl, _ := elpc.NewShardedFleet(net, 2)
+
+	pipe, _ := elpc.GeneratePipeline(4, elpc.DefaultRanges(), elpc.RNG(7))
+	left, _ := fl.Deploy(elpc.FleetRequest{Tenant: "left", Pipeline: pipe, Src: 0, Dst: 5, Objective: elpc.MinDelay})
+	right, _ := fl.Deploy(elpc.FleetRequest{Tenant: "right", Pipeline: pipe, Src: 6, Dst: 11, Objective: elpc.MinDelay})
+	cross, _ := fl.Deploy(elpc.FleetRequest{Tenant: "cross", Pipeline: pipe, Src: 0, Dst: 11, Objective: elpc.MinDelay})
+	fmt.Printf("left=%s right=%s cross=%s\n", left.ID, right.ID, cross.ID)
+
+	st := fl.Stats()
+	fmt.Printf("deployments=%d admitted=%d\n", st.Deployments, st.Admitted)
+	for _, sh := range fl.ShardStats().Shards {
+		fmt.Printf("shard %d: %d nodes, %d deployments\n", sh.Shard, sh.Nodes, sh.Deployments)
+	}
+
+	for _, live := range fl.List() {
+		_ = fl.Release(live.ID)
+	}
+	fmt.Println("deployments after release:", fl.Stats().Deployments)
+	// Output:
+	// left=s0-d-000001 right=s1-d-000001 cross=x-d-000001
+	// deployments=3 admitted=3
+	// shard 0: 6 nodes, 1 deployments
+	// shard 1: 6 nodes, 1 deployments
+	// deployments after release: 0
+}

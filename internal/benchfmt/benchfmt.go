@@ -62,6 +62,10 @@ type Doc struct {
 	// Churn is the dynamic-network scenario (incremental repair of a
 	// populated fleet over a seeded failure/degradation/drift trace).
 	Churn *harness.ChurnScenarioResult `json:"churn,omitempty"`
+	// Scale is the sharded-fleet scenario (the same clustered-topology
+	// tenant mix replayed on an unsharded and a region-sharded fleet,
+	// comparing admissions, quality, and deploy wall clock).
+	Scale *harness.ScaleScenarioResult `json:"scale,omitempty"`
 }
 
 func toOutcome(o harness.Outcome) Outcome {
@@ -77,9 +81,9 @@ func toOutcome(o harness.Outcome) Outcome {
 	return out
 }
 
-// Build renders a suite run (plus the optional fleet and churn scenarios)
-// as a Doc.
-func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, elapsed time.Duration) *Doc {
+// Build renders a suite run (plus the optional fleet, churn, and scale
+// scenarios) as a Doc.
+func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, elapsed time.Duration) *Doc {
 	doc := &Doc{
 		Schema:     Schema,
 		Figure:     fig,
@@ -88,6 +92,7 @@ func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenari
 		SuiteMs:    float64(elapsed) / float64(time.Millisecond),
 		Fleet:      fleet,
 		Churn:      churn,
+		Scale:      scale,
 	}
 	for _, r := range results {
 		c := Case{

@@ -20,6 +20,11 @@ const (
 	// that solved a case in the baseline but no longer does); any loss
 	// fails regardless of thresholds.
 	ClassFeasibility = "feasibility"
+	// ClassRatio marks dimensionless wall-clock-derived ratios (the scale
+	// scenario's deploy speedup): machine-dependent like runtime metrics —
+	// IgnoreRuntime drops them from gating — but without the absolute
+	// millisecond noise floor, which only makes sense for durations.
+	ClassRatio = "ratio"
 )
 
 // CompareOptions tunes the regression gate.
@@ -153,11 +158,15 @@ func Compare(baseline, fresh *Doc, opt CompareOptions) *Report {
 		}
 		threshold := opt.QualityThreshold
 		gated := true
-		if class == ClassRuntime {
+		switch class {
+		case ClassRuntime:
 			threshold = opt.RuntimeThreshold
 			if opt.IgnoreRuntime || (old < opt.MinRuntimeMs && cur < opt.MinRuntimeMs) {
 				gated = false
 			}
+		case ClassRatio:
+			threshold = opt.RuntimeThreshold
+			gated = !opt.IgnoreRuntime
 		}
 		d := Delta{Metric: metric, Class: class, Old: old, New: cur, Change: change}
 		if gated && change > threshold {
@@ -207,6 +216,17 @@ func Compare(baseline, fresh *Doc, opt CompareOptions) *Report {
 		add("churn displaced", ClassQuality, float64(baseline.Churn.Displaced), float64(fresh.Churn.Displaced), true)
 		add("churn churn_solves", ClassQuality, float64(baseline.Churn.ChurnSolves), float64(fresh.Churn.ChurnSolves), true)
 		add("churn mean_repair_ms", ClassRuntime, baseline.Churn.MeanRepairMs, fresh.Churn.MeanRepairMs, true)
+	}
+
+	if baseline.Scale != nil && fresh.Scale != nil {
+		// Sharded placement quality must hold: the admission rates and mean
+		// deployed rate of the sharded replay are deterministic, so they
+		// gate as quality. The deploy speedup is wall clock (runtime class,
+		// higher is better).
+		add("scale admission_rate_single", ClassQuality, baseline.Scale.AdmissionRateSingle, fresh.Scale.AdmissionRateSingle, false)
+		add("scale admission_rate_sharded", ClassQuality, baseline.Scale.AdmissionRateSharded, fresh.Scale.AdmissionRateSharded, false)
+		add("scale mean_rate_sharded", ClassQuality, baseline.Scale.MeanRateSharded, fresh.Scale.MeanRateSharded, false)
+		add("scale speedup", ClassRatio, baseline.Scale.Speedup, fresh.Scale.Speedup, false)
 	}
 
 	add("suite_ms", ClassRuntime, baseline.SuiteMs, fresh.SuiteMs, true)

@@ -104,11 +104,14 @@ type Stats struct {
 }
 
 // Reconciler applies churn events to one fleet and keeps its placements
-// consistent with the surviving capacity. All methods are safe for
-// concurrent use; event batches are serialized so each Record reflects one
-// well-ordered mutation of the network.
+// consistent with the surviving capacity. It works over the fleet.Manager
+// surface, so a plain Fleet and a region-sharded ShardedFleet (whose
+// ApplyChurn/Affected/Repair route each event to the owning shard) are
+// reconciled by the same loop. All methods are safe for concurrent use;
+// event batches are serialized so each Record reflects one well-ordered
+// mutation of the network.
 type Reconciler struct {
-	f   *fleet.Fleet
+	f   fleet.Manager
 	opt Options
 
 	mu     sync.Mutex
@@ -131,8 +134,8 @@ type Reconciler struct {
 	done    chan struct{}
 }
 
-// New builds a Reconciler over the fleet.
-func New(f *fleet.Fleet, opt Options) *Reconciler {
+// New builds a Reconciler over the fleet (a plain Fleet or a ShardedFleet).
+func New(f fleet.Manager, opt Options) *Reconciler {
 	if opt.RequeueInterval <= 0 {
 		opt.RequeueInterval = DefaultRequeueInterval
 	}
@@ -142,8 +145,8 @@ func New(f *fleet.Fleet, opt Options) *Reconciler {
 	return &Reconciler{f: f, opt: opt}
 }
 
-// Fleet returns the reconciler's fleet.
-func (r *Reconciler) Fleet() *fleet.Fleet { return r.f }
+// Fleet returns the reconciler's fleet manager.
+func (r *Reconciler) Fleet() fleet.Manager { return r.f }
 
 // raisesCapacity reports whether the batch can make room it did not take
 // away: node/link restores, or upward drift.

@@ -167,6 +167,21 @@ type Fleet struct {
 	seq      uint64
 	pool     *engine.Pool // shared parallel substrate for rebalance re-solves
 
+	// idPrefix namespaces deployment IDs ("s3-" on shard 3 of a
+	// ShardedFleet) so IDs stay unique and routable across shards; empty for
+	// a standalone fleet — and for shard 0 of a one-shard fleet, which keeps
+	// K=1 byte-identical to a plain Fleet.
+	idPrefix string
+	// region, when non-nil, restricts every solve to the region's
+	// sub-network: the solver runs on an extraction of the residual snapshot
+	// holding only region nodes and internal links, and the winning mapping
+	// is translated back to global node IDs. Set only by ShardedFleet.
+	region *model.RegionView
+	// external is a static load overlay (the sharded coordinator's summed
+	// cross-region reservations) re-added on every recompute; a zero-length
+	// reservation means none.
+	external model.Reservation
+
 	admitted    uint64
 	rejected    uint64
 	released    uint64
@@ -220,6 +235,12 @@ func (f *Fleet) recomputeLocked() {
 		// Reservations are built against f.base; shapes cannot mismatch.
 		panic(fmt.Sprintf("fleet: recompute: %v", err))
 	}
+	if len(f.external.NodeFrac) > 0 {
+		if err := f.residual.AddLoad(f.external); err != nil {
+			// The overlay is built against the same base network.
+			panic(fmt.Sprintf("fleet: recompute external: %v", err))
+		}
+	}
 }
 
 // reject records and wraps an admission failure.
@@ -251,10 +272,29 @@ func solve(snap *model.Network, req Request, cost model.CostOptions) (*model.Map
 }
 
 // solveCounted is solve plus the fleet's solver-call accounting; every
-// fleet-initiated solve goes through it.
-func (f *Fleet) solveCounted(snap *model.Network, req Request, cost model.CostOptions) (*model.Mapping, float64, float64, error) {
+// fleet-initiated solve goes through it, materializing its own snapshot of
+// the given residual view. On a region-scoped fleet the snapshot is the
+// region's sub-network alone (model.ResidualNetwork.RegionSnapshot — the
+// O(region) hot path sharding's speedup rests on); node powers and link
+// bandwidths are scaled bit-identically to a full snapshot, so the returned
+// delay and rate match a full-network evaluation of the same mapping, and
+// the mapping comes back in global node IDs.
+func (f *Fleet) solveCounted(rn *model.ResidualNetwork, req Request, cost model.CostOptions) (*model.Mapping, float64, float64, error) {
 	f.solves.Add(1)
-	return solve(snap, req, cost)
+	if f.region == nil {
+		return solve(rn.Snapshot(), req, cost)
+	}
+	ls, ld := f.region.LocalNode[req.Src], f.region.LocalNode[req.Dst]
+	if ls < 0 || ld < 0 {
+		return nil, 0, 0, fmt.Errorf("fleet: %w: endpoints %d -> %d leave region %d", model.ErrInfeasible, req.Src, req.Dst, f.region.Region)
+	}
+	local := req
+	local.Src, local.Dst = model.NodeID(ls), model.NodeID(ld)
+	m, delay, rate, err := solve(rn.RegionSnapshot(f.region), local, cost)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return f.region.ToGlobal(m), delay, rate, nil
 }
 
 // SolveCount returns the number of objective solves the fleet has run
@@ -294,8 +334,7 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
-	snap := f.residual.Snapshot()
-	m, delay, rate, err := f.solveCounted(snap, req, cost)
+	m, delay, rate, err := f.solveCounted(f.residual, req, cost)
 	if err != nil {
 		if errors.Is(err, model.ErrInfeasible) {
 			return Deployment{}, f.reject("no feasible mapping on residual network: %v", err)
@@ -331,7 +370,7 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 
 	f.seq++
 	d := &Deployment{
-		ID:          fmt.Sprintf("d-%06d", f.seq),
+		ID:          fmt.Sprintf("%sd-%06d", f.idPrefix, f.seq),
 		Tenant:      req.Tenant,
 		Objective:   req.Objective,
 		Assignment:  m.Assign,
@@ -410,8 +449,10 @@ func (f *Fleet) Stats() Stats {
 		ParkEvictions: f.parkEvicts,
 		SolverCalls:   f.solves.Load(),
 	}
-	for _, d := range f.deps {
-		s.ReservedFPS += d.ReservedFPS
+	// Sum in admission order so the gauge is deterministic (map iteration
+	// order would reorder the float additions run to run).
+	for _, id := range f.order {
+		s.ReservedFPS += f.deps[id].ReservedFPS
 	}
 	for v := 0; v < f.base.N(); v++ {
 		u := f.residual.NodeLoad(model.NodeID(v))
@@ -551,7 +592,7 @@ func (f *Fleet) proposeLocked(ids []string, out []proposal, start, end, width in
 			Objective: d.Objective,
 			SLO:       d.SLO,
 		}
-		m, _, _, err := f.solveCounted(rn.Snapshot(), req, d.cost)
+		m, _, _, err := f.solveCounted(rn, req, d.cost)
 		out[i] = proposal{m: m, err: err}
 	})
 }
@@ -646,7 +687,7 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 				Objective: d.Objective,
 				SLO:       d.SLO,
 			}
-			m, _, _, err = f.solveCounted(snap, req, d.cost)
+			m, _, _, err = f.solveCounted(f.residual, req, d.cost)
 		}
 		move := Move{ID: id}
 		restore := func(reason string) {

@@ -58,8 +58,20 @@ func (f *Fleet) Capacity() (node, link []float64) {
 func (f *Fleet) Affected(events []model.ChurnEvent) []string {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	nodes := make(map[model.NodeID]bool)
-	links := make(map[int]bool)
+	nodes, links := churnTargets(events)
+	var out []string
+	for _, id := range f.order {
+		if placementTouches(f.base, f.deps[id], nodes, links) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// churnTargets collects the node and link sets a batch of events mutates.
+func churnTargets(events []model.ChurnEvent) (nodes map[model.NodeID]bool, links map[int]bool) {
+	nodes = make(map[model.NodeID]bool)
+	links = make(map[int]bool)
 	for _, ev := range events {
 		if ev.OnLink() {
 			links[ev.Link] = true
@@ -67,25 +79,20 @@ func (f *Fleet) Affected(events []model.ChurnEvent) []string {
 			nodes[ev.Node] = true
 		}
 	}
-	var out []string
-	for _, id := range f.order {
-		if f.placementTouchesLocked(f.deps[id], nodes, links) {
-			out = append(out, id)
-		}
-	}
-	return out
+	return nodes, links
 }
 
-// placementTouchesLocked reports whether d's mapping uses any of the given
-// nodes or links. Caller holds f.mu.
-func (f *Fleet) placementTouchesLocked(d *Deployment, nodes map[model.NodeID]bool, links map[int]bool) bool {
+// placementTouches reports whether d's mapping uses any of the given nodes
+// or links of base. Shared by Fleet.Affected and the sharded coordinator's
+// cross-region frontier scan.
+func placementTouches(base *model.Network, d *Deployment, nodes map[model.NodeID]bool, links map[int]bool) bool {
 	groups := model.NewMapping(d.Assignment).Groups()
 	for gi, g := range groups {
 		if nodes[g.Node] {
 			return true
 		}
 		if gi+1 < len(groups) && len(links) > 0 {
-			if link, ok := f.base.LinkBetween(g.Node, groups[gi+1].Node); ok && links[link.ID] {
+			if link, ok := base.LinkBetween(g.Node, groups[gi+1].Node); ok && links[link.ID] {
 				return true
 			}
 		}
@@ -95,7 +102,7 @@ func (f *Fleet) placementTouchesLocked(d *Deployment, nodes map[model.NodeID]boo
 
 // requestOf reconstructs the admission request of a live deployment so a
 // parked deployment can be re-queued later with identical parameters.
-func (f *Fleet) requestOf(d *Deployment) Request {
+func requestOf(d *Deployment) Request {
 	cost := d.cost
 	return Request{
 		Tenant:    d.Tenant,
@@ -296,12 +303,12 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 		if !ok {
 			var m *model.Mapping
 			var err error
-			m, _, _, err = f.solveCounted(snap, f.requestOf(d), d.cost)
+			m, _, _, err = f.solveCounted(f.residual, requestOf(d), d.cost)
 			prop = proposal{m: m, err: err}
 		}
 
 		park := func(reason string) {
-			parked := ParkedDeployment{ID: id, Tenant: d.Tenant, Reason: reason, Req: f.requestOf(d)}
+			parked := ParkedDeployment{ID: id, Tenant: d.Tenant, Reason: reason, Req: requestOf(d)}
 			delete(f.deps, id)
 			for i, oid := range f.order {
 				if oid == id {

@@ -1,0 +1,176 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"elpc/internal/graph"
+	"elpc/internal/model"
+)
+
+// This file generates clustered topologies — the workload the sharded fleet
+// manager is built for: K dense clusters of nodes (datacenters, regions)
+// joined by a tunable number of sparse inter-cluster links. Node IDs are
+// laid out cluster-major (cluster c owns [c*Nodes, (c+1)*Nodes)), so the
+// graph partitioner's recovered regions line up with the generated clusters
+// and workloads can draw intra-cluster endpoints by index arithmetic.
+
+// ClusterSpec shapes a generated clustered network.
+type ClusterSpec struct {
+	// Clusters is the number of clusters K (>= 1).
+	Clusters int `json:"clusters"`
+	// Nodes is the node count per cluster (>= 2).
+	Nodes int `json:"nodes"`
+	// Links is the directed intra-cluster link count per cluster, within
+	// the strongly connected generator's bounds [2(Nodes-1), Nodes(Nodes-1)].
+	Links int `json:"links"`
+	// InterLinks is the total number of directed inter-cluster links — the
+	// knob for boundary density. At least 2*Clusters are required when
+	// Clusters > 1: the generator first joins the clusters into a
+	// bidirectional ring (guaranteeing strong connectivity), then spreads
+	// the remainder uniformly over random cluster pairs.
+	InterLinks int `json:"inter_links"`
+}
+
+// Validate checks the structural requirements of the spec.
+func (s ClusterSpec) Validate() error {
+	if s.Clusters < 1 {
+		return fmt.Errorf("gen: cluster spec needs >= 1 cluster, got %d", s.Clusters)
+	}
+	if s.Nodes < 2 {
+		return fmt.Errorf("gen: cluster spec needs >= 2 nodes per cluster, got %d", s.Nodes)
+	}
+	if minL := 2 * (s.Nodes - 1); s.Links < minL {
+		return fmt.Errorf("gen: cluster spec: %d links below spanning minimum %d", s.Links, minL)
+	}
+	if maxL := graph.MaxEdges(s.Nodes); s.Links > maxL {
+		return fmt.Errorf("gen: cluster spec: %d links above simple-graph maximum %d", s.Links, maxL)
+	}
+	if s.Clusters > 1 && s.InterLinks < 2*s.Clusters {
+		return fmt.Errorf("gen: cluster spec: %d inter-links below ring minimum %d", s.InterLinks, 2*s.Clusters)
+	}
+	if s.Clusters == 1 && s.InterLinks != 0 {
+		return fmt.Errorf("gen: cluster spec: one cluster cannot have inter-links")
+	}
+	return nil
+}
+
+// N returns the total node count.
+func (s ClusterSpec) N() int { return s.Clusters * s.Nodes }
+
+// M returns the total directed link count.
+func (s ClusterSpec) M() int { return s.Clusters*s.Links + s.InterLinks }
+
+// String renders the spec compactly ("8x63 n504 l4896").
+func (s ClusterSpec) String() string {
+	return fmt.Sprintf("%dx%d n%d l%d", s.Clusters, s.Nodes, s.N(), s.M())
+}
+
+// DefaultClusterSpec returns the large clustered topology the scale
+// benchmarks run on: 8 clusters of 63 nodes (n504) with 600 intra-cluster
+// links each plus 96 inter-cluster links (l4896) — the "~n500/l5000"
+// substrate of BenchmarkShardedDeploy.
+func DefaultClusterSpec() ClusterSpec {
+	return ClusterSpec{Clusters: 8, Nodes: 63, Links: 600, InterLinks: 96}
+}
+
+// ClusteredNetwork generates a strongly connected clustered network:
+// Clusters independent strongly connected random subgraphs (each built like
+// Network), a bidirectional inter-cluster ring, and uniformly random extra
+// inter-cluster links up to InterLinks. Attributes are drawn from r like
+// every other generator; generation is deterministic given rng.
+func ClusteredNetwork(spec ClusterSpec, r Ranges, rng *rand.Rand) (*model.Network, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	n := spec.N()
+	topo := graph.New(n)
+	for c := 0; c < spec.Clusters; c++ {
+		sub, err := graph.RandomConnected(spec.Nodes, spec.Links, rng)
+		if err != nil {
+			return nil, err
+		}
+		off := c * spec.Nodes
+		for i := 0; i < sub.M(); i++ {
+			e := sub.Edge(i)
+			topo.MustAddEdge(off+e.From, off+e.To)
+		}
+	}
+	if spec.Clusters > 1 {
+		// Bidirectional ring over random representatives: cluster c gets one
+		// link pair to cluster c+1, making the whole graph strongly
+		// connected through at most Clusters boundary hops. Redraw on
+		// collision — with two clusters, both ring hops join the same
+		// cluster pair and can land on the same representatives.
+		for c := 0; c < spec.Clusters; c++ {
+			for {
+				u := c*spec.Nodes + rng.IntN(spec.Nodes)
+				v := ((c+1)%spec.Clusters)*spec.Nodes + rng.IntN(spec.Nodes)
+				if topo.HasEdge(u, v) || topo.HasEdge(v, u) {
+					continue
+				}
+				topo.MustAddEdge(u, v)
+				topo.MustAddEdge(v, u)
+				break
+			}
+		}
+		// Spread the remaining inter-links uniformly over random ordered
+		// cluster pairs (rejection sampling; the inter-cluster space is far
+		// from saturated at any sane InterLinks).
+		for extra := spec.InterLinks - 2*spec.Clusters; extra > 0; {
+			a := rng.IntN(spec.Clusters)
+			b := rng.IntN(spec.Clusters)
+			if a == b {
+				continue
+			}
+			u := a*spec.Nodes + rng.IntN(spec.Nodes)
+			v := b*spec.Nodes + rng.IntN(spec.Nodes)
+			if topo.HasEdge(u, v) {
+				continue
+			}
+			topo.MustAddEdge(u, v)
+			extra--
+		}
+	}
+	nodes := make([]model.Node, n)
+	for i := range nodes {
+		nodes[i] = model.Node{
+			ID:    model.NodeID(i),
+			Name:  fmt.Sprintf("c%d-node-%d", i/spec.Nodes, i%spec.Nodes),
+			Power: logUniform(rng, r.PowerMin, r.PowerMax),
+		}
+	}
+	links := make([]model.Link, topo.M())
+	for i := range links {
+		e := topo.Edge(i)
+		links[i] = model.Link{
+			ID:     i,
+			From:   model.NodeID(e.From),
+			To:     model.NodeID(e.To),
+			BWMbps: logUniform(rng, r.BWMin, r.BWMax),
+			MLDms:  uniform(rng, r.MLDMin, r.MLDMax),
+		}
+	}
+	return model.NewNetwork(nodes, links)
+}
+
+// ClusterOf returns the cluster index of node v under the spec's
+// cluster-major layout.
+func (s ClusterSpec) ClusterOf(v model.NodeID) int { return int(v) / s.Nodes }
+
+// ClusterPartition returns the partition that follows the spec's generated
+// cluster boundaries exactly — the natural sharding of a ClusteredNetwork,
+// bypassing the graph partitioner.
+func (s ClusterSpec) ClusterPartition(net *model.Network) (*model.Partition, error) {
+	if net.N() != s.N() {
+		return nil, fmt.Errorf("gen: network has %d nodes, spec lays out %d", net.N(), s.N())
+	}
+	partOf := make([]int, net.N())
+	for v := range partOf {
+		partOf[v] = s.ClusterOf(model.NodeID(v))
+	}
+	return model.NewPartitionFromAssignment(net, s.Clusters, partOf)
+}

@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"encoding/json"
+	"testing"
+
+	"elpc/internal/model"
+)
+
+func TestClusteredNetwork(t *testing.T) {
+	spec := ClusterSpec{Clusters: 4, Nodes: 8, Links: 20, InterLinks: 12}
+	net, err := ClusteredNetwork(spec, DefaultRanges(), RNG(5))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if net.N() != spec.N() || net.M() != spec.M() {
+		t.Fatalf("network %dx%d, spec %dx%d", net.N(), net.M(), spec.N(), spec.M())
+	}
+	if !net.Topology().StronglyConnected() {
+		t.Fatalf("clustered network not strongly connected")
+	}
+	// Exactly InterLinks links cross cluster boundaries.
+	inter := 0
+	for _, l := range net.Links {
+		if spec.ClusterOf(l.From) != spec.ClusterOf(l.To) {
+			inter++
+		}
+	}
+	if inter != spec.InterLinks {
+		t.Fatalf("%d inter-cluster links, want %d", inter, spec.InterLinks)
+	}
+	// Deterministic for a seed.
+	again, err := ClusteredNetwork(spec, DefaultRanges(), RNG(5))
+	if err != nil {
+		t.Fatalf("regenerate: %v", err)
+	}
+	b1, _ := json.Marshal(net.Links)
+	b2, _ := json.Marshal(again.Links)
+	if string(b1) != string(b2) {
+		t.Fatalf("generation not deterministic")
+	}
+}
+
+// TestClusteredNetworkTwoClusterRing regresses the duplicate-edge panic:
+// with two clusters both ring hops join the same cluster pair, so the ring
+// representatives must be redrawn on collision. Tiny clusters make the
+// collision near-certain across seeds.
+func TestClusteredNetworkTwoClusterRing(t *testing.T) {
+	spec := ClusterSpec{Clusters: 2, Nodes: 2, Links: 2, InterLinks: 4}
+	for seed := uint64(0); seed < 200; seed++ {
+		net, err := ClusteredNetwork(spec, DefaultRanges(), RNG(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !net.Topology().StronglyConnected() {
+			t.Fatalf("seed %d: not strongly connected", seed)
+		}
+	}
+}
+
+func TestClusterSpecValidate(t *testing.T) {
+	bad := []ClusterSpec{
+		{Clusters: 0, Nodes: 5, Links: 10},
+		{Clusters: 2, Nodes: 1, Links: 10, InterLinks: 4},
+		{Clusters: 2, Nodes: 5, Links: 2, InterLinks: 4},  // below spanning minimum
+		{Clusters: 2, Nodes: 5, Links: 30, InterLinks: 4}, // above simple-graph max
+		{Clusters: 3, Nodes: 5, Links: 10, InterLinks: 2}, // below ring minimum
+		{Clusters: 1, Nodes: 5, Links: 10, InterLinks: 2}, // lone cluster with inter-links
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("spec %d (%+v) accepted", i, s)
+		}
+	}
+	if err := DefaultClusterSpec().Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+}
+
+func TestClusterPartition(t *testing.T) {
+	spec := ClusterSpec{Clusters: 4, Nodes: 8, Links: 20, InterLinks: 12}
+	net, err := ClusteredNetwork(spec, DefaultRanges(), RNG(9))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	p, err := spec.ClusterPartition(net)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if p.K != spec.Clusters {
+		t.Fatalf("partition K=%d, want %d", p.K, spec.Clusters)
+	}
+	for v, r := range p.PartOf {
+		if r != spec.ClusterOf(model.NodeID(v)) {
+			t.Fatalf("node %d in region %d, want cluster %d", v, r, spec.ClusterOf(model.NodeID(v)))
+		}
+	}
+	if len(p.Boundary) != spec.InterLinks {
+		t.Fatalf("%d boundary links, want %d", len(p.Boundary), spec.InterLinks)
+	}
+	// The generic graph partitioner should essentially recover the
+	// generated clusters: per cluster, count the nodes outside the
+	// cluster's majority region.
+	gp, err := model.PartitionNetwork(net, spec.Clusters)
+	if err != nil {
+		t.Fatalf("graph partition: %v", err)
+	}
+	mismatch := 0
+	for c := 0; c < spec.Clusters; c++ {
+		counts := map[int]int{}
+		for i := 0; i < spec.Nodes; i++ {
+			counts[gp.PartOf[c*spec.Nodes+i]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		mismatch += spec.Nodes - best
+	}
+	if mismatch > spec.N()/10 {
+		t.Fatalf("graph partitioner split clusters badly: %d of %d nodes off-cluster", mismatch, spec.N())
+	}
+}

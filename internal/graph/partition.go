@@ -1,0 +1,359 @@
+package graph
+
+import "sort"
+
+// This file is the region-partitioning substrate behind the sharded fleet
+// manager (internal/fleet.ShardedFleet): weakly connected components and a
+// deterministic balanced K-way node partition. Like the rest of the package
+// it is domain-free; internal/model.PartitionNetwork layers link ownership
+// and boundary-set bookkeeping on top.
+
+// Components returns the weakly connected components of the graph (edge
+// directions ignored), each a sorted slice of node IDs, ordered by their
+// smallest member. An empty graph has no components.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		for i := 0; i < len(comp); i++ {
+			u := comp[i]
+			for _, eid := range g.out[u] {
+				if v := g.edges[eid].To; !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+				}
+			}
+			for _, eid := range g.in[u] {
+				if v := g.edges[eid].From; !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// PartitionK splits the nodes into k regions and returns the region index of
+// every node (in [0, k)). The partition is deterministic for a given graph:
+// k seed nodes are chosen by a farthest-point sweep over undirected hop
+// distance (so seeds land in well-separated areas — on a clustered topology
+// they land one per cluster), then regions grow around their seeds in
+// lockstep. Each turn the currently smallest region claims, among the
+// unclaimed nodes adjacent to it, the one with the most undirected edges
+// into the region (lowest node ID on ties): growing by attachment strength
+// keeps region sizes balanced while following community structure — a dense
+// cluster fills up before the few links crossing to the next cluster are
+// ever preferred. Every region is connected in the undirected sense
+// whenever the graph is; nodes unreachable from every seed (isolated
+// components) are appended to the smallest region.
+//
+// k <= 1 yields the trivial all-zero partition; k >= N() gives every node
+// its own region. PartitionK never fails.
+func (g *Graph) PartitionK(k int) []int {
+	part := make([]int, g.n)
+	if k <= 1 || g.n == 0 {
+		return part
+	}
+	if k >= g.n {
+		for v := range part {
+			part[v] = v
+		}
+		return part
+	}
+
+	// Lloyd-style iteration: grow regions around the seeds, move each seed
+	// to its region's medoid, regrow — farthest-point seeds can land
+	// off-center (near a boundary, or two in one community), and one or two
+	// reseeding rounds pull them into the community cores.
+	seeds := g.farthestPointSeeds(k)
+	var sizes []int
+	for iter := 0; iter < 4; iter++ {
+		part, sizes = g.growRegions(seeds, k)
+		next := g.regionMedoids(part, k)
+		same := true
+		for i := range seeds {
+			if next[i] != seeds[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			break
+		}
+		seeds = next
+	}
+	g.refinePartition(part, sizes, k)
+	return part
+}
+
+// growRegions grows k regions around the seeds by attachment strength:
+// each turn the currently smallest region (lowest index on ties) claims,
+// among the unclaimed nodes adjacent to it, the one with the most
+// undirected edges into the region (lowest node ID on ties). Nodes in
+// components holding no seed are appended to the smallest region.
+func (g *Graph) growRegions(seeds []int, k int) (part, sizes []int) {
+	part = make([]int, g.n)
+	for v := range part {
+		part[v] = -1
+	}
+	// attach[r][v] counts the undirected edges from unclaimed node v into
+	// region r — the claim priority. claim moves a node into a region and
+	// credits its unclaimed neighbors.
+	attach := make([]map[int]int, k)
+	sizes = make([]int, k)
+	claim := func(r, v int) {
+		part[v] = r
+		sizes[r]++
+		delete(attach[r], v)
+		for _, w := range g.undirectedNeighbors(v) {
+			if part[w] == -1 {
+				attach[r][w]++
+			}
+		}
+	}
+	for r, s := range seeds {
+		attach[r] = make(map[int]int)
+		claim(r, s)
+	}
+	assigned := len(seeds)
+	for assigned < g.n {
+		// The smallest region with any adjacent unclaimed node grows next
+		// (lowest index on ties).
+		r := -1
+		for i := range attach {
+			if len(attach[i]) == 0 {
+				continue
+			}
+			if r < 0 || sizes[i] < sizes[r] {
+				r = i
+			}
+		}
+		if r < 0 {
+			break // remaining nodes unreachable from every seed
+		}
+		best, bestCount := -1, 0
+		for v, c := range attach[r] {
+			if part[v] != -1 {
+				delete(attach[r], v) // claimed by another region meanwhile
+				continue
+			}
+			if c > bestCount || (c == bestCount && (best == -1 || v < best)) {
+				best, bestCount = v, c
+			}
+		}
+		if best == -1 {
+			continue // frontier was entirely stale; re-pick a region
+		}
+		claim(r, best)
+		assigned++
+	}
+	// Nodes in components that hold no seed: append each to the currently
+	// smallest region so no node is left unassigned.
+	for v := range part {
+		if part[v] == -1 {
+			r := 0
+			for i := 1; i < k; i++ {
+				if sizes[i] < sizes[r] {
+					r = i
+				}
+			}
+			part[v] = r
+			sizes[r]++
+		}
+	}
+	return part, sizes
+}
+
+// regionMedoids returns, per region, the member minimizing its eccentricity
+// within the region-induced undirected subgraph (lowest node ID on ties;
+// unreachable members count as infinitely far, so medoids sit in the
+// region's main component).
+func (g *Graph) regionMedoids(part []int, k int) []int {
+	medoids := make([]int, k)
+	for r := 0; r < k; r++ {
+		var members []int
+		for v, p := range part {
+			if p == r {
+				members = append(members, v)
+			}
+		}
+		best, bestEcc := members[0], g.n+1
+		for _, s := range members {
+			// BFS from s inside the region.
+			dist := map[int]int{s: 0}
+			queue := []int{s}
+			ecc := 0
+			for len(queue) > 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for _, w := range g.undirectedNeighbors(u) {
+					if part[w] != r {
+						continue
+					}
+					if _, ok := dist[w]; !ok {
+						dist[w] = dist[u] + 1
+						if dist[w] > ecc {
+							ecc = dist[w]
+						}
+						queue = append(queue, w)
+					}
+				}
+			}
+			if len(dist) < len(members) {
+				ecc = g.n // disconnected region: prefer the main component
+			}
+			if ecc < bestEcc {
+				best, bestEcc = s, ecc
+			}
+		}
+		medoids[r] = best
+	}
+	return medoids
+}
+
+// refinePartition is a deterministic boundary-refinement sweep
+// (Kernighan–Lin flavored): a node with strictly more undirected edges into
+// a neighboring region than into its own moves there, provided the move
+// keeps both regions within balance bounds and does not disconnect the
+// region it leaves. Growth by attachment can misplace a handful of nodes
+// when seeds land off-center; a few sweeps snap the regions onto the
+// graph's community structure.
+func (g *Graph) refinePartition(part, sizes []int, k int) {
+	// Balance bounds around the ideal region size.
+	ideal := g.n / k
+	maxSize := ideal + ideal/2 + 1
+	minSize := ideal / 2
+	if minSize < 1 {
+		minSize = 1
+	}
+	counts := make([]int, k)
+	for sweep := 0; sweep < 8; sweep++ {
+		moved := false
+		for v := 0; v < g.n; v++ {
+			a := part[v]
+			if sizes[a] <= minSize {
+				continue
+			}
+			for i := range counts {
+				counts[i] = 0
+			}
+			for _, w := range g.undirectedNeighbors(v) {
+				counts[part[w]]++
+			}
+			b, best := a, counts[a]
+			for r := 0; r < k; r++ {
+				if r != a && counts[r] > best && sizes[r] < maxSize {
+					b, best = r, counts[r]
+				}
+			}
+			if b == a || !g.removableFrom(part, v, a) {
+				continue
+			}
+			part[v] = b
+			sizes[a]--
+			sizes[b]++
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// removableFrom reports whether region r stays connected (in the undirected
+// sense) after node v leaves it.
+func (g *Graph) removableFrom(part []int, v, r int) bool {
+	start := -1
+	members := 0
+	for u := 0; u < g.n; u++ {
+		if u != v && part[u] == r {
+			members++
+			if start == -1 {
+				start = u
+			}
+		}
+	}
+	if members <= 1 {
+		return true
+	}
+	seen := make(map[int]bool, members)
+	seen[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.undirectedNeighbors(u) {
+			if w != v && part[w] == r && !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(seen) == members
+}
+
+// farthestPointSeeds picks k well-separated seed nodes: the first is node 0;
+// each next seed is the node maximizing undirected hop distance to the seeds
+// chosen so far (lowest index on ties), the classic farthest-point
+// clustering heuristic.
+func (g *Graph) farthestPointSeeds(k int) []int {
+	const unreached = int(^uint(0) >> 1) // max int
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	seeds := make([]int, 0, k)
+	next := 0
+	for len(seeds) < k {
+		seeds = append(seeds, next)
+		// Relax distances from the new seed (undirected BFS).
+		dist[next] = 0
+		queue := []int{next}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.undirectedNeighbors(u) {
+				if dist[u]+1 < dist[v] {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		// The next seed is the node farthest from every seed so far,
+		// preferring never-reached nodes (isolated components).
+		next = -1
+		best := -1
+		for v := 0; v < g.n; v++ {
+			if dist[v] > best {
+				best = dist[v]
+				next = v
+			}
+		}
+		if next == -1 || best == 0 {
+			break // every node is already a seed's immediate vicinity
+		}
+	}
+	return seeds
+}
+
+// undirectedNeighbors returns the neighbors of u ignoring edge direction, in
+// deterministic (out-edge then in-edge insertion) order, possibly with
+// duplicates when both directions of a link exist; callers tolerate them.
+func (g *Graph) undirectedNeighbors(u int) []int {
+	out := make([]int, 0, len(g.out[u])+len(g.in[u]))
+	for _, eid := range g.out[u] {
+		out = append(out, g.edges[eid].To)
+	}
+	for _, eid := range g.in[u] {
+		out = append(out, g.edges[eid].From)
+	}
+	return out
+}

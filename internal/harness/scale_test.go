@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"elpc/internal/gen"
+)
+
+// testScaleSpec shrinks the scenario for unit-test speed.
+func testScaleSpec() ScaleSpec {
+	return ScaleSpec{
+		Cluster:       gen.ClusterSpec{Clusters: 3, Nodes: 8, Links: 20, InterLinks: 8},
+		Shards:        3,
+		Tenants:       18,
+		InterFraction: 0.2,
+		Seed:          11,
+	}
+}
+
+func TestRunScaleScenario(t *testing.T) {
+	res, err := RunScaleScenario(testScaleSpec())
+	if err != nil {
+		t.Fatalf("scale scenario: %v", err)
+	}
+	if res.Tenants != 18 || res.Shards != 3 {
+		t.Fatalf("spec not echoed: %+v", res)
+	}
+	if res.AdmittedSharded == 0 || res.AdmittedSingle == 0 {
+		t.Fatalf("nothing admitted: %+v", res)
+	}
+	// Sharding must not collapse admission quality on the calibrated mix.
+	if res.AdmissionRateSharded < res.AdmissionRateSingle-0.25 {
+		t.Fatalf("sharded admission rate %v far below unsharded %v", res.AdmissionRateSharded, res.AdmissionRateSingle)
+	}
+	if res.SingleMs <= 0 || res.ShardedMs <= 0 || res.Speedup <= 0 {
+		t.Fatalf("timings not populated: %+v", res)
+	}
+
+	// Deterministic quality metrics: a second run reproduces them exactly.
+	again, err := RunScaleScenario(testScaleSpec())
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if again.AdmittedSingle != res.AdmittedSingle || again.AdmittedSharded != res.AdmittedSharded ||
+		again.MeanRateSingle != res.MeanRateSingle || again.MeanRateSharded != res.MeanRateSharded ||
+		again.CrossDeployments != res.CrossDeployments {
+		t.Fatalf("scale scenario not deterministic:\n  first:  %+v\n  second: %+v", res, again)
+	}
+
+	table := ScaleScenarioTable(res)
+	for _, want := range []string{"## Scale scenario", "admission rate", "deploy speedup"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package model
+
+import "fmt"
+
+// This file defines the region partition of a Network that the sharded
+// fleet manager (internal/fleet.ShardedFleet) is built on: nodes are split
+// into K connected regions, every link is either internal to exactly one
+// region or a member of the explicit cross-region boundary set, and the
+// partition can materialize a standalone sub-network per region that the
+// paper's solvers run against unchanged.
+
+// Partition is a K-way region partition of a network's nodes and links.
+// Build one with PartitionNetwork; the zero value is not usable.
+type Partition struct {
+	// K is the number of regions (>= 1).
+	K int `json:"k"`
+	// PartOf maps every node to its region index in [0, K).
+	PartOf []int `json:"part_of"`
+	// Regions lists each region's nodes in ascending node-ID order.
+	Regions [][]NodeID `json:"regions"`
+	// LinkOwner maps every link to the region containing both its
+	// endpoints, or BoundaryOwner when the endpoints lie in different
+	// regions (a boundary link).
+	LinkOwner []int `json:"link_owner"`
+	// Boundary lists the cross-region link IDs in ascending order. Boundary
+	// links belong to no region; only the sharded coordinator path reserves
+	// capacity on them.
+	Boundary []int `json:"boundary"`
+}
+
+// BoundaryOwner is the LinkOwner value of boundary (cross-region) links.
+const BoundaryOwner = -1
+
+// PartitionNetwork splits net into k regions using the deterministic
+// balanced graph partitioner (graph.PartitionK: farthest-point seeds plus
+// lockstep BFS region growth) and derives the link ownership and boundary
+// sets. It requires 1 <= k <= net.N().
+func PartitionNetwork(net *Network, k int) (*Partition, error) {
+	if net == nil {
+		return nil, fmt.Errorf("model: partition of nil network")
+	}
+	if k < 1 || k > net.N() {
+		return nil, fmt.Errorf("model: partition needs 1 <= k <= %d nodes, got k=%d", net.N(), k)
+	}
+	return NewPartitionFromAssignment(net, k, net.Topology().PartitionK(k))
+}
+
+// NewPartitionFromAssignment builds the Partition for a caller-supplied
+// per-node region assignment (every partOf value in [0, k)): region
+// listings in ascending node order, link ownership and the boundary set
+// derived from the endpoints' regions. PartitionNetwork layers the graph
+// partitioner on top; generators with known layouts (gen.ClusterSpec) call
+// it directly.
+func NewPartitionFromAssignment(net *Network, k int, partOf []int) (*Partition, error) {
+	if len(partOf) != net.N() {
+		return nil, fmt.Errorf("model: assignment covers %d nodes, network has %d", len(partOf), net.N())
+	}
+	p := &Partition{
+		K:         k,
+		PartOf:    partOf,
+		Regions:   make([][]NodeID, k),
+		LinkOwner: make([]int, net.M()),
+	}
+	for v, r := range partOf {
+		if r < 0 || r >= k {
+			return nil, fmt.Errorf("model: node %d assigned to region %d, want [0,%d)", v, r, k)
+		}
+		p.Regions[r] = append(p.Regions[r], NodeID(v))
+	}
+	for i, l := range net.Links {
+		if partOf[l.From] == partOf[l.To] {
+			p.LinkOwner[i] = partOf[l.From]
+		} else {
+			p.LinkOwner[i] = BoundaryOwner
+			p.Boundary = append(p.Boundary, i)
+		}
+	}
+	return p, nil
+}
+
+// Region returns the region index of node v.
+func (p *Partition) Region(v NodeID) int { return p.PartOf[v] }
+
+// SameRegion reports whether u and v lie in the same region.
+func (p *Partition) SameRegion(u, v NodeID) bool { return p.PartOf[u] == p.PartOf[v] }
+
+// RegionView is the index translation between a network and one region's
+// sub-network: region nodes and internal links are renumbered densely in
+// ascending global-ID order. Build one with Partition.View.
+type RegionView struct {
+	// Region is the region index this view covers.
+	Region int
+	// Nodes maps local node index -> global NodeID (ascending).
+	Nodes []NodeID
+	// Links maps local link index -> global link ID (ascending).
+	Links []int
+	// LocalNode maps global NodeID -> local index, or -1 for nodes outside
+	// the region.
+	LocalNode []int
+}
+
+// View builds the index translation for region r of net.
+func (p *Partition) View(net *Network, r int) *RegionView {
+	v := &RegionView{
+		Region:    r,
+		Nodes:     p.Regions[r],
+		LocalNode: make([]int, net.N()),
+	}
+	for i := range v.LocalNode {
+		v.LocalNode[i] = -1
+	}
+	for local, g := range v.Nodes {
+		v.LocalNode[g] = local
+	}
+	for i := range net.Links {
+		if p.LinkOwner[i] == r {
+			v.Links = append(v.Links, i)
+		}
+	}
+	return v
+}
+
+// Covers reports whether the view spans the whole network with identity
+// numbering (the K=1 region), in which case extraction is a no-op.
+func (v *RegionView) Covers(net *Network) bool {
+	return len(v.Nodes) == net.N() && len(v.Links) == net.M()
+}
+
+// Extract materializes the region's sub-network from a full-network
+// snapshot: region nodes and internal links keep their (possibly
+// residual-scaled) attributes, renumbered densely per the view. Attribute
+// values are copied bit-for-bit, so a solver that runs on the extraction of
+// the K=1 view behaves byte-identically to one run on the snapshot itself.
+func (v *RegionView) Extract(snap *Network) (*Network, error) {
+	nodes := make([]Node, len(v.Nodes))
+	for local, g := range v.Nodes {
+		nodes[local] = snap.Nodes[g]
+		nodes[local].ID = NodeID(local)
+	}
+	links := make([]Link, len(v.Links))
+	for local, g := range v.Links {
+		l := snap.Links[g]
+		l.ID = local
+		l.From = NodeID(v.LocalNode[l.From])
+		l.To = NodeID(v.LocalNode[l.To])
+		links[local] = l
+	}
+	sub, err := NewNetwork(nodes, links)
+	if err != nil {
+		return nil, fmt.Errorf("model: region %d extraction: %w", v.Region, err)
+	}
+	return sub, nil
+}
+
+// RegionSnapshot materializes one region's residual-scaled sub-network
+// directly from the view — the hot path of a sharded fleet's regional
+// solves. It is equivalent to v.Extract(r.Snapshot()) (same bit-for-bit
+// attribute scaling) but costs O(region) instead of O(network), which is
+// where sharding's per-deploy speedup comes from.
+func (r *ResidualNetwork) RegionSnapshot(v *RegionView) *Network {
+	nodes := make([]Node, len(v.Nodes))
+	for local, g := range v.Nodes {
+		n := r.base.Nodes[g]
+		n.ID = NodeID(local)
+		n.Power = r.base.Nodes[g].Power * residualFraction(r.nodeCap[g], r.nodeLoad[g])
+		nodes[local] = n
+	}
+	links := make([]Link, len(v.Links))
+	for local, gid := range v.Links {
+		l := r.base.Links[gid]
+		l.ID = local
+		l.From = NodeID(v.LocalNode[l.From])
+		l.To = NodeID(v.LocalNode[l.To])
+		l.BWMbps = r.base.Links[gid].BWMbps * residualFraction(r.linkCap[gid], r.linkLoad[gid])
+		links[local] = l
+	}
+	sub, err := NewNetwork(nodes, links)
+	if err != nil {
+		// The base was validated, scaling preserves positivity, and the
+		// view renumbers densely; this cannot fail.
+		panic(fmt.Sprintf("model: region snapshot: %v", err))
+	}
+	return sub
+}
+
+// ToGlobal translates a mapping solved on the region sub-network back to
+// global node IDs.
+func (v *RegionView) ToGlobal(m *Mapping) *Mapping {
+	assign := make([]NodeID, len(m.Assign))
+	for j, local := range m.Assign {
+		assign[j] = v.Nodes[local]
+	}
+	return NewMapping(assign)
+}

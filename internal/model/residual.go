@@ -147,6 +147,53 @@ func (r *ResidualNetwork) SetLoad(outstanding []Reservation) error {
 	return nil
 }
 
+// AddLoad adds res on top of the current outstanding load. The sharded
+// fleet uses it to overlay cross-region reservations onto a shard's own
+// recomputed load; the sum stays exact because every recompute replays the
+// same additions in the same order.
+func (r *ResidualNetwork) AddLoad(res Reservation) error {
+	if err := r.checkShape(res); err != nil {
+		return err
+	}
+	for i, f := range res.NodeFrac {
+		r.nodeLoad[i] += f
+	}
+	for i, f := range res.LinkFrac {
+		r.linkLoad[i] += f
+	}
+	return nil
+}
+
+// CapacityFactors returns copies of the churn capacity factors per node and
+// per link (1 = nominal, 0 = down; indices match the base network).
+func (r *ResidualNetwork) CapacityFactors() (node, link []float64) {
+	return append([]float64(nil), r.nodeCap...), append([]float64(nil), r.linkCap...)
+}
+
+// SetCapacityFactors replaces the churn capacity factors wholesale. Factors
+// must be in [0, 1] and shaped like the base network. The sharded
+// coordinator uses it to commit a validated cross-shard churn batch
+// atomically; loads are untouched.
+func (r *ResidualNetwork) SetCapacityFactors(node, link []float64) error {
+	if len(node) != r.base.N() || len(link) != r.base.M() {
+		return fmt.Errorf("model: capacity factors shape (%d nodes, %d links) does not match network (%d, %d)",
+			len(node), len(link), r.base.N(), r.base.M())
+	}
+	for i, f := range node {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("model: node %d capacity factor %v outside [0,1]", i, f)
+		}
+	}
+	for i, f := range link {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("model: link %d capacity factor %v outside [0,1]", i, f)
+		}
+	}
+	copy(r.nodeCap, node)
+	copy(r.linkCap, link)
+	return nil
+}
+
 // Fits reports whether adding res keeps every node and link load at or below
 // its current capacity factor (load + reservation <= factor, checked
 // strictly; the factor is 1 unless churn reduced it).

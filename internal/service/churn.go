@@ -50,7 +50,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rec churn.Record
-	err := s.fleet.withSolve(func(*fleet.Fleet) error {
+	err := s.fleet.withSolve(func(fleet.Manager) error {
 		release, err := s.solver.acquireSlot(r.Context())
 		if err != nil {
 			return fmt.Errorf("service: waiting for worker: %w", err)
@@ -80,7 +80,7 @@ func (s *Server) handleEventsLog(w http.ResponseWriter, r *http.Request) {
 		limit = n
 	}
 	out := eventsLogWire{Records: []churn.Record{}, Parked: []parkedWire{}}
-	err := s.fleet.withFleet(func(*fleet.Fleet) error {
+	err := s.fleet.withFleet(func(fleet.Manager) error {
 		rec := s.fleet.rec
 		out.Records = append(out.Records, rec.Log(limit)...)
 		for _, p := range rec.Parked() {
@@ -100,7 +100,7 @@ func (s *Server) handleEventsLog(w http.ResponseWriter, r *http.Request) {
 // fleet network is installed).
 func (s *Server) churnStats() *churn.Stats {
 	var st churn.Stats
-	if err := s.fleet.withFleet(func(*fleet.Fleet) error {
+	if err := s.fleet.withFleet(func(fleet.Manager) error {
 		st = s.fleet.rec.Stats()
 		return nil
 	}); err != nil {

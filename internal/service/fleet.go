@@ -16,21 +16,24 @@ import (
 // network has been installed via POST /v1/fleet/network.
 var errFleetNotConfigured = errors.New("fleet network not configured (POST /v1/fleet/network first)")
 
-// fleetState guards the server's fleet. The Fleet itself is concurrency-
-// safe, but installing/replacing the shared network must be atomic with
-// respect to whole operations, not just pointer lookups: every handler runs
-// under the read lock for its full duration, so a network swap can never
-// orphan an in-flight deploy or release onto a discarded fleet.
+// fleetState guards the server's fleet manager (a plain Fleet, or a
+// ShardedFleet when the install asked for shards). The manager itself is
+// concurrency-safe, but installing/replacing the shared network must be
+// atomic with respect to whole operations, not just pointer lookups: every
+// handler runs under the read lock for its full duration, so a network swap
+// can never orphan an in-flight deploy or release onto a discarded fleet.
 type fleetState struct {
 	mu sync.RWMutex
 	// op serializes the solve-bearing operations (deploy, rebalance, churn
 	// event application) with each other *before* they claim a worker-pool
-	// slot. Fleet admission is serialized internally anyway, so without
-	// this, concurrent fleet requests would each occupy a slot only to
-	// queue on the fleet mutex, starving the planning endpoints of pool
-	// capacity.
+	// slot. Unsharded fleet admission is serialized internally anyway, so
+	// without this, concurrent fleet requests would each occupy a slot only
+	// to queue on the fleet mutex, starving the planning endpoints of pool
+	// capacity. A ShardedFleet skips this serialization: deployments in
+	// different regions hold different locks, so letting them claim slots
+	// concurrently is the whole point of sharding.
 	op sync.Mutex
-	f  *fleet.Fleet
+	f  fleet.Manager
 	// rec reconciles churn events against f; its background requeue loop
 	// runs from install until close (or the next install). Always non-nil
 	// when f is.
@@ -39,7 +42,7 @@ type fleetState struct {
 
 // withFleet runs fn on the current fleet under the read lock (or returns
 // the not-configured error).
-func (s *fleetState) withFleet(fn func(*fleet.Fleet) error) error {
+func (s *fleetState) withFleet(fn func(fleet.Manager) error) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.f == nil {
@@ -48,26 +51,37 @@ func (s *fleetState) withFleet(fn func(*fleet.Fleet) error) error {
 	return fn(s.f)
 }
 
-// withSolve is withFleet plus the solve-op serialization.
-func (s *fleetState) withSolve(fn func(*fleet.Fleet) error) error {
+// withSolve is withFleet plus the solve-op serialization (skipped for
+// sharded fleets, whose per-region locks make concurrent solve-bearing
+// requests productive rather than queued).
+func (s *fleetState) withSolve(fn func(fleet.Manager) error) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.f == nil {
 		return errFleetNotConfigured
 	}
-	s.op.Lock()
-	defer s.op.Unlock()
+	if _, sharded := s.f.(*fleet.ShardedFleet); !sharded {
+		s.op.Lock()
+		defer s.op.Unlock()
+	}
 	return fn(s.f)
 }
 
-// install replaces the shared network. Replacing is refused while
-// deployments are outstanding — their reservations reference the old
-// topology. The write lock waits out every in-flight fleet operation. The
-// fleet shares the solver's engine pool so parallel rebalance passes,
-// churn repairs, and planning requests draw from one concurrency budget;
-// the old reconciliation loop is stopped before the new one starts.
-func (s *fleetState) install(net *model.Network, pool *engine.Pool) error {
-	f, err := fleet.New(net)
+// install replaces the shared network, unsharded for shards <= 1 and
+// region-partitioned otherwise. Replacing is refused while deployments are
+// outstanding — their reservations reference the old topology. The write
+// lock waits out every in-flight fleet operation. The fleet shares the
+// solver's engine pool so parallel rebalance passes, churn repairs, and
+// planning requests draw from one concurrency budget; the old
+// reconciliation loop is stopped before the new one starts.
+func (s *fleetState) install(net *model.Network, shards int, pool *engine.Pool) error {
+	var f fleet.Manager
+	var err error
+	if shards > 1 {
+		f, err = fleet.NewSharded(net, shards)
+	} else {
+		f, err = fleet.New(net)
+	}
 	if err != nil {
 		return err
 	}
@@ -120,9 +134,12 @@ func opByObjective(obj model.Objective) Op {
 	return OpMinDelay
 }
 
-// fleetNetworkWire is the POST /v1/fleet/network body.
+// fleetNetworkWire is the POST /v1/fleet/network body. Shards > 1 installs
+// a region-partitioned ShardedFleet (shards must not exceed the node
+// count); 0 or 1 installs the unsharded Fleet.
 type fleetNetworkWire struct {
 	Network *model.Network `json:"network"`
+	Shards  int            `json:"shards,omitempty"`
 }
 
 // fleetDeployWire is the POST /v1/fleet/deploy body.
@@ -190,14 +207,23 @@ func (s *Server) handleFleetNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("request missing network"))
 		return
 	}
-	if err := s.fleet.install(wire.Network, s.solver.Pool()); err != nil {
+	if wire.Shards < 0 {
+		writeError(w, fmt.Errorf("shards must be non-negative, got %d", wire.Shards))
+		return
+	}
+	if err := s.fleet.install(wire.Network, wire.Shards, s.solver.Pool()); err != nil {
 		writeError(w, err)
 		return
 	}
+	shards := wire.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Nodes int `json:"nodes"`
-		Links int `json:"links"`
-	}{Nodes: wire.Network.N(), Links: wire.Network.M()})
+		Nodes  int `json:"nodes"`
+		Links  int `json:"links"`
+		Shards int `json:"shards"`
+	}{Nodes: wire.Network.N(), Links: wire.Network.M(), Shards: shards})
 }
 
 // handleFleetDeploy admits one pipeline onto the shared network. The solve
@@ -215,7 +241,7 @@ func (s *Server) handleFleetDeploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var d fleet.Deployment
-	err = s.fleet.withSolve(func(f *fleet.Fleet) error {
+	err = s.fleet.withSolve(func(f fleet.Manager) error {
 		release, err := s.solver.acquireSlot(r.Context())
 		if err != nil {
 			return fmt.Errorf("service: waiting for worker: %w", err)
@@ -245,7 +271,7 @@ func (s *Server) handleFleetRelease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.fleet.withFleet(func(f *fleet.Fleet) error {
+	if err := s.fleet.withFleet(func(f fleet.Manager) error {
 		return f.Release(wire.ID)
 	}); err != nil {
 		writeError(w, err)
@@ -265,7 +291,7 @@ func (s *Server) handleFleetRebalance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var rep fleet.Report
-	if err := s.fleet.withSolve(func(f *fleet.Fleet) error {
+	if err := s.fleet.withSolve(func(f fleet.Manager) error {
 		release, err := s.solver.acquireSlot(r.Context())
 		if err != nil {
 			return fmt.Errorf("service: waiting for worker: %w", err)
@@ -283,7 +309,7 @@ func (s *Server) handleFleetRebalance(w http.ResponseWriter, r *http.Request) {
 // handleFleetList reports the fleet state: GET /v1/fleet.
 func (s *Server) handleFleetList(w http.ResponseWriter, _ *http.Request) {
 	out := fleetListWire{Deployments: []deploymentWire{}}
-	_ = s.fleet.withFleet(func(f *fleet.Fleet) error {
+	_ = s.fleet.withFleet(func(f fleet.Manager) error {
 		out.Configured = true
 		out.Nodes = f.Network().N()
 		out.Links = f.Network().M()
@@ -301,7 +327,7 @@ func (s *Server) handleFleetList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleFleetDescribe(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var d fleet.Deployment
-	err := s.fleet.withFleet(func(f *fleet.Fleet) error {
+	err := s.fleet.withFleet(func(f fleet.Manager) error {
 		var ok bool
 		if d, ok = f.Describe(id); !ok {
 			return fmt.Errorf("fleet: %w: %q", fleet.ErrNotFound, id)
@@ -315,11 +341,27 @@ func (s *Server) handleFleetDescribe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toDeploymentWire(d))
 }
 
+// fleetShardStats snapshots the per-region and coordinator gauges for
+// /v1/stats (nil when the installed manager is not sharded). Like every
+// fleet read it runs under the install lock for its whole duration, so a
+// concurrent network replacement cannot hand it a discarded manager.
+func (s *Server) fleetShardStats() *fleet.ShardedStats {
+	var st *fleet.ShardedStats
+	_ = s.fleet.withFleet(func(f fleet.Manager) error {
+		if sf, ok := f.(*fleet.ShardedFleet); ok {
+			v := sf.ShardStats()
+			st = &v
+		}
+		return nil
+	})
+	return st
+}
+
 // fleetStats snapshots the fleet gauges for /v1/stats (nil when no network
 // is installed).
 func (s *Server) fleetStats() *fleet.Stats {
 	var st fleet.Stats
-	if err := s.fleet.withFleet(func(f *fleet.Fleet) error {
+	if err := s.fleet.withFleet(func(f fleet.Manager) error {
 		st = f.Stats()
 		return nil
 	}); err != nil {

@@ -92,6 +92,9 @@ type statsResponse struct {
 	// Fleet and Churn gauges are present once a fleet network is installed.
 	Fleet *fleet.Stats `json:"fleet,omitempty"`
 	Churn *churn.Stats `json:"churn,omitempty"`
+	// FleetShards breaks the fleet gauges down per region when the
+	// installed manager is sharded.
+	FleetShards *fleet.ShardedStats `json:"fleet_shards,omitempty"`
 }
 
 // Server is the elpcd HTTP planning server. Build one with NewServer and
@@ -349,10 +352,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // handleStats reports solver, cache, and fleet counters.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		Service:  "elpcd",
-		UptimeMs: float64(time.Since(s.start)) / float64(time.Millisecond),
-		Solver:   s.solver.Stats(),
-		Fleet:    s.fleetStats(),
-		Churn:    s.churnStats(),
+		Service:     "elpcd",
+		UptimeMs:    float64(time.Since(s.start)) / float64(time.Millisecond),
+		Solver:      s.solver.Stats(),
+		Fleet:       s.fleetStats(),
+		Churn:       s.churnStats(),
+		FleetShards: s.fleetShardStats(),
 	})
 }

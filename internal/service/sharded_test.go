@@ -1,0 +1,106 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"elpc/internal/fleet"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// TestFleetShardedEndToEnd exercises the sharded install path over
+// httptest: POST /v1/fleet/network with shards, affinity-routed deploys
+// (shard-owned and coordinator-owned IDs), per-shard gauges in /v1/stats,
+// churn events against a shard, and a clean drain.
+func TestFleetShardedEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+
+	spec := gen.ClusterSpec{Clusters: 2, Nodes: 6, Links: 16, InterLinks: 4}
+	net, err := gen.ClusteredNetwork(spec, gen.DefaultRanges(), gen.RNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// shards > nodes is a 400.
+	resp := postJSON(t, ts.URL+"/v1/fleet/network", fleetNetworkWire{Network: net, Shards: net.N() + 1}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversharded install: status %d, want 400", resp.StatusCode)
+	}
+
+	var installed struct {
+		Nodes  int `json:"nodes"`
+		Links  int `json:"links"`
+		Shards int `json:"shards"`
+	}
+	resp = postJSON(t, ts.URL+"/v1/fleet/network", fleetNetworkWire{Network: net, Shards: 2}, &installed)
+	if resp.StatusCode != http.StatusOK || installed.Shards != 2 {
+		t.Fatalf("sharded install: status %d, body %+v", resp.StatusCode, installed)
+	}
+
+	deploy := func(src, dst model.NodeID) deploymentWire {
+		t.Helper()
+		var d deploymentWire
+		resp := postJSON(t, ts.URL+"/v1/fleet/deploy", fleetDeployWire{
+			Tenant:   fmt.Sprintf("t-%d-%d", src, dst),
+			Pipeline: fleetTestPipeline(t, 4, uint64(src)+7),
+			Src:      src, Dst: dst,
+		}, &d)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("deploy %d->%d: status %d", src, dst, resp.StatusCode)
+		}
+		return d
+	}
+	left := deploy(0, 5)
+	right := deploy(6, 11)
+	cross := deploy(0, 11)
+	if !strings.HasPrefix(left.ID, "s0-") || !strings.HasPrefix(right.ID, "s1-") || !strings.HasPrefix(cross.ID, "x-") {
+		t.Fatalf("affinity routing: got IDs %q %q %q", left.ID, right.ID, cross.ID)
+	}
+
+	// /v1/stats carries the per-shard breakdown.
+	var stats struct {
+		Fleet       *fleet.Stats        `json:"fleet"`
+		FleetShards *fleet.ShardedStats `json:"fleet_shards"`
+	}
+	postGet(t, ts.URL+"/v1/stats", &stats)
+	if stats.Fleet == nil || stats.Fleet.Deployments != 3 {
+		t.Fatalf("fleet stats: %+v", stats.Fleet)
+	}
+	if stats.FleetShards == nil || len(stats.FleetShards.Shards) != 2 {
+		t.Fatalf("fleet_shards missing or wrong: %+v", stats.FleetShards)
+	}
+	if got := stats.FleetShards.Coordinator.Deployments; got != 1 {
+		t.Fatalf("coordinator deployments = %d, want 1", got)
+	}
+
+	// Describe routes by ID namespace; unknown IDs are 404.
+	var desc deploymentWire
+	if resp := postGet(t, ts.URL+"/v1/fleet/"+cross.ID, &desc); resp.StatusCode != http.StatusOK || desc.ID != cross.ID {
+		t.Fatalf("describe %s: status %d, body %+v", cross.ID, resp.StatusCode, desc)
+	}
+	if resp := postGet(t, ts.URL+"/v1/fleet/s9-d-000001", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("describe unknown: status %d, want 404", resp.StatusCode)
+	}
+
+	// A churn event inside cluster 0 applies through the reconciler.
+	var rec struct {
+		Affected int `json:"affected"`
+	}
+	resp = postJSON(t, ts.URL+"/v1/events", map[string]any{
+		"events": []model.ChurnEvent{{Kind: model.LinkDegrade, Link: 0, Factor: 0.9}},
+	}, &rec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+
+	// Drain and assert the composed accounting balances to empty.
+	for _, id := range []string{left.ID, right.ID, cross.ID} {
+		if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: id}, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("release %s: status %d", id, resp.StatusCode)
+		}
+	}
+	assertFleetEmpty(t, ts.URL)
+}
