@@ -7,6 +7,13 @@
 //	elpcd -addr :8080
 //	curl -s localhost:8080/v1/mindelay -d @instance.json
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//
+// Observability: GET /metrics serves the process metrics registry in the
+// Prometheus text exposition format, GET /v1/traces dumps the slowest
+// retained request traces (-traces sets the ring size), -slow-ms logs
+// requests over a latency threshold via log/slog, and -pprof mounts
+// net/http/pprof under /debug/pprof/. See docs/OBSERVABILITY.md.
 //
 // elpcd accepts the same flags as `elpc serve` (it is the same code path)
 // and shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// expositionReport summarizes a validated scrape.
+type expositionReport struct {
+	// Series counts distinct time series (unique name + label set, bucket
+	// series included), Families the # TYPE'd metric families.
+	Series   int
+	Families int
+}
+
+// validKinds are the metric types the exposition may declare. The registry
+// only emits these three; summary is accepted for forward compatibility
+// with hand-authored fixtures.
+var validKinds = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true,
+}
+
+// validateExposition parses a Prometheus text-format (0.0.4) payload line
+// by line and returns an error on the first malformed line: unknown TYPE,
+// sample without a preceding TYPE for its family, unparseable value,
+// duplicate series, or a histogram whose buckets are non-cumulative or
+// missing the +Inf bound.
+func validateExposition(r io.Reader) (expositionReport, error) {
+	var rep expositionReport
+	types := map[string]string{} // family -> kind
+	seen := map[string]bool{}    // full series id
+	// Per histogram series (labels minus le): last cumulative count and
+	// whether the +Inf bucket appeared.
+	lastBucket := map[string]float64{}
+	sawInf := map[string]bool{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) (expositionReport, error) {
+			return rep, fmt.Errorf("line %d: %s (%q)", lineNo, fmt.Sprintf(format, args...), line)
+		}
+
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return fail("HELP for invalid metric name %q", name)
+			}
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) || !validKinds[kind] {
+				return fail("malformed TYPE line")
+			}
+			if _, dup := types[name]; dup {
+				return fail("duplicate TYPE for %q", name)
+			}
+			types[name] = kind
+			rep.Families++
+			continue
+		case strings.HasPrefix(line, "#"):
+			return fail("unknown comment form (only # HELP and # TYPE allowed)")
+		}
+
+		// Sample line: name[{labels}] value
+		name, labels, rest, err := splitSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		val, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return fail("unparseable sample value %q", rest)
+		}
+		family, suffix := sampleFamily(name, types)
+		if family == "" {
+			return fail("sample %q has no preceding # TYPE", name)
+		}
+		if suffix != "" && types[family] != "histogram" {
+			return fail("suffix %q on non-histogram family %q", suffix, family)
+		}
+
+		series := name + labels
+		if seen[series] {
+			return fail("duplicate series %q", series)
+		}
+		seen[series] = true
+		rep.Series++
+
+		if suffix == "_bucket" {
+			le, stripped, err := extractLE(labels)
+			if err != nil {
+				return fail("%v", err)
+			}
+			key := family + stripped
+			if val+1e-9 < lastBucket[key] {
+				return fail("bucket counts for %q decrease (le=%s)", key, le)
+			}
+			lastBucket[key] = val
+			if le == "+Inf" {
+				sawInf[key] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	for key := range lastBucket {
+		if !sawInf[key] {
+			return rep, fmt.Errorf("histogram %q is missing its +Inf bucket", key)
+		}
+	}
+	return rep, nil
+}
+
+// sampleFamily maps a sample name to its declared family: either the name
+// itself, or (for histograms) the name with the _bucket/_sum/_count suffix
+// stripped. Returns "" when no TYPE declares it.
+func sampleFamily(name string, types map[string]string) (family, suffix string) {
+	if _, ok := types[name]; ok {
+		return name, ""
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, s); ok {
+			if _, typed := types[base]; typed {
+				return base, s
+			}
+		}
+	}
+	return "", ""
+}
+
+// splitSample separates a sample line into name, brace-enclosed label block
+// ("" when unlabeled), and the value text.
+func splitSample(line string) (name, labels, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", "", fmt.Errorf("sample has no value")
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := closingBrace(rest)
+		if end < 0 {
+			return "", "", "", fmt.Errorf("unterminated label block")
+		}
+		labels = rest[:end+1]
+		if err := validLabels(labels); err != nil {
+			return "", "", "", err
+		}
+		rest = rest[end+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", "", fmt.Errorf("sample has no value")
+	}
+	return name, labels, value, nil
+}
+
+// closingBrace finds the index of the '}' terminating the label block that
+// starts at s[0], honoring quoted (and backslash-escaped) label values.
+func closingBrace(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// validLabels checks every `key="value"` pair in a brace-enclosed block.
+func validLabels(block string) error {
+	body := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if body == "" {
+		return fmt.Errorf("empty label block")
+	}
+	for _, pair := range splitPairs(body) {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok || !validMetricName(key) {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("label value not quoted in %q", pair)
+		}
+	}
+	return nil
+}
+
+// splitPairs splits a label body on commas outside quotes.
+func splitPairs(body string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, body[start:])
+}
+
+// extractLE pulls the le label out of a bucket's label block and returns
+// its value plus the block with le removed (the per-histogram series key).
+func extractLE(block string) (le, stripped string, err error) {
+	body := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var kept []string
+	for _, pair := range splitPairs(body) {
+		if v, ok := strings.CutPrefix(pair, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("bucket sample without le label")
+	}
+	sort.Strings(kept)
+	if len(kept) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

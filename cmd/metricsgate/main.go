@@ -1,0 +1,130 @@
+// Command metricsgate is the CI observability gate: it boots the elpcd
+// service on a loopback listener, drives representative traffic through
+// every instrumented layer (cold solve, cache hit, Pareto front, an
+// unmatched route), scrapes GET /metrics, and validates the response as
+// Prometheus text exposition format line by line. It exits non-zero when
+// any line is malformed or when fewer than -min-series distinct time
+// series are exposed — so a refactor that silently drops instrumentation
+// fails the build, not the first production scrape.
+//
+//	metricsgate              # gate with the default 20-series floor
+//	metricsgate -min-series 30 -v
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"elpc/internal/gen"
+	"elpc/internal/service"
+)
+
+func main() {
+	minSeries := flag.Int("min-series", 20, "fail when /metrics exposes fewer distinct time series")
+	verbose := flag.Bool("v", false, "print the scraped exposition to stderr")
+	flag.Parse()
+	if err := run(*minSeries, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "metricsgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(minSeries int, verbose bool) error {
+	// Real listener, real scrape: the gate exercises the same handler chain
+	// (telemetry middleware included) a production scraper would hit.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := service.NewServer(service.Options{})
+	defer srv.Close()
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	if err := driveTraffic(base); err != nil {
+		return fmt.Errorf("driving traffic: %w", err)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		return fmt.Errorf("GET /metrics: content-type %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprint(os.Stderr, body.String())
+	}
+
+	rep, err := validateExposition(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return fmt.Errorf("malformed exposition: %w", err)
+	}
+	if rep.Series < minSeries {
+		return fmt.Errorf("only %d distinct series exposed, want >= %d", rep.Series, minSeries)
+	}
+	fmt.Printf("metricsgate: OK — %d series across %d families\n", rep.Series, rep.Families)
+	return nil
+}
+
+// driveTraffic sends one request per instrumented path class: a cold
+// min-delay solve, the identical request again (cache hit), a budgeted
+// max-frame-rate solve, a small Pareto front, the stats and traces reads,
+// and one unmatched route (404 status-class accounting).
+func driveTraffic(base string) error {
+	p, err := gen.Suite20()[0].Build()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(map[string]any{
+		"network": p.Net, "pipeline": p.Pipe, "src": p.Src, "dst": p.Dst,
+	})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	posts := []string{"/v1/mindelay", "/v1/mindelay", "/v1/maxframerate", "/v1/front"}
+	for _, path := range posts {
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: status %d", path, resp.StatusCode)
+		}
+	}
+	gets := map[string]int{
+		"/v1/stats":  http.StatusOK,
+		"/v1/traces": http.StatusOK,
+		"/healthz":   http.StatusOK,
+		"/no/such":   http.StatusNotFound,
+	}
+	for path, want := range gets {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			return fmt.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	return nil
+}

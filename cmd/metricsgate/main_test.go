@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGateEndToEnd boots the service, drives traffic, and validates the
+// scrape — the same path CI runs.
+func TestGateEndToEnd(t *testing.T) {
+	if err := run(20, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	good := `# HELP elpc_up whether the process is up
+# TYPE elpc_up gauge
+elpc_up 1
+# TYPE elpc_requests_total counter
+elpc_requests_total{route="/v1/stats",code="2xx"} 42
+# TYPE elpc_latency_seconds histogram
+elpc_latency_seconds_bucket{le="0.1"} 3
+elpc_latency_seconds_bucket{le="+Inf"} 5
+elpc_latency_seconds_sum 0.7
+elpc_latency_seconds_count 5
+`
+	rep, err := validateExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Series != 6 || rep.Families != 3 {
+		t.Errorf("report = %+v, want 6 series / 3 families", rep)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"untyped sample", "elpc_up 1\n", "no preceding # TYPE"},
+		{"bad type kind", "# TYPE elpc_up lamp\n", "malformed TYPE"},
+		{"bad value", "# TYPE elpc_up gauge\nelpc_up one\n", "unparseable sample value"},
+		{"duplicate series", "# TYPE elpc_up gauge\nelpc_up 1\nelpc_up 2\n", "duplicate series"},
+		{"unquoted label", `# TYPE a counter` + "\n" + `a{b=c} 1` + "\n", "not quoted"},
+		{"decreasing buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n", "decrease"},
+		{"missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 2\nh_count 5\n", "+Inf"},
+		{"suffix on counter", "# TYPE c counter\nc_bucket{le=\"1\"} 5\n", "non-histogram"},
+		{"stray comment", "# EXPORT things\n", "unknown comment"},
+		{"invalid name", "# TYPE 9metric gauge\n", "malformed TYPE"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := validateExposition(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("accepted malformed exposition:\n%s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -8,13 +8,21 @@ import (
 
 	"elpc/internal/benchfmt"
 	"elpc/internal/harness"
+	"elpc/internal/telemetry"
 )
 
 // buildBenchDoc renders the suite results in the machine-readable
 // elpc-pipebench-v1 schema (internal/benchfmt) shared with benchdiff and
-// the CI regression gate.
-func buildBenchDoc(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, elapsed time.Duration) *benchfmt.Doc {
-	return benchfmt.Build(fig, results, fleet, churn, scale, elapsed)
+// the CI regression gate. With -telemetry the doc also carries the run's
+// process-metrics histogram summaries (the suite drives the instrumented
+// core solvers directly, so the registry holds per-operation solve
+// latencies by the time the suite finishes).
+func buildBenchDoc(cfg runConfig, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, elapsed time.Duration) *benchfmt.Doc {
+	doc := benchfmt.Build(cfg.fig, results, fleet, churn, scale, elapsed)
+	if cfg.telemetry {
+		doc.Telemetry = telemetry.Default().Summaries()
+	}
+	return doc
 }
 
 // writeBenchJSON writes the doc to path ("-" = stdout).

@@ -41,13 +41,14 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "relative quality-metric regression that fails -compare (0 = default 0.20)")
 	runtimeThreshold := flag.Float64("runtime-threshold", 0, "relative runtime-metric regression that fails -compare (0 = default 0.50)")
 	ignoreRuntime := flag.Bool("ignore-runtime", false, "exclude wall-clock metrics from the -compare gate (CI compares against a baseline from a different machine; quality metrics still gate)")
+	withTelemetry := flag.Bool("telemetry", false, "include the run's process-metrics histogram summaries in the -json document")
 	flag.Parse()
 
 	if err := run(runConfig{
 		fig: *fig, out: *out, workers: *workers, cases: *cases, replicas: *replicas,
 		jsonPath: *jsonPath, parallel: *parallel,
 		compare: *compare, threshold: *threshold, runtimeThreshold: *runtimeThreshold,
-		ignoreRuntime: *ignoreRuntime,
+		ignoreRuntime: *ignoreRuntime, telemetry: *withTelemetry,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pipebench:", err)
 		os.Exit(1)
@@ -63,6 +64,7 @@ type runConfig struct {
 	compare                     string
 	threshold, runtimeThreshold float64
 	ignoreRuntime               bool
+	telemetry                   bool
 }
 
 func run(cfg runConfig) error {
@@ -153,7 +155,7 @@ func run(cfg runConfig) error {
 
 	var doc *benchfmt.Doc
 	if jsonPath != "" || cfg.compare != "" {
-		doc = buildBenchDoc(fig, results, fleetRes, churnRes, scaleRes, suiteElapsed)
+		doc = buildBenchDoc(cfg, results, fleetRes, churnRes, scaleRes, suiteElapsed)
 	}
 	if jsonPath != "" {
 		if err := writeBenchJSON(jsonPath, doc); err != nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"elpc/internal/harness"
+	"elpc/internal/telemetry"
 )
 
 // Schema identifies the JSON document format.
@@ -66,6 +67,11 @@ type Doc struct {
 	// tenant mix replayed on an unsharded and a region-sharded fleet,
 	// comparing admissions, quality, and deploy wall clock).
 	Scale *harness.ScaleScenarioResult `json:"scale,omitempty"`
+	// Telemetry is the run's process-metrics histogram summaries
+	// (count/sum/mean/p50/p95/p99 per series), captured from the global
+	// registry after the suite finishes; populated by pipebench -telemetry.
+	// Informational only — the -compare gate never reads it.
+	Telemetry []telemetry.HistogramSummary `json:"telemetry,omitempty"`
 }
 
 func toOutcome(o harness.Outcome) Outcome {

@@ -216,6 +216,10 @@ func (r *Reconciler) Apply(events []model.ChurnEvent) (Record, error) {
 	if rec.RepairMs > r.maxMs {
 		r.maxMs = rec.RepairMs
 	}
+	batchesTotal.Inc()
+	eventsTotal.Add(uint64(len(events)))
+	requeuedTotal.Add(uint64(requeued))
+	repairSeconds.Observe(rec.RepairMs / 1000)
 	return rec, nil
 }
 
@@ -247,6 +251,7 @@ func (r *Reconciler) Requeue() int {
 	defer r.mu.Unlock()
 	n := r.requeueLocked()
 	r.requeued += uint64(n)
+	requeuedTotal.Add(uint64(n))
 	return n
 }
 

@@ -1,0 +1,18 @@
+package churn
+
+import "elpc/internal/telemetry"
+
+// Reconciler metrics: the bounded Record log keeps only the most recent
+// batches, so these series are the durable view of repair cost — every batch
+// lands in the histogram even after its Record is dropped.
+var (
+	batchesTotal = telemetry.Default().Counter(
+		"elpc_churn_batches_total", "applied churn event batches")
+	eventsTotal = telemetry.Default().Counter(
+		"elpc_churn_events_total", "applied churn events")
+	requeuedTotal = telemetry.Default().Counter(
+		"elpc_churn_requeued_total", "parked deployments re-admitted")
+	repairSeconds = telemetry.Default().Histogram(
+		"elpc_churn_repair_seconds",
+		"per-batch repair-cycle latency: identify + repair + requeue (seconds)", nil)
+)

@@ -331,6 +331,9 @@ func cmdServe(env Env, args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-request solve timeout (0 = none)")
 	points := fs.Int("points", 0, "default Pareto sweep resolution for /v1/front (0 = default)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM (0 = wait indefinitely)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+	slowMs := fs.Duration("slow-ms", 0, "log requests slower than this threshold via slog (0 = disabled)")
+	traces := fs.Int("traces", 0, "slowest request traces retained for GET /v1/traces (0 = default)")
 	validate := fs.Bool("validate", false, "print the resolved configuration as JSON and exit without listening")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -344,6 +347,9 @@ func cmdServe(env Env, args []string) error {
 		CacheShards:   *shards,
 		SolveTimeout:  *timeout,
 		FrontPoints:   *points,
+		EnablePprof:   *pprofOn,
+		SlowRequest:   *slowMs,
+		TraceCapacity: *traces,
 	}
 	if *validate {
 		resolved := opt.Normalized()
@@ -352,7 +358,7 @@ func cmdServe(env Env, args []string) error {
 			Options service.Options `json:"options"`
 		}{Addr: *addr, Options: resolved}, env.Stdout)
 	}
-	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch /v1/fleet/* /v1/events, GET /v1/fleet /v1/events/log /v1/stats /healthz)\n", *addr)
+	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch /v1/fleet/* /v1/events, GET /v1/fleet /v1/events/log /v1/stats /v1/traces /metrics /healthz)\n", *addr)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := service.Run(ctx, *addr, opt, *drain)

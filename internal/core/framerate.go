@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"elpc/internal/graph"
 	"elpc/internal/model"
@@ -64,6 +65,8 @@ func MaxFrameRateOpt(p *model.Problem, opt FrameRateOptions) (*model.Mapping, er
 // found — which may occasionally be a heuristic miss rather than true
 // infeasibility; baseline.Brute provides the exact check on small instances.
 func (sc *SolveContext) MaxFrameRate(p *model.Problem, opt FrameRateOptions) (*model.Mapping, error) {
+	t0 := time.Now()
+	defer frameRateSeconds.ObserveSince(t0)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"elpc/internal/model"
 )
@@ -26,6 +27,8 @@ func MinDelay(p *model.Problem) (*model.Mapping, error) {
 // It returns model.ErrInfeasible (wrapped) when no walk of at most n-1 hops
 // connects source and destination.
 func (sc *SolveContext) MinDelay(p *model.Problem) (*model.Mapping, error) {
+	t0 := time.Now()
+	defer minDelaySeconds.ObserveSince(t0)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

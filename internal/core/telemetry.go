@@ -1,0 +1,20 @@
+package core
+
+import "elpc/internal/telemetry"
+
+// Per-operation solve-latency histograms, recorded by the SolveContext entry
+// points so every caller — the planning service, fleet admission, engine
+// sweeps, the package-level convenience functions — lands in the same series.
+// The DP hot loops themselves are untouched; the observation is one clock
+// read on entry and one atomic increment on return.
+var (
+	minDelaySeconds = telemetry.Default().Histogram(
+		`elpc_core_solve_seconds{op="mindelay"}`,
+		"DP solve latency by operation (seconds)", nil)
+	frameRateSeconds = telemetry.Default().Histogram(
+		`elpc_core_solve_seconds{op="maxframerate"}`, "", nil)
+	tradeoffSeconds = telemetry.Default().Histogram(
+		`elpc_core_solve_seconds{op="maxframerate_budget"}`, "", nil)
+	frontSeconds = telemetry.Default().Histogram(
+		`elpc_core_solve_seconds{op="front"}`, "", nil)
+)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"elpc/internal/graph"
 	"elpc/internal/model"
@@ -53,6 +54,8 @@ func MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mappi
 // Beam entries (kept in ascending bottleneck order), so the algorithm is a
 // heuristic like the paper's single-criterion DP.
 func (sc *SolveContext) MaxFrameRateWithBudget(p *model.Problem, opt TradeoffOptions) (*model.Mapping, error) {
+	t0 := time.Now()
+	defer tradeoffSeconds.ObserveSince(t0)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -307,6 +310,8 @@ func ParetoFront(p *model.Problem, points, beam int) ([]TradeoffPoint, error) {
 // internal/engine.ParetoFront fans the same sweep out over a worker pool
 // and returns byte-identical results.
 func (sc *SolveContext) ParetoFront(p *model.Problem, points, beam int) ([]TradeoffPoint, error) {
+	t0 := time.Now()
+	defer frontSeconds.ObserveSince(t0)
 	budgets, err := sc.frontBudgets(p, points, beam)
 	if err != nil {
 		return nil, err

@@ -33,10 +33,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elpc/internal/core"
 	"elpc/internal/engine"
 	"elpc/internal/model"
+	"elpc/internal/telemetry"
 )
 
 // ErrRejected is returned (wrapped, with a reason) when admission control
@@ -196,6 +198,11 @@ type Fleet struct {
 	// coordinating call holds mu. Tests use it to assert repair is
 	// incremental: an event touching k deployments costs exactly k solves.
 	solves atomic.Uint64
+
+	// lockWait is the per-shard Deploy lock-wait histogram, resolved lazily
+	// because idPrefix is assigned after construction (see lockWaitHist).
+	lockWaitOnce sync.Once
+	lockWait     *telemetry.Histogram
 }
 
 // New builds an empty fleet over the shared base network.
@@ -246,6 +253,7 @@ func (f *Fleet) recomputeLocked() {
 // reject records and wraps an admission failure.
 func (f *Fleet) reject(format string, args ...any) error {
 	f.rejected++
+	rejectedTotal.Inc()
 	return fmt.Errorf("fleet: %w: %s", ErrRejected, fmt.Sprintf(format, args...))
 }
 
@@ -331,7 +339,11 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 		cost = *req.Cost
 	}
 
+	t0 := time.Now()
+	defer deploySeconds.ObserveSince(t0)
+	lockWait := f.lockWaitHist()
 	f.mu.Lock()
+	lockWait.ObserveSince(t0)
 	defer f.mu.Unlock()
 
 	m, delay, rate, err := f.solveCounted(f.residual, req, cost)
@@ -390,6 +402,7 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 	f.order = append(f.order, d.ID)
 	f.recomputeLocked()
 	f.admitted++
+	admittedTotal.Inc()
 	return d.clone(), nil
 }
 
@@ -617,6 +630,8 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 	if opt.MinGain <= 0 {
 		opt.MinGain = DefaultMinGain
 	}
+	t0 := time.Now()
+	defer rebalanceSeconds.ObserveSince(t0)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
@@ -777,5 +792,6 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 	if rep.Applied > 0 {
 		rep.MeanGain /= float64(rep.Applied)
 	}
+	rebalanceMovesTotal.Add(uint64(rep.Applied))
 	return rep
 }

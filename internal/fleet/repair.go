@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"elpc/internal/engine"
 	"elpc/internal/model"
@@ -218,6 +219,8 @@ func (r *RepairReport) Displaced() int { return r.Migrated + len(r.Parked) }
 // candidate a sequential pass would have re-fit (the re-queue loop recovers
 // it) but can never corrupt capacity accounting.
 func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
+	t0 := time.Now()
+	defer repairSeconds.ObserveSince(t0)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
@@ -318,6 +321,7 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 			}
 			f.recomputeLocked()
 			f.parkEvicts++
+			parkEvictionsTotal.Inc()
 			rep.Parked = append(rep.Parked, parked)
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{ID: id, Action: RepairParked, Reason: reason})
 		}

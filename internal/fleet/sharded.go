@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"elpc/internal/engine"
 	"elpc/internal/model"
@@ -327,6 +328,7 @@ func (s *ShardedFleet) Deploy(req Request) (Deployment, error) {
 // holds cmu.
 func (s *ShardedFleet) rejectCross(format string, args ...any) error {
 	s.crossRejected++
+	rejectedTotal.Inc()
 	return fmt.Errorf("fleet: %w: %s", ErrRejected, fmt.Sprintf(format, args...))
 }
 
@@ -338,6 +340,8 @@ func (s *ShardedFleet) rejectCross(format string, args ...any) error {
 // concurrent single-shard admission is re-solved up to TwoPhaseAttempts
 // times.
 func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, error) {
+	t0 := time.Now()
+	defer deploySeconds.ObserveSince(t0)
 	cost := model.DefaultCostOptions()
 	if req.Cost != nil {
 		cost = *req.Cost
@@ -346,6 +350,7 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 	defer s.cmu.Unlock()
 	if fallback {
 		s.fallbacks++
+		tpcFallbacksTotal.Inc()
 	}
 
 	for attempt := 0; attempt < TwoPhaseAttempts; attempt++ {
@@ -403,6 +408,7 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 			// proposal was solved against; re-solve against the fresher view.
 			s.unlockShards()
 			s.tpcRetries++
+			tpcRetriesTotal.Inc()
 			continue
 		}
 		s.crossSeq++
@@ -428,8 +434,10 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 		s.rebuildCrossLocked("")
 		s.unlockShards()
 		s.crossAdmitted++
+		admittedTotal.Inc()
 		return d.clone(), nil
 	}
+	tpcAbortsTotal.Inc()
 	return Deployment{}, s.rejectCross("cross-region reservation lost %d two-phase rounds to concurrent admissions", TwoPhaseAttempts)
 }
 
@@ -929,6 +937,7 @@ func (s *ShardedFleet) repairCross(ids []string) RepairReport {
 			s.crossOrder = removeID(s.crossOrder, id)
 			s.rebuildCrossLocked("")
 			s.crossParks++
+			parkEvictionsTotal.Inc()
 			rep.Parked = append(rep.Parked, ParkedDeployment{ID: id, Tenant: d.Tenant, Reason: reason, Req: requestOf(d)})
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{ID: id, Action: RepairParked, Reason: reason})
 		}

@@ -23,9 +23,12 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
-	Shards    int    `json:"shards"`
+	// HitRatio is Hits / (Hits + Misses), 0 before any lookup. With the
+	// cache disabled every lookup is a miss, so the ratio reads 0.
+	HitRatio float64 `json:"hit_ratio"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	Shards   int     `json:"shards"`
 }
 
 // lruShard is one independently locked LRU segment.
@@ -153,6 +156,9 @@ func (c *cache) stats() CacheStats {
 		st.Misses += s.misses.Load()
 		st.Evictions += s.evictions.Load()
 		st.Entries += s.len()
+	}
+	if lookups := st.Hits + st.Misses; lookups > 0 {
+		st.HitRatio = float64(st.Hits) / float64(lookups)
 	}
 	return st
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"elpc/internal/fleet"
 	"elpc/internal/model"
 	"elpc/internal/sim"
+	"elpc/internal/telemetry"
 )
 
 // Wire limits, applied before any decoding work happens.
@@ -104,11 +106,17 @@ type Server struct {
 	fleet  fleetState
 	mux    *http.ServeMux
 	start  time.Time
+	// tracer retains the slowest request traces for GET /v1/traces;
+	// slowRequest is the structured-log latency threshold (0 = off).
+	tracer      *telemetry.Tracer
+	slowRequest time.Duration
 }
 
 // NewServer builds a Server and its routes around a fresh Solver.
 func NewServer(opt Options) *Server {
 	s := &Server{solver: NewSolver(opt), mux: http.NewServeMux(), start: time.Now()}
+	s.tracer = telemetry.NewTracer(s.solver.opt.TraceCapacity)
+	s.slowRequest = s.solver.opt.SlowRequest
 	s.mux.HandleFunc("POST /v1/mindelay", s.planHandler(OpMinDelay))
 	s.mux.HandleFunc("POST /v1/maxframerate", s.planHandler(OpMaxFrameRate))
 	s.mux.HandleFunc("POST /v1/front", s.planHandler(OpFront))
@@ -123,15 +131,23 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/events/log", s.handleEventsLog)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	if opt.EnablePprof {
+		s.mountPprof()
+	}
+	s.registerGauges()
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler: the route mux wrapped in the
+// telemetry middleware (per-endpoint histograms, status-class counters,
+// request tracing, slow-request logging).
+func (s *Server) Handler() http.Handler { return s.withTelemetry(s.mux) }
 
 // Solver exposes the underlying solver (embedders can share it with
 // in-process callers; its cache then serves both).
@@ -182,6 +198,9 @@ func Run(ctx context.Context, addr string, opt Options, drain time.Duration) err
 		if err := srv.Shutdown(sctx); err != nil {
 			return fmt.Errorf("service: draining: %w", err)
 		}
+		// Drained cleanly: flush the final telemetry summary so short-lived
+		// runs surface their numbers without a scraper attached.
+		logTelemetrySummary(slog.Default())
 		return nil
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"elpc/internal/model"
+	"elpc/internal/telemetry"
 )
 
 // Op selects the planning operation a request performs.
@@ -52,6 +53,15 @@ type Options struct {
 	// FrontPoints is the default sweep resolution for OpFront requests
 	// that do not specify one; <= 0 selects DefaultFrontPoints.
 	FrontPoints int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server's
+	// mux. Off by default: profiling endpoints expose process internals.
+	EnablePprof bool
+	// SlowRequest is the latency threshold above which a request is logged
+	// via log/slog; 0 disables slow-request logging.
+	SlowRequest time.Duration
+	// TraceCapacity is the number of slowest request traces retained for
+	// GET /v1/traces; <= 0 selects telemetry.DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 // Defaults for Options fields.
@@ -79,6 +89,9 @@ func (o Options) Normalized() Options {
 	}
 	if o.FrontPoints <= 0 {
 		o.FrontPoints = DefaultFrontPoints
+	}
+	if o.TraceCapacity <= 0 {
+		o.TraceCapacity = telemetry.DefaultTraceCapacity
 	}
 	return o
 }

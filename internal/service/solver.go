@@ -11,6 +11,7 @@ import (
 	"elpc/internal/core"
 	"elpc/internal/engine"
 	"elpc/internal/model"
+	"elpc/internal/telemetry"
 )
 
 // Solver answers planning requests concurrently: a bounded worker pool caps
@@ -36,6 +37,7 @@ type Solver struct {
 	flights  map[cacheKey]*flight
 
 	inFlight   atomic.Int64
+	queueDepth atomic.Int64
 	coldSolves atomic.Uint64
 	coalesced  atomic.Uint64
 	timeouts   atomic.Uint64
@@ -58,6 +60,10 @@ type SolverStats struct {
 	Workers int `json:"workers"`
 	// InFlight counts solves currently occupying a worker slot.
 	InFlight int64 `json:"in_flight"`
+	// QueueDepth counts requests currently waiting for a worker slot — the
+	// backlog the pool has not absorbed yet (a saturation gauge; InFlight
+	// alone pins at Workers under any load).
+	QueueDepth int64 `json:"queue_depth"`
 	// ColdSolves counts solves that went to the DP (cache misses that ran).
 	ColdSolves uint64 `json:"cold_solves"`
 	// Coalesced counts requests served by joining another request's
@@ -103,6 +109,7 @@ func (s *Solver) Stats() SolverStats {
 	return SolverStats{
 		Workers:    s.opt.Workers,
 		InFlight:   s.inFlight.Load(),
+		QueueDepth: s.queueDepth.Load(),
 		ColdSolves: s.coldSolves.Load(),
 		Coalesced:  s.coalesced.Load(),
 		Timeouts:   s.timeouts.Load(),
@@ -155,14 +162,24 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 		s.timeouts.Add(1)
 		return nil, fmt.Errorf("service: solve %s: %w", req.Op, err)
 	}
+	// parent is the request's trace span (nil without tracing — every child
+	// span below no-ops then, so the solve path never branches on it).
+	parent := telemetry.SpanFromContext(ctx)
+	sp := parent.Child("hash")
 	hash, err := Hash(req.Problem)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	key := cacheKey{hash: hash, op: req.Op, param: param}
+	sp = parent.Child("cache_lookup")
 	if sol, ok := s.cache.get(key); ok {
+		sp.Annotate("hit")
+		sp.End()
 		return sol.result(req.Op, hash, true, 0), nil
 	}
+	sp.Annotate("miss")
+	sp.End()
 
 	if s.opt.SolveTimeout > 0 {
 		var cancel context.CancelFunc
@@ -201,9 +218,17 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 
 	// Acquire a worker slot (or give up with the context). An abandoned
 	// flight must still complete so followers don't block forever.
+	wait := parent.Child("pool_wait")
+	waitStart := time.Now()
+	s.queueDepth.Add(1)
 	select {
 	case s.slots <- struct{}{}:
+		s.queueDepth.Add(-1)
+		wait.End()
+		poolWaitSeconds.ObserveSince(waitStart)
 	case <-ctx.Done():
+		s.queueDepth.Add(-1)
+		wait.End()
 		s.finishFlight(key, f, nil, errFlightAbandoned)
 		s.timeouts.Add(1)
 		return nil, fmt.Errorf("service: waiting for worker: %w", ctx.Err())
@@ -214,6 +239,10 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 	}
 	done := make(chan outcome, 1)
 	s.inFlight.Add(1)
+	// The solve span ends on the worker goroutine, which may outlive an
+	// abandoned request (and its frozen trace) — Span.End is race-safe for
+	// exactly this.
+	solveSpan := parent.Child("solve")
 	go func() {
 		defer func() {
 			s.inFlight.Add(-1)
@@ -222,8 +251,12 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 		start := time.Now()
 		sol, err := solveProblem(req, s.pool)
 		elapsed := time.Since(start)
+		solveSpan.End()
 		if err == nil {
 			s.coldSolves.Add(1)
+			if h := solveSecondsByOp[req.Op]; h != nil {
+				h.Observe(elapsed.Seconds())
+			}
 			s.cache.put(key, sol)
 		}
 		s.finishFlight(key, f, sol, err)
@@ -249,14 +282,19 @@ func (s *Solver) Solve(ctx context.Context, req Request) (*Result, error) {
 // it so admission solves share the same concurrency budget as one-shot
 // planning requests.
 func (s *Solver) acquireSlot(ctx context.Context) (release func(), err error) {
+	waitStart := time.Now()
+	s.queueDepth.Add(1)
 	select {
 	case s.slots <- struct{}{}:
+		s.queueDepth.Add(-1)
+		poolWaitSeconds.ObserveSince(waitStart)
 		s.inFlight.Add(1)
 		return func() {
 			s.inFlight.Add(-1)
 			<-s.slots
 		}, nil
 	case <-ctx.Done():
+		s.queueDepth.Add(-1)
 		s.timeouts.Add(1)
 		return nil, ctx.Err()
 	}

@@ -1,0 +1,262 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"elpc/internal/telemetry"
+)
+
+// TestMetricsEndpointScrapable drives real traffic and then parses the
+// /metrics response line by line: every line must be a well-formed comment
+// or sample, the load-bearing families must be present, and at least 20
+// distinct series must be exposed (the observability floor CI gates on).
+func TestMetricsEndpointScrapable(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	_, ts := newTestServer(t, Options{})
+	postJSON(t, ts.URL+"/v1/mindelay", wireFor(p), nil) // cold solve
+	postJSON(t, ts.URL+"/v1/mindelay", wireFor(p), nil) // cache hit
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	series := map[string]bool{}
+	families := map[string]bool{}
+	for i, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var name, rest string
+			if _, err := fmt.Sscanf(line, "# HELP %s", &name); err == nil {
+				continue
+			}
+			if n, err := fmt.Sscanf(line, "# TYPE %s %s", &name, &rest); err == nil && n == 2 {
+				switch rest {
+				case "counter", "gauge", "histogram":
+					families[name] = true
+				default:
+					t.Errorf("line %d: unknown metric type %q", i+1, rest)
+				}
+				continue
+			}
+			t.Errorf("line %d: malformed comment %q", i+1, line)
+			continue
+		}
+		// Sample: name[{labels}] value — labels may contain spaces only
+		// inside quotes, which the registry's values never do.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			t.Errorf("line %d: sample without value %q", i+1, line)
+			continue
+		}
+		name, value := line[:cut], line[cut+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Errorf("line %d: unparseable value %q", i+1, value)
+		}
+		if series[name] {
+			t.Errorf("line %d: duplicate series %q", i+1, name)
+		}
+		series[name] = true
+	}
+
+	if len(series) < 20 {
+		t.Errorf("only %d distinct series exposed, want >= 20", len(series))
+	}
+	for _, fam := range []string{
+		"elpc_http_request_seconds",
+		"elpc_http_requests_total",
+		"elpc_solve_seconds",
+		"elpc_solver_pool_wait_seconds",
+		"elpc_cache_hits_total",
+		"elpc_solver_workers",
+		"elpc_solver_queue_depth",
+		"elpc_uptime_seconds",
+	} {
+		if !families[fam] {
+			t.Errorf("family %q missing from exposition", fam)
+		}
+	}
+	if !series[`elpc_http_requests_total{route="POST /v1/mindelay",code="2xx"}`] {
+		t.Error("per-route request counter for POST /v1/mindelay missing")
+	}
+}
+
+// TestMiddlewareStatusClasses checks the per-route/status-class request
+// accounting: matched 2xx, error 4xx, and unmatched routes each land in
+// their own series. Counters are process-global, so assertions are deltas.
+func TestMiddlewareStatusClasses(t *testing.T) {
+	reg := telemetry.Default()
+	counter := func(route, class string) *telemetry.Counter {
+		return reg.Counter(
+			fmt.Sprintf(`elpc_http_requests_total{route=%q,code=%q}`, route, class),
+			"requests by matched route and status class")
+	}
+	okBefore := counter("GET /healthz", "2xx").Value()
+	badBefore := counter("POST /v1/mindelay", "4xx").Value()
+	unmatchedBefore := counter("unmatched", "4xx").Value()
+
+	_, ts := newTestServer(t, Options{})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Post(ts.URL+"/v1/mindelay", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-body POST status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unmatched GET status %d, want 404", resp.StatusCode)
+	}
+
+	if got := counter("GET /healthz", "2xx").Value() - okBefore; got != 3 {
+		t.Errorf("healthz 2xx delta = %d, want 3", got)
+	}
+	if got := counter("POST /v1/mindelay", "4xx").Value() - badBefore; got != 1 {
+		t.Errorf("mindelay 4xx delta = %d, want 1", got)
+	}
+	if got := counter("unmatched", "4xx").Value() - unmatchedBefore; got != 1 {
+		t.Errorf("unmatched 4xx delta = %d, want 1", got)
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	cases := map[int]string{
+		200: "2xx", 204: "2xx", 301: "3xx", 404: "4xx", 500: "5xx", 599: "5xx",
+		0: "other", 600: "other", 99: "other",
+	}
+	for code, want := range cases {
+		if got := statusClass(code); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", code, got, want)
+		}
+	}
+}
+
+// TestTracesEndpoint checks that a solved request leaves a trace whose root
+// is the matched route and whose children cover the solve phases.
+func TestTracesEndpoint(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	_, ts := newTestServer(t, Options{TraceCapacity: 4})
+	postJSON(t, ts.URL+"/v1/mindelay", wireFor(p), nil)
+
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr tracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Capacity != 4 {
+		t.Errorf("capacity = %d, want 4", tr.Capacity)
+	}
+	var solve *telemetry.TraceRecord
+	for i := range tr.Traces {
+		if tr.Traces[i].Op == "POST /v1/mindelay" {
+			solve = &tr.Traces[i]
+			break
+		}
+	}
+	if solve == nil {
+		t.Fatalf("no trace for POST /v1/mindelay in %d retained traces", len(tr.Traces))
+	}
+	children := map[string]bool{}
+	for _, c := range solve.Root.Children {
+		children[c.Name] = true
+	}
+	for _, phase := range []string{"hash", "cache_lookup", "pool_wait", "solve"} {
+		if !children[phase] {
+			t.Errorf("trace is missing the %q phase span (got %v)", phase, solve.Root.Children)
+		}
+	}
+}
+
+// TestStatsTelemetryFields checks the /v1/stats additions: cache hit ratio
+// and pool queue depth.
+func TestStatsTelemetryFields(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	_, ts := newTestServer(t, Options{})
+	postJSON(t, ts.URL+"/v1/mindelay", wireFor(p), nil)
+	postJSON(t, ts.URL+"/v1/mindelay", wireFor(p), nil)
+	postJSON(t, ts.URL+"/v1/mindelay", wireFor(p), nil)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	// 1 miss + 2 hits.
+	if want := 2.0 / 3.0; st.Solver.Cache.HitRatio != want {
+		t.Errorf("hit ratio = %v, want %v", st.Solver.Cache.HitRatio, want)
+	}
+	if st.Solver.QueueDepth != 0 {
+		t.Errorf("idle queue depth = %d, want 0", st.Solver.QueueDepth)
+	}
+	for _, field := range []string{`"hit_ratio"`, `"queue_depth"`} {
+		if !bytes.Contains(raw, []byte(field)) {
+			t.Errorf("stats JSON is missing %s", field)
+		}
+	}
+}
+
+// TestLogTelemetrySummary checks the graceful-shutdown flush: the drain
+// path emits per-route latency summaries plus a totals line.
+func TestLogTelemetrySummary(t *testing.T) {
+	p := buildSuiteProblem(t, 0)
+	_, ts := newTestServer(t, Options{})
+	postJSON(t, ts.URL+"/v1/mindelay", wireFor(p), nil)
+
+	var buf bytes.Buffer
+	logTelemetrySummary(slog.New(slog.NewTextHandler(&buf, nil)))
+	out := buf.String()
+	if !strings.Contains(out, "telemetry totals") {
+		t.Errorf("summary is missing the totals line:\n%s", out)
+	}
+	if !strings.Contains(out, "elpc_http_request_seconds") {
+		t.Errorf("summary has no per-route latency line:\n%s", out)
+	}
+	if !strings.Contains(out, "p99_ms") {
+		t.Errorf("summary lines lack p99:\n%s", out)
+	}
+}

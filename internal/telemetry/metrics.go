@@ -1,0 +1,504 @@
+// Package telemetry is elpcd's dependency-free observability layer: a
+// metrics registry of atomic counters, callback gauges, and fixed-bucket
+// latency histograms with Prometheus text exposition (GET /metrics), plus a
+// lightweight span tracer that retains the N slowest request traces in a
+// ring buffer (GET /v1/traces).
+//
+// The package is a leaf — it imports only the standard library — so every
+// layer of the system (service, fleet, churn, core) can record into it
+// without cycles. Instrumented packages record into the process-global
+// Default registry; subsystem-scoped gauges (the installed fleet's
+// utilization, the solver's cache occupancy) are registered as callbacks
+// that read live state at scrape time.
+//
+// Series names follow the Prometheus data model: a metric family name,
+// optionally followed by a brace-wrapped label list, e.g.
+//
+//	reg.Counter(`elpc_http_requests_total{route="/v1/mindelay",code="2xx"}`, "...")
+//
+// Identical names return the identical metric (get-or-create), so hot paths
+// may look series up per call or cache the returned handle — both are safe
+// for concurrent use.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// atomicFloat is a float64 updated with CAS (histogram sums see low
+// contention; the loop almost always succeeds first try).
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// DefLatencyBuckets is the default histogram bucket layout for latencies in
+// seconds: 100µs to 10s, roughly logarithmic — wide enough for a cache hit
+// (~100µs, first bucket) and a cold Suite20 Pareto sweep (tens of ms) on the
+// same scale.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations (latencies
+// in seconds, by convention). Observations are lock-free atomic increments;
+// quantiles are estimated from the bucket counts by linear interpolation
+// within the winning bucket. The zero value is unusable; obtain histograms
+// from a Registry.
+type Histogram struct {
+	upper  []float64 // ascending bucket upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+	total  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.total.Add(1)
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Mean returns the mean observed value (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	if n := h.total.Load(); n > 0 {
+		return h.sum.load() / float64(n)
+	}
+	return 0
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts:
+// the observation rank is located in its bucket and interpolated linearly
+// between the bucket's bounds. Returns 0 with no observations; ranks landing
+// in the overflow (+Inf) bucket return the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, u := range h.upper {
+		n := float64(h.counts[i].Load())
+		if seen+n >= rank && n > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.upper[i-1]
+			}
+			return lo + (u-lo)*((rank-seen)/n)
+		}
+		seen += n
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// snapshot returns the cumulative bucket counts, total, and sum as one
+// consistent-enough view (scrapes race with observations; Prometheus
+// tolerates that, and cumulative counts are rebuilt from one pass).
+func (h *Histogram) snapshot() (cum []uint64, total uint64, sum float64) {
+	cum = make([]uint64, len(h.upper)+1)
+	var running uint64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, running, h.sum.load()
+}
+
+// metric is anything the registry can expose.
+type metric interface {
+	// writeExposition renders the metric's series lines (not HELP/TYPE).
+	writeExposition(w io.Writer, name string) error
+	// typeName is the Prometheus TYPE: counter, gauge, or histogram.
+	typeName() string
+}
+
+func (c *Counter) writeExposition(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+	return err
+}
+func (c *Counter) typeName() string { return "counter" }
+
+// funcMetric is a callback-backed series: the function is invoked at scrape
+// time, so the series always reflects live state. kind selects the TYPE
+// ("gauge" for point-in-time values, "counter" for callbacks that read a
+// monotonic source).
+type funcMetric struct {
+	kind string
+	mu   sync.RWMutex
+	fn   func() float64
+}
+
+func (g *funcMetric) writeExposition(w io.Writer, name string) error {
+	g.mu.RLock()
+	v := g.fn()
+	g.mu.RUnlock()
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+	return err
+}
+func (g *funcMetric) typeName() string { return g.kind }
+
+func (h *Histogram) writeExposition(w io.Writer, name string) error {
+	family, labels := splitName(name)
+	cum, total, sum := h.snapshot()
+	for i, u := range h.upper {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+			family, labelPrefix(labels), formatFloat(u), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", family, labelPrefix(labels), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, braced(labels), formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, braced(labels), total)
+	return err
+}
+func (h *Histogram) typeName() string { return "histogram" }
+
+// formatFloat renders v the shortest way that round-trips.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitName separates `family{a="b"}` into family and the inner label list
+// (`a="b"`, no braces; empty for bare names).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// labelPrefix renders labels for splicing before an `le` label.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// braced re-wraps a non-empty label list.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric // full series name -> metric
+	help    map[string]string // family -> HELP text
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]metric),
+		help:    make(map[string]string),
+	}
+}
+
+// defaultRegistry is the process-global registry every instrumented package
+// records into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry (what elpcd serves at
+// /metrics).
+func Default() *Registry { return defaultRegistry }
+
+// validName reports whether name is a plausible series name: a Prometheus
+// metric identifier, optionally followed by a {label="value",...} list.
+func validName(name string) bool {
+	family, labels := splitName(name)
+	if family == "" || !validIdent(family) {
+		return false
+	}
+	if strings.IndexByte(name, '{') >= 0 && !strings.HasSuffix(name, "}") {
+		return false
+	}
+	if labels == "" {
+		return strings.IndexByte(name, '{') < 0
+	}
+	for _, pair := range splitLabels(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || !validIdent(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return false
+		}
+	}
+	return true
+}
+
+// splitLabels splits `a="b",c="d"` on commas outside quotes.
+func splitLabels(labels string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			if i == 0 || labels[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, labels[start:])
+}
+
+// validIdent reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validIdent(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// register get-or-creates the named metric; mismatched types for an existing
+// name panic (a wiring bug, not a runtime condition).
+func (r *Registry) register(name, help string, build func() metric) metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid series name %q", name))
+	}
+	family, _ := splitName(name)
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok = r.metrics[name]; ok {
+		return m
+	}
+	m = build()
+	r.metrics[name] = m
+	if help != "" {
+		r.help[family] = help
+	}
+	return m
+}
+
+// Counter get-or-creates a counter series. name may carry labels
+// (`family{a="b"}`); help documents the family (first non-empty help wins).
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", name, m.typeName()))
+	}
+	return c
+}
+
+// Histogram get-or-creates a histogram series with the given ascending
+// bucket upper bounds (nil selects DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, help, func() metric {
+		if buckets == nil {
+			buckets = DefLatencyBuckets
+		}
+		upper := append([]float64(nil), buckets...)
+		if !sort.Float64sAreSorted(upper) {
+			panic(fmt.Sprintf("telemetry: %q buckets not ascending", name))
+		}
+		return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", name, m.typeName()))
+	}
+	return h
+}
+
+// GaugeFunc registers fn as a gauge series evaluated at scrape time.
+// Re-registering an existing name replaces its callback — the semantics a
+// process needs when the instance behind a gauge (the installed fleet, a
+// rebuilt server) is replaced.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.funcSeries(name, help, "gauge", fn)
+}
+
+// CounterFunc registers fn as a counter-typed series evaluated at scrape
+// time; use it to expose an existing monotonic counter (an atomic another
+// subsystem already maintains) without double counting. Re-registering
+// replaces the callback, like GaugeFunc.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.funcSeries(name, help, "counter", fn)
+}
+
+func (r *Registry) funcSeries(name, help, kind string, fn func() float64) {
+	m := r.register(name, help, func() metric { return &funcMetric{kind: kind, fn: fn} })
+	g, ok := m.(*funcMetric)
+	if !ok || g.kind != kind {
+		panic(fmt.Sprintf("telemetry: %q already registered as %s", name, m.typeName()))
+	}
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each preceded
+// by its HELP (when set) and TYPE comments, series sorted within the family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	byName := make(map[string]metric, len(r.metrics))
+	for name, m := range r.metrics {
+		byName[name] = m
+	}
+	help := make(map[string]string, len(r.help))
+	for f, h := range r.help {
+		help[f] = h
+	}
+	r.mu.RUnlock()
+
+	// Sort by (family, series) so one family's series are contiguous.
+	sort.Slice(names, func(i, j int) bool {
+		fi, _ := splitName(names[i])
+		fj, _ := splitName(names[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return names[i] < names[j]
+	})
+	lastFamily := ""
+	for _, name := range names {
+		family, _ := splitName(name)
+		m := byName[name]
+		if family != lastFamily {
+			if h := help[family]; h != "" {
+				esc := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(h)
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, esc); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, m.typeName()); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		if err := m.writeExposition(w, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramSummary is the compact JSON rendering of one histogram series:
+// count, mean, and interpolated tail quantiles, in the histogram's own unit
+// (seconds for latency series).
+type HistogramSummary struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Summaries returns one HistogramSummary per histogram series with at least
+// one observation, sorted by name — the payload behind pipebench -json's
+// telemetry block and the shutdown flush log.
+func (r *Registry) Summaries() []HistogramSummary {
+	r.mu.RLock()
+	hists := make(map[string]*Histogram)
+	for name, m := range r.metrics {
+		if h, ok := m.(*Histogram); ok {
+			hists[name] = h
+		}
+	}
+	r.mu.RUnlock()
+	out := make([]HistogramSummary, 0, len(hists))
+	for name, h := range hists {
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, HistogramSummary{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,348 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a test counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	// Get-or-create returns the same counter.
+	if again := r.Counter("test_total", ""); again != c {
+		t.Fatal("second Counter() returned a different instance")
+	}
+	// Labeled series are distinct.
+	c2 := r.Counter(`test_total{op="x"}`, "")
+	if c2 == c {
+		t.Fatal("labeled series must be a distinct metric")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-semantics at exact boundaries:
+// an observation equal to a bucket's upper bound lands in that bucket, one
+// epsilon above lands in the next, and values beyond the last bound land in
+// the +Inf overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{1, 2, 4})
+	h.Observe(1)   // bucket le=1
+	h.Observe(1.5) // bucket le=2
+	h.Observe(2)   // bucket le=2 (boundary is inclusive)
+	h.Observe(4)   // bucket le=4
+	h.Observe(4.1) // +Inf overflow
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count() = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 1+1.5+2+4+4.1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum() = %g, want %g", got, want)
+	}
+	if got, want := h.Mean(), (1+1.5+2+4+4.1)/5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Mean() = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram Quantile = %g, want 0", got)
+	}
+	// 100 observations uniform in (0, 1]: every quantile interpolates inside
+	// the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); got < 0.4 || got > 0.6 {
+		t.Errorf("p50 = %g, want ~0.5", got)
+	}
+	if got := h.Quantile(0.99); got < 0.9 || got > 1.0 {
+		t.Errorf("p99 = %g, want ~0.99", got)
+	}
+	// An overflow-bucket rank reports the largest finite bound.
+	h2 := r.Histogram("q2_seconds", "", []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want 2 (largest finite bound)", got)
+	}
+}
+
+// TestHistogramConcurrentRecord hammers one histogram from many goroutines;
+// run under -race this is the registry's concurrency test, and the final
+// count/sum must be exact.
+func TestHistogramConcurrentRecord(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "", nil)
+	c := r.Counter("conc_total", "")
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(0.001 * float64(g+1))
+				c.Inc()
+			}
+		}(g)
+	}
+	// Concurrent scrapes must not race with observations.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count() = %d, want %d", got, goroutines*perG)
+	}
+	var wantSum float64
+	for g := 1; g <= goroutines; g++ {
+		wantSum += 0.001 * float64(g) * perG
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Fatalf("Sum() = %g, want %g", got, wantSum)
+	}
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGaugeFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("g", "", func() float64 { return v })
+	r.GaugeFunc("g", "", func() float64 { return 42 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "g 42\n") {
+		t.Fatalf("replaced gauge not in exposition:\n%s", sb.String())
+	}
+}
+
+func TestRegisterTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Histogram on a counter name did not panic")
+		}
+	}()
+	r.Histogram("clash", "", nil)
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a b", `x{op=}`, `x{op="y"`, `x{="y"}`} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+// TestExpositionFormat parses WritePrometheus output line by line with the
+// same validator shape the CI scrape gate uses.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`http_requests_total{route="/v1/mindelay",code="2xx"}`, "requests by class").Add(7)
+	r.Counter(`http_requests_total{route="/v1/front",code="5xx"}`, "").Inc()
+	r.GaugeFunc("cache_entries", "entries resident", func() float64 { return 12 })
+	h := r.Histogram(`request_seconds{route="/v1/mindelay"}`, "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	series := 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("malformed comment line: %q", line)
+			}
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Errorf("series line without value: %q", line)
+			continue
+		}
+		name, value := line[:i], line[i+1:]
+		if value != "+Inf" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Errorf("series %q has unparseable value %q", name, value)
+			}
+		}
+		series++
+	}
+	// 2 counters + 1 gauge + histogram (3 buckets + +Inf + sum + count).
+	if series != 2+1+6 {
+		t.Errorf("got %d series lines, want 9:\n%s", series, out)
+	}
+	for _, want := range []string{
+		`http_requests_total{route="/v1/mindelay",code="2xx"} 7`,
+		"# TYPE http_requests_total counter",
+		"# HELP http_requests_total requests by class",
+		"cache_entries 12",
+		`request_seconds_bucket{route="/v1/mindelay",le="0.01"} 1`,
+		`request_seconds_bucket{route="/v1/mindelay",le="+Inf"} 3`,
+		`request_seconds_count{route="/v1/mindelay"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "", nil) // no observations: excluded
+	h := r.Histogram("busy_seconds", "", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	s := r.Summaries()
+	if len(s) != 1 {
+		t.Fatalf("got %d summaries, want 1 (empty histograms excluded)", len(s))
+	}
+	if s[0].Name != "busy_seconds" || s[0].Count != 100 {
+		t.Fatalf("summary = %+v", s[0])
+	}
+	if s[0].P99 < 1 || s[0].P99 > 2 {
+		t.Errorf("p99 = %g, want within (1, 2]", s[0].P99)
+	}
+}
+
+func TestTracerRetainsSlowest(t *testing.T) {
+	tr := NewTracer(2)
+	finish := func(op string, d time.Duration) {
+		trace := tr.Start(op)
+		sp := trace.Root().Child("phase")
+		time.Sleep(d)
+		sp.End()
+		trace.Finish()
+	}
+	finish("fast", 1*time.Millisecond)
+	finish("slow", 30*time.Millisecond)
+	finish("medium", 10*time.Millisecond)
+	finish("tiny", 0) // must not displace anything
+
+	got := tr.Slowest()
+	if len(got) != 2 {
+		t.Fatalf("retained %d traces, want 2", len(got))
+	}
+	if got[0].Op != "slow" || got[1].Op != "medium" {
+		t.Fatalf("retained ops = %s, %s; want slow, medium", got[0].Op, got[1].Op)
+	}
+	if got[0].DurationMs < got[1].DurationMs {
+		t.Fatal("traces not sorted slowest-first")
+	}
+	if len(got[0].Root.Children) != 1 || got[0].Root.Children[0].Name != "phase" {
+		t.Fatalf("child span tree not retained: %+v", got[0].Root)
+	}
+	if tr.Started() != 4 {
+		t.Fatalf("Started() = %d, want 4", tr.Started())
+	}
+}
+
+// TestTracerNilSafety proves the disabled-tracing path never branches: every
+// method on nil tracers, traces, and spans is a no-op.
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	trace := tr.Start("x")
+	if trace != nil {
+		t.Fatal("nil tracer must return a nil trace")
+	}
+	sp := trace.Root().Child("a").Child("b")
+	sp.End()
+	sp.Annotate("note")
+	sp.Rename("y")
+	trace.Finish()
+	if got := tr.Slowest(); len(got) != 0 {
+		t.Fatalf("nil tracer Slowest() = %v, want empty", got)
+	}
+	if tr.Started() != 0 || tr.Capacity() != 0 {
+		t.Fatal("nil tracer counters must be zero")
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				trace := tr.Start(fmt.Sprintf("op-%d", g))
+				var inner sync.WaitGroup
+				for c := 0; c < 3; c++ {
+					inner.Add(1)
+					go func(c int) {
+						defer inner.Done()
+						sp := trace.Root().Child(fmt.Sprintf("child-%d", c))
+						sp.End()
+					}(c)
+				}
+				inner.Wait()
+				trace.Finish()
+				tr.Slowest()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Slowest()); got != 8 {
+		t.Fatalf("retained %d, want capacity 8", got)
+	}
+}
+
+func TestContextSpan(t *testing.T) {
+	tr := NewTracer(1)
+	trace := tr.Start("req")
+	ctx := ContextWithSpan(t.Context(), trace.Root())
+	if got := SpanFromContext(ctx); got != trace.Root() {
+		t.Fatal("SpanFromContext did not round-trip")
+	}
+	if got := SpanFromContext(t.Context()); got != nil {
+		t.Fatal("bare context must yield a nil span")
+	}
+}

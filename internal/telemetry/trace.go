@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity is the number of slowest traces a Tracer retains
+// when the caller does not say.
+const DefaultTraceCapacity = 32
+
+// Tracer retains the slowest finished traces in a bounded ring: a finished
+// trace enters only when the ring has room or the trace is slower than the
+// current fastest retained one, which it then displaces. All methods are
+// safe for concurrent use, and every method is a no-op on a nil *Tracer —
+// instrumented code never branches on whether tracing is enabled.
+type Tracer struct {
+	capacity int
+
+	mu      sync.Mutex
+	slowest []TraceRecord // sorted by DurationMs descending
+	started atomic.Uint64
+	kept    atomic.Uint64
+}
+
+// NewTracer returns a tracer retaining the capacity slowest traces
+// (<= 0 selects DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{capacity: capacity}
+}
+
+// Span is one timed operation inside a trace. Spans form a tree through
+// explicit parent passing: Child creates a sub-span, End stamps the
+// duration. A nil *Span is a valid no-op (its Child is nil too), so call
+// sites need no enabled/disabled branches. A span's fields are owned by the
+// goroutine that created it; Child appends under the span's lock, so
+// concurrent children (a batch fan-out) are safe.
+type Span struct {
+	name  string
+	start time.Time
+	// durationNs is atomic: a solve abandoned by its caller still ends its
+	// span from the background goroutine, possibly concurrently with the
+	// middleware freezing the trace.
+	durationNs atomic.Int64
+	annots     []string
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+// Trace is one in-progress request trace: a root span plus the tracer that
+// will retain it. Finish ends the root and offers the trace to the ring.
+type Trace struct {
+	tracer *Tracer
+	root   *Span
+}
+
+// Start begins a new trace rooted at a span named op. A nil tracer returns
+// a nil trace, whose methods (and whose root's) all no-op.
+func (t *Tracer) Start(op string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	return &Trace{tracer: t, root: newSpan(op)}
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Root returns the trace's root span (nil for a nil trace).
+func (tr *Trace) Root() *Span {
+	if tr == nil {
+		return nil
+	}
+	return tr.root
+}
+
+// Finish ends the root span and offers the trace to the tracer's
+// slowest-traces ring. Finish must be called once, after every child span
+// has ended.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.root.End()
+	tr.tracer.offer(tr.root)
+}
+
+// Child starts a sub-span under s. Safe on a nil span (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stamps the span's duration; later Ends are ignored. Safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.durationNs.CompareAndSwap(0, int64(time.Since(s.start)))
+}
+
+// Rename replaces the span's name — the HTTP middleware starts the root
+// before routing and renames it to the matched pattern afterwards. Safe on
+// nil.
+func (s *Span) Rename(name string) {
+	if s != nil {
+		s.name = name
+	}
+}
+
+// Annotate attaches a short note to the span ("cache hit", an error class).
+// Safe on nil.
+func (s *Span) Annotate(note string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.annots = append(s.annots, note)
+	s.mu.Unlock()
+}
+
+// SpanRecord is the frozen JSON form of one span: offset and duration
+// relative to wall clock, notes, and children in creation order.
+type SpanRecord struct {
+	Name       string       `json:"name"`
+	StartMs    float64      `json:"start_ms"` // offset from the trace start
+	DurationMs float64      `json:"duration_ms"`
+	Notes      []string     `json:"notes,omitempty"`
+	Children   []SpanRecord `json:"children,omitempty"`
+}
+
+// TraceRecord is one finished retained trace.
+type TraceRecord struct {
+	// Op is the root span's name (the matched route for HTTP traces).
+	Op string `json:"op"`
+	// Start is the trace's wall-clock start.
+	Start time.Time `json:"start"`
+	// DurationMs is the root span's total duration.
+	DurationMs float64 `json:"duration_ms"`
+	// Root is the frozen span tree.
+	Root SpanRecord `json:"root"`
+}
+
+// freeze converts the span tree to records; base is the trace start.
+func (s *Span) freeze(base time.Time) SpanRecord {
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	notes := append([]string(nil), s.annots...)
+	s.mu.Unlock()
+	rec := SpanRecord{
+		Name:       s.name,
+		StartMs:    float64(s.start.Sub(base)) / float64(time.Millisecond),
+		DurationMs: float64(s.durationNs.Load()) / float64(time.Millisecond),
+		Notes:      notes,
+	}
+	for _, c := range children {
+		rec.Children = append(rec.Children, c.freeze(base))
+	}
+	return rec
+}
+
+// offer inserts a finished root span into the slowest ring if it qualifies.
+func (t *Tracer) offer(root *Span) {
+	rec := TraceRecord{
+		Op:         root.name,
+		Start:      root.start,
+		DurationMs: float64(root.durationNs.Load()) / float64(time.Millisecond),
+		Root:       root.freeze(root.start),
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.slowest) >= t.capacity && rec.DurationMs <= t.slowest[len(t.slowest)-1].DurationMs {
+		return
+	}
+	// Insert in descending-duration order, then clip to capacity.
+	i := 0
+	for i < len(t.slowest) && t.slowest[i].DurationMs >= rec.DurationMs {
+		i++
+	}
+	t.slowest = append(t.slowest, TraceRecord{})
+	copy(t.slowest[i+1:], t.slowest[i:])
+	t.slowest[i] = rec
+	if len(t.slowest) > t.capacity {
+		t.slowest = t.slowest[:t.capacity]
+	}
+	t.kept.Add(1)
+}
+
+// Slowest returns the retained traces, slowest first. Safe on nil (returns
+// an empty slice).
+func (t *Tracer) Slowest() []TraceRecord {
+	if t == nil {
+		return []TraceRecord{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceRecord(nil), t.slowest...)
+}
+
+// Started returns the number of traces started (nil-safe).
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load()
+}
+
+// Capacity returns the ring capacity (nil-safe).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
+// spanKey keys the context value carrying the current parent span.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current parent span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current parent span, or nil when the context
+// carries none — the nil span no-ops, so callers use the result directly.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
