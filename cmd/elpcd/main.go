@@ -10,10 +10,15 @@
 //	curl -s localhost:8080/metrics
 //
 // Observability: GET /metrics serves the process metrics registry in the
-// Prometheus text exposition format, GET /v1/traces dumps the slowest
-// retained request traces (-traces sets the ring size), -slow-ms logs
-// requests over a latency threshold via log/slog, and -pprof mounts
-// net/http/pprof under /debug/pprof/. See docs/OBSERVABILITY.md.
+// Prometheus text exposition format, GET /v1/journal tails the structured
+// event journal (-journal sets its capacity) and GET
+// /v1/fleet/{id}/timeline replays one deployment's causal history from it,
+// GET /v1/health reports the SLO health verdict (green/degraded/red with
+// machine-readable reasons), GET /v1/debug/dump — or SIGQUIT — emits a
+// one-shot diagnostic snapshot, GET /v1/traces dumps the slowest retained
+// request traces (-traces sets the ring size), -slow-ms logs requests over
+// a latency threshold via log/slog, and -pprof mounts net/http/pprof under
+// /debug/pprof/. See docs/OBSERVABILITY.md.
 //
 // elpcd accepts the same flags as `elpc serve` (it is the same code path)
 // and shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests

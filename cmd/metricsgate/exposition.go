@@ -15,6 +15,9 @@ type expositionReport struct {
 	// series included), Families the # TYPE'd metric families.
 	Series   int
 	Families int
+	// Seen records every TYPE'd family name, so the gate can require
+	// specific families beyond the aggregate floor.
+	Seen map[string]bool
 }
 
 // validKinds are the metric types the exposition may declare. The registry
@@ -30,7 +33,7 @@ var validKinds = map[string]bool{
 // duplicate series, or a histogram whose buckets are non-cumulative or
 // missing the +Inf bound.
 func validateExposition(r io.Reader) (expositionReport, error) {
-	var rep expositionReport
+	rep := expositionReport{Seen: map[string]bool{}}
 	types := map[string]string{} // family -> kind
 	seen := map[string]bool{}    // full series id
 	// Per histogram series (labels minus le): last cumulative count and
@@ -68,6 +71,7 @@ func validateExposition(r io.Reader) (expositionReport, error) {
 				return fail("duplicate TYPE for %q", name)
 			}
 			types[name] = kind
+			rep.Seen[name] = true
 			rep.Families++
 			continue
 		case strings.HasPrefix(line, "#"):

@@ -1,11 +1,14 @@
 // Command metricsgate is the CI observability gate: it boots the elpcd
 // service on a loopback listener, drives representative traffic through
-// every instrumented layer (cold solve, cache hit, Pareto front, an
+// every instrumented layer (cold solve, cache hit, Pareto front, fleet
+// deploy, churn event, health probe, deployment timeline, debug dump, an
 // unmatched route), scrapes GET /metrics, and validates the response as
 // Prometheus text exposition format line by line. It exits non-zero when
-// any line is malformed or when fewer than -min-series distinct time
-// series are exposed — so a refactor that silently drops instrumentation
-// fails the build, not the first production scrape.
+// any line is malformed, when fewer than -min-series distinct time series
+// are exposed, when a required metric family (elpc_slo_*, elpc_journal_*)
+// is missing, or when the debug dump does not round-trip as JSON — so a
+// refactor that silently drops instrumentation fails the build, not the
+// first production scrape.
 //
 //	metricsgate              # gate with the default 20-series floor
 //	metricsgate -min-series 30 -v
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"elpc/internal/gen"
+	"elpc/internal/model"
 	"elpc/internal/service"
 )
 
@@ -79,14 +83,24 @@ func run(minSeries int, verbose bool) error {
 	if rep.Series < minSeries {
 		return fmt.Errorf("only %d distinct series exposed, want >= %d", rep.Series, minSeries)
 	}
+	for _, family := range []string{
+		"elpc_slo_evaluated", "elpc_slo_compliant", "elpc_slo_violating",
+		"elpc_slo_burn_rate", "elpc_journal_depth", "elpc_journal_events_total",
+	} {
+		if !rep.Seen[family] {
+			return fmt.Errorf("required metric family %q missing from exposition", family)
+		}
+	}
 	fmt.Printf("metricsgate: OK — %d series across %d families\n", rep.Series, rep.Families)
 	return nil
 }
 
 // driveTraffic sends one request per instrumented path class: a cold
 // min-delay solve, the identical request again (cache hit), a budgeted
-// max-frame-rate solve, a small Pareto front, the stats and traces reads,
-// and one unmatched route (404 status-class accounting).
+// max-frame-rate solve, a small Pareto front, a fleet install/deploy/churn
+// cycle (SLO evaluation + journal events), the health, timeline, journal,
+// stats, traces, and debug-dump reads, and one unmatched route (404
+// status-class accounting).
 func driveTraffic(base string) error {
 	p, err := gen.Suite20()[0].Build()
 	if err != nil {
@@ -110,11 +124,21 @@ func driveTraffic(base string) error {
 			return fmt.Errorf("POST %s: status %d", path, resp.StatusCode)
 		}
 	}
+
+	depID, err := driveFleet(client, base, p)
+	if err != nil {
+		return fmt.Errorf("fleet cycle: %w", err)
+	}
+
 	gets := map[string]int{
-		"/v1/stats":  http.StatusOK,
-		"/v1/traces": http.StatusOK,
-		"/healthz":   http.StatusOK,
-		"/no/such":   http.StatusNotFound,
+		"/v1/stats":                        http.StatusOK,
+		"/v1/traces":                       http.StatusOK,
+		"/v1/health":                       http.StatusOK,
+		"/v1/journal":                      http.StatusOK,
+		"/v1/fleet/" + depID + "/timeline": http.StatusOK,
+		"/v1/fleet/no-such-dep/timeline":   http.StatusNotFound,
+		"/healthz":                         http.StatusOK,
+		"/no/such":                         http.StatusNotFound,
 	}
 	for path, want := range gets {
 		resp, err := client.Get(base + path)
@@ -125,6 +149,113 @@ func driveTraffic(base string) error {
 		if resp.StatusCode != want {
 			return fmt.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
 		}
+	}
+	return checkDump(client, base, depID)
+}
+
+// postJSON posts v and decodes the response into out (when non-nil),
+// requiring a 200.
+func postJSON(client *http.Client, url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// driveFleet installs the problem's network as the fleet network, deploys
+// one tenant, and applies one churn event so the SLO engine and journal see
+// a full admit/churn/repair cycle. Returns the deployment ID.
+func driveFleet(client *http.Client, base string, p *model.Problem) (string, error) {
+	if err := postJSON(client, base+"/v1/fleet/network", map[string]any{"network": p.Net}, nil); err != nil {
+		return "", err
+	}
+	var dep struct {
+		ID string `json:"id"`
+	}
+	err := postJSON(client, base+"/v1/fleet/deploy", map[string]any{
+		"tenant": "gate", "pipeline": p.Pipe, "src": p.Src, "dst": p.Dst,
+	}, &dep)
+	if err != nil {
+		return "", err
+	}
+	if dep.ID == "" {
+		return "", fmt.Errorf("deploy returned no ID")
+	}
+	// Drift a node the gate tenant may or may not use: either way the
+	// reconciler applies the batch and the SLO engine re-evaluates.
+	err = postJSON(client, base+"/v1/events", map[string]any{
+		"events": []map[string]any{{"kind": "capacity_drift", "target": "node", "node": 0, "factor": 0.9}},
+	}, nil)
+	if err != nil {
+		return "", err
+	}
+	return dep.ID, nil
+}
+
+// checkDump fetches /v1/debug/dump and verifies the JSON round-trips with
+// the sections an operator relies on populated.
+func checkDump(client *http.Client, base, depID string) error {
+	resp, err := client.Get(base + "/v1/debug/dump")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/debug/dump: status %d", resp.StatusCode)
+	}
+	var dump struct {
+		Service string `json:"service"`
+		Stats   struct {
+			Journal struct {
+				Depth   int    `json:"depth"`
+				LastSeq uint64 `json:"last_seq"`
+			} `json:"journal"`
+		} `json:"stats"`
+		SLO *struct {
+			Evaluated int `json:"evaluated"`
+		} `json:"slo"`
+		Fleet []struct {
+			ID string `json:"id"`
+		} `json:"fleet"`
+		Journal struct {
+			Events []map[string]any `json:"events"`
+		} `json:"journal"`
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return fmt.Errorf("debug dump does not round-trip as JSON: %w", err)
+	}
+	if dump.Service != "elpcd" {
+		return fmt.Errorf("dump.service = %q, want elpcd", dump.Service)
+	}
+	if len(dump.Journal.Events) == 0 || dump.Stats.Journal.Depth == 0 {
+		return fmt.Errorf("dump journal is empty after fleet traffic")
+	}
+	if dump.SLO == nil || dump.SLO.Evaluated == 0 {
+		return fmt.Errorf("dump SLO evaluation is empty after fleet traffic")
+	}
+	found := false
+	for _, d := range dump.Fleet {
+		if d.ID == depID {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("dump fleet listing is missing deployment %s", depID)
 	}
 	return nil
 }

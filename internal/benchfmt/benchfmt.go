@@ -67,6 +67,10 @@ type Doc struct {
 	// tenant mix replayed on an unsharded and a region-sharded fleet,
 	// comparing admissions, quality, and deploy wall clock).
 	Scale *harness.ScaleScenarioResult `json:"scale,omitempty"`
+	// SLO mirrors the churn scenario's compliance summary at top level so
+	// dashboards can read delivered-versus-promised health without digging
+	// into the scenario block. Informational: Compare does not gate it.
+	SLO *harness.ChurnSLOSummary `json:"slo,omitempty"`
 	// Telemetry is the run's process-metrics histogram summaries
 	// (count/sum/mean/p50/p95/p99 per series), captured from the global
 	// registry after the suite finishes; populated by pipebench -telemetry.
@@ -99,6 +103,10 @@ func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenari
 		Fleet:      fleet,
 		Churn:      churn,
 		Scale:      scale,
+	}
+	if churn != nil {
+		slo := churn.SLO
+		doc.SLO = &slo
 	}
 	for _, r := range results {
 		c := Case{

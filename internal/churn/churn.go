@@ -21,8 +21,11 @@
 //     from the background requeue loop (Start/Stop).
 //
 // Every batch produces a Record — affected/kept/migrated/parked counts,
-// the number of displaced deployments, and the wall-clock repair latency —
-// appended to a bounded in-memory log served by elpcd's GET /v1/events/log.
+// the number of displaced deployments, and the wall-clock repair latency.
+// Records are not kept in a private log: each is appended to the structured
+// event journal as one ChurnBatch event (preceded by one ChurnApplied event
+// per network mutation), and GET /v1/events/log is served as a filtered
+// view over the journal — the log and the journal can never disagree.
 package churn
 
 import (
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"elpc/internal/fleet"
+	"elpc/internal/journal"
 	"elpc/internal/model"
 )
 
@@ -50,9 +54,16 @@ type Options struct {
 	// RequeueInterval paces the background requeue loop; <= 0 selects
 	// DefaultRequeueInterval.
 	RequeueInterval time.Duration
-	// LogCapacity bounds the in-memory record log; <= 0 selects
-	// DefaultLogCapacity.
+	// LogCapacity bounds the private journal a standalone reconciler
+	// creates when Journal is nil; <= 0 selects DefaultLogCapacity. Ignored
+	// when Journal is set (the shared journal's capacity governs).
 	LogCapacity int
+	// Journal, when non-nil, receives the reconciler's events (ChurnApplied,
+	// ChurnBatch, Requeued) — normally the service-wide journal the fleet
+	// also records into, so batch events interleave with the repair
+	// outcomes they caused. When nil, New creates a private journal so Log
+	// keeps working standalone.
+	Journal *journal.Journal
 }
 
 // Record summarizes one applied event batch and its repair cycle.
@@ -116,7 +127,7 @@ type Reconciler struct {
 
 	mu     sync.Mutex
 	seq    int
-	log    []Record
+	jr     *journal.Journal
 	parked []fleet.ParkedDeployment
 
 	batches     uint64
@@ -142,8 +153,16 @@ func New(f fleet.Manager, opt Options) *Reconciler {
 	if opt.LogCapacity <= 0 {
 		opt.LogCapacity = DefaultLogCapacity
 	}
-	return &Reconciler{f: f, opt: opt}
+	jr := opt.Journal
+	if jr == nil {
+		jr = journal.New(opt.LogCapacity)
+	}
+	return &Reconciler{f: f, opt: opt, jr: jr}
 }
+
+// Journal returns the journal the reconciler records into (the shared one
+// from Options.Journal, or the private fallback).
+func (r *Reconciler) Journal() *journal.Journal { return r.jr }
 
 // Fleet returns the reconciler's fleet manager.
 func (r *Reconciler) Fleet() fleet.Manager { return r.f }
@@ -201,10 +220,17 @@ func (r *Reconciler) Apply(events []model.ChurnEvent) (Record, error) {
 		RepairMs:  float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	r.seq++
-	r.log = append(r.log, rec)
-	if over := len(r.log) - r.opt.LogCapacity; over > 0 {
-		r.log = append(r.log[:0], r.log[over:]...)
+	for _, ev := range events {
+		r.jr.Append(journal.Event{
+			Kind: journal.ChurnApplied, Actor: journal.ActorChurn,
+			Detail: ev.String(),
+		})
 	}
+	r.jr.Append(journal.Event{
+		Kind: journal.ChurnBatch, Actor: journal.ActorChurn,
+		Detail:  fmt.Sprintf("batch %d: %d events, %d affected, %d displaced", rec.Seq, len(events), rec.Affected, rec.Displaced),
+		Payload: rec,
+	})
 
 	r.batches++
 	r.events += uint64(len(events))
@@ -233,11 +259,17 @@ func (r *Reconciler) requeueLocked() int {
 	admitted := 0
 	for _, p := range r.parked {
 		r.reqAttempts++
-		if _, err := r.f.Deploy(p.Req); err != nil {
+		d, err := r.f.Deploy(p.Req)
+		if err != nil {
 			kept = append(kept, p)
 			continue
 		}
 		admitted++
+		r.jr.Append(journal.Event{
+			Kind: journal.Requeued, Actor: journal.ActorChurn,
+			Deployment: d.ID, Tenant: d.Tenant,
+			Detail: fmt.Sprintf("re-admitted after parking as %s", p.ID),
+		})
 	}
 	r.parked = kept
 	return admitted
@@ -263,15 +295,18 @@ func (r *Reconciler) Parked() []fleet.ParkedDeployment {
 }
 
 // Log returns the most recent records, oldest first; limit <= 0 returns
-// the whole retained log.
+// every retained record. The log is a filtered view over the journal's
+// ChurnBatch events (whose payloads carry the records), so its retention is
+// bounded by the journal's capacity and the two can never disagree.
 func (r *Reconciler) Log(limit int) []Record {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := r.log
-	if limit > 0 && len(out) > limit {
-		out = out[len(out)-limit:]
+	evs := r.jr.Filter(journal.ChurnBatch, limit)
+	out := make([]Record, 0, len(evs))
+	for _, ev := range evs {
+		if rec, ok := ev.Payload.(Record); ok {
+			out = append(out, rec)
+		}
 	}
-	return append([]Record(nil), out...)
+	return out
 }
 
 // Stats snapshots the lifetime counters.

@@ -334,6 +334,7 @@ func cmdServe(env Env, args []string) error {
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	slowMs := fs.Duration("slow-ms", 0, "log requests slower than this threshold via slog (0 = disabled)")
 	traces := fs.Int("traces", 0, "slowest request traces retained for GET /v1/traces (0 = default)")
+	journalCap := fs.Int("journal", 0, "event-journal capacity for GET /v1/journal and per-deployment timelines (0 = default)")
 	validate := fs.Bool("validate", false, "print the resolved configuration as JSON and exit without listening")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -342,14 +343,15 @@ func cmdServe(env Env, args []string) error {
 		return errors.New("serve: -addr must not be empty")
 	}
 	opt := service.Options{
-		Workers:       *workers,
-		CacheCapacity: *cacheCap,
-		CacheShards:   *shards,
-		SolveTimeout:  *timeout,
-		FrontPoints:   *points,
-		EnablePprof:   *pprofOn,
-		SlowRequest:   *slowMs,
-		TraceCapacity: *traces,
+		Workers:         *workers,
+		CacheCapacity:   *cacheCap,
+		CacheShards:     *shards,
+		SolveTimeout:    *timeout,
+		FrontPoints:     *points,
+		EnablePprof:     *pprofOn,
+		SlowRequest:     *slowMs,
+		TraceCapacity:   *traces,
+		JournalCapacity: *journalCap,
 	}
 	if *validate {
 		resolved := opt.Normalized()
@@ -358,7 +360,7 @@ func cmdServe(env Env, args []string) error {
 			Options service.Options `json:"options"`
 		}{Addr: *addr, Options: resolved}, env.Stdout)
 	}
-	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch /v1/fleet/* /v1/events, GET /v1/fleet /v1/events/log /v1/stats /v1/traces /metrics /healthz)\n", *addr)
+	fmt.Fprintf(env.Stderr, "elpcd listening on %s (POST /v1/mindelay /v1/maxframerate /v1/front /v1/simulate /v1/batch /v1/fleet/* /v1/events, GET /v1/fleet /v1/events/log /v1/journal /v1/health /v1/debug/dump /v1/stats /v1/traces /metrics /healthz; SIGQUIT writes a debug dump)\n", *addr)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := service.Run(ctx, *addr, opt, *drain)

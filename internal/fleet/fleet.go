@@ -37,6 +37,7 @@ import (
 
 	"elpc/internal/core"
 	"elpc/internal/engine"
+	"elpc/internal/journal"
 	"elpc/internal/model"
 	"elpc/internal/telemetry"
 )
@@ -183,6 +184,11 @@ type Fleet struct {
 	// cross-region reservations) re-added on every recompute; a zero-length
 	// reservation means none.
 	external model.Reservation
+	// jr, when non-nil, receives one typed event per state transition
+	// (admission, rejection, release, repair outcome, rebalance move) —
+	// exactly where a future WAL would append. Nil (the default, and the
+	// benchmark configuration) makes every record a single pointer check.
+	jr *journal.Journal
 
 	admitted    uint64
 	rejected    uint64
@@ -231,6 +237,29 @@ func (f *Fleet) UsePool(p *engine.Pool) {
 	f.mu.Unlock()
 }
 
+// UseJournal installs the event journal every state transition is recorded
+// into. A nil journal (the default) disables recording.
+func (f *Fleet) UseJournal(j *journal.Journal) {
+	f.mu.Lock()
+	f.jr = j
+	f.mu.Unlock()
+}
+
+// record appends one event to the installed journal, stamping the fleet's
+// actor layer and shard label; it is a no-op without a journal.
+func (f *Fleet) record(ev journal.Event) {
+	if f.jr == nil {
+		return
+	}
+	if ev.Actor == "" {
+		ev.Actor = journal.ActorFleet
+	}
+	if ev.Shard == "" {
+		ev.Shard = shardLabel(f.idPrefix)
+	}
+	f.jr.Append(ev)
+}
+
 // recomputeLocked rebuilds the residual loads as the exact ordered sum of
 // outstanding reservations. Caller holds f.mu.
 func (f *Fleet) recomputeLocked() {
@@ -250,11 +279,14 @@ func (f *Fleet) recomputeLocked() {
 	}
 }
 
-// reject records and wraps an admission failure.
-func (f *Fleet) reject(format string, args ...any) error {
+// reject records and wraps an admission failure, journaling the rejection
+// with the requesting tenant.
+func (f *Fleet) reject(req Request, format string, args ...any) error {
 	f.rejected++
 	rejectedTotal.Inc()
-	return fmt.Errorf("fleet: %w: %s", ErrRejected, fmt.Sprintf(format, args...))
+	reason := fmt.Sprintf(format, args...)
+	f.record(journal.Event{Kind: journal.DeployRejected, Tenant: req.Tenant, Detail: reason})
+	return fmt.Errorf("fleet: %w: %s", ErrRejected, reason)
 }
 
 // solve runs the objective's solver against the residual snapshot and
@@ -349,7 +381,7 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 	m, delay, rate, err := f.solveCounted(f.residual, req, cost)
 	if err != nil {
 		if errors.Is(err, model.ErrInfeasible) {
-			return Deployment{}, f.reject("no feasible mapping on residual network: %v", err)
+			return Deployment{}, f.reject(req, "no feasible mapping on residual network: %v", err)
 		}
 		return Deployment{}, err
 	}
@@ -362,22 +394,22 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 	// repair, rebalance, requeue, and deploy agree.
 	for _, v := range m.Assign {
 		if f.residual.NodeIsDown(v) {
-			return Deployment{}, f.reject("no feasible placement: node v%d is down", v)
+			return Deployment{}, f.reject(req, "no feasible placement: node v%d is down", v)
 		}
 	}
 	if req.SLO.MaxDelayMs > 0 && delay > req.SLO.MaxDelayMs {
-		return Deployment{}, f.reject("delay %.3f ms exceeds SLO %.3f ms", delay, req.SLO.MaxDelayMs)
+		return Deployment{}, f.reject(req, "delay %.3f ms exceeds SLO %.3f ms", delay, req.SLO.MaxDelayMs)
 	}
 	reserved := admissionRate(req, rate)
 	if rate < reserved || math.IsInf(delay, 1) {
-		return Deployment{}, f.reject("sustainable rate %.3f fps below demand %.3f fps", rate, reserved)
+		return Deployment{}, f.reject(req, "sustainable rate %.3f fps below demand %.3f fps", rate, reserved)
 	}
 	res, err := model.MappingReservation(f.base, req.Pipeline, m, reserved)
 	if err != nil {
 		return Deployment{}, err
 	}
 	if !f.residual.Fits(res) {
-		return Deployment{}, f.reject("reservation at %.3f fps overcommits the network", reserved)
+		return Deployment{}, f.reject(req, "reservation at %.3f fps overcommits the network", reserved)
 	}
 
 	f.seq++
@@ -403,6 +435,15 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 	f.recomputeLocked()
 	f.admitted++
 	admittedTotal.Inc()
+	f.record(journal.Event{
+		Kind:       journal.DeployAdmitted,
+		Deployment: d.ID,
+		Tenant:     d.Tenant,
+		Detail:     fmt.Sprintf("reserved %.3f fps", reserved),
+		Mapping:    d.Mapping,
+		DelayMs:    delay,
+		RateFPS:    rate,
+	})
 	return d.clone(), nil
 }
 
@@ -410,7 +451,8 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 func (f *Fleet) Release(id string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if _, ok := f.deps[id]; !ok {
+	d, ok := f.deps[id]
+	if !ok {
 		return fmt.Errorf("fleet: %w: %q", ErrNotFound, id)
 	}
 	delete(f.deps, id)
@@ -422,6 +464,7 @@ func (f *Fleet) Release(id string) error {
 	}
 	f.recomputeLocked()
 	f.released++
+	f.record(journal.Event{Kind: journal.ReleaseDone, Deployment: id, Tenant: d.Tenant})
 	return nil
 }
 
@@ -784,6 +827,15 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 		d.reservation = res
 		f.recomputeLocked()
 		f.moves++
+		f.record(journal.Event{
+			Kind:       journal.RebalanceMove,
+			Deployment: id,
+			Tenant:     d.Tenant,
+			Detail:     fmt.Sprintf("gain %.4f (%.3f -> %.3f)", move.Gain, move.OldValue, move.NewValue),
+			Mapping:    d.Mapping,
+			DelayMs:    delay,
+			RateFPS:    rate,
+		})
 		move.Applied = true
 		rep.Moves = append(rep.Moves, move)
 		rep.Applied++

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"elpc/internal/engine"
+	"elpc/internal/journal"
 	"elpc/internal/model"
 )
 
@@ -293,6 +294,10 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 			d.reservation = saved
 			f.recomputeLocked()
 			rep.Kept++
+			f.record(journal.Event{
+				Kind: journal.RepairKept, Deployment: id, Tenant: d.Tenant,
+				Mapping: d.Mapping, DelayMs: delay, RateFPS: rate,
+			})
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{
 				ID: id, Action: RepairKept, DelayMs: delay, RateFPS: rate,
 			})
@@ -322,6 +327,9 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 			f.recomputeLocked()
 			f.parkEvicts++
 			parkEvictionsTotal.Inc()
+			f.record(journal.Event{
+				Kind: journal.RepairParked, Deployment: id, Tenant: d.Tenant, Detail: reason,
+			})
 			rep.Parked = append(rep.Parked, parked)
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{ID: id, Action: RepairParked, Reason: reason})
 		}
@@ -377,6 +385,10 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 		f.recomputeLocked()
 		f.repairMoves++
 		rep.Migrated++
+		f.record(journal.Event{
+			Kind: journal.RepairMigrated, Deployment: id, Tenant: d.Tenant,
+			Mapping: d.Mapping, DelayMs: newDelay, RateFPS: newRate,
+		})
 		rep.Outcomes = append(rep.Outcomes, RepairOutcome{
 			ID: id, Action: RepairMigrated, DelayMs: newDelay, RateFPS: newRate,
 		})

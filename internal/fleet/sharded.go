@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"elpc/internal/engine"
+	"elpc/internal/journal"
 	"elpc/internal/model"
 )
 
@@ -51,6 +52,12 @@ type Manager interface {
 	Network() *model.Network
 	// UsePool installs the engine pool parallel passes fan out over.
 	UsePool(*engine.Pool)
+	// UseJournal installs the event journal state transitions are recorded
+	// into (nil disables recording).
+	UseJournal(*journal.Journal)
+	// SLOReport re-scores every live deployment's delivered delay and rate
+	// on the current residual network against its admission SLO.
+	SLOReport() SLOReport
 	// SolveCount returns the number of objective solves run so far.
 	SolveCount() uint64
 }
@@ -126,9 +133,15 @@ type ShardedFleet struct {
 	crossParks    uint64
 	// fallbacks counts single-region rejections retried through the
 	// coordinator; tpcRetries counts phase-2 validation failures that forced
-	// a re-solve.
+	// a re-solve; tpcAborts counts admissions abandoned after exhausting
+	// every two-phase round (the health engine's abort-rate signal).
 	fallbacks  uint64
 	tpcRetries uint64
+	tpcAborts  uint64
+
+	// jr receives coordinator-path events (2PC phases, cross-region repair
+	// outcomes); shard-path events are recorded by the shards themselves.
+	jr *journal.Journal
 }
 
 // NewSharded partitions base into the given number of regions (via
@@ -191,6 +204,31 @@ func (s *ShardedFleet) UsePool(p *engine.Pool) {
 	for _, sh := range s.shards {
 		sh.UsePool(p)
 	}
+}
+
+// UseJournal installs the event journal on every shard and the coordinator.
+func (s *ShardedFleet) UseJournal(j *journal.Journal) {
+	for _, sh := range s.shards {
+		sh.UseJournal(j)
+	}
+	s.cmu.Lock()
+	s.jr = j
+	s.cmu.Unlock()
+}
+
+// recordCross appends one coordinator event to the installed journal
+// (shard label "x", matching the crossIDPrefix namespace). Caller holds cmu.
+func (s *ShardedFleet) recordCross(ev journal.Event) {
+	if s.jr == nil {
+		return
+	}
+	if ev.Actor == "" {
+		ev.Actor = journal.ActorCoordinator
+	}
+	if ev.Shard == "" {
+		ev.Shard = "x"
+	}
+	s.jr.Append(ev)
 }
 
 // SolveCount returns the objective solves run across all shards and the
@@ -324,12 +362,14 @@ func (s *ShardedFleet) Deploy(req Request) (Deployment, error) {
 	return s.deployCross(req, false)
 }
 
-// rejectCross records and wraps a coordinator admission failure. Caller
-// holds cmu.
-func (s *ShardedFleet) rejectCross(format string, args ...any) error {
+// rejectCross records and wraps a coordinator admission failure, journaling
+// the rejection with the requesting tenant. Caller holds cmu.
+func (s *ShardedFleet) rejectCross(req Request, format string, args ...any) error {
 	s.crossRejected++
 	rejectedTotal.Inc()
-	return fmt.Errorf("fleet: %w: %s", ErrRejected, fmt.Sprintf(format, args...))
+	reason := fmt.Sprintf(format, args...)
+	s.recordCross(journal.Event{Kind: journal.DeployRejected, Tenant: req.Tenant, Detail: reason})
+	return fmt.Errorf("fleet: %w: %s", ErrRejected, reason)
 }
 
 // deployCross is the coordinator path: solve on the composed residual view
@@ -364,10 +404,15 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 		m, _, _, err := solve(comp.Snapshot(), req, cost)
 		if err != nil {
 			if errors.Is(err, model.ErrInfeasible) {
-				return Deployment{}, s.rejectCross("no feasible mapping on composed residual network: %v", err)
+				return Deployment{}, s.rejectCross(req, "no feasible mapping on composed residual network: %v", err)
 			}
 			return Deployment{}, err
 		}
+		s.recordCross(journal.Event{
+			Kind: journal.TwoPhaseReserve, Tenant: req.Tenant,
+			Detail:  fmt.Sprintf("round %d/%d proposed", attempt+1, TwoPhaseAttempts),
+			Mapping: m.String(),
+		})
 
 		// Phase 2 — reserve: under every shard lock, re-score the proposed
 		// mapping on the live composed view, re-run every admission guard,
@@ -385,18 +430,18 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 		}
 		if down >= 0 {
 			s.unlockShards()
-			return Deployment{}, s.rejectCross("no feasible placement: node v%d is down", down)
+			return Deployment{}, s.rejectCross(req, "no feasible placement: node v%d is down", down)
 		}
 		delay := model.TotalDelay(snap, req.Pipeline, m, cost)
 		rate := model.FrameRate(model.SharedBottleneck(snap, req.Pipeline, m))
 		if req.SLO.MaxDelayMs > 0 && delay > req.SLO.MaxDelayMs {
 			s.unlockShards()
-			return Deployment{}, s.rejectCross("delay %.3f ms exceeds SLO %.3f ms", delay, req.SLO.MaxDelayMs)
+			return Deployment{}, s.rejectCross(req, "delay %.3f ms exceeds SLO %.3f ms", delay, req.SLO.MaxDelayMs)
 		}
 		reserved := admissionRate(req, rate)
 		if rate < reserved || math.IsInf(delay, 1) {
 			s.unlockShards()
-			return Deployment{}, s.rejectCross("sustainable rate %.3f fps below demand %.3f fps", rate, reserved)
+			return Deployment{}, s.rejectCross(req, "sustainable rate %.3f fps below demand %.3f fps", rate, reserved)
 		}
 		res, err := model.MappingReservation(s.base, req.Pipeline, m, reserved)
 		if err != nil {
@@ -409,6 +454,10 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 			s.unlockShards()
 			s.tpcRetries++
 			tpcRetriesTotal.Inc()
+			s.recordCross(journal.Event{
+				Kind: journal.TwoPhaseValidate, Tenant: req.Tenant,
+				Detail: fmt.Sprintf("round %d/%d: reservation no longer fits the live composed view", attempt+1, TwoPhaseAttempts),
+			})
 			continue
 		}
 		s.crossSeq++
@@ -435,10 +484,24 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 		s.unlockShards()
 		s.crossAdmitted++
 		admittedTotal.Inc()
+		s.recordCross(journal.Event{
+			Kind: journal.TwoPhaseCommit, Deployment: d.ID, Tenant: d.Tenant,
+			Detail: fmt.Sprintf("round %d/%d committed", attempt+1, TwoPhaseAttempts),
+		})
+		s.recordCross(journal.Event{
+			Kind: journal.DeployAdmitted, Deployment: d.ID, Tenant: d.Tenant,
+			Detail:  fmt.Sprintf("cross-region, reserved %.3f fps", reserved),
+			Mapping: d.Mapping, DelayMs: delay, RateFPS: rate,
+		})
 		return d.clone(), nil
 	}
+	s.tpcAborts++
 	tpcAbortsTotal.Inc()
-	return Deployment{}, s.rejectCross("cross-region reservation lost %d two-phase rounds to concurrent admissions", TwoPhaseAttempts)
+	s.recordCross(journal.Event{
+		Kind: journal.TwoPhaseAbort, Tenant: req.Tenant,
+		Detail: fmt.Sprintf("%d two-phase rounds exhausted", TwoPhaseAttempts),
+	})
+	return Deployment{}, s.rejectCross(req, "cross-region reservation lost %d two-phase rounds to concurrent admissions", TwoPhaseAttempts)
 }
 
 // Release returns a deployment's capacity to the fleet, routed to the
@@ -453,12 +516,14 @@ func (s *ShardedFleet) Release(id string) error {
 		if _, ok := s.crossDeps[id]; !ok {
 			return fmt.Errorf("fleet: %w: %q", ErrNotFound, id)
 		}
+		d := s.crossDeps[id]
 		s.lockShards()
 		delete(s.crossDeps, id)
 		s.crossOrder = removeID(s.crossOrder, id)
 		s.rebuildCrossLocked("")
 		s.unlockShards()
 		s.crossReleased++
+		s.recordCross(journal.Event{Kind: journal.ReleaseDone, Deployment: id, Tenant: d.Tenant})
 		return nil
 	}
 	if r := shardOfID(id); r >= 0 && r < len(s.shards) {
@@ -623,9 +688,11 @@ type CoordinatorStats struct {
 	Released uint64 `json:"released"`
 	// Fallbacks counts regional rejections retried through the coordinator;
 	// TwoPhaseRetries counts phase-2 validation failures that forced a
-	// re-solve against a fresher composed view.
+	// re-solve against a fresher composed view; TwoPhaseAborts counts
+	// admissions abandoned after exhausting every round.
 	Fallbacks       uint64 `json:"fallbacks"`
 	TwoPhaseRetries uint64 `json:"two_phase_retries"`
+	TwoPhaseAborts  uint64 `json:"two_phase_aborts"`
 	// SolverCalls counts coordinator solves (cross deploys and repairs).
 	SolverCalls uint64 `json:"solver_calls"`
 }
@@ -652,6 +719,7 @@ func (s *ShardedFleet) ShardStats() ShardedStats {
 			Released:        s.crossReleased,
 			Fallbacks:       s.fallbacks,
 			TwoPhaseRetries: s.tpcRetries,
+			TwoPhaseAborts:  s.tpcAborts,
 			SolverCalls:     s.crossSolves.Load(),
 		},
 	}
@@ -925,6 +993,10 @@ func (s *ShardedFleet) repairCross(ids []string) RepairReport {
 		if valid {
 			s.rebuildCrossLocked("")
 			rep.Kept++
+			s.recordCross(journal.Event{
+				Kind: journal.RepairKept, Deployment: id, Tenant: d.Tenant,
+				Mapping: d.Mapping, DelayMs: delay, RateFPS: rate,
+			})
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{
 				ID: id, Action: RepairKept, DelayMs: delay, RateFPS: rate,
 			})
@@ -938,6 +1010,7 @@ func (s *ShardedFleet) repairCross(ids []string) RepairReport {
 			s.rebuildCrossLocked("")
 			s.crossParks++
 			parkEvictionsTotal.Inc()
+			s.recordCross(journal.Event{Kind: journal.RepairParked, Deployment: id, Tenant: d.Tenant, Detail: reason})
 			rep.Parked = append(rep.Parked, ParkedDeployment{ID: id, Tenant: d.Tenant, Reason: reason, Req: requestOf(d)})
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{ID: id, Action: RepairParked, Reason: reason})
 		}
@@ -989,6 +1062,10 @@ func (s *ShardedFleet) repairCross(ids []string) RepairReport {
 		s.rebuildCrossLocked("")
 		s.crossMoves++
 		rep.Migrated++
+		s.recordCross(journal.Event{
+			Kind: journal.RepairMigrated, Deployment: id, Tenant: d.Tenant,
+			Mapping: d.Mapping, DelayMs: newDelay, RateFPS: newRate,
+		})
 		rep.Outcomes = append(rep.Outcomes, RepairOutcome{
 			ID: id, Action: RepairMigrated, DelayMs: newDelay, RateFPS: newRate,
 		})

@@ -46,6 +46,26 @@ type ChurnScenarioResult struct {
 	// clock; machine-dependent).
 	MeanRepairMs float64 `json:"mean_repair_ms"`
 	MaxRepairMs  float64 `json:"max_repair_ms"`
+	// SLO summarizes delivered-versus-promised compliance across the trace.
+	SLO ChurnSLOSummary `json:"slo"`
+}
+
+// ChurnSLOSummary is the compliance record of one churn replay: after every
+// applied event the surviving deployments are re-scored against their
+// admission SLOs (fleet.SLOReport), and the per-event compliance fractions
+// are aggregated here.
+type ChurnSLOSummary struct {
+	// Evaluations is the number of post-event evaluation passes (one per
+	// trace event).
+	Evaluations int `json:"evaluations"`
+	// MeanCompliance and MinCompliance aggregate the per-event compliant
+	// fraction (compliant / evaluated; an event with nothing deployed
+	// counts as fully compliant).
+	MeanCompliance float64 `json:"mean_compliance"`
+	MinCompliance  float64 `json:"min_compliance"`
+	// FinalViolating and FinalCompliance describe the end state.
+	FinalViolating  int     `json:"final_violating"`
+	FinalCompliance float64 `json:"final_compliance"`
 }
 
 // RunChurnScenario populates a fleet on the given suite case's network
@@ -105,6 +125,8 @@ func RunChurnScenario(spec gen.CaseSpec, cs gen.ChurnSpec, sessions int, seed ui
 		Deployments: admitted,
 		Events:      len(trace),
 	}
+	res.SLO.MinCompliance = 1
+	var complianceSum float64
 	for i, ev := range trace {
 		r, err := rec.Apply([]model.ChurnEvent{ev.Event})
 		if err != nil {
@@ -117,6 +139,27 @@ func RunChurnScenario(spec gen.CaseSpec, cs gen.ChurnSpec, sessions int, seed ui
 		res.Parked += r.Parked
 		res.Requeued += r.Requeued
 		res.Displaced += r.Displaced
+
+		rep := f.SLOReport()
+		compliance := 1.0
+		if rep.Evaluated > 0 {
+			compliance = float64(rep.Compliant) / float64(rep.Evaluated)
+		}
+		complianceSum += compliance
+		if compliance < res.SLO.MinCompliance {
+			res.SLO.MinCompliance = compliance
+		}
+		res.SLO.Evaluations++
+		if i == len(trace)-1 {
+			res.SLO.FinalViolating = rep.Violating
+			res.SLO.FinalCompliance = compliance
+		}
+	}
+	if res.SLO.Evaluations > 0 {
+		res.SLO.MeanCompliance = complianceSum / float64(res.SLO.Evaluations)
+	} else {
+		res.SLO.MeanCompliance = 1
+		res.SLO.FinalCompliance = 1
 	}
 	st := rec.Stats()
 	res.FinalDeployments = f.Stats().Deployments

@@ -1,0 +1,190 @@
+package journal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestAppendOrdering checks sequence numbers are dense, monotonic, and the
+// retained ring serves them oldest first.
+func TestAppendOrdering(t *testing.T) {
+	j := New(16)
+	for i := 0; i < 10; i++ {
+		seq := j.Append(Event{Kind: DeployAdmitted, Actor: ActorFleet, Deployment: fmt.Sprintf("d-%d", i)})
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d, want %d", i, seq, i+1)
+		}
+	}
+	evs := j.Since(0, 0)
+	if len(evs) != 10 {
+		t.Fatalf("retained %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if i > 0 && evs[i].TimeMs < evs[i-1].TimeMs {
+			t.Fatalf("event %d time %.3f precedes event %d time %.3f", i, evs[i].TimeMs, i-1, evs[i-1].TimeMs)
+		}
+	}
+	st := j.Stats()
+	if st.Depth != 10 || st.LastSeq != 10 || st.Dropped != 0 || st.Capacity != 16 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBoundedDrop fills the ring past capacity and checks FIFO eviction:
+// the oldest events disappear, numbering never skips, and the drop counter
+// accounts for every eviction.
+func TestBoundedDrop(t *testing.T) {
+	j := New(8)
+	for i := 0; i < 20; i++ {
+		j.Append(Event{Kind: ReleaseDone, Actor: ActorFleet, Deployment: "d-000001"})
+	}
+	st := j.Stats()
+	if st.Depth != 8 {
+		t.Fatalf("depth %d, want 8", st.Depth)
+	}
+	if st.Dropped != 12 {
+		t.Fatalf("dropped %d, want 12", st.Dropped)
+	}
+	if st.LastSeq != 20 {
+		t.Fatalf("last seq %d, want 20", st.LastSeq)
+	}
+	evs := j.Since(0, 0)
+	if len(evs) != 8 || evs[0].Seq != 13 || evs[7].Seq != 20 {
+		t.Fatalf("retained window [%d..%d] over %d events, want [13..20]", evs[0].Seq, evs[len(evs)-1].Seq, len(evs))
+	}
+	// The per-deployment index must have been pruned along with the ring.
+	tl := j.Timeline("d-000001")
+	if len(tl) != 8 || tl[0].Seq != 13 {
+		t.Fatalf("timeline has %d events starting at %d, want 8 starting at 13", len(tl), tl[0].Seq)
+	}
+}
+
+// TestSinceAndTail exercises incremental tailing and bounded tails.
+func TestSinceAndTail(t *testing.T) {
+	j := New(32)
+	for i := 0; i < 12; i++ {
+		j.Append(Event{Kind: ChurnApplied, Actor: ActorChurn})
+	}
+	if evs := j.Since(8, 0); len(evs) != 4 || evs[0].Seq != 9 {
+		t.Fatalf("Since(8) = %d events from %d", len(evs), evs[0].Seq)
+	}
+	if evs := j.Since(8, 2); len(evs) != 2 || evs[1].Seq != 10 {
+		t.Fatalf("Since(8, limit 2) = %d events ending at %d", len(evs), evs[len(evs)-1].Seq)
+	}
+	if evs := j.Since(12, 0); evs != nil {
+		t.Fatalf("Since(last) returned %d events, want none", len(evs))
+	}
+	if evs := j.Tail(3); len(evs) != 3 || evs[0].Seq != 10 || evs[2].Seq != 12 {
+		t.Fatalf("Tail(3) = %+v", evs)
+	}
+	if evs := j.Tail(0); len(evs) != 12 {
+		t.Fatalf("Tail(0) = %d events, want 12", len(evs))
+	}
+}
+
+// TestTimelineIndex checks the secondary index returns exactly one
+// deployment's events, in order, across interleaved appends.
+func TestTimelineIndex(t *testing.T) {
+	j := New(64)
+	for i := 0; i < 30; i++ {
+		dep := fmt.Sprintf("d-%d", i%3)
+		j.Append(Event{Kind: RepairKept, Actor: ActorFleet, Deployment: dep})
+	}
+	tl := j.Timeline("d-1")
+	if len(tl) != 10 {
+		t.Fatalf("timeline has %d events, want 10", len(tl))
+	}
+	for i, ev := range tl {
+		if ev.Deployment != "d-1" {
+			t.Fatalf("timeline event %d concerns %q", i, ev.Deployment)
+		}
+		if i > 0 && ev.Seq <= tl[i-1].Seq {
+			t.Fatalf("timeline out of order at %d: %d after %d", i, ev.Seq, tl[i-1].Seq)
+		}
+	}
+	if tl := j.Timeline("no-such"); len(tl) != 0 {
+		t.Fatalf("unknown deployment has %d events", len(tl))
+	}
+}
+
+// TestFilter checks kind filtering and its limit.
+func TestFilter(t *testing.T) {
+	j := New(32)
+	for i := 0; i < 6; i++ {
+		j.Append(Event{Kind: ChurnBatch, Actor: ActorChurn, Payload: i})
+		j.Append(Event{Kind: DeployAdmitted, Actor: ActorFleet})
+	}
+	evs := j.Filter(ChurnBatch, 0)
+	if len(evs) != 6 {
+		t.Fatalf("filter returned %d events, want 6", len(evs))
+	}
+	evs = j.Filter(ChurnBatch, 2)
+	if len(evs) != 2 || evs[0].Payload.(int) != 4 {
+		t.Fatalf("limited filter = %+v", evs)
+	}
+}
+
+// TestNilJournal checks every method is a safe no-op on nil.
+func TestNilJournal(t *testing.T) {
+	var j *Journal
+	if seq := j.Append(Event{Kind: DeployAdmitted}); seq != 0 {
+		t.Fatalf("nil Append returned %d", seq)
+	}
+	if evs := j.Since(0, 0); evs != nil {
+		t.Fatal("nil Since returned events")
+	}
+	if evs := j.Tail(4); evs != nil {
+		t.Fatal("nil Tail returned events")
+	}
+	if evs := j.Timeline("d-1"); evs != nil {
+		t.Fatal("nil Timeline returned events")
+	}
+	if evs := j.Filter(ChurnBatch, 0); evs != nil {
+		t.Fatal("nil Filter returned events")
+	}
+	if st := j.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+}
+
+// TestConcurrentAppend hammers the ring from many goroutines (run with
+// -race) and checks the final accounting is exact.
+func TestConcurrentAppend(t *testing.T) {
+	j := New(128)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dep := fmt.Sprintf("d-%d", w)
+			for i := 0; i < perWriter; i++ {
+				j.Append(Event{Kind: DeployAdmitted, Actor: ActorFleet, Deployment: dep})
+				j.Timeline(dep)
+				j.Since(uint64(i), 16)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := j.Stats()
+	if st.LastSeq != writers*perWriter {
+		t.Fatalf("last seq %d, want %d", st.LastSeq, writers*perWriter)
+	}
+	if st.Depth != 128 {
+		t.Fatalf("depth %d, want capacity 128", st.Depth)
+	}
+	if st.Dropped != writers*perWriter-128 {
+		t.Fatalf("dropped %d, want %d", st.Dropped, writers*perWriter-128)
+	}
+	// Retained events must be dense and ordered.
+	evs := j.Since(0, 0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("gap in retained window: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -264,13 +264,41 @@ func (r *ResidualNetwork) LinkResidual(id int) float64 {
 // The snapshot shares no state with the residual view; solvers may use it
 // freely while the view keeps changing.
 func (r *ResidualNetwork) Snapshot() *Network {
+	return r.snapshotExcluding(nil)
+}
+
+// SnapshotWithout materializes the residual view with the given reservation
+// subtracted from the outstanding load first — the network as one
+// deployment sees it when its own reservation is excluded. SLO evaluation
+// uses it to re-score every live placement in O(nodes + links) per
+// deployment, without mutating the shared view or cloning it per candidate.
+func (r *ResidualNetwork) SnapshotWithout(res Reservation) (*Network, error) {
+	if err := r.checkShape(res); err != nil {
+		return nil, err
+	}
+	return r.snapshotExcluding(&res), nil
+}
+
+// snapshotExcluding is the shared materialization: exclude, when non-nil,
+// is subtracted from each element's load before the residual fraction is
+// computed (the fraction clamp bounds the result even if the exclusion
+// exceeds the recorded load).
+func (r *ResidualNetwork) snapshotExcluding(exclude *Reservation) *Network {
 	nodes := append([]Node(nil), r.base.Nodes...)
 	for i := range nodes {
-		nodes[i].Power = r.base.Nodes[i].Power * residualFraction(r.nodeCap[i], r.nodeLoad[i])
+		load := r.nodeLoad[i]
+		if exclude != nil {
+			load -= exclude.NodeFrac[i]
+		}
+		nodes[i].Power = r.base.Nodes[i].Power * residualFraction(r.nodeCap[i], load)
 	}
 	links := append([]Link(nil), r.base.Links...)
 	for i := range links {
-		links[i].BWMbps = r.base.Links[i].BWMbps * residualFraction(r.linkCap[i], r.linkLoad[i])
+		load := r.linkLoad[i]
+		if exclude != nil {
+			load -= exclude.LinkFrac[i]
+		}
+		links[i].BWMbps = r.base.Links[i].BWMbps * residualFraction(r.linkCap[i], load)
 	}
 	snap, err := NewNetwork(nodes, links)
 	if err != nil {

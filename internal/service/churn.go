@@ -63,6 +63,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.evaluateSLO()
 	writeJSON(w, http.StatusOK, rec)
 }
 

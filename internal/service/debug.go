@@ -1,0 +1,140 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"elpc/internal/fleet"
+	"elpc/internal/journal"
+	"elpc/internal/telemetry"
+)
+
+// This file serves the structured event journal and the one-shot debug
+// snapshot: GET /v1/journal tails the journal incrementally (?since=seq),
+// GET /v1/fleet/{id}/timeline replays one deployment's causal history, and
+// GET /v1/debug/dump bundles fleet state, journal tail, slowest traces, and
+// metric summaries into a single JSON document (the same payload SIGQUIT
+// writes to disk — see Run).
+
+// journalWire is the GET /v1/journal response.
+type journalWire struct {
+	Events []journal.Event `json:"events"`
+	Stats  journal.Stats   `json:"stats"`
+}
+
+// handleJournal tails the journal: GET /v1/journal?since=N&limit=M returns
+// events with sequence numbers strictly greater than N (default 0: the
+// oldest retained), at most M of them (default 256, 0 = everything
+// retained). Pollers pass the last sequence number they saw; the stats
+// block's dropped counter tells them when the window moved past events they
+// never read.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	since, err := queryUint(r, "since", 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	limit, err := queryUint(r, "limit", 256)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	evs := s.journal.Since(since, int(limit))
+	if evs == nil {
+		evs = []journal.Event{}
+	}
+	writeJSON(w, http.StatusOK, journalWire{Events: evs, Stats: s.journal.Stats()})
+}
+
+// queryUint parses an optional non-negative integer query parameter.
+func queryUint(r *http.Request, name string, def uint64) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s must be a non-negative integer, got %q", name, raw)
+	}
+	return n, nil
+}
+
+// timelineWire is the GET /v1/fleet/{id}/timeline response.
+type timelineWire struct {
+	ID string `json:"id"`
+	// Live reports whether the deployment is currently admitted; a released
+	// or parked deployment keeps its retained history.
+	Live   bool            `json:"live"`
+	Events []journal.Event `json:"events"`
+}
+
+// handleTimeline replays one deployment's causal history from the journal:
+// GET /v1/fleet/{id}/timeline. Unknown IDs with no retained events are 404.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	out := timelineWire{ID: id, Events: []journal.Event{}}
+	_ = s.fleet.withFleet(func(f fleet.Manager) error {
+		_, out.Live = f.Describe(id)
+		return nil
+	})
+	out.Events = append(out.Events, s.journal.Timeline(id)...)
+	if !out.Live && len(out.Events) == 0 {
+		writeError(w, fmt.Errorf("fleet: %w: no deployment or retained history for %q", fleet.ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// DebugDumpPayload is the one-shot diagnostic snapshot served by
+// GET /v1/debug/dump and written to disk on SIGQUIT: everything an operator
+// needs to reconstruct "what was the service doing" from a single document.
+type DebugDumpPayload struct {
+	Service  string  `json:"service"`
+	UptimeMs float64 `json:"uptime_ms"`
+	// Stats is the same payload as GET /v1/stats.
+	Stats statsResponse `json:"stats"`
+	// Health is the same verdict inputs as GET /v1/health (re-evaluated
+	// live at dump time).
+	SLO *sloSummaryWire `json:"slo,omitempty"`
+	// Fleet lists every live deployment.
+	Fleet []fleet.Deployment `json:"fleet"`
+	// Journal is the most recent retained journal window.
+	Journal journalWire `json:"journal"`
+	// Traces are the slowest retained request traces.
+	Traces []telemetry.TraceRecord `json:"traces"`
+	// Metrics summarizes every histogram family (count/mean/quantiles).
+	Metrics []telemetry.HistogramSummary `json:"metrics"`
+}
+
+// debugDumpTail bounds the journal window included in a dump.
+const debugDumpTail = 256
+
+// DebugDump assembles the diagnostic snapshot.
+func (s *Server) DebugDump() DebugDumpPayload {
+	s.evaluateSLO()
+	out := DebugDumpPayload{
+		Service:  "elpcd",
+		UptimeMs: uptimeMs(s.start),
+		Stats:    s.statsResponse(),
+		SLO:      s.sloSummary(),
+		Fleet:    []fleet.Deployment{},
+		Traces:   s.tracer.Slowest(),
+		Metrics:  telemetry.Default().Summaries(),
+	}
+	_ = s.fleet.withFleet(func(f fleet.Manager) error {
+		out.Fleet = append(out.Fleet, f.List()...)
+		return nil
+	})
+	evs := s.journal.Tail(debugDumpTail)
+	if evs == nil {
+		evs = []journal.Event{}
+	}
+	out.Journal = journalWire{Events: evs, Stats: s.journal.Stats()}
+	return out
+}
+
+// handleDebugDump serves the snapshot: GET /v1/debug/dump.
+func (s *Server) handleDebugDump(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.DebugDump())
+}

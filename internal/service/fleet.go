@@ -9,6 +9,7 @@ import (
 	"elpc/internal/churn"
 	"elpc/internal/engine"
 	"elpc/internal/fleet"
+	"elpc/internal/journal"
 	"elpc/internal/model"
 )
 
@@ -74,7 +75,7 @@ func (s *fleetState) withSolve(fn func(fleet.Manager) error) error {
 // solver's engine pool so parallel rebalance passes, churn repairs, and
 // planning requests draw from one concurrency budget; the old
 // reconciliation loop is stopped before the new one starts.
-func (s *fleetState) install(net *model.Network, shards int, pool *engine.Pool) error {
+func (s *fleetState) install(net *model.Network, shards int, pool *engine.Pool, jr *journal.Journal) error {
 	var f fleet.Manager
 	var err error
 	if shards > 1 {
@@ -86,7 +87,8 @@ func (s *fleetState) install(net *model.Network, shards int, pool *engine.Pool) 
 		return err
 	}
 	f.UsePool(pool)
-	rec := churn.New(f, churn.Options{Workers: pool.Workers()})
+	f.UseJournal(jr)
+	rec := churn.New(f, churn.Options{Workers: pool.Workers(), Journal: jr})
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f != nil {
@@ -100,6 +102,10 @@ func (s *fleetState) install(net *model.Network, shards int, pool *engine.Pool) 
 	s.f = f
 	s.rec = rec
 	rec.Start()
+	jr.Append(journal.Event{
+		Kind: journal.ShardReconfig, Actor: journal.ActorService,
+		Detail: fmt.Sprintf("installed network: %d nodes, %d links, %d shards", net.N(), net.M(), max(shards, 1)),
+	})
 	return nil
 }
 
@@ -211,7 +217,7 @@ func (s *Server) handleFleetNetwork(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("shards must be non-negative, got %d", wire.Shards))
 		return
 	}
-	if err := s.fleet.install(wire.Network, wire.Shards, s.solver.Pool()); err != nil {
+	if err := s.fleet.install(wire.Network, wire.Shards, s.solver.Pool(), s.journal); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -261,6 +267,7 @@ func (s *Server) handleFleetDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.evaluateSLO()
 	writeJSON(w, http.StatusOK, toDeploymentWire(d))
 }
 
@@ -277,6 +284,7 @@ func (s *Server) handleFleetRelease(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.evaluateSLO()
 	writeJSON(w, http.StatusOK, struct {
 		Released string `json:"released"`
 	}{Released: wire.ID})
@@ -303,6 +311,7 @@ func (s *Server) handleFleetRebalance(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.evaluateSLO()
 	writeJSON(w, http.StatusOK, rep)
 }
 

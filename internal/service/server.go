@@ -7,10 +7,15 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"elpc/internal/churn"
 	"elpc/internal/fleet"
+	"elpc/internal/journal"
 	"elpc/internal/model"
 	"elpc/internal/sim"
 	"elpc/internal/telemetry"
@@ -97,6 +102,11 @@ type statsResponse struct {
 	// FleetShards breaks the fleet gauges down per region when the
 	// installed manager is sharded.
 	FleetShards *fleet.ShardedStats `json:"fleet_shards,omitempty"`
+	// Journal reports the event journal's depth/capacity/drop gauges.
+	Journal journal.Stats `json:"journal"`
+	// SLO is the latest compliance evaluation (present once a fleet network
+	// is installed).
+	SLO *sloSummaryWire `json:"slo,omitempty"`
 }
 
 // Server is the elpcd HTTP planning server. Build one with NewServer and
@@ -106,6 +116,11 @@ type Server struct {
 	fleet  fleetState
 	mux    *http.ServeMux
 	start  time.Time
+	// journal records every fleet/churn/coordinator state transition; all
+	// layers share this one instance, so /v1/journal is the service's total
+	// event order. health retains SLO evaluations for /v1/health.
+	journal *journal.Journal
+	health  *healthEngine
 	// tracer retains the slowest request traces for GET /v1/traces;
 	// slowRequest is the structured-log latency threshold (0 = off).
 	tracer      *telemetry.Tracer
@@ -115,6 +130,8 @@ type Server struct {
 // NewServer builds a Server and its routes around a fresh Solver.
 func NewServer(opt Options) *Server {
 	s := &Server{solver: NewSolver(opt), mux: http.NewServeMux(), start: time.Now()}
+	s.journal = journal.New(s.solver.opt.JournalCapacity)
+	s.health = &healthEngine{}
 	s.tracer = telemetry.NewTracer(s.solver.opt.TraceCapacity)
 	s.slowRequest = s.solver.opt.SlowRequest
 	s.mux.HandleFunc("POST /v1/mindelay", s.planHandler(OpMinDelay))
@@ -130,6 +147,10 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("GET /v1/fleet/{id}", s.handleFleetDescribe)
 	s.mux.HandleFunc("POST /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/events/log", s.handleEventsLog)
+	s.mux.HandleFunc("GET /v1/fleet/{id}/timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /v1/journal", s.handleJournal)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/debug/dump", s.handleDebugDump)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -175,9 +196,14 @@ func ListenAndServe(addr string, opt Options) error {
 // in-flight requests get up to drain to finish (0 waits indefinitely), and
 // the return is nil on a clean drain. Pair it with signal.NotifyContext for
 // SIGINT/SIGTERM handling — cmd/elpcd does.
+// Run also installs a SIGQUIT handler that writes the debug snapshot
+// (DebugDump) to elpcd-dump-<unixtime>.json in the working directory — the
+// "what is it doing right now" escape hatch when the HTTP surface is wedged.
 func Run(ctx context.Context, addr string, opt Options, drain time.Duration) error {
 	s := NewServer(opt)
 	defer s.Close()
+	stopDump := s.dumpOnSIGQUIT()
+	defer stopDump()
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
@@ -203,6 +229,49 @@ func Run(ctx context.Context, addr string, opt Options, drain time.Duration) err
 		logTelemetrySummary(slog.Default())
 		return nil
 	}
+}
+
+// dumpOnSIGQUIT installs a signal handler that writes the debug snapshot to
+// disk on SIGQUIT (falling back to stderr when the file cannot be written)
+// and returns a function that uninstalls it.
+func (s *Server) dumpOnSIGQUIT() (stop func()) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-sigc:
+				if _, err := s.writeDump(""); err != nil {
+					slog.Error("debug dump failed", "err", err)
+				}
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(sigc)
+		close(done)
+	}
+}
+
+// writeDump serializes the debug snapshot to a timestamped JSON file in dir
+// ("" = current directory) and returns its path.
+func (s *Server) writeDump(dir string) (string, error) {
+	payload, err := json.MarshalIndent(s.DebugDump(), "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("service: marshaling debug dump: %w", err)
+	}
+	name := filepath.Join(dir, fmt.Sprintf("elpcd-dump-%d.json", time.Now().Unix()))
+	if err := os.WriteFile(name, payload, 0o644); err != nil {
+		// The dump is a last-resort diagnostic: when the directory is not
+		// writable, losing it entirely is worse than spamming stderr.
+		fmt.Fprintln(os.Stderr, string(payload))
+		return "", fmt.Errorf("service: writing debug dump: %w", err)
+	}
+	slog.Info("debug dump written", "file", name, "bytes", len(payload))
+	return name, nil
 }
 
 // decode reads and validates the request body.
@@ -368,14 +437,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}{Results: out})
 }
 
-// handleStats reports solver, cache, and fleet counters.
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+// uptimeMs renders the elapsed time since start in milliseconds.
+func uptimeMs(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// statsResponse assembles the /v1/stats payload (shared with DebugDump).
+func (s *Server) statsResponse() statsResponse {
+	return statsResponse{
 		Service:     "elpcd",
-		UptimeMs:    float64(time.Since(s.start)) / float64(time.Millisecond),
+		UptimeMs:    uptimeMs(s.start),
 		Solver:      s.solver.Stats(),
 		Fleet:       s.fleetStats(),
 		Churn:       s.churnStats(),
 		FleetShards: s.fleetShardStats(),
-	})
+		Journal:     s.journal.Stats(),
+		SLO:         s.sloSummary(),
+	}
+}
+
+// handleStats reports solver, cache, fleet, journal, and SLO counters.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsResponse())
 }

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"time"
 
+	"elpc/internal/journal"
 	"elpc/internal/model"
 	"elpc/internal/telemetry"
 )
@@ -62,6 +63,9 @@ type Options struct {
 	// TraceCapacity is the number of slowest request traces retained for
 	// GET /v1/traces; <= 0 selects telemetry.DefaultTraceCapacity.
 	TraceCapacity int
+	// JournalCapacity bounds the structured event journal (oldest events
+	// are dropped first); <= 0 selects journal.DefaultCapacity.
+	JournalCapacity int
 }
 
 // Defaults for Options fields.
@@ -92,6 +96,9 @@ func (o Options) Normalized() Options {
 	}
 	if o.TraceCapacity <= 0 {
 		o.TraceCapacity = telemetry.DefaultTraceCapacity
+	}
+	if o.JournalCapacity <= 0 {
+		o.JournalCapacity = journal.DefaultCapacity
 	}
 	return o
 }

@@ -187,6 +187,23 @@ func (s *Server) registerGauges() {
 			}
 			return 0
 		})
+	reg.GaugeFunc("elpc_journal_depth", "events retained in the journal ring",
+		func() float64 { return float64(s.journal.Stats().Depth) })
+	reg.GaugeFunc("elpc_journal_capacity", "journal ring capacity",
+		func() float64 { return float64(s.journal.Stats().Capacity) })
+
+	// SLO gauges read the health engine's latest evaluation — scrapes never
+	// take fleet locks; the evaluation runs after state-changing operations.
+	reg.GaugeFunc("elpc_slo_evaluated", "deployments scored in the latest SLO evaluation",
+		func() float64 { rep, _, _ := s.health.snapshot(); return float64(rep.Evaluated) })
+	reg.GaugeFunc("elpc_slo_compliant", "deployments meeting their SLO in the latest evaluation",
+		func() float64 { rep, _, _ := s.health.snapshot(); return float64(rep.Compliant) })
+	reg.GaugeFunc("elpc_slo_violating", "deployments violating their SLO in the latest evaluation",
+		func() float64 { rep, _, _ := s.health.snapshot(); return float64(rep.Violating) })
+	reg.GaugeFunc(`elpc_slo_burn_rate{window="1m"}`, "mean violating fraction across SLO evaluations in the window",
+		func() float64 { _, b, _ := s.health.snapshot(); return b })
+	reg.GaugeFunc(`elpc_slo_burn_rate{window="10m"}`, "",
+		func() float64 { _, _, b := s.health.snapshot(); return b })
 }
 
 // fleetGaugeStats is fleetStats with a zero-value fallback so gauge
