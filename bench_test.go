@@ -418,6 +418,82 @@ func BenchmarkFleetDeploy(b *testing.B) {
 	b.ReportMetric(float64(resident)/float64(b.N), "resident")
 }
 
+// BenchmarkBatchDeploy measures burst admission throughput on the same
+// case-8 network as BenchmarkFleetDeploy: each op is one DeployBatch of 8
+// mixed-class requests — one class/scarcity sort, one lock epoch, eight
+// residual solves. When the network saturates the fleet is drained, as in
+// the sequential benchmark, so the two are directly comparable per request.
+func BenchmarkBatchDeploy(b *testing.B) {
+	spec := gen.Suite20()[7]
+	net, err := gen.Network(spec.Nodes, spec.Links, gen.DefaultRanges(), gen.RNG(spec.Seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 8
+	const variants = 4
+	classes := []fleet.Class{fleet.ClassGuaranteed, fleet.ClassStandard, fleet.ClassStandard, fleet.ClassBestEffort}
+	batches := make([][]fleet.Request, variants)
+	for v := range batches {
+		rng := gen.RNG(uint64(2000 + v))
+		batch := make([]fleet.Request, batchSize)
+		for i := range batch {
+			pl, err := gen.Pipeline(5+i%4, gen.DefaultRanges(), rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := model.NodeID(rng.IntN(spec.Nodes))
+			dst := model.NodeID(rng.IntN(spec.Nodes - 1))
+			if dst >= src {
+				dst++
+			}
+			obj := model.MinDelay
+			if i%2 == 0 {
+				obj = model.MaxFrameRate
+			}
+			batch[i] = fleet.Request{
+				Tenant:    "bench",
+				Pipeline:  pl,
+				Src:       src,
+				Dst:       dst,
+				Objective: obj,
+				SLO:       fleet.SLO{MinRateFPS: 2, Class: classes[i%len(classes)]},
+			}
+		}
+		batches[v] = batch
+	}
+	fl, err := fleet.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	admitted, attempts := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs := fl.DeployBatch(batches[i%variants])
+		attempts += len(outs)
+		saturated := false
+		for _, out := range outs {
+			switch {
+			case out.Err == nil:
+				admitted++
+			case errors.Is(out.Err, fleet.ErrRejected):
+				saturated = true
+			default:
+				b.Fatal(out.Err)
+			}
+		}
+		fl.TakePreempted()
+		if saturated {
+			for _, d := range fl.List() {
+				if err := fl.Release(d.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(admitted)/float64(attempts), "admit_frac")
+	b.ReportMetric(batchSize, "batch_size")
+}
+
 // BenchmarkParetoFront measures the bicriteria rate-delay sweep on a
 // mid-size suite case.
 func BenchmarkParetoFront(b *testing.B) {

@@ -1,14 +1,16 @@
 // Command metricsgate is the CI observability gate: it boots the elpcd
 // service on a loopback listener, drives representative traffic through
 // every instrumented layer (cold solve, cache hit, Pareto front, fleet
-// deploy, churn event, health probe, deployment timeline, debug dump, an
-// unmatched route), scrapes GET /metrics, and validates the response as
-// Prometheus text exposition format line by line. It exits non-zero when
-// any line is malformed, when fewer than -min-series distinct time series
-// are exposed, when a required metric family (elpc_slo_*, elpc_journal_*)
-// is missing, or when the debug dump does not round-trip as JSON — so a
-// refactor that silently drops instrumentation fails the build, not the
-// first production scrape.
+// deploy, deploy-batch, churn event, health probe, deployment timeline,
+// debug dump, an unmatched route, and a forced best-effort shed on a
+// brownout-drill instance), scrapes GET /metrics, and validates the
+// response as Prometheus text exposition format line by line. It exits
+// non-zero when any line is malformed, when fewer than -min-series distinct
+// time series are exposed, when a required metric family (elpc_slo_*,
+// elpc_journal_*, elpc_admission_*) is missing, when the shed response
+// lacks the 429/Retry-After/envelope contract, or when the debug dump does
+// not round-trip as JSON — so a refactor that silently drops
+// instrumentation fails the build, not the first production scrape.
 //
 //	metricsgate              # gate with the default 20-series floor
 //	metricsgate -min-series 30 -v
@@ -40,6 +42,15 @@ func main() {
 }
 
 func run(minSeries int, verbose bool) error {
+	// The shed drill runs first, on its own brownout instance (negative
+	// intake bound sheds all best-effort traffic deterministically): the
+	// counters it increments are process-global, so they appear in the main
+	// scrape, while the main server — built after — owns the scrape-time
+	// gauges (registering replaces).
+	if err := driveShed(); err != nil {
+		return fmt.Errorf("shed drill: %w", err)
+	}
+
 	// Real listener, real scrape: the gate exercises the same handler chain
 	// (telemetry middleware included) a production scraper would hit.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -86,6 +97,8 @@ func run(minSeries int, verbose bool) error {
 	for _, family := range []string{
 		"elpc_slo_evaluated", "elpc_slo_compliant", "elpc_slo_violating",
 		"elpc_slo_burn_rate", "elpc_journal_depth", "elpc_journal_events_total",
+		"elpc_admission_queued_total", "elpc_admission_shed_total",
+		"elpc_admission_preempted_total", "elpc_admission_queue_depth",
 	} {
 		if !rep.Seen[family] {
 			return fmt.Errorf("required metric family %q missing from exposition", family)
@@ -128,6 +141,9 @@ func driveTraffic(base string) error {
 	depID, err := driveFleet(client, base, p)
 	if err != nil {
 		return fmt.Errorf("fleet cycle: %w", err)
+	}
+	if err := driveBatch(client, base, p); err != nil {
+		return fmt.Errorf("deploy-batch cycle: %w", err)
 	}
 
 	gets := map[string]int{
@@ -202,6 +218,101 @@ func driveFleet(client *http.Client, base string, p *model.Problem) (string, err
 		return "", err
 	}
 	return dep.ID, nil
+}
+
+// driveBatch posts a small mixed-class burst to /v1/fleet/deploy-batch and
+// checks the per-item outcome array and tallies, so the batch admission
+// path (and its elpc_admission_queued_total accounting) is exercised by the
+// gate.
+func driveBatch(client *http.Client, base string, p *model.Problem) error {
+	req := func(tenant, class string) map[string]any {
+		return map[string]any{
+			"tenant": tenant, "pipeline": p.Pipe, "src": p.Src, "dst": p.Dst,
+			"class": class,
+		}
+	}
+	var out struct {
+		Results []struct {
+			Index      int             `json:"index"`
+			Deployment json.RawMessage `json:"deployment"`
+			Error      *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		} `json:"results"`
+		Admitted int `json:"admitted"`
+	}
+	err := postJSON(client, base+"/v1/fleet/deploy-batch", map[string]any{
+		"requests": []map[string]any{
+			req("gate-batch-g", "guaranteed"),
+			req("gate-batch-s", ""),
+			req("gate-batch-b", "best_effort"),
+		},
+	}, &out)
+	if err != nil {
+		return err
+	}
+	if len(out.Results) != 3 {
+		return fmt.Errorf("deploy-batch returned %d results, want 3", len(out.Results))
+	}
+	if out.Admitted == 0 {
+		return fmt.Errorf("deploy-batch admitted nothing")
+	}
+	for i, r := range out.Results {
+		if r.Index != i {
+			return fmt.Errorf("deploy-batch result %d has index %d", i, r.Index)
+		}
+		if r.Deployment == nil && r.Error == nil {
+			return fmt.Errorf("deploy-batch result %d has neither deployment nor error", i)
+		}
+	}
+	return nil
+}
+
+// driveShed boots a brownout-drill server (negative intake bound) and posts
+// one best-effort deploy, asserting the full shed contract: 429, a
+// Retry-After hint, and the structured error envelope with the retryable
+// "shed" code.
+func driveShed() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := service.NewServer(service.Options{IntakeBound: -1})
+	defer srv.Close()
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	body, err := json.Marshal(map[string]any{"tenant": "drill", "class": "best_effort"})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Post("http://"+ln.Addr().String()+"/v1/fleet/deploy", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		return fmt.Errorf("best-effort deploy under brownout: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		return fmt.Errorf("shed response missing Retry-After header")
+	}
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			Retryable bool   `json:"retryable"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return fmt.Errorf("shed response is not the error envelope: %w", err)
+	}
+	if env.Error.Code != "shed" || env.Error.Message == "" || !env.Error.Retryable {
+		return fmt.Errorf("shed envelope = %+v, want retryable code \"shed\" with a message", env.Error)
+	}
+	return nil
 }
 
 // checkDump fetches /v1/debug/dump and verifies the JSON round-trips with

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, scale, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, scale, burst, or all")
 	out := flag.String("out", "", "directory to write artifacts into (optional)")
 	workers := flag.Int("workers", 0, "parallel workers for the case suite (0 = GOMAXPROCS)")
 	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
@@ -153,9 +153,22 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// The burst scenario (sequential-vs-batch admission on the same bursty
+	// arrival trace) feeds -fig burst and the JSON summary.
+	var burstRes *harness.BurstScenarioResult
+	if fig == "all" || fig == "burst" || jsonPath != "" || cfg.compare != "" {
+		var err error
+		// Same case-2 network; the pinned seed is the one the harness tests
+		// assert the batch-admission gain on.
+		burstRes, err = harness.RunBurstScenario(gen.Suite20()[1], harness.DefaultBurstArrivalSpec(), 2026)
+		if err != nil {
+			return err
+		}
+	}
+
 	var doc *benchfmt.Doc
 	if jsonPath != "" || cfg.compare != "" {
-		doc = buildBenchDoc(cfg, results, fleetRes, churnRes, scaleRes, suiteElapsed)
+		doc = buildBenchDoc(cfg, results, fleetRes, churnRes, scaleRes, burstRes, suiteElapsed)
 	}
 	if jsonPath != "" {
 		if err := writeBenchJSON(jsonPath, doc); err != nil {
@@ -217,6 +230,11 @@ func run(cfg runConfig) error {
 	}
 	if fig == "all" || fig == "scale" {
 		if err := emit("scale.md", harness.ScaleScenarioTable(scaleRes)); err != nil {
+			return err
+		}
+	}
+	if fig == "all" || fig == "burst" {
+		if err := emit("burst.md", harness.BurstScenarioTable(burstRes)); err != nil {
 			return err
 		}
 	}
@@ -283,7 +301,7 @@ func run(cfg runConfig) error {
 		}
 	}
 	switch fig {
-	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn", "scale":
+	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn", "scale", "burst":
 		return nil
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

@@ -13,6 +13,7 @@ import (
 	"elpc/internal/model"
 	"elpc/internal/refine"
 	"elpc/internal/service"
+	"elpc/internal/service/wire"
 	"elpc/internal/sim"
 )
 
@@ -245,6 +246,26 @@ type (
 	PlanningServer = service.Server
 )
 
+// HTTP wire contract (internal/service/wire), embeddable pieces for clients
+// that speak the /v1 API without importing the server.
+
+type (
+	// APIError is the structured error every /v1 handler returns inside an
+	// APIErrorEnvelope: a stable code, a human message, and a retryable hint.
+	APIError = wire.Error
+	// APIErrorEnvelope is the {"error": {...}} body of every non-2xx /v1
+	// response.
+	APIErrorEnvelope = wire.ErrorEnvelope
+	// DeployBatchRequest is the POST /v1/fleet/deploy-batch body: a burst of
+	// deploy requests placed in one class/scarcity-ordered pass.
+	DeployBatchRequest = wire.DeployBatch
+	// DeployBatchItem is one request's outcome in a DeployBatchResponse.
+	DeployBatchItem = wire.DeployBatchItem
+	// DeployBatchResponse is the per-request outcome array plus tallies
+	// returned by POST /v1/fleet/deploy-batch.
+	DeployBatchResponse = wire.DeployBatchResponse
+)
+
 // Planning operations.
 const (
 	// OpMinDelay requests the optimal min-delay DP (reuse allowed).
@@ -304,6 +325,28 @@ type (
 	ArrivalEvent = gen.ArrivalEvent
 	// ArrivalSpec shapes a generated multi-tenant workload.
 	ArrivalSpec = gen.ArrivalSpec
+	// SLOClass is a deployment's admission class (guaranteed, standard, or
+	// best-effort), ordering batch placement and preemption eligibility.
+	SLOClass = fleet.Class
+	// BatchOutcome is one request's result from Fleet.DeployBatch: the
+	// admitted deployment or the per-request admission error, tagged with the
+	// request's index in the submitted batch.
+	BatchOutcome = fleet.BatchOutcome
+	// ParkedDeployment is a best-effort deployment preempted by a guaranteed
+	// admission, drained via TakePreempted for requeueing.
+	ParkedDeployment = fleet.ParkedDeployment
+)
+
+// SLO classes, in descending admission priority.
+const (
+	// SLOGuaranteed deployments may preempt best-effort tenants when plain
+	// admission fails.
+	SLOGuaranteed = fleet.ClassGuaranteed
+	// SLOStandard is the default class (also selected by an empty Class).
+	SLOStandard = fleet.ClassStandard
+	// SLOBestEffort deployments are preemptible and shed first under
+	// admission-queue pressure.
+	SLOBestEffort = fleet.ClassBestEffort
 )
 
 // Workload event kinds.

@@ -67,6 +67,10 @@ type Doc struct {
 	// tenant mix replayed on an unsharded and a region-sharded fleet,
 	// comparing admissions, quality, and deploy wall clock).
 	Scale *harness.ScaleScenarioResult `json:"scale,omitempty"`
+	// Burst is the batch-admission scenario (the same bursty arrival trace
+	// replayed sequentially and per-burst through DeployBatch, comparing
+	// admission rates).
+	Burst *harness.BurstScenarioResult `json:"burst,omitempty"`
 	// SLO mirrors the churn scenario's compliance summary at top level so
 	// dashboards can read delivered-versus-promised health without digging
 	// into the scenario block. Informational: Compare does not gate it.
@@ -91,9 +95,9 @@ func toOutcome(o harness.Outcome) Outcome {
 	return out
 }
 
-// Build renders a suite run (plus the optional fleet, churn, and scale
-// scenarios) as a Doc.
-func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, elapsed time.Duration) *Doc {
+// Build renders a suite run (plus the optional fleet, churn, scale, and
+// burst scenarios) as a Doc.
+func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, burst *harness.BurstScenarioResult, elapsed time.Duration) *Doc {
 	doc := &Doc{
 		Schema:     Schema,
 		Figure:     fig,
@@ -103,6 +107,7 @@ func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenari
 		Fleet:      fleet,
 		Churn:      churn,
 		Scale:      scale,
+		Burst:      burst,
 	}
 	if churn != nil {
 		slo := churn.SLO

@@ -229,6 +229,28 @@ func Compare(baseline, fresh *Doc, opt CompareOptions) *Report {
 		add("scale speedup", ClassRatio, baseline.Scale.Speedup, fresh.Scale.Speedup, false)
 	}
 
+	if baseline.Burst != nil && fresh.Burst != nil {
+		// Batch admission must keep beating (or matching) sequential on the
+		// pinned trace: both rates and the sequential baseline gate as
+		// deterministic quality metrics. The gain itself is informational —
+		// it is already implied by the two rates — but a negative fresh gain
+		// regresses regardless of the old value (batch fell below
+		// sequential, the property the endpoint exists for).
+		add("burst seq_admission_rate", ClassQuality, baseline.Burst.SeqAdmissionRate, fresh.Burst.SeqAdmissionRate, false)
+		add("burst batch_admission_rate", ClassQuality, baseline.Burst.BatchAdmissionRate, fresh.Burst.BatchAdmissionRate, false)
+		rep.Compared++
+		d := Delta{
+			Metric: "burst admission_gain", Class: ClassQuality,
+			Old: baseline.Burst.AdmissionGain, New: fresh.Burst.AdmissionGain,
+		}
+		if fresh.Burst.AdmissionGain < 0 {
+			d.Change = -fresh.Burst.AdmissionGain
+			d.Regressed = true
+			rep.Regressions++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+
 	add("suite_ms", ClassRuntime, baseline.SuiteMs, fresh.SuiteMs, true)
 	return rep
 }

@@ -287,6 +287,21 @@ func (r *Reconciler) Requeue() int {
 	return n
 }
 
+// Park enqueues externally displaced deployments (the fleet's preemption
+// queue, drained via fleet.Manager.TakePreempted) into the parked queue, so
+// the background requeue loop re-admits them when capacity returns — a
+// preempted best-effort tenant is displaced, not lost, exactly like a
+// repair-parked one.
+func (r *Reconciler) Park(ps []fleet.ParkedDeployment) {
+	if len(ps) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.parked = append(r.parked, ps...)
+	r.parkTotal += uint64(len(ps))
+}
+
 // Parked returns a copy of the parked queue, oldest first.
 func (r *Reconciler) Parked() []fleet.ParkedDeployment {
 	r.mu.Lock()

@@ -335,6 +335,7 @@ func cmdServe(env Env, args []string) error {
 	slowMs := fs.Duration("slow-ms", 0, "log requests slower than this threshold via slog (0 = disabled)")
 	traces := fs.Int("traces", 0, "slowest request traces retained for GET /v1/traces (0 = default)")
 	journalCap := fs.Int("journal", 0, "event-journal capacity for GET /v1/journal and per-deployment timelines (0 = default)")
+	intake := fs.Int("intake", 0, "admission intake-queue bound; best-effort deploys over it are shed with 429 (0 = default 64, negative = shed all best-effort traffic)")
 	validate := fs.Bool("validate", false, "print the resolved configuration as JSON and exit without listening")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -352,6 +353,7 @@ func cmdServe(env Env, args []string) error {
 		SlowRequest:     *slowMs,
 		TraceCapacity:   *traces,
 		JournalCapacity: *journalCap,
+		IntakeBound:     *intake,
 	}
 	if *validate {
 		resolved := opt.Normalized()

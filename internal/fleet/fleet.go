@@ -55,6 +55,51 @@ var ErrNotFound = errors.New("deployment not found")
 // capacity per processed frame, so admission must account for some rate.
 const DefaultInteractiveFPS = 1.0
 
+// Class is a deployment's SLO class: the priority band admission, repair,
+// and rebalancing order work by, and the currency preemption trades in (a
+// guaranteed deploy may displace best-effort tenants; see Deploy).
+type Class string
+
+const (
+	// ClassGuaranteed deployments are admitted first and may preempt
+	// best-effort tenants when normal admission fails.
+	ClassGuaranteed Class = "guaranteed"
+	// ClassStandard is the default band (an empty Class means standard).
+	ClassStandard Class = "standard"
+	// ClassBestEffort deployments are admitted last, shed first under
+	// intake pressure, and eligible for preemption.
+	ClassBestEffort Class = "best_effort"
+)
+
+// Valid reports whether c names a known class (empty = standard is valid).
+func (c Class) Valid() bool {
+	switch c {
+	case "", ClassGuaranteed, ClassStandard, ClassBestEffort:
+		return true
+	}
+	return false
+}
+
+// Canon maps the empty class to ClassStandard.
+func (c Class) Canon() Class {
+	if c == "" {
+		return ClassStandard
+	}
+	return c
+}
+
+// Rank orders classes for admission preference: higher ranks admit first.
+func (c Class) Rank() int {
+	switch c {
+	case ClassGuaranteed:
+		return 2
+	case ClassBestEffort:
+		return 0
+	default:
+		return 1
+	}
+}
+
 // SLO states what a deployment requires from its placement. Zero fields are
 // unconstrained.
 type SLO struct {
@@ -65,6 +110,9 @@ type SLO struct {
 	// SLO (reject if unachievable) and the demand the deployment reserves
 	// capacity for.
 	MinRateFPS float64 `json:"min_rate_fps,omitempty"`
+	// Class is the SLO class ("guaranteed", "standard", "best_effort");
+	// empty selects standard.
+	Class Class `json:"class,omitempty"`
 }
 
 // Request asks the fleet to place one pipeline.
@@ -146,6 +194,14 @@ type Stats struct {
 	Repaired      uint64 `json:"repaired"`
 	RepairMoves   uint64 `json:"repair_moves"`
 	ParkEvictions uint64 `json:"park_evictions"`
+	// Preemptions counts best-effort deployments displaced (parked) so a
+	// guaranteed deploy could admit.
+	Preemptions uint64 `json:"preemptions"`
+	// GuaranteedActive / StandardActive / BestEffortActive count the
+	// currently admitted deployments per SLO class.
+	GuaranteedActive int `json:"guaranteed_active"`
+	StandardActive   int `json:"standard_active"`
+	BestEffortActive int `json:"best_effort_active"`
 	// SolverCalls counts every objective solve run on the fleet's behalf.
 	SolverCalls uint64 `json:"solver_calls"`
 	// ReservedFPS is the total frame rate reserved across deployments.
@@ -197,6 +253,11 @@ type Fleet struct {
 	repaired    uint64
 	repairMoves uint64
 	parkEvicts  uint64
+	preempts    uint64
+
+	// preemptedQ holds deployments displaced by guaranteed admissions until
+	// the owner drains them (TakePreempted) into the re-queue loop.
+	preemptedQ []ParkedDeployment
 
 	// solves counts every objective solve run on the fleet's behalf
 	// (admission, rebalance proposals, repair re-solves). Atomic because
@@ -353,37 +414,37 @@ func admissionRate(req Request, rateFPS float64) float64 {
 	return rateFPS
 }
 
-// Deploy admits one pipeline: it solves the objective against the residual
-// network, checks the SLO, reserves capacity, and returns the deployment.
-// Rejections wrap ErrRejected; structural errors (bad request) do not.
-func (f *Fleet) Deploy(req Request) (Deployment, error) {
+// validateRequest runs the lock-free structural checks a request must pass
+// before admission is attempted. Structural errors never wrap ErrRejected.
+func (f *Fleet) validateRequest(req Request) error {
 	if req.Pipeline == nil {
-		return Deployment{}, fmt.Errorf("fleet: request missing pipeline")
+		return fmt.Errorf("fleet: request missing pipeline")
 	}
 	if !f.base.ValidNode(req.Src) || !f.base.ValidNode(req.Dst) {
-		return Deployment{}, fmt.Errorf("fleet: invalid endpoints %d -> %d", req.Src, req.Dst)
+		return fmt.Errorf("fleet: invalid endpoints %d -> %d", req.Src, req.Dst)
 	}
 	if req.SLO.MaxDelayMs < 0 || req.SLO.MinRateFPS < 0 {
-		return Deployment{}, fmt.Errorf("fleet: negative SLO")
+		return fmt.Errorf("fleet: negative SLO")
 	}
-	cost := model.DefaultCostOptions()
-	if req.Cost != nil {
-		cost = *req.Cost
+	if !req.SLO.Class.Valid() {
+		return fmt.Errorf("fleet: unknown SLO class %q", req.SLO.Class)
 	}
+	return nil
+}
 
-	t0 := time.Now()
-	defer deploySeconds.ObserveSince(t0)
-	lockWait := f.lockWaitHist()
-	f.mu.Lock()
-	lockWait.ObserveSince(t0)
-	defer f.mu.Unlock()
-
+// tryAdmitLocked runs the admission core against the current residual state
+// and commits on success. It returns (dep, "", nil) when the deployment was
+// admitted, (zero, reason, nil) when admission control declines — without
+// counting or journaling the rejection, so callers (Deploy, DeployBatch,
+// the preemption retry loop) decide whether a given attempt is final — and
+// (zero, "", err) on a structural or solver error. Caller holds f.mu.
+func (f *Fleet) tryAdmitLocked(req Request, cost model.CostOptions) (Deployment, string, error) {
 	m, delay, rate, err := f.solveCounted(f.residual, req, cost)
 	if err != nil {
 		if errors.Is(err, model.ErrInfeasible) {
-			return Deployment{}, f.reject(req, "no feasible mapping on residual network: %v", err)
+			return Deployment{}, fmt.Sprintf("no feasible mapping on residual network: %v", err), nil
 		}
-		return Deployment{}, err
+		return Deployment{}, "", err
 	}
 	// The solver can still route zero-cost modules (the pinned source or
 	// sink, in particular) through a down node — the residual snapshot
@@ -394,22 +455,23 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 	// repair, rebalance, requeue, and deploy agree.
 	for _, v := range m.Assign {
 		if f.residual.NodeIsDown(v) {
-			return Deployment{}, f.reject(req, "no feasible placement: node v%d is down", v)
+			return Deployment{}, fmt.Sprintf("no feasible placement: node v%d is down", v), nil
 		}
 	}
 	if req.SLO.MaxDelayMs > 0 && delay > req.SLO.MaxDelayMs {
-		return Deployment{}, f.reject(req, "delay %.3f ms exceeds SLO %.3f ms", delay, req.SLO.MaxDelayMs)
+		return Deployment{}, fmt.Sprintf("delay %.3f ms exceeds SLO %.3f ms", delay, req.SLO.MaxDelayMs), nil
 	}
 	reserved := admissionRate(req, rate)
 	if rate < reserved || math.IsInf(delay, 1) {
-		return Deployment{}, f.reject(req, "sustainable rate %.3f fps below demand %.3f fps", rate, reserved)
+		return Deployment{}, fmt.Sprintf("sustainable rate %.3f fps below demand %.3f fps", rate, reserved), nil
 	}
 	res, err := model.MappingReservation(f.base, req.Pipeline, m, reserved)
 	if err != nil {
-		return Deployment{}, err
+		return Deployment{}, "", err
 	}
+	res.Class = string(req.SLO.Class.Canon())
 	if !f.residual.Fits(res) {
-		return Deployment{}, f.reject(req, "reservation at %.3f fps overcommits the network", reserved)
+		return Deployment{}, fmt.Sprintf("reservation at %.3f fps overcommits the network", reserved), nil
 	}
 
 	f.seq++
@@ -444,7 +506,215 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 		DelayMs:    delay,
 		RateFPS:    rate,
 	})
-	return d.clone(), nil
+	return d.clone(), "", nil
+}
+
+// MaxPreemptionVictims bounds how many best-effort deployments one
+// guaranteed admission may displace before giving up.
+const MaxPreemptionVictims = 4
+
+// preemptLocked retries a rejected guaranteed admission by displacing
+// best-effort deployments: victims are removed latest-admitted-first, one at
+// a time, with the admission core retried after each removal. On success the
+// displaced deployments are journaled (DeployPreempted) and queued for
+// re-admission (TakePreempted); on exhaustion the fleet state is restored
+// exactly (the residual recompute is an ordered sum, so restoration is
+// bit-identical) and ok is false. Caller holds f.mu.
+func (f *Fleet) preemptLocked(req Request, cost model.CostOptions) (Deployment, bool) {
+	var victims []*Deployment
+	for i := len(f.order) - 1; i >= 0 && len(victims) < MaxPreemptionVictims; i-- {
+		if d := f.deps[f.order[i]]; d.SLO.Class == ClassBestEffort {
+			victims = append(victims, d)
+		}
+	}
+	if len(victims) == 0 {
+		return Deployment{}, false
+	}
+	savedOrder := append([]string(nil), f.order...)
+	var removed []*Deployment
+	for _, v := range victims {
+		delete(f.deps, v.ID)
+		for i, oid := range f.order {
+			if oid == v.ID {
+				f.order = append(f.order[:i], f.order[i+1:]...)
+				break
+			}
+		}
+		removed = append(removed, v)
+		f.recomputeLocked()
+		d, reason, err := f.tryAdmitLocked(req, cost)
+		if err != nil {
+			break
+		}
+		if reason == "" {
+			for _, vd := range removed {
+				f.preempts++
+				preemptedTotal.Inc()
+				f.record(journal.Event{
+					Kind:       journal.DeployPreempted,
+					Deployment: vd.ID,
+					Tenant:     vd.Tenant,
+					Detail:     fmt.Sprintf("displaced by guaranteed deploy %s (tenant %s)", d.ID, req.Tenant),
+				})
+				f.preemptedQ = append(f.preemptedQ, ParkedDeployment{
+					ID:     vd.ID,
+					Tenant: vd.Tenant,
+					Reason: fmt.Sprintf("preempted by guaranteed deploy %s", d.ID),
+					Req:    requestOf(vd),
+				})
+			}
+			return d, true
+		}
+	}
+	// No prefix of the victim list frees enough residual: restore exactly.
+	for _, vd := range removed {
+		f.deps[vd.ID] = vd
+	}
+	f.order = savedOrder
+	f.recomputeLocked()
+	return Deployment{}, false
+}
+
+// Deploy admits one pipeline: it solves the objective against the residual
+// network, checks the SLO, reserves capacity, and returns the deployment.
+// A guaranteed-class request that fails admission additionally attempts
+// preemption — displacing up to MaxPreemptionVictims best-effort tenants
+// (parked and journaled, recoverable via TakePreempted) when that frees
+// enough residual to admit. Rejections wrap ErrRejected; structural errors
+// (bad request) do not.
+func (f *Fleet) Deploy(req Request) (Deployment, error) {
+	if err := f.validateRequest(req); err != nil {
+		return Deployment{}, err
+	}
+	cost := model.DefaultCostOptions()
+	if req.Cost != nil {
+		cost = *req.Cost
+	}
+
+	t0 := time.Now()
+	defer deploySeconds.ObserveSince(t0)
+	lockWait := f.lockWaitHist()
+	f.mu.Lock()
+	lockWait.ObserveSince(t0)
+	defer f.mu.Unlock()
+	return f.deployLocked(req, cost)
+}
+
+// deployLocked is the admission attempt plus the guaranteed-class preemption
+// fallback, with rejection accounting. Caller holds f.mu.
+func (f *Fleet) deployLocked(req Request, cost model.CostOptions) (Deployment, error) {
+	d, reason, err := f.tryAdmitLocked(req, cost)
+	if err != nil {
+		return Deployment{}, err
+	}
+	if reason == "" {
+		return d, nil
+	}
+	if req.SLO.Class == ClassGuaranteed {
+		if d, ok := f.preemptLocked(req, cost); ok {
+			return d, nil
+		}
+	}
+	return Deployment{}, f.reject(req, "%s", reason)
+}
+
+// BatchOutcome is the per-request result of DeployBatch, reported at the
+// request's original index.
+type BatchOutcome struct {
+	// Index is the request's position in the submitted batch.
+	Index int
+	// Deployment is the admitted deployment when Err is nil.
+	Deployment Deployment
+	// Err is the admission error (wrapping ErrRejected) or structural error.
+	Err error
+}
+
+// batchOrder returns the admission order for a batch: SLO class rank
+// descending (guaranteed first), then reserved demand descending (scarcer
+// requests pack first, first-fit-decreasing style), then delay-SLO tightness
+// ascending, then submission order. Invalid indices (out[i].Err already set)
+// are excluded.
+func batchOrder(reqs []Request, out []BatchOutcome) []int {
+	order := make([]int, 0, len(reqs))
+	for i := range reqs {
+		if out[i].Err == nil {
+			order = append(order, i)
+		}
+	}
+	sortByPriority(reqs, order)
+	return order
+}
+
+// sortByPriority sorts the index list order in place by the batch admission
+// key (see batchOrder). Shared with the sharded coordinator pass.
+func sortByPriority(reqs []Request, order []int) {
+	slack := func(r Request) float64 {
+		if r.SLO.MaxDelayMs <= 0 {
+			return math.Inf(1)
+		}
+		return r.SLO.MaxDelayMs
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ka, kb := ra.SLO.Class.Rank(), rb.SLO.Class.Rank(); ka != kb {
+			return ka > kb
+		}
+		if ra.SLO.MinRateFPS != rb.SLO.MinRateFPS {
+			return ra.SLO.MinRateFPS > rb.SLO.MinRateFPS
+		}
+		if sa, sb := slack(ra), slack(rb); sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+}
+
+// DeployBatch admits a burst of requests under one lock epoch: structurally
+// invalid requests fail fast without the lock, the rest are sorted by SLO
+// class and scarcity (batchOrder) and placed in a single residual pass —
+// one mutex acquisition for the whole burst instead of one per request.
+// Outcomes are reported at each request's original index. The class-ordered
+// single pass is why a batch admits at least as much guaranteed/high-demand
+// traffic as the same requests deployed sequentially in arrival order.
+func (f *Fleet) DeployBatch(reqs []Request) []BatchOutcome {
+	out := make([]BatchOutcome, len(reqs))
+	for i := range reqs {
+		out[i].Index = i
+		if err := f.validateRequest(reqs[i]); err != nil {
+			out[i].Err = err
+		}
+	}
+	order := batchOrder(reqs, out)
+	if len(order) == 0 {
+		return out
+	}
+
+	t0 := time.Now()
+	defer batchDeploySeconds.ObserveSince(t0)
+	lockWait := f.lockWaitHist()
+	f.mu.Lock()
+	lockWait.ObserveSince(t0)
+	defer f.mu.Unlock()
+	for _, i := range order {
+		req := reqs[i]
+		cost := model.DefaultCostOptions()
+		if req.Cost != nil {
+			cost = *req.Cost
+		}
+		out[i].Deployment, out[i].Err = f.deployLocked(req, cost)
+	}
+	return out
+}
+
+// TakePreempted drains and returns the deployments displaced by guaranteed
+// admissions since the last call, oldest first. The owner (internal/churn's
+// reconciler, via the service layer) re-queues them when capacity returns.
+func (f *Fleet) TakePreempted() []ParkedDeployment {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := f.preemptedQ
+	f.preemptedQ = nil
+	return out
 }
 
 // Release returns a deployment's capacity to the fleet.
@@ -503,12 +773,22 @@ func (f *Fleet) Stats() Stats {
 		Repaired:      f.repaired,
 		RepairMoves:   f.repairMoves,
 		ParkEvictions: f.parkEvicts,
+		Preemptions:   f.preempts,
 		SolverCalls:   f.solves.Load(),
 	}
 	// Sum in admission order so the gauge is deterministic (map iteration
 	// order would reorder the float additions run to run).
 	for _, id := range f.order {
-		s.ReservedFPS += f.deps[id].ReservedFPS
+		d := f.deps[id]
+		s.ReservedFPS += d.ReservedFPS
+		switch d.SLO.Class.Canon() {
+		case ClassGuaranteed:
+			s.GuaranteedActive++
+		case ClassBestEffort:
+			s.BestEffortActive++
+		default:
+			s.StandardActive++
+		}
 	}
 	for v := 0; v < f.base.N(); v++ {
 		u := f.residual.NodeLoad(model.NodeID(v))
@@ -678,9 +958,16 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
+	// Higher SLO classes are considered first; within a class, deployments
+	// admitted latest first — they were solved against the most contended
+	// network, so freed capacity helps them most.
 	ids := append([]string(nil), f.order...)
 	sort.SliceStable(ids, func(i, j int) bool {
-		return f.deps[ids[i]].Seq > f.deps[ids[j]].Seq
+		di, dj := f.deps[ids[i]], f.deps[ids[j]]
+		if ri, rj := di.SLO.Class.Rank(), dj.SLO.Class.Rank(); ri != rj {
+			return ri > rj
+		}
+		return di.Seq > dj.Seq
 	})
 
 	// Parallel mode solves candidates ahead of the application loop in

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"elpc/internal/engine"
@@ -196,7 +197,8 @@ type RepairReport struct {
 	Resolved int `json:"resolved"`
 	Kept     int `json:"kept"`
 	Migrated int `json:"migrated"`
-	// Outcomes lists per-deployment decisions in admission order.
+	// Outcomes lists per-deployment decisions in repair order (SLO class
+	// rank descending, admission order within a class).
 	Outcomes []RepairOutcome `json:"outcomes,omitempty"`
 	// Parked lists the evicted deployments (len(Parked) fills the
 	// kept/migrated/parked accounting gap).
@@ -225,7 +227,12 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
-	// Keep admission order and drop stale IDs.
+	// Keep admission order and drop stale IDs, then lift higher SLO classes
+	// to the front: on a degraded network the candidates repaired first
+	// claim the surviving residual, so guaranteed deployments must re-fit
+	// before best-effort ones compete for the same capacity. The sort is
+	// stable, so within a class admission order is preserved (all-standard
+	// fleets see the exact pre-class behavior).
 	live := make([]string, 0, len(ids))
 	want := make(map[string]bool, len(ids))
 	for _, id := range ids {
@@ -236,6 +243,9 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 			live = append(live, id)
 		}
 	}
+	sort.SliceStable(live, func(i, j int) bool {
+		return f.deps[live[i]].SLO.Class.Rank() > f.deps[live[j]].SLO.Class.Rank()
+	})
 
 	rep := RepairReport{}
 	if len(live) == 0 {

@@ -31,6 +31,13 @@ import (
 type Manager interface {
 	// Deploy admits one pipeline (rejections wrap ErrRejected).
 	Deploy(Request) (Deployment, error)
+	// DeployBatch admits a burst of requests in one class/scarcity-ordered
+	// pass (one scatter per shard plus one coordinator pass when sharded),
+	// reporting per-request outcomes at the original indices.
+	DeployBatch([]Request) []BatchOutcome
+	// TakePreempted drains the deployments displaced by guaranteed
+	// admissions since the last call, for re-queueing.
+	TakePreempted() []ParkedDeployment
 	// Release returns a deployment's capacity (unknown IDs wrap ErrNotFound).
 	Release(id string) error
 	// Describe returns a copy of one deployment.
@@ -340,14 +347,8 @@ func (s *ShardedFleet) rebuildCrossLocked(exclude string) {
 // coordinator's two-phase path. Rejections wrap ErrRejected; structural
 // errors (bad request) do not.
 func (s *ShardedFleet) Deploy(req Request) (Deployment, error) {
-	if req.Pipeline == nil {
-		return Deployment{}, fmt.Errorf("fleet: request missing pipeline")
-	}
-	if !s.base.ValidNode(req.Src) || !s.base.ValidNode(req.Dst) {
-		return Deployment{}, fmt.Errorf("fleet: invalid endpoints %d -> %d", req.Src, req.Dst)
-	}
-	if req.SLO.MaxDelayMs < 0 || req.SLO.MinRateFPS < 0 {
-		return Deployment{}, fmt.Errorf("fleet: negative SLO")
+	if err := s.shards[0].validateRequest(req); err != nil {
+		return Deployment{}, err
 	}
 	if s.part.SameRegion(req.Src, req.Dst) {
 		d, err := s.shards[s.part.Region(req.Src)].Deploy(req)
@@ -360,6 +361,93 @@ func (s *ShardedFleet) Deploy(req Request) (Deployment, error) {
 		return s.deployCross(req, true)
 	}
 	return s.deployCross(req, false)
+}
+
+// DeployBatch admits a burst of requests with one scatter per shard plus
+// one coordinator pass: structurally invalid requests fail fast, valid ones
+// are routed by placement affinity — same-region requests join their
+// shard's single-lock-epoch batch (the shards' batches run concurrently,
+// each under its own lock alone), and cross-region requests, plus regional
+// rejections falling back at K > 1, run through the coordinator's two-phase
+// path in one class/scarcity-ordered pass. Outcomes are reported at each
+// request's original index.
+func (s *ShardedFleet) DeployBatch(reqs []Request) []BatchOutcome {
+	if s.part.K == 1 {
+		return s.shards[0].DeployBatch(reqs)
+	}
+	out := make([]BatchOutcome, len(reqs))
+	perShard := make([][]int, s.part.K)
+	var cross []int
+	for i := range reqs {
+		out[i].Index = i
+		if err := s.shards[0].validateRequest(reqs[i]); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if s.part.SameRegion(reqs[i].Src, reqs[i].Dst) {
+			r := s.part.Region(reqs[i].Src)
+			perShard[r] = append(perShard[r], i)
+		} else {
+			cross = append(cross, i)
+		}
+	}
+
+	// Scatter: one batch per shard, concurrent — each goroutine takes only
+	// its own shard's lock, so regions make progress independently. Each
+	// goroutine writes only its own fallbacks slot and its own out indices.
+	fallbacks := make([][]int, s.part.K)
+	var wg sync.WaitGroup
+	for r, idx := range perShard {
+		if len(idx) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r int, idx []int) {
+			defer wg.Done()
+			sub := make([]Request, len(idx))
+			for k, i := range idx {
+				sub[k] = reqs[i]
+			}
+			for k, o := range s.shards[r].DeployBatch(sub) {
+				i := idx[k]
+				if o.Err != nil && errors.Is(o.Err, ErrRejected) {
+					// The region could not host it; retry through the
+					// coordinator after the scatter. The regional rejection
+					// stays counted on the shard (the fallback counter
+					// reconciles fleet-level Stats, as in Deploy).
+					fallbacks[r] = append(fallbacks[r], i)
+					continue
+				}
+				out[i].Deployment, out[i].Err = o.Deployment, o.Err
+			}
+		}(r, idx)
+	}
+	wg.Wait()
+	fellBack := make(map[int]bool)
+	for _, fb := range fallbacks {
+		for _, i := range fb {
+			fellBack[i] = true
+		}
+		cross = append(cross, fb...)
+	}
+
+	// Gather: one coordinator pass over the cross-region (and fallen-back)
+	// requests in batch-priority order.
+	sortByPriority(reqs, cross)
+	for _, i := range cross {
+		out[i].Deployment, out[i].Err = s.deployCross(reqs[i], fellBack[i])
+	}
+	return out
+}
+
+// TakePreempted drains the deployments displaced by guaranteed admissions
+// across every shard (the coordinator's two-phase path never preempts).
+func (s *ShardedFleet) TakePreempted() []ParkedDeployment {
+	var out []ParkedDeployment
+	for _, sh := range s.shards {
+		out = append(out, sh.TakePreempted()...)
+	}
+	return out
 }
 
 // rejectCross records and wraps a coordinator admission failure, journaling
@@ -604,8 +692,19 @@ func (s *ShardedFleet) Stats() Stats {
 		SolverCalls:   s.crossSolves.Load(),
 		Deployments:   len(s.crossDeps),
 	}
+	tally := func(d *Deployment) {
+		st.ReservedFPS += d.ReservedFPS
+		switch d.SLO.Class.Canon() {
+		case ClassGuaranteed:
+			st.GuaranteedActive++
+		case ClassBestEffort:
+			st.BestEffortActive++
+		default:
+			st.StandardActive++
+		}
+	}
 	for _, id := range s.crossOrder {
-		st.ReservedFPS += s.crossDeps[id].ReservedFPS
+		tally(s.crossDeps[id])
 	}
 	for _, sh := range s.shards {
 		st.Deployments += len(sh.deps)
@@ -616,9 +715,10 @@ func (s *ShardedFleet) Stats() Stats {
 		st.Repaired += sh.repaired
 		st.RepairMoves += sh.repairMoves
 		st.ParkEvictions += sh.parkEvicts
+		st.Preemptions += sh.preempts
 		st.SolverCalls += sh.solves.Load()
 		for _, id := range sh.order {
-			st.ReservedFPS += sh.deps[id].ReservedFPS
+			tally(sh.deps[id])
 		}
 	}
 	// Every fallback begins with a regional rejection that is not a request

@@ -21,6 +21,12 @@ var (
 	deploySeconds = telemetry.Default().Histogram(
 		"elpc_fleet_deploy_seconds",
 		"admission latency, solve through commit or rejection (seconds)", nil)
+	batchDeploySeconds = telemetry.Default().Histogram(
+		"elpc_fleet_batch_deploy_seconds",
+		"batch admission latency, whole burst under one lock epoch (seconds)", nil)
+	preemptedTotal = telemetry.Default().Counter(
+		"elpc_admission_preempted_total",
+		"best-effort deployments displaced by guaranteed admissions")
 	rebalanceSeconds = telemetry.Default().Histogram(
 		"elpc_fleet_rebalance_seconds", "rebalance pass latency (seconds)", nil)
 	rebalanceMovesTotal = telemetry.Default().Counter(

@@ -40,6 +40,10 @@ type ArrivalEvent struct {
 	Objective  model.Objective
 	MinRateFPS float64
 	MaxDelayMs float64
+	// Class is the session's SLO class ("guaranteed", "standard",
+	// "best_effort"; empty = standard). Drawn only when the spec sets class
+	// shares, so classless specs replay bit-for-bit as before.
+	Class string
 }
 
 // ArrivalSpec shapes a generated multi-tenant workload. Interarrival and
@@ -67,6 +71,16 @@ type ArrivalSpec struct {
 	// SLOs; otherwise each interactive session receives a budget of
 	// DelaySlackFactor times the suite's typical delay scale (1000 ms).
 	DelaySlackFactor float64
+	// BurstSize groups arrivals into bursts sharing one timestamp: the
+	// clock advances only every BurstSize-th session, so a replay sees
+	// BurstSize simultaneous deploy requests at each arrival instant.
+	// <= 1 disables bursting (every arrival gets its own instant).
+	BurstSize int
+	// GuaranteedShare and BestEffortShare split sessions across SLO
+	// classes (the remainder is standard). Both zero disables class
+	// assignment entirely — no extra random draws — so classless specs
+	// replay bit-for-bit as before.
+	GuaranteedShare, BestEffortShare float64
 }
 
 // DefaultArrivalSpec returns a workload calibrated for Suite20-class
@@ -105,6 +119,10 @@ func (s ArrivalSpec) validate(netNodes int) error {
 	if s.RateLo < 0 || s.RateHi < s.RateLo {
 		return fmt.Errorf("gen: bad rate bounds [%v, %v]", s.RateLo, s.RateHi)
 	}
+	if s.GuaranteedShare < 0 || s.BestEffortShare < 0 || s.GuaranteedShare+s.BestEffortShare > 1 {
+		return fmt.Errorf("gen: class shares [%v guaranteed, %v best-effort] must be non-negative and sum to <= 1",
+			s.GuaranteedShare, s.BestEffortShare)
+	}
 	return nil
 }
 
@@ -127,7 +145,11 @@ func Arrivals(spec ArrivalSpec, net *model.Network, r Ranges, rng *rand.Rand) ([
 	events := make([]ArrivalEvent, 0, 2*spec.Sessions)
 	clock := 0.0
 	for s := 0; s < spec.Sessions; s++ {
-		clock += rng.ExpFloat64() * spec.MeanInterarrivalMs
+		// Bursty arrivals share a timestamp: the clock advances only at
+		// burst boundaries, so a replay sees BurstSize requests at once.
+		if spec.BurstSize <= 1 || s%spec.BurstSize == 0 {
+			clock += rng.ExpFloat64() * spec.MeanInterarrivalMs
+		}
 		nMod := spec.ModulesMin + rng.IntN(spec.ModulesMax-spec.ModulesMin+1)
 		pl, err := Pipeline(nMod, r, rng)
 		if err != nil {
@@ -153,6 +175,16 @@ func Arrivals(spec ArrivalSpec, net *model.Network, r Ranges, rng *rand.Rand) ([
 			ev.Objective = model.MinDelay
 			if spec.DelaySlackFactor > 0 {
 				ev.MaxDelayMs = spec.DelaySlackFactor * 1000
+			}
+		}
+		if spec.GuaranteedShare > 0 || spec.BestEffortShare > 0 {
+			switch u := rng.Float64(); {
+			case u < spec.GuaranteedShare:
+				ev.Class = "guaranteed"
+			case u < spec.GuaranteedShare+spec.BestEffortShare:
+				ev.Class = "best_effort"
+			default:
+				ev.Class = "standard"
 			}
 		}
 		events = append(events, ev)

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"elpc/internal/gen"
+)
+
+// burstSeed pins the deterministic trace the burst scenario (and the
+// pipebench burst block) replays.
+const burstSeed = 2026
+
+func TestBurstScenarioDeterministic(t *testing.T) {
+	a, err := RunBurstScenario(gen.Suite20()[1], DefaultBurstArrivalSpec(), burstSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBurstScenario(gen.Suite20()[1], DefaultBurstArrivalSpec(), burstSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("burst scenario not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.SeqAdmitted+a.SeqRejected != a.Sessions {
+		t.Fatalf("sequential outcomes %d+%d don't cover %d sessions", a.SeqAdmitted, a.SeqRejected, a.Sessions)
+	}
+	if a.BatchAdmitted+a.BatchRejected != a.Sessions {
+		t.Fatalf("batch outcomes %d+%d don't cover %d sessions", a.BatchAdmitted, a.BatchRejected, a.Sessions)
+	}
+	if a.BatchGuaranteed+a.BatchStandard+a.BatchBestEffort != a.BatchAdmitted {
+		t.Fatalf("class tallies %d+%d+%d don't cover %d admitted",
+			a.BatchGuaranteed, a.BatchStandard, a.BatchBestEffort, a.BatchAdmitted)
+	}
+	if a.Bursts == 0 || a.Bursts >= a.Sessions {
+		t.Fatalf("expected real bursting, got %d bursts for %d sessions", a.Bursts, a.Sessions)
+	}
+}
+
+// TestBurstBatchBeatsSequential is the admission-gain assertion the batch
+// path exists for: on the pinned bursty trace, placing each burst in one
+// class/scarcity-ordered pass admits at least as many sessions as trickling
+// the same arrivals through Deploy one at a time.
+func TestBurstBatchBeatsSequential(t *testing.T) {
+	r, err := RunBurstScenario(gen.Suite20()[1], DefaultBurstArrivalSpec(), burstSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BatchAdmitted < r.SeqAdmitted {
+		t.Fatalf("batch admission (%d, rate %.3f) fell below sequential (%d, rate %.3f) on the same trace",
+			r.BatchAdmitted, r.BatchAdmissionRate, r.SeqAdmitted, r.SeqAdmissionRate)
+	}
+	if r.AdmissionGain < 0 {
+		t.Fatalf("admission gain %.3f negative", r.AdmissionGain)
+	}
+}
+
+func TestBurstScenarioTable(t *testing.T) {
+	r, err := RunBurstScenario(gen.Suite20()[1], DefaultBurstArrivalSpec(), burstSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := BurstScenarioTable(r)
+	for _, want := range []string{"Burst admission scenario", "admission rate", "preemptions", "guaranteed"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table missing %q:\n%s", want, tab)
+		}
+	}
+}

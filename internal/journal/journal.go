@@ -40,6 +40,12 @@ const (
 	DeployAdmitted Kind = "deploy_admitted"
 	// DeployRejected records an admission-control rejection with the reason.
 	DeployRejected Kind = "deploy_rejected"
+	// DeployPreempted records a best-effort deployment displaced (parked)
+	// so a guaranteed deploy could admit; Detail names the preemptor.
+	DeployPreempted Kind = "deploy_preempted"
+	// AdmissionShed records a best-effort request turned away at the
+	// service intake queue (429 + Retry-After) before reaching the fleet.
+	AdmissionShed Kind = "admission_shed"
 	// ReleaseDone records a deployment returning its capacity.
 	ReleaseDone Kind = "release"
 	// ChurnApplied records one applied network-mutation event.
@@ -139,12 +145,12 @@ type Journal struct {
 	// lightly-used journal costs a few events of memory, not capacity's
 	// worth. Growth happens only before the first eviction, when head is
 	// still 0, so it never has to re-linearize a wrapped ring.
-	ring  []Event
-	cap   int    // retention bound ring grows toward
-	head  int    // ring position of the oldest retained event
-	n     int    // retained count
-	next  uint64 // next sequence number to assign (starts at 1)
-	drop  uint64
+	ring []Event
+	cap  int    // retention bound ring grows toward
+	head int    // ring position of the oldest retained event
+	n    int    // retained count
+	next uint64 // next sequence number to assign (starts at 1)
+	drop uint64
 	// byDep maps a deployment ID to its retained events' sequence numbers in
 	// append order. Eviction pops from the front of the evicted event's
 	// slice, keeping index maintenance O(1) per append.

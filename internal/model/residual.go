@@ -17,6 +17,11 @@ const MinResidualFraction = 1e-9
 type Reservation struct {
 	NodeFrac []float64
 	LinkFrac []float64
+	// Class tags the reservation with the SLO class of the deployment that
+	// holds it ("guaranteed", "standard", "best_effort"; empty = standard).
+	// It is informational — stamped at admission so capacity accounting can
+	// attribute load per class — and never affects the numeric load math.
+	Class string
 }
 
 // MappingReservation computes the reservation a mapping imposes on net when

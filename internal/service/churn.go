@@ -3,11 +3,10 @@ package service
 import (
 	"fmt"
 	"net/http"
-	"strconv"
 
 	"elpc/internal/churn"
 	"elpc/internal/fleet"
-	"elpc/internal/model"
+	"elpc/internal/service/wire"
 )
 
 // This file wires the churn subsystem (internal/churn) into elpcd:
@@ -15,37 +14,18 @@ import (
 // and runs the incremental repair cycle; GET /v1/events/log serves the
 // reconciliation log, parked queue, and churn gauges.
 
-// eventsWire is the POST /v1/events body.
-type eventsWire struct {
-	Events []model.ChurnEvent `json:"events"`
-}
-
-// parkedWire is the JSON rendering of one parked deployment.
-type parkedWire struct {
-	ID     string `json:"id"`
-	Tenant string `json:"tenant,omitempty"`
-	Reason string `json:"reason"`
-}
-
-// eventsLogWire is the GET /v1/events/log response.
-type eventsLogWire struct {
-	Records []churn.Record `json:"records"`
-	Parked  []parkedWire   `json:"parked"`
-	Stats   churn.Stats    `json:"stats"`
-}
-
 // handleEvents applies one churn event batch: POST /v1/events. The repair
 // solves run behind the solver's worker pool, like fleet deploys, so churn
 // reconciliation and planning requests share one concurrency budget.
 // Transactionality is end to end: an invalid batch (unknown target -> 404,
 // conflicting event -> 409, bad factor -> 400) changes nothing.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	var wire eventsWire
-	if err := decode(w, r, &wire); err != nil {
+	var body wire.Events
+	if err := decode(w, r, &body); err != nil {
 		writeError(w, err)
 		return
 	}
-	if len(wire.Events) == 0 {
+	if len(body.Events) == 0 {
 		writeError(w, fmt.Errorf("request has no events"))
 		return
 	}
@@ -56,7 +36,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return fmt.Errorf("service: waiting for worker: %w", err)
 		}
 		defer release()
-		rec, err = s.fleet.rec.Apply(wire.Events)
+		rec, err = s.fleet.rec.Apply(body.Events)
 		return err
 	})
 	if err != nil {
@@ -71,21 +51,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // (?limit=N returns the most recent N records; default 64, 0 = all
 // retained).
 func (s *Server) handleEventsLog(w http.ResponseWriter, r *http.Request) {
-	limit := 64
-	if raw := r.URL.Query().Get("limit"); raw != "" {
-		n, err := strconv.Atoi(raw)
-		if err != nil || n < 0 {
-			writeError(w, fmt.Errorf("limit must be a non-negative integer, got %q", raw))
-			return
-		}
-		limit = n
+	limit, err := queryInt(r, "limit", 64)
+	if err != nil {
+		writeError(w, err)
+		return
 	}
-	out := eventsLogWire{Records: []churn.Record{}, Parked: []parkedWire{}}
-	err := s.fleet.withFleet(func(fleet.Manager) error {
+	out := wire.EventsLog{Records: []churn.Record{}, Parked: []wire.Parked{}}
+	err = s.fleet.withFleet(func(fleet.Manager) error {
 		rec := s.fleet.rec
 		out.Records = append(out.Records, rec.Log(limit)...)
 		for _, p := range rec.Parked() {
-			out.Parked = append(out.Parked, parkedWire{ID: p.ID, Tenant: p.Tenant, Reason: p.Reason})
+			out.Parked = append(out.Parked, wire.Parked{ID: p.ID, Tenant: p.Tenant, Reason: p.Reason})
 		}
 		out.Stats = rec.Stats()
 		return nil

@@ -6,6 +6,7 @@ import (
 
 	"elpc/internal/churn"
 	"elpc/internal/model"
+	"elpc/internal/service/wire"
 )
 
 // TestEventsEndToEnd drives the churn surface over HTTP: install a
@@ -18,12 +19,12 @@ func TestEventsEndToEnd(t *testing.T) {
 	net := fleetTestNetwork(t)
 	installFleetNetwork(t, ts.URL, net)
 
-	var d deploymentWire
-	resp := postJSON(t, ts.URL+"/v1/fleet/deploy", fleetDeployWire{
+	var d wire.Deployment
+	resp := postJSON(t, ts.URL+"/v1/fleet/deploy", wire.FleetDeploy{
 		Pipeline:   fleetTestPipeline(t, 5, 3),
 		Src:        0,
 		Dst:        9,
-		Op:         OpMaxFrameRate,
+		Op:         string(OpMaxFrameRate),
 		MinRateFPS: 1,
 	}, &d)
 	if resp.StatusCode != http.StatusOK {
@@ -33,7 +34,7 @@ func TestEventsEndToEnd(t *testing.T) {
 	// Fail the destination: the deployment has no feasible placement and
 	// must be parked.
 	var rec churn.Record
-	resp = postJSON(t, ts.URL+"/v1/events", eventsWire{
+	resp = postJSON(t, ts.URL+"/v1/events", wire.Events{
 		Events: []model.ChurnEvent{{Kind: model.NodeDown, Node: 9}},
 	}, &rec)
 	if resp.StatusCode != http.StatusOK {
@@ -44,34 +45,34 @@ func TestEventsEndToEnd(t *testing.T) {
 	}
 
 	// Double-down conflicts: 409, and nothing is logged for it.
-	resp = postJSON(t, ts.URL+"/v1/events", eventsWire{
+	resp = postJSON(t, ts.URL+"/v1/events", wire.Events{
 		Events: []model.ChurnEvent{{Kind: model.NodeDown, Node: 9}},
-	}, &errorResponse{})
+	}, &wire.ErrorEnvelope{})
 	if resp.StatusCode != http.StatusConflict {
 		t.Errorf("double-down: status %d, want 409", resp.StatusCode)
 	}
 	// Unknown node: 404.
-	resp = postJSON(t, ts.URL+"/v1/events", eventsWire{
+	resp = postJSON(t, ts.URL+"/v1/events", wire.Events{
 		Events: []model.ChurnEvent{{Kind: model.NodeDown, Node: 99}},
-	}, &errorResponse{})
+	}, &wire.ErrorEnvelope{})
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown node: status %d, want 404", resp.StatusCode)
 	}
 	// Bad factor: 400.
-	resp = postJSON(t, ts.URL+"/v1/events", eventsWire{
+	resp = postJSON(t, ts.URL+"/v1/events", wire.Events{
 		Events: []model.ChurnEvent{{Kind: model.LinkDegrade, Link: 0, Factor: 2}},
-	}, &errorResponse{})
+	}, &wire.ErrorEnvelope{})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad factor: status %d, want 400", resp.StatusCode)
 	}
 	// Empty batch: 400.
-	resp = postJSON(t, ts.URL+"/v1/events", eventsWire{}, &errorResponse{})
+	resp = postJSON(t, ts.URL+"/v1/events", wire.Events{}, &wire.ErrorEnvelope{})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
 	}
 
 	// Restore: the parked deployment is requeued in the same cycle.
-	resp = postJSON(t, ts.URL+"/v1/events", eventsWire{
+	resp = postJSON(t, ts.URL+"/v1/events", wire.Events{
 		Events: []model.ChurnEvent{{Kind: model.NodeUp, Node: 9}},
 	}, &rec)
 	if resp.StatusCode != http.StatusOK {
@@ -82,7 +83,7 @@ func TestEventsEndToEnd(t *testing.T) {
 	}
 
 	// The log retains both applied batches (failed ones excluded).
-	var log eventsLogWire
+	var log wire.EventsLog
 	resp = postGet(t, ts.URL+"/v1/events/log", &log)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("events/log: status %d", resp.StatusCode)
@@ -112,7 +113,7 @@ func TestEventsEndToEnd(t *testing.T) {
 	}
 
 	// The deployment survived the round trip.
-	var list fleetListWire
+	var list wire.FleetList
 	if resp := postGet(t, ts.URL+"/v1/fleet", &list); resp.StatusCode != http.StatusOK {
 		t.Fatalf("fleet list: status %d", resp.StatusCode)
 	}
@@ -126,13 +127,13 @@ func TestEventsEndToEnd(t *testing.T) {
 func TestEventsWithoutFleet(t *testing.T) {
 	srv, ts := newTestServer(t, Options{Workers: 1})
 	t.Cleanup(srv.Close)
-	resp := postJSON(t, ts.URL+"/v1/events", eventsWire{
+	resp := postJSON(t, ts.URL+"/v1/events", wire.Events{
 		Events: []model.ChurnEvent{{Kind: model.NodeDown, Node: 0}},
-	}, &errorResponse{})
+	}, &wire.ErrorEnvelope{})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("events without fleet: status %d, want 400", resp.StatusCode)
 	}
-	var log eventsLogWire
+	var log wire.EventsLog
 	resp = postGet(t, ts.URL+"/v1/events/log", &log)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("events/log without fleet: status %d, want 400", resp.StatusCode)

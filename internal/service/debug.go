@@ -7,6 +7,7 @@ import (
 
 	"elpc/internal/fleet"
 	"elpc/internal/journal"
+	"elpc/internal/service/wire"
 	"elpc/internal/telemetry"
 )
 
@@ -16,12 +17,6 @@ import (
 // GET /v1/debug/dump bundles fleet state, journal tail, slowest traces, and
 // metric summaries into a single JSON document (the same payload SIGQUIT
 // writes to disk — see Run).
-
-// journalWire is the GET /v1/journal response.
-type journalWire struct {
-	Events []journal.Event `json:"events"`
-	Stats  journal.Stats   `json:"stats"`
-}
 
 // handleJournal tails the journal: GET /v1/journal?since=N&limit=M returns
 // events with sequence numbers strictly greater than N (default 0: the
@@ -44,10 +39,12 @@ func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
 	if evs == nil {
 		evs = []journal.Event{}
 	}
-	writeJSON(w, http.StatusOK, journalWire{Events: evs, Stats: s.journal.Stats()})
+	writeJSON(w, http.StatusOK, wire.Journal{Events: evs, Stats: s.journal.Stats()})
 }
 
-// queryUint parses an optional non-negative integer query parameter.
+// queryUint parses an optional non-negative integer query parameter. Every
+// list endpoint shares it (directly or via queryInt), so a bad parameter
+// consistently 400s with the invalid_request envelope.
 func queryUint(r *http.Request, name string, def uint64) (uint64, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
@@ -60,20 +57,24 @@ func queryUint(r *http.Request, name string, def uint64) (uint64, error) {
 	return n, nil
 }
 
-// timelineWire is the GET /v1/fleet/{id}/timeline response.
-type timelineWire struct {
-	ID string `json:"id"`
-	// Live reports whether the deployment is currently admitted; a released
-	// or parked deployment keeps its retained history.
-	Live   bool            `json:"live"`
-	Events []journal.Event `json:"events"`
+// queryInt is queryUint for int-typed limits.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer, got %q", name, raw)
+	}
+	return n, nil
 }
 
 // handleTimeline replays one deployment's causal history from the journal:
 // GET /v1/fleet/{id}/timeline. Unknown IDs with no retained events are 404.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	out := timelineWire{ID: id, Events: []journal.Event{}}
+	out := wire.Timeline{ID: id, Events: []journal.Event{}}
 	_ = s.fleet.withFleet(func(f fleet.Manager) error {
 		_, out.Live = f.Describe(id)
 		return nil
@@ -100,7 +101,7 @@ type DebugDumpPayload struct {
 	// Fleet lists every live deployment.
 	Fleet []fleet.Deployment `json:"fleet"`
 	// Journal is the most recent retained journal window.
-	Journal journalWire `json:"journal"`
+	Journal wire.Journal `json:"journal"`
 	// Traces are the slowest retained request traces.
 	Traces []telemetry.TraceRecord `json:"traces"`
 	// Metrics summarizes every histogram family (count/mean/quantiles).
@@ -130,7 +131,7 @@ func (s *Server) DebugDump() DebugDumpPayload {
 	if evs == nil {
 		evs = []journal.Event{}
 	}
-	out.Journal = journalWire{Events: evs, Stats: s.journal.Stats()}
+	out.Journal = wire.Journal{Events: evs, Stats: s.journal.Stats()}
 	return out
 }
 

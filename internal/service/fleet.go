@@ -11,6 +11,7 @@ import (
 	"elpc/internal/fleet"
 	"elpc/internal/journal"
 	"elpc/internal/model"
+	"elpc/internal/service/wire"
 )
 
 // errFleetNotConfigured is returned by fleet endpoints before a shared
@@ -140,49 +141,12 @@ func opByObjective(obj model.Objective) Op {
 	return OpMinDelay
 }
 
-// fleetNetworkWire is the POST /v1/fleet/network body. Shards > 1 installs
-// a region-partitioned ShardedFleet (shards must not exceed the node
-// count); 0 or 1 installs the unsharded Fleet.
-type fleetNetworkWire struct {
-	Network *model.Network `json:"network"`
-	Shards  int            `json:"shards,omitempty"`
-}
-
-// fleetDeployWire is the POST /v1/fleet/deploy body.
-type fleetDeployWire struct {
-	Tenant     string          `json:"tenant,omitempty"`
-	Pipeline   *model.Pipeline `json:"pipeline"`
-	Src        model.NodeID    `json:"src"`
-	Dst        model.NodeID    `json:"dst"`
-	Op         Op              `json:"op,omitempty"`
-	MaxDelayMs float64         `json:"max_delay_ms,omitempty"`
-	MinRateFPS float64         `json:"min_rate_fps,omitempty"`
-}
-
-// fleetReleaseWire is the POST /v1/fleet/release body.
-type fleetReleaseWire struct {
-	ID string `json:"id"`
-}
-
-// deploymentWire is the JSON rendering of one deployment.
-type deploymentWire struct {
-	ID          string         `json:"id"`
-	Tenant      string         `json:"tenant,omitempty"`
-	Op          Op             `json:"op"`
-	Assignment  []model.NodeID `json:"assignment"`
-	Mapping     string         `json:"mapping"`
-	DelayMs     float64        `json:"delay_ms"`
-	RateFPS     float64        `json:"rate_fps"`
-	ReservedFPS float64        `json:"reserved_fps"`
-	SLO         fleet.SLO      `json:"slo"`
-	Seq         uint64         `json:"seq"`
-}
-
-func toDeploymentWire(d fleet.Deployment) deploymentWire {
-	return deploymentWire{
+// toDeploymentWire renders one deployment in the wire shape.
+func toDeploymentWire(d fleet.Deployment) wire.Deployment {
+	return wire.Deployment{
 		ID:          d.ID,
 		Tenant:      d.Tenant,
-		Op:          opByObjective(d.Objective),
+		Op:          string(opByObjective(d.Objective)),
 		Assignment:  d.Assignment,
 		Mapping:     d.Mapping,
 		DelayMs:     d.DelayMs,
@@ -193,35 +157,85 @@ func toDeploymentWire(d fleet.Deployment) deploymentWire {
 	}
 }
 
-// fleetListWire is the GET /v1/fleet response.
-type fleetListWire struct {
-	Configured  bool             `json:"configured"`
-	Nodes       int              `json:"nodes,omitempty"`
-	Links       int              `json:"links,omitempty"`
-	Stats       *fleet.Stats     `json:"stats,omitempty"`
-	Deployments []deploymentWire `json:"deployments"`
+// fleetRequest converts a wire deploy body (or one deploy-batch element)
+// into the fleet's request form.
+func fleetRequest(q wire.FleetDeploy, obj model.Objective) fleet.Request {
+	return fleet.Request{
+		Tenant:    q.Tenant,
+		Pipeline:  q.Pipeline,
+		Src:       q.Src,
+		Dst:       q.Dst,
+		Objective: obj,
+		SLO: fleet.SLO{
+			MaxDelayMs: q.MaxDelayMs,
+			MinRateFPS: q.MinRateFPS,
+			Class:      fleet.Class(q.Class),
+		},
+	}
+}
+
+// enterIntake admits n admission-path requests into the bounded intake
+// queue ahead of the fleet lock. Guaranteed and standard traffic always
+// enters; best-effort traffic is shed when the queue is over its bound
+// (always, when the bound is negative — the brownout drill mode). The
+// depth check is a read-then-add heuristic, not a reservation: two racing
+// requests may both slip under the bound, which is fine — the bound
+// protects the fleet lock from pile-up, it is not a hard quota.
+func (s *Server) enterIntake(n int, class fleet.Class) (release func(), ok bool) {
+	if class.Canon() == fleet.ClassBestEffort {
+		bound := s.solver.opt.IntakeBound
+		if bound < 0 || int(s.intakeDepth.Load())+n > bound {
+			return nil, false
+		}
+	}
+	s.intakeDepth.Add(int64(n))
+	admissionQueuedTotal.Add(uint64(n))
+	return func() { s.intakeDepth.Add(-int64(n)) }, true
+}
+
+// shed counts and journals one best-effort request turned away at intake.
+func (s *Server) shed(tenant string) {
+	admissionShedTotal.Inc()
+	s.journal.Append(journal.Event{
+		Kind: journal.AdmissionShed, Actor: journal.ActorService,
+		Tenant: tenant,
+		Detail: fmt.Sprintf("best-effort request shed at intake (bound %d)", s.solver.opt.IntakeBound),
+	})
+}
+
+// drainPreempted hands deployments displaced by guaranteed admissions to
+// the reconciler's background requeue loop, where they follow the same
+// parked lifecycle as churn casualties: visible in GET /v1/events/log and
+// re-admitted automatically once capacity returns.
+func (s *Server) drainPreempted() {
+	_ = s.fleet.withFleet(func(f fleet.Manager) error {
+		if ps := f.TakePreempted(); len(ps) > 0 {
+			s.fleet.rec.Park(ps)
+		}
+		return nil
+	})
 }
 
 // handleFleetNetwork installs the shared fleet network.
 func (s *Server) handleFleetNetwork(w http.ResponseWriter, r *http.Request) {
-	var wire fleetNetworkWire
-	if err := decode(w, r, &wire); err != nil {
+	var body wire.FleetNetwork
+	if err := decode(w, r, &body); err != nil {
 		writeError(w, err)
 		return
 	}
-	if wire.Network == nil {
+	if body.Network == nil {
 		writeError(w, fmt.Errorf("request missing network"))
 		return
 	}
-	if wire.Shards < 0 {
-		writeError(w, fmt.Errorf("shards must be non-negative, got %d", wire.Shards))
+	if body.Shards < 0 {
+		writeError(w, fmt.Errorf("shards must be non-negative, got %d", body.Shards))
 		return
 	}
-	if err := s.fleet.install(wire.Network, wire.Shards, s.solver.Pool(), s.journal); err != nil {
+	if err := s.fleet.install(body.Network, body.Shards, s.solver.Pool(), s.journal); err != nil {
 		writeError(w, err)
 		return
 	}
-	shards := wire.Shards
+	shards := body.Shards
 	if shards < 1 {
 		shards = 1
 	}
@@ -229,23 +243,32 @@ func (s *Server) handleFleetNetwork(w http.ResponseWriter, r *http.Request) {
 		Nodes  int `json:"nodes"`
 		Links  int `json:"links"`
 		Shards int `json:"shards"`
-	}{Nodes: wire.Network.N(), Links: wire.Network.M(), Shards: shards})
+	}{Nodes: body.Network.N(), Links: body.Network.M(), Shards: shards})
 }
 
 // handleFleetDeploy admits one pipeline onto the shared network. The solve
 // runs behind the solver's worker pool, so fleet placements and one-shot
-// planning requests share the same concurrency budget.
+// planning requests share the same concurrency budget. The request first
+// passes the intake queue: best-effort traffic over the bound is shed with
+// 429 + Retry-After before it can queue on the fleet lock.
 func (s *Server) handleFleetDeploy(w http.ResponseWriter, r *http.Request) {
-	var wire fleetDeployWire
-	if err := decode(w, r, &wire); err != nil {
+	var body wire.FleetDeploy
+	if err := decode(w, r, &body); err != nil {
 		writeError(w, err)
 		return
 	}
-	obj, err := objectiveByOp(wire.Op)
+	obj, err := objectiveByOp(Op(body.Op))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	release, ok := s.enterIntake(1, fleet.Class(body.Class))
+	if !ok {
+		s.shed(body.Tenant)
+		writeError(w, fmt.Errorf("service: %w", errShed))
+		return
+	}
+	defer release()
 	var d fleet.Deployment
 	err = s.fleet.withSolve(func(f fleet.Manager) error {
 		release, err := s.solver.acquireSlot(r.Context())
@@ -253,33 +276,128 @@ func (s *Server) handleFleetDeploy(w http.ResponseWriter, r *http.Request) {
 			return fmt.Errorf("service: waiting for worker: %w", err)
 		}
 		defer release()
-		d, err = f.Deploy(fleet.Request{
-			Tenant:    wire.Tenant,
-			Pipeline:  wire.Pipeline,
-			Src:       wire.Src,
-			Dst:       wire.Dst,
-			Objective: obj,
-			SLO:       fleet.SLO{MaxDelayMs: wire.MaxDelayMs, MinRateFPS: wire.MinRateFPS},
-		})
+		d, err = f.Deploy(fleetRequest(body, obj))
 		return err
 	})
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	// A guaranteed deploy may have displaced best-effort tenants: park them
+	// for requeue before reporting success.
+	s.drainPreempted()
 	s.evaluateSLO()
 	writeJSON(w, http.StatusOK, toDeploymentWire(d))
 }
 
-// handleFleetRelease returns one deployment's capacity.
-func (s *Server) handleFleetRelease(w http.ResponseWriter, r *http.Request) {
-	var wire fleetReleaseWire
-	if err := decode(w, r, &wire); err != nil {
+// handleFleetDeployBatch admits a burst of deploys in one fleet pass:
+// POST /v1/fleet/deploy-batch. The whole batch is placed under one lock
+// epoch in class/scarcity priority order (the fleet sorts; responses stay
+// in request order), so a burst admits strictly more than the same arrivals
+// trickled through /v1/fleet/deploy one at a time. Per-item failures are
+// reported in the 200 response with the envelope's Error shape; best-effort
+// items over the intake bound are shed per-item rather than failing the
+// batch.
+func (s *Server) handleFleetDeployBatch(w http.ResponseWriter, r *http.Request) {
+	var body wire.DeployBatch
+	if err := decode(w, r, &body); err != nil {
 		writeError(w, err)
 		return
 	}
+	if len(body.Requests) == 0 {
+		writeError(w, fmt.Errorf("batch has no requests"))
+		return
+	}
+	if len(body.Requests) > MaxBatchRequests {
+		writeError(w, fmt.Errorf("batch of %d exceeds limit %d", len(body.Requests), MaxBatchRequests))
+		return
+	}
+
+	items := make([]wire.DeployBatchItem, len(body.Requests))
+	reqs := make([]fleet.Request, 0, len(body.Requests))
+	submit := make([]int, 0, len(body.Requests)) // original index per submitted request
+	bound := s.solver.opt.IntakeBound
+	depth := int(s.intakeDepth.Load())
+	for i, q := range body.Requests {
+		items[i].Index = i
+		obj, err := objectiveByOp(Op(q.Op))
+		if err != nil {
+			e := wireError(err)
+			items[i].Error = &e
+			continue
+		}
+		// Every submitted item occupies one intake unit; best-effort items
+		// that would push the queue over its bound are shed individually.
+		if fleet.Class(q.Class).Canon() == fleet.ClassBestEffort &&
+			(bound < 0 || depth+len(submit)+1 > bound) {
+			s.shed(q.Tenant)
+			e := wireError(fmt.Errorf("service: %w", errShed))
+			items[i].Error = &e
+			continue
+		}
+		reqs = append(reqs, fleetRequest(q, obj))
+		submit = append(submit, i)
+	}
+
+	if len(submit) > 0 {
+		s.intakeDepth.Add(int64(len(submit)))
+		admissionQueuedTotal.Add(uint64(len(submit)))
+		var outcomes []fleet.BatchOutcome
+		err := s.fleet.withSolve(func(f fleet.Manager) error {
+			release, err := s.solver.acquireSlot(r.Context())
+			if err != nil {
+				return fmt.Errorf("service: waiting for worker: %w", err)
+			}
+			defer release()
+			outcomes = f.DeployBatch(reqs)
+			return nil
+		})
+		s.intakeDepth.Add(-int64(len(submit)))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		for _, o := range outcomes {
+			i := submit[o.Index]
+			if o.Err != nil {
+				e := wireError(o.Err)
+				items[i].Error = &e
+				continue
+			}
+			d := toDeploymentWire(o.Deployment)
+			items[i].Deployment = &d
+		}
+		s.drainPreempted()
+		s.evaluateSLO()
+	}
+
+	resp := wire.DeployBatchResponse{Results: items}
+	for i := range items {
+		switch {
+		case items[i].Deployment != nil:
+			resp.Admitted++
+		case items[i].Error != nil && items[i].Error.Code == wire.CodeShed:
+			resp.Shed++
+		default:
+			resp.Rejected++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFleetRelease returns one deployment's capacity.
+func (s *Server) handleFleetRelease(w http.ResponseWriter, r *http.Request) {
+	var body wire.FleetRelease
+	if err := decode(w, r, &body); err != nil {
+		writeError(w, err)
+		return
+	}
+	if body.ID == "" {
+		writeError(w, fmt.Errorf("request missing id"))
+		return
+	}
 	if err := s.fleet.withFleet(func(f fleet.Manager) error {
-		return f.Release(wire.ID)
+		return f.Release(body.ID)
 	}); err != nil {
 		writeError(w, err)
 		return
@@ -287,7 +405,7 @@ func (s *Server) handleFleetRelease(w http.ResponseWriter, r *http.Request) {
 	s.evaluateSLO()
 	writeJSON(w, http.StatusOK, struct {
 		Released string `json:"released"`
-	}{Released: wire.ID})
+	}{Released: body.ID})
 }
 
 // handleFleetRebalance runs one rebalance pass (solves share the worker
@@ -315,16 +433,26 @@ func (s *Server) handleFleetRebalance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// handleFleetList reports the fleet state: GET /v1/fleet.
-func (s *Server) handleFleetList(w http.ResponseWriter, _ *http.Request) {
-	out := fleetListWire{Deployments: []deploymentWire{}}
+// handleFleetList reports the fleet state: GET /v1/fleet (?limit=N caps the
+// listed deployments; default 0 = all).
+func (s *Server) handleFleetList(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := wire.FleetList{Deployments: []wire.Deployment{}}
 	_ = s.fleet.withFleet(func(f fleet.Manager) error {
 		out.Configured = true
 		out.Nodes = f.Network().N()
 		out.Links = f.Network().M()
 		st := f.Stats()
 		out.Stats = &st
-		for _, d := range f.List() {
+		deps := f.List()
+		if limit > 0 && len(deps) > limit {
+			deps = deps[:limit]
+		}
+		for _, d := range deps {
 			out.Deployments = append(out.Deployments, toDeploymentWire(d))
 		}
 		return nil

@@ -11,6 +11,7 @@ import (
 	"elpc/internal/fleet"
 	"elpc/internal/gen"
 	"elpc/internal/model"
+	"elpc/internal/service/wire"
 )
 
 // fleetTestNetwork draws the shared network used by the fleet HTTP tests.
@@ -34,7 +35,7 @@ func fleetTestPipeline(t *testing.T, n int, seed uint64) *model.Pipeline {
 
 func installFleetNetwork(t *testing.T, url string, net *model.Network) {
 	t.Helper()
-	resp := postJSON(t, url+"/v1/fleet/network", fleetNetworkWire{Network: net}, nil)
+	resp := postJSON(t, url+"/v1/fleet/network", wire.FleetNetwork{Network: net}, nil)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("installing fleet network: status %d", resp.StatusCode)
 	}
@@ -44,7 +45,7 @@ func installFleetNetwork(t *testing.T, url string, net *model.Network) {
 // exact empty-fleet state: no deployments, zero utilization gauges.
 func assertFleetEmpty(t *testing.T, url string) {
 	t.Helper()
-	var list fleetListWire
+	var list wire.FleetList
 	resp := postGet(t, url+"/v1/fleet", &list)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /v1/fleet: status %d", resp.StatusCode)
@@ -88,7 +89,7 @@ func TestFleetEndToEnd(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 
 	// Before installation every fleet operation is a 400.
-	resp := postJSON(t, ts.URL+"/v1/fleet/deploy", fleetDeployWire{
+	resp := postJSON(t, ts.URL+"/v1/fleet/deploy", wire.FleetDeploy{
 		Pipeline: fleetTestPipeline(t, 5, 1), Src: 0, Dst: 9,
 	}, nil)
 	if resp.StatusCode != http.StatusBadRequest {
@@ -99,17 +100,17 @@ func TestFleetEndToEnd(t *testing.T) {
 	installFleetNetwork(t, ts.URL, net)
 
 	// Deploy streaming pipelines until the fleet rejects one.
-	var admitted []deploymentWire
+	var admitted []wire.Deployment
 	rejected := false
 	for i := 0; i < 200 && !rejected; i++ {
-		var d deploymentWire
+		var d wire.Deployment
 		var raw json.RawMessage
-		resp := postJSON(t, ts.URL+"/v1/fleet/deploy", fleetDeployWire{
+		resp := postJSON(t, ts.URL+"/v1/fleet/deploy", wire.FleetDeploy{
 			Tenant:     fmt.Sprintf("tenant-%d", i),
 			Pipeline:   fleetTestPipeline(t, 6, uint64(i+1)),
 			Src:        0,
 			Dst:        9,
-			Op:         OpMaxFrameRate,
+			Op:         string(OpMaxFrameRate),
 			MinRateFPS: 2,
 		}, &raw)
 		switch resp.StatusCode {
@@ -135,17 +136,17 @@ func TestFleetEndToEnd(t *testing.T) {
 	}
 
 	// Describe one deployment and list all of them.
-	var got deploymentWire
+	var got wire.Deployment
 	if resp := postGet(t, ts.URL+"/v1/fleet/"+admitted[0].ID, &got); resp.StatusCode != http.StatusOK {
 		t.Fatalf("describe: status %d", resp.StatusCode)
 	}
-	if got.ID != admitted[0].ID || got.Op != OpMaxFrameRate {
+	if got.ID != admitted[0].ID || got.Op != string(OpMaxFrameRate) {
 		t.Fatalf("describe mismatch: %+v", got)
 	}
 	if resp := postGet(t, ts.URL+"/v1/fleet/d-999999", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("describe unknown: status %d, want 404", resp.StatusCode)
 	}
-	var list fleetListWire
+	var list wire.FleetList
 	postGet(t, ts.URL+"/v1/fleet", &list)
 	if len(list.Deployments) != len(admitted) {
 		t.Fatalf("list has %d deployments, want %d", len(list.Deployments), len(admitted))
@@ -159,7 +160,7 @@ func TestFleetEndToEnd(t *testing.T) {
 	}
 
 	// Replacing the network is refused while deployments are outstanding.
-	if resp := postJSON(t, ts.URL+"/v1/fleet/network", fleetNetworkWire{Network: net}, nil); resp.StatusCode != http.StatusBadRequest {
+	if resp := postJSON(t, ts.URL+"/v1/fleet/network", wire.FleetNetwork{Network: net}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("network replace with outstanding deployments: status %d, want 400", resp.StatusCode)
 	}
 
@@ -170,11 +171,11 @@ func TestFleetEndToEnd(t *testing.T) {
 		half = 1
 	}
 	for _, d := range admitted[:half] {
-		if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: d.ID}, nil); resp.StatusCode != http.StatusOK {
+		if resp := postJSON(t, ts.URL+"/v1/fleet/release", wire.FleetRelease{ID: d.ID}, nil); resp.StatusCode != http.StatusOK {
 			t.Fatalf("release %s: status %d", d.ID, resp.StatusCode)
 		}
 	}
-	if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: admitted[0].ID}, nil); resp.StatusCode != http.StatusNotFound {
+	if resp := postJSON(t, ts.URL+"/v1/fleet/release", wire.FleetRelease{ID: admitted[0].ID}, nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("double release: status %d, want 404", resp.StatusCode)
 	}
 
@@ -189,7 +190,7 @@ func TestFleetEndToEnd(t *testing.T) {
 	// Drain the rest and check the accounting balances exactly.
 	postGet(t, ts.URL+"/v1/fleet", &list)
 	for _, d := range list.Deployments {
-		if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: d.ID}, nil); resp.StatusCode != http.StatusOK {
+		if resp := postJSON(t, ts.URL+"/v1/fleet/release", wire.FleetRelease{ID: d.ID}, nil); resp.StatusCode != http.StatusOK {
 			t.Fatalf("drain release %s: status %d", d.ID, resp.StatusCode)
 		}
 	}
@@ -214,11 +215,11 @@ func TestFleetDeployConcurrent(t *testing.T) {
 			var mine []string
 			for i := 0; i < 10; i++ {
 				var raw json.RawMessage
-				buf, _ := json.Marshal(fleetDeployWire{
+				buf, _ := json.Marshal(wire.FleetDeploy{
 					Pipeline:   fleetTestPipeline(t, 5, uint64(w*100+i+1)),
 					Src:        model.NodeID(w % 10),
 					Dst:        model.NodeID((w + 5) % 10),
-					Op:         OpMinDelay,
+					Op:         string(OpMinDelay),
 					MinRateFPS: 0.5,
 				})
 				resp, err := http.Post(ts.URL+"/v1/fleet/deploy", "application/json", bytes.NewReader(buf))
@@ -230,7 +231,7 @@ func TestFleetDeployConcurrent(t *testing.T) {
 				resp.Body.Close()
 				switch resp.StatusCode {
 				case http.StatusOK:
-					var d deploymentWire
+					var d wire.Deployment
 					if err := json.Unmarshal(raw, &d); err != nil {
 						errs <- err
 						return
@@ -245,7 +246,7 @@ func TestFleetDeployConcurrent(t *testing.T) {
 				if len(mine) > 1 {
 					id := mine[0]
 					mine = mine[1:]
-					buf, _ := json.Marshal(fleetReleaseWire{ID: id})
+					buf, _ := json.Marshal(wire.FleetRelease{ID: id})
 					resp, err := http.Post(ts.URL+"/v1/fleet/release", "application/json", bytes.NewReader(buf))
 					if err != nil {
 						errs <- err
@@ -269,7 +270,7 @@ func TestFleetDeployConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, id := range leftover {
-		if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: id}, nil); resp.StatusCode != http.StatusOK {
+		if resp := postJSON(t, ts.URL+"/v1/fleet/release", wire.FleetRelease{ID: id}, nil); resp.StatusCode != http.StatusOK {
 			t.Fatalf("drain %s: status %d", id, resp.StatusCode)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"elpc/internal/fleet"
 	"elpc/internal/journal"
 	"elpc/internal/model"
+	"elpc/internal/service/wire"
 )
 
 // This file tests the observability surface end to end over httptest: the
@@ -68,10 +69,10 @@ func diamondPipeline(t *testing.T) *model.Pipeline {
 }
 
 // deployDiamond admits the diamond pipeline for the given tenant.
-func deployDiamond(t *testing.T, url, tenant string) deploymentWire {
+func deployDiamond(t *testing.T, url, tenant string) wire.Deployment {
 	t.Helper()
-	var d deploymentWire
-	resp := postJSON(t, url+"/v1/fleet/deploy", fleetDeployWire{
+	var d wire.Deployment
+	resp := postJSON(t, url+"/v1/fleet/deploy", wire.FleetDeploy{
 		Tenant: tenant, Pipeline: diamondPipeline(t), Src: 0, Dst: 3,
 	}, &d)
 	if resp.StatusCode != http.StatusOK {
@@ -84,7 +85,7 @@ func deployDiamond(t *testing.T, url, tenant string) deploymentWire {
 func postEvents(t *testing.T, url string, events ...model.ChurnEvent) churn.Record {
 	t.Helper()
 	var rec churn.Record
-	resp := postJSON(t, url+"/v1/events", eventsWire{Events: events}, &rec)
+	resp := postJSON(t, url+"/v1/events", wire.Events{Events: events}, &rec)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST /v1/events: status %d", resp.StatusCode)
 	}
@@ -134,7 +135,7 @@ func TestTimelineEndToEnd(t *testing.T) {
 	if rec.Migrated != 1 || rec.Parked != 0 {
 		t.Fatalf("node_down v1 record = %+v, want exactly one migration", rec)
 	}
-	var moved deploymentWire
+	var moved wire.Deployment
 	postGet(t, ts.URL+"/v1/fleet/"+d.ID, &moved)
 	if hasNode(moved.Assignment, 1) || !hasNode(moved.Assignment, 2) {
 		t.Fatalf("repair left assignment %v, want the v2 path", moved.Assignment)
@@ -153,7 +154,7 @@ func TestTimelineEndToEnd(t *testing.T) {
 		t.Fatalf("rebalance report = %+v, want one move back to v1", rb)
 	}
 
-	var tl timelineWire
+	var tl wire.Timeline
 	if resp := postGet(t, ts.URL+"/v1/fleet/"+d.ID+"/timeline", &tl); resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET timeline: status %d", resp.StatusCode)
 	}
@@ -200,11 +201,11 @@ func TestTimelineCausality(t *testing.T) {
 	postEvents(t, ts.URL, model.ChurnEvent{Kind: model.NodeUp, Node: 1})
 	postJSON(t, ts.URL+"/v1/fleet/rebalance", fleet.RebalanceOptions{MaxMoves: 4, MinGain: 0.05}, nil)
 
-	var cur deploymentWire
+	var cur wire.Deployment
 	if resp := postGet(t, ts.URL+"/v1/fleet/"+d.ID, &cur); resp.StatusCode != http.StatusOK {
 		t.Fatalf("describe: status %d", resp.StatusCode)
 	}
-	var tl timelineWire
+	var tl wire.Timeline
 	postGet(t, ts.URL+"/v1/fleet/"+d.ID+"/timeline", &tl)
 
 	var last *journal.Event
@@ -281,7 +282,7 @@ func TestHealthTransitions(t *testing.T) {
 	}
 
 	// The requeued deployment's timeline must link back to the parked one.
-	var list fleetListWire
+	var list wire.FleetList
 	postGet(t, ts.URL+"/v1/fleet", &list)
 	if len(list.Deployments) != 1 {
 		t.Fatalf("fleet has %d deployments after requeue, want 1", len(list.Deployments))
@@ -290,7 +291,7 @@ func TestHealthTransitions(t *testing.T) {
 	if requeued.ID == d.ID {
 		t.Fatalf("requeued deployment kept the old ID %s", d.ID)
 	}
-	var tl timelineWire
+	var tl wire.Timeline
 	postGet(t, ts.URL+"/v1/fleet/"+requeued.ID+"/timeline", &tl)
 	found := false
 	for _, ev := range tl.Events {
@@ -347,7 +348,7 @@ func TestJournalTailing(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 
 	// An empty journal serves an empty window, not an error.
-	var w journalWire
+	var w wire.Journal
 	if resp := postGet(t, ts.URL+"/v1/journal", &w); resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /v1/journal: status %d", resp.StatusCode)
 	}
@@ -364,7 +365,7 @@ func TestJournalTailing(t *testing.T) {
 	mark := w.Stats.LastSeq
 
 	deployDiamond(t, ts.URL, "tail-b")
-	var tail journalWire
+	var tail wire.Journal
 	postGet(t, ts.URL+"/v1/journal?since="+itoa(mark), &tail)
 	if len(tail.Events) == 0 {
 		t.Fatal("no events after the mark")
@@ -379,7 +380,7 @@ func TestJournalTailing(t *testing.T) {
 	}
 
 	// limit truncates from the oldest end of the selection.
-	var limited journalWire
+	var limited wire.Journal
 	postGet(t, ts.URL+"/v1/journal?limit=1", &limited)
 	if len(limited.Events) != 1 {
 		t.Fatalf("limit=1 returned %d events", len(limited.Events))

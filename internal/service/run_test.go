@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"elpc/internal/gen"
+	"elpc/internal/service/wire"
 )
 
 // TestRunGracefulShutdown exercises the drain path behind `elpcd`'s
@@ -63,7 +64,7 @@ func TestRunGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, err := json.Marshal(fleetNetworkWire{Network: netw})
+	body, err := json.Marshal(wire.FleetNetwork{Network: netw})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,8 +8,10 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
-	"path/filepath"
 	"os/signal"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"elpc/internal/fleet"
 	"elpc/internal/journal"
 	"elpc/internal/model"
+	"elpc/internal/service/wire"
 	"elpc/internal/sim"
 	"elpc/internal/telemetry"
 )
@@ -86,11 +89,6 @@ type simResponse struct {
 	Events          uint64  `json:"events"`
 }
 
-// errorResponse is the JSON error envelope.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // statsResponse is the /v1/stats payload.
 type statsResponse struct {
 	Service  string      `json:"service"`
@@ -125,6 +123,11 @@ type Server struct {
 	// slowRequest is the structured-log latency threshold (0 = off).
 	tracer      *telemetry.Tracer
 	slowRequest time.Duration
+	// intakeDepth is the admission intake queue's live depth: deploy and
+	// deploy-batch requests that entered intake and have not yet cleared the
+	// fleet. When it would exceed Options.IntakeBound, best-effort traffic is
+	// shed with 429 + Retry-After instead of queueing on the fleet lock.
+	intakeDepth atomic.Int64
 }
 
 // NewServer builds a Server and its routes around a fresh Solver.
@@ -141,6 +144,7 @@ func NewServer(opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/fleet/network", s.handleFleetNetwork)
 	s.mux.HandleFunc("POST /v1/fleet/deploy", s.handleFleetDeploy)
+	s.mux.HandleFunc("POST /v1/fleet/deploy-batch", s.handleFleetDeployBatch)
 	s.mux.HandleFunc("POST /v1/fleet/release", s.handleFleetRelease)
 	s.mux.HandleFunc("POST /v1/fleet/rebalance", s.handleFleetRebalance)
 	s.mux.HandleFunc("GET /v1/fleet", s.handleFleetList)
@@ -274,10 +278,14 @@ func (s *Server) writeDump(dir string) (string, error) {
 	return name, nil
 }
 
-// decode reads and validates the request body.
+// decode is the uniform request-body validation every POST handler runs:
+// the body is size-bounded before any decoding work happens, and unknown
+// fields are rejected so a misspelled parameter fails loudly as
+// invalid_request instead of being silently dropped.
 func decode(w http.ResponseWriter, r *http.Request, v any) error {
 	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBytes)
 	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("decoding request: %w", err)
 	}
@@ -293,36 +301,64 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // response already committed; nothing useful to do
 }
 
-// writeError maps solver, fleet, and churn errors onto HTTP statuses:
-// infeasible problems are 422 (well-formed, unsolvable), fleet admission
-// rejections and conflicting churn events (double-down) are 409 (the
-// request conflicts with current state), unknown deployments and unknown
-// churn targets are 404, timeouts/cancellations are 503, and everything
-// else is a 400 input error.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+// retryAfterSeconds is the Retry-After hint attached to shed responses.
+const retryAfterSeconds = 1
+
+// errShed marks best-effort traffic turned away at the admission intake
+// queue before it could reach the fleet lock.
+var errShed = errors.New("admission intake queue full; best-effort request shed")
+
+// codeOf maps solver, fleet, and churn errors onto the stable wire codes:
+// intake sheds are "shed", fleet admission rejections and conflicting churn
+// events (double-down) are "conflict" (the request conflicts with current
+// state), unknown deployments and unknown churn targets are "not_found",
+// well-formed but unsolvable problems are "infeasible", timeouts and
+// cancellations are "unavailable", and everything else is an
+// "invalid_request" input error. The HTTP status follows via wire.StatusOf.
+func codeOf(err error) string {
 	switch {
+	case errors.Is(err, errShed):
+		return wire.CodeShed
 	case errors.Is(err, fleet.ErrRejected), errors.Is(err, model.ErrChurnConflict):
-		status = http.StatusConflict
+		return wire.CodeConflict
 	case errors.Is(err, fleet.ErrNotFound), errors.Is(err, model.ErrUnknownTarget):
-		status = http.StatusNotFound
+		return wire.CodeNotFound
 	case errors.Is(err, model.ErrInfeasible):
-		status = http.StatusUnprocessableEntity
+		return wire.CodeInfeasible
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		status = http.StatusServiceUnavailable
+		return wire.CodeUnavailable
 	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	return wire.CodeInvalidRequest
+}
+
+// wireError renders err in the envelope's Error shape (shared by the
+// top-level error writer and per-item deploy-batch outcomes).
+func wireError(err error) wire.Error {
+	code := codeOf(err)
+	return wire.Error{Code: code, Message: err.Error(), Retryable: wire.Retryable(code)}
+}
+
+// writeError writes the structured error envelope every /v1 error response
+// carries. Shed responses additionally carry a Retry-After header: the
+// client is invited back once the intake queue drains.
+func writeError(w http.ResponseWriter, err error) {
+	e := wireError(err)
+	status := wire.StatusOf(e.Code)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	writeJSON(w, status, wire.ErrorEnvelope{Error: e})
 }
 
 // planHandler answers the dedicated planning endpoints.
 func (s *Server) planHandler(op Op) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		var wire wireRequest
-		if err := decode(w, r, &wire); err != nil {
+		var body wireRequest
+		if err := decode(w, r, &body); err != nil {
 			writeError(w, err)
 			return
 		}
-		req, err := wire.request(op)
+		req, err := body.request(op)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -339,12 +375,12 @@ func (s *Server) planHandler(op Op) http.HandlerFunc {
 // handleSimulate plans (through the cache) and replays the mapping in the
 // discrete-event simulator.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	var wire wireRequest
-	if err := decode(w, r, &wire); err != nil {
+	var body wireRequest
+	if err := decode(w, r, &body); err != nil {
 		writeError(w, err)
 		return
 	}
-	op := wire.Op
+	op := body.Op
 	if op == "" {
 		op = OpMaxFrameRate
 	}
@@ -352,7 +388,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("simulate needs a single mapping; op %q is not simulatable", op))
 		return
 	}
-	req, err := wire.request(op)
+	req, err := body.request(op)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -362,13 +398,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	frames := wire.Frames
+	frames := body.Frames
 	if frames <= 0 {
 		frames = 200
 	}
 	sr, err := sim.Simulate(req.Problem, model.NewMapping(res.Assignment), sim.Config{
 		Frames:         frames,
-		InterArrivalMs: wire.PaceMs,
+		InterArrivalMs: body.PaceMs,
 	})
 	if err != nil {
 		writeError(w, err)
@@ -400,27 +436,27 @@ type batchItemWire struct {
 
 // handleBatch solves many problems in one round trip over the shared pool.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var wire batchWire
-	if err := decode(w, r, &wire); err != nil {
+	var body batchWire
+	if err := decode(w, r, &body); err != nil {
 		writeError(w, err)
 		return
 	}
-	if len(wire.Requests) == 0 {
+	if len(body.Requests) == 0 {
 		writeError(w, fmt.Errorf("batch has no requests"))
 		return
 	}
-	if len(wire.Requests) > MaxBatchRequests {
-		writeError(w, fmt.Errorf("batch of %d exceeds limit %d", len(wire.Requests), MaxBatchRequests))
+	if len(body.Requests) > MaxBatchRequests {
+		writeError(w, fmt.Errorf("batch of %d exceeds limit %d", len(body.Requests), MaxBatchRequests))
 		return
 	}
-	reqs := make([]Request, len(wire.Requests))
-	errs := make([]error, len(wire.Requests))
-	for i := range wire.Requests {
-		op := wire.Requests[i].Op
+	reqs := make([]Request, len(body.Requests))
+	errs := make([]error, len(body.Requests))
+	for i := range body.Requests {
+		op := body.Requests[i].Op
 		if op == "" {
 			op = OpMinDelay
 		}
-		reqs[i], errs[i] = wire.Requests[i].request(op)
+		reqs[i], errs[i] = body.Requests[i].request(op)
 	}
 	items := s.solver.SolveBatch(r.Context(), reqs)
 	out := make([]batchItemWire, len(items))

@@ -66,6 +66,13 @@ type Options struct {
 	// JournalCapacity bounds the structured event journal (oldest events
 	// are dropped first); <= 0 selects journal.DefaultCapacity.
 	JournalCapacity int
+	// IntakeBound bounds the admission intake queue ahead of the fleet
+	// lock: when the queued deploy/deploy-batch depth would exceed it,
+	// best-effort traffic is shed with 429 + Retry-After (guaranteed and
+	// standard traffic always enters). 0 selects DefaultIntakeBound; a
+	// negative bound sheds ALL best-effort traffic — the brownout drill
+	// mode tests and the CI metrics gate use to force deterministic sheds.
+	IntakeBound int
 }
 
 // Defaults for Options fields.
@@ -73,6 +80,7 @@ const (
 	DefaultCacheCapacity = 4096
 	DefaultCacheShards   = 16
 	DefaultFrontPoints   = 8
+	DefaultIntakeBound   = 64
 )
 
 // Normalized returns o with every unset field replaced by its default, so
@@ -99,6 +107,9 @@ func (o Options) Normalized() Options {
 	}
 	if o.JournalCapacity <= 0 {
 		o.JournalCapacity = journal.DefaultCapacity
+	}
+	if o.IntakeBound == 0 {
+		o.IntakeBound = DefaultIntakeBound
 	}
 	return o
 }

@@ -9,6 +9,7 @@ import (
 	"elpc/internal/fleet"
 	"elpc/internal/gen"
 	"elpc/internal/model"
+	"elpc/internal/service/wire"
 )
 
 // TestFleetShardedEndToEnd exercises the sharded install path over
@@ -25,7 +26,7 @@ func TestFleetShardedEndToEnd(t *testing.T) {
 	}
 
 	// shards > nodes is a 400.
-	resp := postJSON(t, ts.URL+"/v1/fleet/network", fleetNetworkWire{Network: net, Shards: net.N() + 1}, nil)
+	resp := postJSON(t, ts.URL+"/v1/fleet/network", wire.FleetNetwork{Network: net, Shards: net.N() + 1}, nil)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("oversharded install: status %d, want 400", resp.StatusCode)
 	}
@@ -35,15 +36,15 @@ func TestFleetShardedEndToEnd(t *testing.T) {
 		Links  int `json:"links"`
 		Shards int `json:"shards"`
 	}
-	resp = postJSON(t, ts.URL+"/v1/fleet/network", fleetNetworkWire{Network: net, Shards: 2}, &installed)
+	resp = postJSON(t, ts.URL+"/v1/fleet/network", wire.FleetNetwork{Network: net, Shards: 2}, &installed)
 	if resp.StatusCode != http.StatusOK || installed.Shards != 2 {
 		t.Fatalf("sharded install: status %d, body %+v", resp.StatusCode, installed)
 	}
 
-	deploy := func(src, dst model.NodeID) deploymentWire {
+	deploy := func(src, dst model.NodeID) wire.Deployment {
 		t.Helper()
-		var d deploymentWire
-		resp := postJSON(t, ts.URL+"/v1/fleet/deploy", fleetDeployWire{
+		var d wire.Deployment
+		resp := postJSON(t, ts.URL+"/v1/fleet/deploy", wire.FleetDeploy{
 			Tenant:   fmt.Sprintf("t-%d-%d", src, dst),
 			Pipeline: fleetTestPipeline(t, 4, uint64(src)+7),
 			Src:      src, Dst: dst,
@@ -77,7 +78,7 @@ func TestFleetShardedEndToEnd(t *testing.T) {
 	}
 
 	// Describe routes by ID namespace; unknown IDs are 404.
-	var desc deploymentWire
+	var desc wire.Deployment
 	if resp := postGet(t, ts.URL+"/v1/fleet/"+cross.ID, &desc); resp.StatusCode != http.StatusOK || desc.ID != cross.ID {
 		t.Fatalf("describe %s: status %d, body %+v", cross.ID, resp.StatusCode, desc)
 	}
@@ -98,7 +99,7 @@ func TestFleetShardedEndToEnd(t *testing.T) {
 
 	// Drain and assert the composed accounting balances to empty.
 	for _, id := range []string{left.ID, right.ID, cross.ID} {
-		if resp := postJSON(t, ts.URL+"/v1/fleet/release", fleetReleaseWire{ID: id}, nil); resp.StatusCode != http.StatusOK {
+		if resp := postJSON(t, ts.URL+"/v1/fleet/release", wire.FleetRelease{ID: id}, nil); resp.StatusCode != http.StatusOK {
 			t.Fatalf("release %s: status %d", id, resp.StatusCode)
 		}
 	}

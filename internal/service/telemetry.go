@@ -34,6 +34,18 @@ var (
 	poolWaitSeconds = telemetry.Default().Histogram(
 		"elpc_solver_pool_wait_seconds",
 		"time cold solves spent waiting for a worker slot (seconds)", nil)
+
+	// Admission intake counters: requests that entered the bounded intake
+	// queue ahead of the fleet lock, and best-effort requests shed at it.
+	// (The companion elpc_admission_preempted_total lives in internal/fleet,
+	// where preemption happens; the registry is process-global, so all three
+	// families scrape together.)
+	admissionQueuedTotal = telemetry.Default().Counter(
+		"elpc_admission_queued_total",
+		"deploy requests admitted to the intake queue")
+	admissionShedTotal = telemetry.Default().Counter(
+		"elpc_admission_shed_total",
+		"best-effort deploy requests shed at the intake queue (429)")
 )
 
 // statusClass buckets an HTTP status code into its Prometheus label ("2xx",
@@ -187,6 +199,10 @@ func (s *Server) registerGauges() {
 			}
 			return 0
 		})
+	reg.GaugeFunc("elpc_admission_queue_depth", "deploy requests currently inside the intake queue",
+		func() float64 { return float64(s.intakeDepth.Load()) })
+	reg.GaugeFunc("elpc_admission_intake_bound", "intake queue bound (negative = best-effort brownout drill)",
+		func() float64 { return float64(s.solver.opt.IntakeBound) })
 	reg.GaugeFunc("elpc_journal_depth", "events retained in the journal ring",
 		func() float64 { return float64(s.journal.Stats().Depth) })
 	reg.GaugeFunc("elpc_journal_capacity", "journal ring capacity",

@@ -1,0 +1,199 @@
+// Package wire is the exported /v1 JSON contract of the elpcd planning
+// service: one definition per wire type, shared by the server's handlers,
+// cmd/metricsgate, and the tests — so a client importing this package can
+// round-trip every request and response body the service speaks without
+// re-declaring ad-hoc structs.
+//
+// The package also defines the structured error envelope every /v1 error
+// response carries and the stable machine-readable codes inside it. HTTP
+// statuses remain the transport-level signal; the code is the contract a
+// client programs against (retry on a retryable code, surface the message
+// otherwise).
+package wire
+
+import (
+	"net/http"
+
+	"elpc/internal/churn"
+	"elpc/internal/fleet"
+	"elpc/internal/journal"
+	"elpc/internal/model"
+)
+
+// Stable machine-readable error codes. The set only grows; codes are never
+// renamed or reused.
+const (
+	// CodeInvalidRequest is a malformed or structurally invalid request
+	// (bad JSON, unknown field, missing required field, bad query param).
+	CodeInvalidRequest = "invalid_request"
+	// CodeNotFound names an unknown deployment or churn target.
+	CodeNotFound = "not_found"
+	// CodeConflict is a request conflicting with current state: an
+	// admission rejection or a conflicting churn event.
+	CodeConflict = "conflict"
+	// CodeInfeasible is a well-formed planning problem with no solution.
+	CodeInfeasible = "infeasible"
+	// CodeShed is best-effort traffic turned away at the admission intake
+	// queue; retry after the Retry-After header's delay.
+	CodeShed = "shed"
+	// CodeUnavailable is a timeout or cancellation; the request may be
+	// retried.
+	CodeUnavailable = "unavailable"
+)
+
+// Codes lists every stable error code.
+func Codes() []string {
+	return []string{
+		CodeInvalidRequest, CodeNotFound, CodeConflict,
+		CodeInfeasible, CodeShed, CodeUnavailable,
+	}
+}
+
+// StatusOf returns the HTTP status a code is transported with (the mapping
+// is part of the contract and does not change).
+func StatusOf(code string) int {
+	switch code {
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeInfeasible:
+		return http.StatusUnprocessableEntity
+	case CodeShed:
+		return http.StatusTooManyRequests
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// Retryable reports whether a code marks the request as safely retryable.
+func Retryable(code string) bool {
+	return code == CodeShed || code == CodeUnavailable
+}
+
+// Error is the structured error body: a stable code, a human-readable
+// message, and whether retrying can succeed.
+type Error struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// ErrorEnvelope wraps Error as the top-level JSON body of every /v1 error
+// response: {"error": {"code": ..., "message": ..., "retryable": ...}}.
+type ErrorEnvelope struct {
+	Error Error `json:"error"`
+}
+
+// FleetNetwork is the POST /v1/fleet/network body. Shards > 1 installs a
+// region-partitioned ShardedFleet (shards must not exceed the node count);
+// 0 or 1 installs the unsharded Fleet.
+type FleetNetwork struct {
+	Network *model.Network `json:"network"`
+	Shards  int            `json:"shards,omitempty"`
+}
+
+// FleetDeploy is the POST /v1/fleet/deploy body and one element of a
+// deploy-batch. Op selects the placement objective ("mindelay", default, or
+// "maxframerate"); Class is the SLO class ("guaranteed", "standard",
+// "best_effort"; empty = standard).
+type FleetDeploy struct {
+	Tenant     string          `json:"tenant,omitempty"`
+	Pipeline   *model.Pipeline `json:"pipeline"`
+	Src        model.NodeID    `json:"src"`
+	Dst        model.NodeID    `json:"dst"`
+	Op         string          `json:"op,omitempty"`
+	MaxDelayMs float64         `json:"max_delay_ms,omitempty"`
+	MinRateFPS float64         `json:"min_rate_fps,omitempty"`
+	Class      string          `json:"class,omitempty"`
+}
+
+// FleetRelease is the POST /v1/fleet/release body.
+type FleetRelease struct {
+	ID string `json:"id"`
+}
+
+// Deployment is the JSON rendering of one admitted deployment.
+type Deployment struct {
+	ID          string         `json:"id"`
+	Tenant      string         `json:"tenant,omitempty"`
+	Op          string         `json:"op"`
+	Assignment  []model.NodeID `json:"assignment"`
+	Mapping     string         `json:"mapping"`
+	DelayMs     float64        `json:"delay_ms"`
+	RateFPS     float64        `json:"rate_fps"`
+	ReservedFPS float64        `json:"reserved_fps"`
+	SLO         fleet.SLO      `json:"slo"`
+	Seq         uint64         `json:"seq"`
+}
+
+// FleetList is the GET /v1/fleet response.
+type FleetList struct {
+	Configured  bool         `json:"configured"`
+	Nodes       int          `json:"nodes,omitempty"`
+	Links       int          `json:"links,omitempty"`
+	Stats       *fleet.Stats `json:"stats,omitempty"`
+	Deployments []Deployment `json:"deployments"`
+}
+
+// DeployBatch is the POST /v1/fleet/deploy-batch body: a burst of deploy
+// requests placed in one class/scarcity-ordered pass under one fleet lock
+// epoch.
+type DeployBatch struct {
+	Requests []FleetDeploy `json:"requests"`
+}
+
+// DeployBatchItem is one per-request outcome, reported at the request's
+// original index: exactly one of Deployment and Error is set. A shed item
+// carries CodeShed (retryable); an admission rejection carries CodeConflict.
+type DeployBatchItem struct {
+	Index      int         `json:"index"`
+	Deployment *Deployment `json:"deployment,omitempty"`
+	Error      *Error      `json:"error,omitempty"`
+}
+
+// DeployBatchResponse is the POST /v1/fleet/deploy-batch response. The
+// request itself succeeds (200) even when individual items fail; per-item
+// outcomes carry the envelope's Error shape.
+type DeployBatchResponse struct {
+	Results  []DeployBatchItem `json:"results"`
+	Admitted int               `json:"admitted"`
+	Rejected int               `json:"rejected"`
+	Shed     int               `json:"shed"`
+}
+
+// Events is the POST /v1/events body.
+type Events struct {
+	Events []model.ChurnEvent `json:"events"`
+}
+
+// Parked is the JSON rendering of one parked deployment.
+type Parked struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	Reason string `json:"reason"`
+}
+
+// EventsLog is the GET /v1/events/log response.
+type EventsLog struct {
+	Records []churn.Record `json:"records"`
+	Parked  []Parked       `json:"parked"`
+	Stats   churn.Stats    `json:"stats"`
+}
+
+// Journal is the GET /v1/journal response.
+type Journal struct {
+	Events []journal.Event `json:"events"`
+	Stats  journal.Stats   `json:"stats"`
+}
+
+// Timeline is the GET /v1/fleet/{id}/timeline response.
+type Timeline struct {
+	ID string `json:"id"`
+	// Live reports whether the deployment is currently admitted; a released
+	// or parked deployment keeps its retained history.
+	Live   bool            `json:"live"`
+	Events []journal.Event `json:"events"`
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestErrorCodeRoundTrip drives every stable code through the status and
+// retryable maps and a JSON round trip of the envelope: the wire contract
+// clients program against.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	wantStatus := map[string]int{
+		CodeInvalidRequest: http.StatusBadRequest,
+		CodeNotFound:       http.StatusNotFound,
+		CodeConflict:       http.StatusConflict,
+		CodeInfeasible:     http.StatusUnprocessableEntity,
+		CodeShed:           http.StatusTooManyRequests,
+		CodeUnavailable:    http.StatusServiceUnavailable,
+	}
+	codes := Codes()
+	if len(codes) != len(wantStatus) {
+		t.Fatalf("Codes() lists %d codes, want %d", len(codes), len(wantStatus))
+	}
+	for _, code := range codes {
+		want, ok := wantStatus[code]
+		if !ok {
+			t.Fatalf("Codes() lists unknown code %q", code)
+		}
+		if got := StatusOf(code); got != want {
+			t.Errorf("StatusOf(%q) = %d, want %d", code, got, want)
+		}
+		wantRetry := code == CodeShed || code == CodeUnavailable
+		if got := Retryable(code); got != wantRetry {
+			t.Errorf("Retryable(%q) = %v, want %v", code, got, wantRetry)
+		}
+
+		env := ErrorEnvelope{Error: Error{Code: code, Message: "m", Retryable: Retryable(code)}}
+		data, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ErrorEnvelope
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != env {
+			t.Errorf("envelope for %q did not round-trip: %+v -> %+v", code, env, back)
+		}
+		// The envelope shape is part of the contract: {"error":{...}}.
+		var shape map[string]map[string]any
+		if err := json.Unmarshal(data, &shape); err != nil {
+			t.Fatalf("envelope for %q is not {\"error\":{...}}: %s", code, data)
+		}
+		if _, ok := shape["error"]["code"]; !ok {
+			t.Errorf("envelope for %q missing error.code: %s", code, data)
+		}
+	}
+
+	// Unknown codes map to the conservative defaults.
+	if got := StatusOf("nope"); got != http.StatusBadRequest {
+		t.Errorf("StatusOf(unknown) = %d, want 400", got)
+	}
+	if Retryable("nope") {
+		t.Error("Retryable(unknown) = true, want false")
+	}
+}
