@@ -34,6 +34,7 @@ import (
 	"elpc/internal/model"
 	"elpc/internal/refine"
 	"elpc/internal/sim"
+	"elpc/internal/wal"
 	"elpc/internal/workflow"
 )
 
@@ -395,6 +396,78 @@ func BenchmarkFleetDeploy(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	admitted, resident := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resident += len(fl.List())
+		_, err := fl.Deploy(reqs[i%variants])
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, fleet.ErrRejected):
+			// Saturated: drain and keep deploying.
+			for _, d := range fl.List() {
+				if err := fl.Release(d.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		default:
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(admitted)/float64(b.N), "admit_frac")
+	b.ReportMetric(float64(resident)/float64(b.N), "resident")
+}
+
+// BenchmarkFleetDeployWAL is BenchmarkFleetDeploy with the write-ahead
+// log attached: every admission, rejection drain, and release is durably
+// logged before it returns. The delta against BenchmarkFleetDeploy is the
+// WAL tax on the acknowledgment path — group commit keeps fsyncs off it,
+// so the budget is < 10% (the CI recovery gate's companion number).
+func BenchmarkFleetDeployWAL(b *testing.B) {
+	spec := gen.Suite20()[7]
+	net, err := gen.Network(spec.Nodes, spec.Links, gen.DefaultRanges(), gen.RNG(spec.Seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const variants = 32
+	reqs := make([]fleet.Request, variants)
+	for i := range reqs {
+		rng := gen.RNG(uint64(1000 + i))
+		pl, err := gen.Pipeline(5+i%4, gen.DefaultRanges(), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := model.NodeID(rng.IntN(spec.Nodes))
+		dst := model.NodeID(rng.IntN(spec.Nodes - 1))
+		if dst >= src {
+			dst++
+		}
+		obj := model.MinDelay
+		if i%2 == 0 {
+			obj = model.MaxFrameRate
+		}
+		reqs[i] = fleet.Request{
+			Pipeline:  pl,
+			Src:       src,
+			Dst:       dst,
+			Objective: obj,
+			SLO:       fleet.SLO{MinRateFPS: 2},
+		}
+	}
+	fl, err := fleet.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, _, err := wal.Open(b.TempDir(), wal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	if err := fleet.AppendInstall(l, net, 1); err != nil {
+		b.Fatal(err)
+	}
+	fl.UseWAL(l)
 	admitted, resident := 0, 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

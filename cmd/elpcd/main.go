@@ -20,6 +20,14 @@
 // a latency threshold via log/slog, and -pprof mounts net/http/pprof under
 // /debug/pprof/. See docs/OBSERVABILITY.md.
 //
+// Durability: -data <dir> makes the control plane durable — every mutating
+// fleet/churn transition is appended to a checksummed write-ahead log before
+// it is acknowledged, compacted snapshots are written every -snapshot-every
+// records (-snapshot-retain bounds disk), and on boot elpcd recovers the
+// exact pre-crash fleet state from the newest valid snapshot plus the log
+// suffix. -wal-sync trades admission latency for power-loss durability. See
+// docs/OPERATIONS.md.
+//
 // elpcd accepts the same flags as `elpc serve` (it is the same code path)
 // and shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
 // for up to -drain (default 10s).

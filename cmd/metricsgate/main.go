@@ -99,6 +99,8 @@ func run(minSeries int, verbose bool) error {
 		"elpc_slo_burn_rate", "elpc_journal_depth", "elpc_journal_events_total",
 		"elpc_admission_queued_total", "elpc_admission_shed_total",
 		"elpc_admission_preempted_total", "elpc_admission_queue_depth",
+		"elpc_wal_appends_total", "elpc_wal_fsyncs_total",
+		"elpc_wal_replayed_events_total", "elpc_wal_truncated_tail_total",
 	} {
 		if !rep.Seen[family] {
 			return fmt.Errorf("required metric family %q missing from exposition", family)

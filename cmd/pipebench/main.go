@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, scale, burst, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, scale, burst, crash, or all")
 	out := flag.String("out", "", "directory to write artifacts into (optional)")
 	workers := flag.Int("workers", 0, "parallel workers for the case suite (0 = GOMAXPROCS)")
 	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
@@ -166,6 +166,20 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// The crash scenario (WAL crash-injection sweep proving recovery lands
+	// on acknowledged states only) feeds -fig crash; a recovery divergence
+	// is an error, not a metric.
+	var crashRes *harness.CrashScenarioResult
+	if fig == "all" || fig == "crash" {
+		cs := gen.DefaultChurnSpec()
+		cs.Events = 6
+		var err error
+		crashRes, err = harness.RunCrashScenario(gen.Suite20()[1], cs, 14, 2026)
+		if err != nil {
+			return err
+		}
+	}
+
 	var doc *benchfmt.Doc
 	if jsonPath != "" || cfg.compare != "" {
 		doc = buildBenchDoc(cfg, results, fleetRes, churnRes, scaleRes, burstRes, suiteElapsed)
@@ -238,6 +252,11 @@ func run(cfg runConfig) error {
 			return err
 		}
 	}
+	if fig == "all" || fig == "crash" {
+		if err := emit("crash.md", harness.CrashScenarioTable(crashRes)); err != nil {
+			return err
+		}
+	}
 	if fig == "all" || fig == "ablation" {
 		rows, err := harness.RunReuseAblation(specs, workers)
 		if err != nil {
@@ -301,7 +320,7 @@ func run(cfg runConfig) error {
 		}
 	}
 	switch fig {
-	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn", "scale", "burst":
+	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn", "scale", "burst", "crash":
 		return nil
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

@@ -36,6 +36,7 @@ import (
 	"elpc/internal/fleet"
 	"elpc/internal/journal"
 	"elpc/internal/model"
+	"elpc/internal/wal"
 )
 
 // DefaultRequeueInterval paces the background requeue loop between
@@ -129,6 +130,11 @@ type Reconciler struct {
 	seq    int
 	jr     *journal.Journal
 	parked []fleet.ParkedDeployment
+	// wal, when non-nil, receives one churn-state record (the counter block
+	// below) after every batch, requeue pass, or park, so recovered
+	// /v1/churn/stats matches the recovered fleet. The fleet's own records
+	// are appended by the manager itself.
+	wal *wal.Log
 
 	batches     uint64
 	events      uint64
@@ -166,6 +172,46 @@ func (r *Reconciler) Journal() *journal.Journal { return r.jr }
 
 // Fleet returns the reconciler's fleet manager.
 func (r *Reconciler) Fleet() fleet.Manager { return r.f }
+
+// UseWAL installs the write-ahead log the reconciler's counter state is
+// durably recorded into (nil disables recording). The fleet manager's log
+// is installed separately via fleet.Manager.UseWAL.
+func (r *Reconciler) UseWAL(l *wal.Log) {
+	r.mu.Lock()
+	r.wal = l
+	r.mu.Unlock()
+}
+
+// churnStateLocked snapshots the reconciler's durable counter state. Caller
+// holds r.mu.
+func (r *Reconciler) churnStateLocked() *wal.ChurnState {
+	return &wal.ChurnState{
+		Seq:             r.seq,
+		Batches:         r.batches,
+		Events:          r.events,
+		Affected:        r.affected,
+		Migrated:        r.migrated,
+		ParkTotal:       r.parkTotal,
+		Requeued:        r.requeued,
+		RequeueAttempts: r.reqAttempts,
+		RepairMs:        r.repairMs,
+		MaxRepairMs:     r.maxMs,
+	}
+}
+
+// walStateLocked appends a churn-state record and returns its commit
+// barrier (a no-op without a log). Caller holds r.mu.
+func (r *Reconciler) walStateLocked() func() {
+	if r.wal == nil {
+		return func() {}
+	}
+	lsn := r.wal.Append(&wal.Record{
+		Kind:  wal.KindChurnState,
+		Scope: wal.ScopeChurn,
+		Churn: r.churnStateLocked(),
+	})
+	return func() { _ = r.wal.Commit(lsn) }
+}
 
 // raisesCapacity reports whether the batch can make room it did not take
 // away: node/link restores, or upward drift.
@@ -246,6 +292,7 @@ func (r *Reconciler) Apply(events []model.ChurnEvent) (Record, error) {
 	eventsTotal.Add(uint64(len(events)))
 	requeuedTotal.Add(uint64(requeued))
 	repairSeconds.Observe(rec.RepairMs / 1000)
+	r.walStateLocked()()
 	return rec, nil
 }
 
@@ -259,7 +306,9 @@ func (r *Reconciler) requeueLocked() int {
 	admitted := 0
 	for _, p := range r.parked {
 		r.reqAttempts++
-		d, err := r.f.Deploy(p.Req)
+		req := p.Req
+		req.RequeueOf = p.ID
+		d, err := r.f.Deploy(req)
 		if err != nil {
 			kept = append(kept, p)
 			continue
@@ -281,9 +330,13 @@ func (r *Reconciler) requeueLocked() int {
 func (r *Reconciler) Requeue() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	before := r.reqAttempts
 	n := r.requeueLocked()
 	r.requeued += uint64(n)
 	requeuedTotal.Add(uint64(n))
+	if r.reqAttempts != before {
+		r.walStateLocked()()
+	}
 	return n
 }
 
@@ -300,6 +353,52 @@ func (r *Reconciler) Park(ps []fleet.ParkedDeployment) {
 	defer r.mu.Unlock()
 	r.parked = append(r.parked, ps...)
 	r.parkTotal += uint64(len(ps))
+	r.walStateLocked()()
+}
+
+// AdoptPreempted drains the fleet's preemption queue into the parked queue
+// and returns how many deployments it adopted. The service's drain loop
+// calls it so preemption victims enter the requeue cycle (and the WAL's
+// churn-state stream) exactly like repair-parked ones.
+func (r *Reconciler) AdoptPreempted() int {
+	ps := r.f.TakePreempted()
+	r.Park(ps)
+	return len(ps)
+}
+
+// Restore reinstates recovered state: the parked pool (in requeue order)
+// and the last logged counter block. It is called once on boot, before
+// Start.
+func (r *Reconciler) Restore(parked []fleet.ParkedDeployment, st *wal.ChurnState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.parked = append(r.parked, parked...)
+	if st != nil {
+		r.seq = st.Seq
+		r.batches = st.Batches
+		r.events = st.Events
+		r.affected = st.Affected
+		r.migrated = st.Migrated
+		r.parkTotal = st.ParkTotal
+		r.requeued = st.Requeued
+		r.reqAttempts = st.RequeueAttempts
+		r.repairMs = st.RepairMs
+		r.maxMs = st.MaxRepairMs
+	}
+}
+
+// CaptureSnapshot captures a compacted snapshot of the whole control
+// plane's durable state: the fleet's scopes (via fleet.CaptureSnapshot),
+// the full parked pool — the reconciler's queue first, then any
+// not-yet-adopted preemption victims still in the fleet's queue — and the
+// reconciler's counter block.
+func (r *Reconciler) CaptureSnapshot(l *wal.Log) *wal.Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := fleet.CaptureSnapshot(r.f, l)
+	snap.Parked = append(fleet.ParkedStates(r.parked), snap.Parked...)
+	snap.Churn = r.churnStateLocked()
+	return snap
 }
 
 // Parked returns a copy of the parked queue, oldest first.

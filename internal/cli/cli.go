@@ -336,6 +336,10 @@ func cmdServe(env Env, args []string) error {
 	traces := fs.Int("traces", 0, "slowest request traces retained for GET /v1/traces (0 = default)")
 	journalCap := fs.Int("journal", 0, "event-journal capacity for GET /v1/journal and per-deployment timelines (0 = default)")
 	intake := fs.Int("intake", 0, "admission intake-queue bound; best-effort deploys over it are shed with 429 (0 = default 64, negative = shed all best-effort traffic)")
+	dataDir := fs.String("data", "", "durable control-plane directory: WAL + snapshots; fleet state is recovered from it on boot (empty = in-memory only)")
+	snapEvery := fs.Int("snapshot-every", 0, "WAL records between compacted snapshots (0 = default 1024)")
+	snapRetain := fs.Int("snapshot-retain", 0, "snapshots (and covered WAL segments) kept on disk (0 = default 2)")
+	walSync := fs.Bool("wal-sync", false, "fsync the WAL before every acknowledgment instead of batched group commit (power-loss durable, much slower)")
 	validate := fs.Bool("validate", false, "print the resolved configuration as JSON and exit without listening")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -354,6 +358,10 @@ func cmdServe(env Env, args []string) error {
 		TraceCapacity:   *traces,
 		JournalCapacity: *journalCap,
 		IntakeBound:     *intake,
+		DataDir:         *dataDir,
+		SnapshotEvery:   *snapEvery,
+		SnapshotRetain:  *snapRetain,
+		WALSync:         *walSync,
 	}
 	if *validate {
 		resolved := opt.Normalized()

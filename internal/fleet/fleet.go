@@ -40,6 +40,7 @@ import (
 	"elpc/internal/journal"
 	"elpc/internal/model"
 	"elpc/internal/telemetry"
+	"elpc/internal/wal"
 )
 
 // ErrRejected is returned (wrapped, with a reason) when admission control
@@ -130,6 +131,10 @@ type Request struct {
 	SLO SLO
 	// Cost overrides the cost-model options; nil selects the defaults.
 	Cost *model.CostOptions
+	// RequeueOf names the parked entry this request re-admits (set by the
+	// churn reconciler's requeue loop). It does not affect admission; it is
+	// recorded in the WAL so recovery drains the parked pool identically.
+	RequeueOf string
 }
 
 // Deployment is one admitted pipeline: its mapping, the metrics it was
@@ -242,9 +247,19 @@ type Fleet struct {
 	external model.Reservation
 	// jr, when non-nil, receives one typed event per state transition
 	// (admission, rejection, release, repair outcome, rebalance move) —
-	// exactly where a future WAL would append. Nil (the default, and the
+	// the same sites the WAL appends at. Nil (the default, and the
 	// benchmark configuration) makes every record a single pointer check.
 	jr *journal.Journal
+	// wal, when non-nil, durably logs one wal.Record per mutating lock
+	// epoch before the operation is acknowledged; walScope labels the
+	// records ("" standalone, "s<i>" on shard i). See wal.go.
+	wal      *wal.Log
+	walScope string
+	// txn is the record under construction for the current lock epoch
+	// (between beginTxnLocked and endTxnLocked); txnPre is the counter
+	// state at epoch start, so counter-only epochs still log.
+	txn    *wal.Record
+	txnPre wal.Counters
 
 	admitted    uint64
 	rejected    uint64
@@ -506,6 +521,7 @@ func (f *Fleet) tryAdmitLocked(req Request, cost model.CostOptions) (Deployment,
 		DelayMs:    delay,
 		RateFPS:    rate,
 	})
+	f.txnDeploy(d, req.RequeueOf)
 	return d.clone(), "", nil
 }
 
@@ -556,12 +572,15 @@ func (f *Fleet) preemptLocked(req Request, cost model.CostOptions) (Deployment, 
 					Tenant:     vd.Tenant,
 					Detail:     fmt.Sprintf("displaced by guaranteed deploy %s (tenant %s)", d.ID, req.Tenant),
 				})
-				f.preemptedQ = append(f.preemptedQ, ParkedDeployment{
+				entry := ParkedDeployment{
 					ID:     vd.ID,
 					Tenant: vd.Tenant,
 					Reason: fmt.Sprintf("preempted by guaranteed deploy %s", d.ID),
 					Req:    requestOf(vd),
-				})
+				}
+				f.preemptedQ = append(f.preemptedQ, entry)
+				f.txnRemove(vd.ID)
+				f.txnPark(entry)
 			}
 			return d, true
 		}
@@ -596,8 +615,12 @@ func (f *Fleet) Deploy(req Request) (Deployment, error) {
 	lockWait := f.lockWaitHist()
 	f.mu.Lock()
 	lockWait.ObserveSince(t0)
-	defer f.mu.Unlock()
-	return f.deployLocked(req, cost)
+	f.beginTxnLocked(wal.KindDeploy)
+	d, err := f.deployLocked(req, cost)
+	commit := f.endTxnLocked()
+	f.mu.Unlock()
+	commit()
+	return d, err
 }
 
 // deployLocked is the admission attempt plus the guaranteed-class preemption
@@ -694,7 +717,7 @@ func (f *Fleet) DeployBatch(reqs []Request) []BatchOutcome {
 	lockWait := f.lockWaitHist()
 	f.mu.Lock()
 	lockWait.ObserveSince(t0)
-	defer f.mu.Unlock()
+	f.beginTxnLocked(wal.KindBatch)
 	for _, i := range order {
 		req := reqs[i]
 		cost := model.DefaultCostOptions()
@@ -703,6 +726,9 @@ func (f *Fleet) DeployBatch(reqs []Request) []BatchOutcome {
 		}
 		out[i].Deployment, out[i].Err = f.deployLocked(req, cost)
 	}
+	commit := f.endTxnLocked()
+	f.mu.Unlock()
+	commit()
 	return out
 }
 
@@ -720,7 +746,17 @@ func (f *Fleet) TakePreempted() []ParkedDeployment {
 // Release returns a deployment's capacity to the fleet.
 func (f *Fleet) Release(id string) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.beginTxnLocked(wal.KindRelease)
+	err := f.releaseLocked(id)
+	commit := f.endTxnLocked()
+	f.mu.Unlock()
+	commit()
+	return err
+}
+
+// releaseLocked removes the deployment and recomputes the residual loads.
+// Caller holds f.mu inside a WAL epoch.
+func (f *Fleet) releaseLocked(id string) error {
 	d, ok := f.deps[id]
 	if !ok {
 		return fmt.Errorf("fleet: %w: %q", ErrNotFound, id)
@@ -735,6 +771,7 @@ func (f *Fleet) Release(id string) error {
 	f.recomputeLocked()
 	f.released++
 	f.record(journal.Event{Kind: journal.ReleaseDone, Deployment: id, Tenant: d.Tenant})
+	f.txnRemove(id)
 	return nil
 }
 
@@ -956,8 +993,17 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 	t0 := time.Now()
 	defer rebalanceSeconds.ObserveSince(t0)
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.beginTxnLocked(wal.KindRebalance)
+	rep := f.rebalanceLocked(opt)
+	commit := f.endTxnLocked()
+	f.mu.Unlock()
+	commit()
+	return rep
+}
 
+// rebalanceLocked is the rebalance pass body. Caller holds f.mu inside a
+// WAL epoch.
+func (f *Fleet) rebalanceLocked(opt RebalanceOptions) Report {
 	// Higher SLO classes are considered first; within a class, deployments
 	// admitted latest first — they were solved against the most contended
 	// network, so freed capacity helps them most.
@@ -1123,6 +1169,7 @@ func (f *Fleet) Rebalance(opt RebalanceOptions) Report {
 			DelayMs:    delay,
 			RateFPS:    rate,
 		})
+		f.txnUpdate(d)
 		move.Applied = true
 		rep.Moves = append(rep.Moves, move)
 		rep.Applied++

@@ -9,6 +9,7 @@ import (
 	"elpc/internal/engine"
 	"elpc/internal/journal"
 	"elpc/internal/model"
+	"elpc/internal/wal"
 )
 
 // This file is the fleet's churn-facing surface: applying network-mutation
@@ -23,8 +24,15 @@ import (
 // may be over capacity until Repair migrates or parks them.
 func (f *Fleet) ApplyChurn(events []model.ChurnEvent) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.residual.ApplyChurn(events)
+	f.beginTxnLocked(wal.KindChurn)
+	err := f.residual.ApplyChurn(events)
+	if err == nil {
+		f.txnChurn(events)
+	}
+	commit := f.endTxnLocked()
+	f.mu.Unlock()
+	commit()
+	return err
 }
 
 // Snapshot materializes the current residual network (loads and churn
@@ -225,8 +233,17 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 	t0 := time.Now()
 	defer repairSeconds.ObserveSince(t0)
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.beginTxnLocked(wal.KindRepair)
+	rep := f.repairLocked(ids, opt)
+	commit := f.endTxnLocked()
+	f.mu.Unlock()
+	commit()
+	return rep
+}
 
+// repairLocked is the repair pass body. Caller holds f.mu inside a WAL
+// epoch.
+func (f *Fleet) repairLocked(ids []string, opt RepairOptions) RepairReport {
 	// Keep admission order and drop stale IDs, then lift higher SLO classes
 	// to the front: on a degraded network the candidates repaired first
 	// claim the surviving residual, so guaranteed deployments must re-fit
@@ -340,6 +357,8 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 			f.record(journal.Event{
 				Kind: journal.RepairParked, Deployment: id, Tenant: d.Tenant, Detail: reason,
 			})
+			f.txnRemove(id)
+			f.txnPark(parked)
 			rep.Parked = append(rep.Parked, parked)
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{ID: id, Action: RepairParked, Reason: reason})
 		}
@@ -399,6 +418,7 @@ func (f *Fleet) Repair(ids []string, opt RepairOptions) RepairReport {
 			Kind: journal.RepairMigrated, Deployment: id, Tenant: d.Tenant,
 			Mapping: d.Mapping, DelayMs: newDelay, RateFPS: newRate,
 		})
+		f.txnUpdate(d)
 		rep.Outcomes = append(rep.Outcomes, RepairOutcome{
 			ID: id, Action: RepairMigrated, DelayMs: newDelay, RateFPS: newRate,
 		})

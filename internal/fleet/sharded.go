@@ -13,6 +13,7 @@ import (
 	"elpc/internal/engine"
 	"elpc/internal/journal"
 	"elpc/internal/model"
+	"elpc/internal/wal"
 )
 
 // This file is the sharded fleet manager: a region partition of the shared
@@ -62,6 +63,9 @@ type Manager interface {
 	// UseJournal installs the event journal state transitions are recorded
 	// into (nil disables recording).
 	UseJournal(*journal.Journal)
+	// UseWAL installs the write-ahead log every mutating transition is
+	// durably recorded into before acknowledgment (nil disables logging).
+	UseWAL(*wal.Log)
 	// SLOReport re-scores every live deployment's delivered delay and rate
 	// on the current residual network against its admission SLO.
 	SLOReport() SLOReport
@@ -149,6 +153,13 @@ type ShardedFleet struct {
 	// jr receives coordinator-path events (2PC phases, cross-region repair
 	// outcomes); shard-path events are recorded by the shards themselves.
 	jr *journal.Journal
+	// wal durably logs coordinator epochs (scope "x") and whole-fleet churn
+	// batches; shard epochs are logged by the shards themselves. ctxn and
+	// ctxnPre are the coordinator's in-flight record and its counter state
+	// at epoch start (see wal.go).
+	wal     *wal.Log
+	ctxn    *wal.Record
+	ctxnPre wal.Counters
 }
 
 // NewSharded partitions base into the given number of regions (via
@@ -475,7 +486,17 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 		cost = *req.Cost
 	}
 	s.cmu.Lock()
-	defer s.cmu.Unlock()
+	s.beginCrossTxnLocked(wal.KindDeploy)
+	d, err := s.deployCrossLocked(req, fallback, cost)
+	commit := s.endCrossTxnLocked()
+	s.cmu.Unlock()
+	commit()
+	return d, err
+}
+
+// deployCrossLocked is the two-phase admission body. Caller holds s.cmu
+// inside a coordinator WAL epoch.
+func (s *ShardedFleet) deployCrossLocked(req Request, fallback bool, cost model.CostOptions) (Deployment, error) {
 	if fallback {
 		s.fallbacks++
 		tpcFallbacksTotal.Inc()
@@ -572,6 +593,7 @@ func (s *ShardedFleet) deployCross(req Request, fallback bool) (Deployment, erro
 		s.unlockShards()
 		s.crossAdmitted++
 		admittedTotal.Inc()
+		s.ctxnDeploy(d)
 		s.recordCross(journal.Event{
 			Kind: journal.TwoPhaseCommit, Deployment: d.ID, Tenant: d.Tenant,
 			Detail: fmt.Sprintf("round %d/%d committed", attempt+1, TwoPhaseAttempts),
@@ -600,24 +622,35 @@ func (s *ShardedFleet) Release(id string) error {
 	}
 	if strings.HasPrefix(id, crossIDPrefix) {
 		s.cmu.Lock()
-		defer s.cmu.Unlock()
-		if _, ok := s.crossDeps[id]; !ok {
-			return fmt.Errorf("fleet: %w: %q", ErrNotFound, id)
-		}
-		d := s.crossDeps[id]
-		s.lockShards()
-		delete(s.crossDeps, id)
-		s.crossOrder = removeID(s.crossOrder, id)
-		s.rebuildCrossLocked("")
-		s.unlockShards()
-		s.crossReleased++
-		s.recordCross(journal.Event{Kind: journal.ReleaseDone, Deployment: id, Tenant: d.Tenant})
-		return nil
+		s.beginCrossTxnLocked(wal.KindRelease)
+		err := s.releaseCrossLocked(id)
+		commit := s.endCrossTxnLocked()
+		s.cmu.Unlock()
+		commit()
+		return err
 	}
 	if r := shardOfID(id); r >= 0 && r < len(s.shards) {
 		return s.shards[r].Release(id)
 	}
 	return fmt.Errorf("fleet: %w: %q", ErrNotFound, id)
+}
+
+// releaseCrossLocked removes a coordinator deployment and rebuilds the
+// cross-region overlay. Caller holds s.cmu inside a coordinator WAL epoch.
+func (s *ShardedFleet) releaseCrossLocked(id string) error {
+	d, ok := s.crossDeps[id]
+	if !ok {
+		return fmt.Errorf("fleet: %w: %q", ErrNotFound, id)
+	}
+	s.lockShards()
+	delete(s.crossDeps, id)
+	s.crossOrder = removeID(s.crossOrder, id)
+	s.rebuildCrossLocked("")
+	s.unlockShards()
+	s.crossReleased++
+	s.recordCross(journal.Event{Kind: journal.ReleaseDone, Deployment: id, Tenant: d.Tenant})
+	s.ctxnRemove(id)
+	return nil
 }
 
 // removeID deletes the first occurrence of id, preserving order.
@@ -944,10 +977,23 @@ func (s *ShardedFleet) splitChurn(events []model.ChurnEvent) (perShard [][]model
 func (s *ShardedFleet) ApplyChurn(events []model.ChurnEvent) error {
 	perShard, boundary := s.splitChurn(events)
 	s.cmu.Lock()
-	defer s.cmu.Unlock()
 	s.lockShards()
-	defer s.unlockShards()
+	err := s.applyChurnLocked(perShard, boundary)
+	var commit func()
+	if err == nil {
+		commit = s.walChurnLocked(events)
+	}
+	s.unlockShards()
+	s.cmu.Unlock()
+	if commit != nil {
+		commit()
+	}
+	return err
+}
 
+// applyChurnLocked validates and commits the split churn batch. Caller
+// holds s.cmu and every shard lock.
+func (s *ShardedFleet) applyChurnLocked(perShard [][]model.ChurnEvent, boundary []model.ChurnEvent) error {
 	// Validate every sub-batch on clones, then commit the clones' factors —
 	// the commit step cannot fail, which is what makes the cross-shard batch
 	// atomic.
@@ -1049,7 +1095,17 @@ func (s *ShardedFleet) Repair(ids []string, opt RepairOptions) RepairReport {
 // repair is the rare, global tail of a churn cycle.
 func (s *ShardedFleet) repairCross(ids []string) RepairReport {
 	s.cmu.Lock()
-	defer s.cmu.Unlock()
+	s.beginCrossTxnLocked(wal.KindRepair)
+	rep := s.repairCrossLocked(ids)
+	commit := s.endCrossTxnLocked()
+	s.cmu.Unlock()
+	commit()
+	return rep
+}
+
+// repairCrossLocked is the repair pass body. Caller holds s.cmu inside a
+// coordinator WAL epoch.
+func (s *ShardedFleet) repairCrossLocked(ids []string) RepairReport {
 	s.lockShards()
 	defer s.unlockShards()
 
@@ -1105,13 +1161,16 @@ func (s *ShardedFleet) repairCross(ids []string) RepairReport {
 
 		rep.Resolved++
 		park := func(reason string) {
+			parked := ParkedDeployment{ID: id, Tenant: d.Tenant, Reason: reason, Req: requestOf(d)}
 			delete(s.crossDeps, id)
 			s.crossOrder = removeID(s.crossOrder, id)
 			s.rebuildCrossLocked("")
 			s.crossParks++
 			parkEvictionsTotal.Inc()
 			s.recordCross(journal.Event{Kind: journal.RepairParked, Deployment: id, Tenant: d.Tenant, Detail: reason})
-			rep.Parked = append(rep.Parked, ParkedDeployment{ID: id, Tenant: d.Tenant, Reason: reason, Req: requestOf(d)})
+			s.ctxnRemove(id)
+			s.ctxnPark(parked)
+			rep.Parked = append(rep.Parked, parked)
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{ID: id, Action: RepairParked, Reason: reason})
 		}
 		s.crossSolves.Add(1)
@@ -1161,6 +1220,7 @@ func (s *ShardedFleet) repairCross(ids []string) RepairReport {
 		d.reservation = res
 		s.rebuildCrossLocked("")
 		s.crossMoves++
+		s.ctxnUpdate(d)
 		rep.Migrated++
 		s.recordCross(journal.Event{
 			Kind: journal.RepairMigrated, Deployment: id, Tenant: d.Tenant,

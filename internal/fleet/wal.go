@@ -1,0 +1,374 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"elpc/internal/model"
+	"elpc/internal/wal"
+)
+
+// This file wires the write-ahead log through both fleet managers. The
+// contract is one wal.Record per mutating lock epoch: a method that takes a
+// fleet lock opens a record (beginTxnLocked), the mutation sites append
+// chronological ops to it while the lock is held — so log order always
+// matches application order — and endTxnLocked stamps the scope's counter
+// state, appends the record, and returns the commit barrier the caller runs
+// after releasing the lock. Commit waits only for the buffered write (plus
+// fsync in wal.Options.Sync mode), so the critical section stays
+// syscall-free and concurrent epochs group-commit behind one write.
+//
+// Records carry complete outcomes (assignment, scored delay/rate, reserved
+// demand, reservation class), not inputs: replay is a logical redo that
+// rebuilds each reservation arithmetically and never re-runs a solver, which
+// is what makes recovery byte-identical and fast.
+
+// UseWAL installs the write-ahead log every mutating transition is durably
+// recorded into before it is acknowledged. A nil log (the default) disables
+// recording. Install before traffic: epochs already inside the lock when the
+// log appears are not recorded.
+func (f *Fleet) UseWAL(l *wal.Log) { f.useWAL(l, "") }
+
+// useWAL installs the log with an explicit record scope ("" standalone,
+// "s<i>" for shard i of a sharded fleet).
+func (f *Fleet) useWAL(l *wal.Log, scope string) {
+	f.mu.Lock()
+	f.wal = l
+	f.walScope = scope
+	f.mu.Unlock()
+}
+
+// countersLocked snapshots the fleet's durable counter state. Caller holds
+// f.mu.
+func (f *Fleet) countersLocked() wal.Counters {
+	return wal.Counters{
+		Admitted:      f.admitted,
+		Rejected:      f.rejected,
+		Released:      f.released,
+		Moves:         f.moves,
+		Repaired:      f.repaired,
+		RepairMoves:   f.repairMoves,
+		ParkEvictions: f.parkEvicts,
+		Preemptions:   f.preempts,
+		Solves:        f.solves.Load(),
+		Seq:           f.seq,
+	}
+}
+
+// beginTxnLocked opens the WAL record for the current lock epoch. Caller
+// holds f.mu.
+func (f *Fleet) beginTxnLocked(kind wal.Kind) {
+	if f.wal == nil {
+		return
+	}
+	f.txn = &wal.Record{Kind: kind, Scope: f.walScope}
+	f.txnPre = f.countersLocked()
+}
+
+// endTxnLocked closes the epoch's record: epochs that neither mutated state
+// nor moved a counter are skipped (a pure Describe-shaped epoch), everything
+// else — including counter-only epochs like rejections, whose Rejected and
+// Solves deltas recovered Stats must reproduce — is appended. The returned
+// barrier is never nil; the caller invokes it after releasing f.mu.
+func (f *Fleet) endTxnLocked() func() {
+	txn := f.txn
+	f.txn = nil
+	if txn == nil {
+		return func() {}
+	}
+	cur := f.countersLocked()
+	if len(txn.Ops) == 0 && cur == f.txnPre {
+		return func() {}
+	}
+	txn.Counters = &cur
+	lsn := f.wal.Append(txn)
+	return func() { _ = f.wal.Commit(lsn) }
+}
+
+// txnDeploy records an admission in the current epoch (no-op outside one).
+func (f *Fleet) txnDeploy(d *Deployment, requeueOf string) {
+	if f.txn == nil {
+		return
+	}
+	f.txn.Ops = append(f.txn.Ops, wal.Op{Deploy: deployState(d, requeueOf)})
+}
+
+// txnUpdate records a placement change (repair migration, rebalance move).
+func (f *Fleet) txnUpdate(d *Deployment) {
+	if f.txn == nil {
+		return
+	}
+	f.txn.Ops = append(f.txn.Ops, wal.Op{Deploy: updateState(d)})
+}
+
+// txnRemove records a deployment leaving the fleet (release, park, preempt).
+func (f *Fleet) txnRemove(id string) {
+	if f.txn == nil {
+		return
+	}
+	f.txn.Ops = append(f.txn.Ops, wal.Op{Remove: id})
+}
+
+// txnPark records a displaced deployment entering the parked pool.
+func (f *Fleet) txnPark(p ParkedDeployment) {
+	if f.txn == nil {
+		return
+	}
+	ps := parkedState(p)
+	f.txn.Ops = append(f.txn.Ops, wal.Op{Park: &ps})
+}
+
+// txnChurn records an applied capacity-mutation batch.
+func (f *Fleet) txnChurn(events []model.ChurnEvent) {
+	if f.txn == nil {
+		return
+	}
+	f.txn.Ops = append(f.txn.Ops, wal.Op{Churn: append([]model.ChurnEvent(nil), events...)})
+}
+
+// UseWAL installs the write-ahead log on every shard and the coordinator.
+// Shard records are scoped "s<i>" (plain "" at K=1, matching the ID
+// namespace), coordinator records "x", and whole-fleet churn batches are
+// logged once at manager level rather than per shard.
+func (s *ShardedFleet) UseWAL(l *wal.Log) {
+	for r, sh := range s.shards {
+		scope := ""
+		if s.part.K > 1 {
+			scope = fmt.Sprintf("s%d", r)
+		}
+		sh.useWAL(l, scope)
+	}
+	s.cmu.Lock()
+	s.wal = l
+	s.cmu.Unlock()
+}
+
+// crossCountersLocked snapshots the coordinator's durable counter state.
+// Caller holds s.cmu.
+func (s *ShardedFleet) crossCountersLocked() wal.Counters {
+	return wal.Counters{
+		Admitted:      s.crossAdmitted,
+		Rejected:      s.crossRejected,
+		Released:      s.crossReleased,
+		Repaired:      s.crossRepaired,
+		RepairMoves:   s.crossMoves,
+		ParkEvictions: s.crossParks,
+		Solves:        s.crossSolves.Load(),
+		Seq:           s.crossSeq,
+		Fallbacks:     s.fallbacks,
+		TPCRetries:    s.tpcRetries,
+		TPCAborts:     s.tpcAborts,
+	}
+}
+
+// beginCrossTxnLocked opens the coordinator's record for the current cmu
+// epoch. Caller holds s.cmu.
+func (s *ShardedFleet) beginCrossTxnLocked(kind wal.Kind) {
+	if s.wal == nil {
+		return
+	}
+	s.ctxn = &wal.Record{Kind: kind, Scope: wal.ScopeCross}
+	s.ctxnPre = s.crossCountersLocked()
+}
+
+// endCrossTxnLocked closes the coordinator epoch's record; same skip rule
+// and commit barrier as Fleet.endTxnLocked. Caller holds s.cmu.
+func (s *ShardedFleet) endCrossTxnLocked() func() {
+	txn := s.ctxn
+	s.ctxn = nil
+	if txn == nil {
+		return func() {}
+	}
+	cur := s.crossCountersLocked()
+	if len(txn.Ops) == 0 && cur == s.ctxnPre {
+		return func() {}
+	}
+	txn.Counters = &cur
+	lsn := s.wal.Append(txn)
+	return func() { _ = s.wal.Commit(lsn) }
+}
+
+// ctxnDeploy records a coordinator admission in the current cmu epoch.
+func (s *ShardedFleet) ctxnDeploy(d *Deployment) {
+	if s.ctxn == nil {
+		return
+	}
+	s.ctxn.Ops = append(s.ctxn.Ops, wal.Op{Deploy: deployState(d, "")})
+}
+
+// ctxnUpdate records a cross-region placement change (repair migration).
+func (s *ShardedFleet) ctxnUpdate(d *Deployment) {
+	if s.ctxn == nil {
+		return
+	}
+	s.ctxn.Ops = append(s.ctxn.Ops, wal.Op{Deploy: updateState(d)})
+}
+
+// ctxnRemove records a coordinator deployment leaving the fleet.
+func (s *ShardedFleet) ctxnRemove(id string) {
+	if s.ctxn == nil {
+		return
+	}
+	s.ctxn.Ops = append(s.ctxn.Ops, wal.Op{Remove: id})
+}
+
+// ctxnPark records a cross-region deployment entering the parked pool.
+func (s *ShardedFleet) ctxnPark(p ParkedDeployment) {
+	if s.ctxn == nil {
+		return
+	}
+	ps := parkedState(p)
+	s.ctxn.Ops = append(s.ctxn.Ops, wal.Op{Park: &ps})
+}
+
+// walChurnLocked logs one whole-fleet churn batch as a single manager-level
+// record (scope "", no counters — replay routes it back through ApplyChurn,
+// which re-splits events across shards and the boundary ledger exactly like
+// the live path). Caller holds cmu and every shard lock, so the record
+// cannot interleave with any shard or coordinator epoch.
+func (s *ShardedFleet) walChurnLocked(events []model.ChurnEvent) func() {
+	if s.wal == nil {
+		return func() {}
+	}
+	rec := &wal.Record{
+		Kind: wal.KindChurn,
+		Ops:  []wal.Op{{Churn: append([]model.ChurnEvent(nil), events...)}},
+	}
+	lsn := s.wal.Append(rec)
+	return func() { _ = s.wal.Commit(lsn) }
+}
+
+// AppendInstall durably logs a fleet install — the base network and shard
+// count — and waits for it to commit, so recovery can always rebuild the
+// manager before replaying the mutations that follow.
+func AppendInstall(l *wal.Log, net *model.Network, shards int) error {
+	lsn := l.Append(&wal.Record{
+		Kind:    wal.KindInstall,
+		Install: &wal.InstallState{Network: net, Shards: shards},
+	})
+	return l.Commit(lsn)
+}
+
+// deployState converts an admitted deployment to its durable form; requeueOf
+// names the parked entry the admission drained, if any.
+func deployState(d *Deployment, requeueOf string) *wal.DeploymentState {
+	return &wal.DeploymentState{
+		ID:            d.ID,
+		Tenant:        d.Tenant,
+		Objective:     int(d.Objective),
+		Src:           d.src,
+		Dst:           d.dst,
+		Pipeline:      d.pipe,
+		SLOMaxDelayMs: d.SLO.MaxDelayMs,
+		SLOMinRateFPS: d.SLO.MinRateFPS,
+		SLOClass:      string(d.SLO.Class),
+		CostMLD:       d.cost.IncludeMLDInDelay,
+		Assignment:    append([]model.NodeID(nil), d.Assignment...),
+		Mapping:       d.Mapping,
+		DelayMs:       d.DelayMs,
+		RateFPS:       d.RateFPS,
+		ReservedFPS:   d.ReservedFPS,
+		ResClass:      d.reservation.Class,
+		Seq:           d.Seq,
+		RequeueOf:     requeueOf,
+	}
+}
+
+// updateState converts a placement change to its durable form: only the
+// fields a migration rewrites, with Update set so replay re-places the
+// stored deployment instead of inserting a new one.
+func updateState(d *Deployment) *wal.DeploymentState {
+	return &wal.DeploymentState{
+		ID:          d.ID,
+		Assignment:  append([]model.NodeID(nil), d.Assignment...),
+		Mapping:     d.Mapping,
+		DelayMs:     d.DelayMs,
+		RateFPS:     d.RateFPS,
+		ReservedFPS: d.ReservedFPS,
+		ResClass:    d.reservation.Class,
+		Update:      true,
+	}
+}
+
+// parkedState converts a parked deployment to its durable form.
+func parkedState(p ParkedDeployment) wal.ParkedState {
+	ps := wal.ParkedState{
+		ID:            p.ID,
+		Tenant:        p.Tenant,
+		Reason:        p.Reason,
+		Objective:     int(p.Req.Objective),
+		Src:           p.Req.Src,
+		Dst:           p.Req.Dst,
+		Pipeline:      p.Req.Pipeline,
+		SLOMaxDelayMs: p.Req.SLO.MaxDelayMs,
+		SLOMinRateFPS: p.Req.SLO.MinRateFPS,
+		SLOClass:      string(p.Req.SLO.Class),
+	}
+	if p.Req.Cost != nil {
+		mld := p.Req.Cost.IncludeMLDInDelay
+		ps.CostMLD = &mld
+	}
+	return ps
+}
+
+// parkedFromState rebuilds a parked deployment — identity plus re-admission
+// request — from its durable form.
+func parkedFromState(ps wal.ParkedState) ParkedDeployment {
+	p := ParkedDeployment{
+		ID:     ps.ID,
+		Tenant: ps.Tenant,
+		Reason: ps.Reason,
+		Req: Request{
+			Tenant:    ps.Tenant,
+			Pipeline:  ps.Pipeline,
+			Src:       ps.Src,
+			Dst:       ps.Dst,
+			Objective: model.Objective(ps.Objective),
+			SLO: SLO{
+				MaxDelayMs: ps.SLOMaxDelayMs,
+				MinRateFPS: ps.SLOMinRateFPS,
+				Class:      Class(ps.SLOClass),
+			},
+		},
+	}
+	if ps.CostMLD != nil {
+		p.Req.Cost = &model.CostOptions{IncludeMLDInDelay: *ps.CostMLD}
+	}
+	return p
+}
+
+// ParkedStates converts a parked pool to its durable snapshot form, in
+// requeue order (used by internal/churn's snapshot capture).
+func ParkedStates(ps []ParkedDeployment) []wal.ParkedState {
+	out := make([]wal.ParkedState, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, parkedState(p))
+	}
+	return out
+}
+
+// ParkedFromStates rebuilds a parked pool from its durable snapshot form.
+func ParkedFromStates(states []wal.ParkedState) []ParkedDeployment {
+	out := make([]ParkedDeployment, 0, len(states))
+	for _, ps := range states {
+		out = append(out, parkedFromState(ps))
+	}
+	return out
+}
+
+// scopeFleet resolves a WAL record scope to the owning shard fleet.
+func (s *ShardedFleet) scopeFleet(scope string) (*Fleet, error) {
+	if scope == "" {
+		if s.part.K != 1 {
+			return nil, fmt.Errorf("fleet: wal scope %q on a %d-shard fleet", scope, s.part.K)
+		}
+		return s.shards[0], nil
+	}
+	if strings.HasPrefix(scope, "s") {
+		if n, err := strconv.Atoi(scope[1:]); err == nil && n >= 0 && n < len(s.shards) {
+			return s.shards[n], nil
+		}
+	}
+	return nil, fmt.Errorf("fleet: unknown wal scope %q", scope)
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"testing"
+
+	"elpc/internal/gen"
+)
+
+// crashSpec trims the default churn trace so the crash scenario stays
+// fast enough for the CI recovery gate while still parking and preempting.
+func crashSpec() gen.ChurnSpec {
+	cs := gen.DefaultChurnSpec()
+	cs.Events = 6
+	return cs
+}
+
+// TestRunCrashScenario is the recovery gate's entry point: the scenario
+// itself errors when any crash point recovers to a state no operation
+// acknowledged, so the test mostly asserts the sweep actually covered the
+// interesting territory.
+func TestRunCrashScenario(t *testing.T) {
+	r, err := RunCrashScenario(gen.Suite20()[1], crashSpec(), 14, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Records == 0 || r.LogBytes == 0 {
+		t.Fatalf("scenario produced no durable log: %+v", r)
+	}
+	if r.SuffixBytes == 0 {
+		t.Fatalf("snapshot regime left no suffix segment: %+v", r)
+	}
+	if r.Trials < 8 {
+		t.Fatalf("only %d crash points exercised", r.Trials)
+	}
+	if r.TornTrials == 0 {
+		t.Fatal("no crash point landed mid-record; torn-tail recovery was never exercised")
+	}
+	if r.SnapshotTrials == 0 {
+		t.Fatal("no crash point recovered through the snapshot")
+	}
+	if r.DistinctStates < 3 {
+		t.Fatalf("crash points recovered into only %d distinct states; the sweep is degenerate", r.DistinctStates)
+	}
+	if r.FinalDeployments == 0 {
+		t.Fatal("workload ended with an empty fleet; the scenario proves nothing")
+	}
+
+	table := CrashScenarioTable(r)
+	if table == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestRunCrashScenarioDeterministic pins the scenario's seeded outcome:
+// two runs with the same inputs must agree exactly, or the recovery gate
+// becomes flaky.
+func TestRunCrashScenarioDeterministic(t *testing.T) {
+	a, err := RunCrashScenario(gen.Suite20()[1], crashSpec(), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrashScenario(gen.Suite20()[1], crashSpec(), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("scenario is not deterministic:\n a: %+v\n b: %+v", *a, *b)
+	}
+}

@@ -12,8 +12,10 @@
 // the full retained causal history of one deployment — O(events of that
 // deployment), and Since supports incremental tailing by sequence number
 // (GET /v1/journal?since=N). The event schema is deliberately the shape a
-// future write-ahead log would persist: the Append call sites are exactly
-// where durable appends will go.
+// write-ahead log persists — and internal/wal is that realized durable
+// layer: the same transition sites that Append here append WAL records
+// there when the server runs with -data. The journal stays the bounded,
+// observability-only ring; the WAL owns durability and recovery.
 //
 // All methods are safe for concurrent use, and every method is a no-op on a
 // nil *Journal, so code paths that run without a journal (benchmarks,

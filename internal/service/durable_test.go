@@ -1,0 +1,279 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"elpc/internal/gen"
+	"elpc/internal/model"
+	"elpc/internal/service/wire"
+)
+
+// newDurableTestServer builds a WAL-backed server over dir and an httptest
+// front for it. Callers own both closes (ordering matters in the tests).
+func newDurableTestServer(t *testing.T, dir string, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	opt.DataDir = dir
+	if opt.Workers == 0 {
+		opt.Workers = 2
+	}
+	srv, err := NewDurableServer(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, httptest.NewServer(srv.Handler())
+}
+
+// TestDurableServerGracefulRoundtrip is the basic durability path: deploy,
+// churn, release, close cleanly, reopen — the recovered server serves the
+// exact same fleet.
+func TestDurableServerGracefulRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newDurableTestServer(t, dir, Options{})
+	net := fleetTestNetwork(t)
+	installFleetNetwork(t, ts.URL, net)
+
+	var admitted []string
+	for i := 0; i < 8; i++ {
+		var d wire.Deployment
+		resp := postJSON(t, ts.URL+"/v1/fleet/deploy", wire.FleetDeploy{
+			Tenant:     fmt.Sprintf("t%d", i),
+			Pipeline:   fleetTestPipeline(t, 4+i%3, uint64(i+1)),
+			Src:        model.NodeID(i % net.N()),
+			Dst:        model.NodeID((i + 3) % net.N()),
+			Op:         string(OpMaxFrameRate),
+			MinRateFPS: 1,
+		}, &d)
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		admitted = append(admitted, d.ID)
+	}
+	if len(admitted) < 4 {
+		t.Fatalf("only %d deployments admitted", len(admitted))
+	}
+	// One churn batch (degrade + restore a link) and one release, so the
+	// log holds churn, repair, and release records too.
+	postJSON(t, ts.URL+"/v1/events", wire.Events{
+		Events: []model.ChurnEvent{{Kind: model.LinkDegrade, Link: 0, Factor: 0.5}},
+	}, nil)
+	postJSON(t, ts.URL+"/v1/events", wire.Events{
+		Events: []model.ChurnEvent{{Kind: model.LinkRestore, Link: 0}},
+	}, nil)
+	if resp := postJSON(t, ts.URL+"/v1/fleet/release", wire.FleetRelease{ID: admitted[0]}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("release: status %d", resp.StatusCode)
+	}
+
+	var before wire.FleetList
+	if resp := postGet(t, ts.URL+"/v1/fleet", &before); resp.StatusCode != http.StatusOK {
+		t.Fatal("list before close failed")
+	}
+	ts.Close()
+	srv.Close()
+
+	srv2, ts2 := newDurableTestServer(t, dir, Options{})
+	defer srv2.Close()
+	defer ts2.Close()
+	var after wire.FleetList
+	if resp := postGet(t, ts2.URL+"/v1/fleet", &after); resp.StatusCode != http.StatusOK {
+		t.Fatal("list after recovery failed")
+	}
+	b, _ := json.Marshal(before)
+	a, _ := json.Marshal(after)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("recovered fleet diverged\n before: %s\n after: %s", b, a)
+	}
+}
+
+// ackLog records what the server acknowledged, from any goroutine. It is
+// keyed by tenant, not deployment ID: every request in the stress run uses
+// a unique tenant, and a tenant survives park-and-requeue cycles (which
+// mint a fresh deployment ID) while an ID does not.
+type ackLog struct {
+	mu       sync.Mutex
+	admitted map[string]bool
+	released map[string]bool
+}
+
+func (a *ackLog) admit(tenant string) {
+	a.mu.Lock()
+	a.admitted[tenant] = true
+	a.mu.Unlock()
+}
+
+func (a *ackLog) release(tenant string) {
+	a.mu.Lock()
+	a.released[tenant] = true
+	a.mu.Unlock()
+}
+
+// TestDurableServerRecoveryStress races concurrent deploys, releases, and
+// churn batches against each other and finally against Server.Close, then
+// recovers and checks the durability contract: every acknowledged
+// deployment that was not acknowledged-released is live or parked, and no
+// acknowledged release resurrects. Run with -race, this is also the
+// concurrency gate for the WAL write path.
+func TestDurableServerRecoveryStress(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts := newDurableTestServer(t, dir, Options{Workers: 4})
+	net := fleetTestNetwork(t)
+	installFleetNetwork(t, ts.URL, net)
+
+	acks := &ackLog{admitted: map[string]bool{}, released: map[string]bool{}}
+	deployBody := func(g, i int) []byte {
+		pl, err := gen.Pipeline(3+(g+i)%3, gen.DefaultRanges(), gen.RNG(uint64(97+g*31+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := wire.FleetDeploy{
+			Tenant:     fmt.Sprintf("g%d-%d", g, i),
+			Pipeline:   pl,
+			Src:        model.NodeID((g*3 + i) % net.N()),
+			Dst:        model.NodeID((g*3 + i + 4) % net.N()),
+			Op:         string(OpMaxFrameRate),
+			MinRateFPS: 1,
+		}
+		if i%4 == 0 {
+			body.Class = "guaranteed"
+			body.MinRateFPS = 2
+		} else if i%4 == 1 {
+			body.Class = "best_effort"
+		}
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	// post sends one request, tolerating transport errors (a response that
+	// never arrives is simply unacknowledged).
+	post := func(path string, body []byte, out any) (int, bool) {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, false
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return 0, false
+			}
+		}
+		return resp.StatusCode, true
+	}
+
+	// Phase 1: deployers, releasers, and a churner race each other.
+	var wg sync.WaitGroup
+	const deployers, perDeployer = 4, 10
+	bodies := make([][][]byte, deployers)
+	for g := range bodies {
+		bodies[g] = make([][]byte, perDeployer)
+		for i := range bodies[g] {
+			bodies[g][i] = deployBody(g, i)
+		}
+	}
+	for g := 0; g < deployers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			type admittedDep struct{ id, tenant string }
+			var mine []admittedDep
+			for i := 0; i < perDeployer; i++ {
+				var d wire.Deployment
+				if code, ok := post("/v1/fleet/deploy", bodies[g][i], &d); ok && code == http.StatusOK {
+					acks.admit(d.Tenant)
+					mine = append(mine, admittedDep{d.ID, d.Tenant})
+				}
+			}
+			// Release a third of this goroutine's own admissions. A 404
+			// means the deployment was parked by racing churn first — then
+			// the release is unacknowledged and the tenant stays owed.
+			for i := 0; i < len(mine); i += 3 {
+				buf, _ := json.Marshal(wire.FleetRelease{ID: mine[i].id})
+				if code, ok := post("/v1/fleet/release", buf, nil); ok && code == http.StatusOK {
+					acks.release(mine[i].tenant)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Down/up cycles and link degradations; conflicts (409) are fine,
+		// they just mean the previous event in the cycle was racing.
+		for round := 0; round < 6; round++ {
+			for _, evs := range [][]model.ChurnEvent{
+				{{Kind: model.NodeDown, Node: model.NodeID(9 - round%2)}},
+				{{Kind: model.LinkDegrade, Link: round % 4, Factor: 0.4}},
+				{{Kind: model.NodeUp, Node: model.NodeID(9 - round%2)}},
+				{{Kind: model.LinkRestore, Link: round % 4}},
+			} {
+				buf, _ := json.Marshal(wire.Events{Events: evs})
+				post("/v1/events", buf, nil)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Phase 2: more deploys racing Server.Close. Responses may be lost —
+	// only a 200 that actually arrives counts as acknowledged.
+	var raceWG sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		raceWG.Add(1)
+		go func(g int) {
+			defer raceWG.Done()
+			for i := 0; i < 16; i++ {
+				var d wire.Deployment
+				if code, ok := post("/v1/fleet/deploy", deployBody(g, i), &d); ok && code == http.StatusOK {
+					acks.admit(d.Tenant)
+				}
+			}
+		}(10 + g)
+	}
+	ts.Close() // waits for in-flight handlers; later posts fail client-side
+	srv.Close()
+	raceWG.Wait()
+
+	if len(acks.admitted) == 0 {
+		t.Fatal("stress run acknowledged no deployments; nothing was tested")
+	}
+
+	// Recover and collect the surviving IDs. The parked pool is read before
+	// the live list: the background requeue loop only moves IDs parked ->
+	// live, so this order can not miss one in transit.
+	srv2, ts2 := newDurableTestServer(t, dir, Options{Workers: 4})
+	defer srv2.Close()
+	defer ts2.Close()
+	surviving := map[string]bool{}
+	srv2.fleet.mu.RLock()
+	rec2 := srv2.fleet.rec
+	srv2.fleet.mu.RUnlock()
+	for _, p := range rec2.Parked() {
+		surviving[p.Tenant] = true
+	}
+	var list wire.FleetList
+	if resp := postGet(t, ts2.URL+"/v1/fleet", &list); resp.StatusCode != http.StatusOK {
+		t.Fatal("list after recovery failed")
+	}
+	for _, d := range list.Deployments {
+		surviving[d.Tenant] = true
+	}
+
+	for tenant := range acks.admitted {
+		if acks.released[tenant] {
+			continue
+		}
+		if !surviving[tenant] {
+			t.Errorf("acknowledged deployment for tenant %s lost after recovery", tenant)
+		}
+	}
+	for tenant := range acks.released {
+		if surviving[tenant] {
+			t.Errorf("acknowledged release of tenant %s resurrected after recovery", tenant)
+		}
+	}
+}

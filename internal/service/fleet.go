@@ -12,6 +12,7 @@ import (
 	"elpc/internal/journal"
 	"elpc/internal/model"
 	"elpc/internal/service/wire"
+	"elpc/internal/wal"
 )
 
 // errFleetNotConfigured is returned by fleet endpoints before a shared
@@ -40,6 +41,10 @@ type fleetState struct {
 	// runs from install until close (or the next install). Always non-nil
 	// when f is.
 	rec *churn.Reconciler
+	// wal, when non-nil, is threaded onto every installed manager and
+	// reconciler so their transitions are durably logged (set once by
+	// NewDurableServer, before any traffic).
+	wal *wal.Log
 }
 
 // withFleet runs fn on the current fleet under the read lock (or returns
@@ -99,6 +104,15 @@ func (s *fleetState) install(net *model.Network, shards int, pool *engine.Pool, 
 	}
 	if s.rec != nil {
 		s.rec.Stop()
+	}
+	if s.wal != nil {
+		// Durably log the install before the manager can take traffic, so
+		// replay always rebuilds the manager before its mutation records.
+		if err := fleet.AppendInstall(s.wal, net, shards); err != nil {
+			return err
+		}
+		f.UseWAL(s.wal)
+		rec.UseWAL(s.wal)
 	}
 	s.f = f
 	s.rec = rec
@@ -208,10 +222,8 @@ func (s *Server) shed(tenant string) {
 // parked lifecycle as churn casualties: visible in GET /v1/events/log and
 // re-admitted automatically once capacity returns.
 func (s *Server) drainPreempted() {
-	_ = s.fleet.withFleet(func(f fleet.Manager) error {
-		if ps := f.TakePreempted(); len(ps) > 0 {
-			s.fleet.rec.Park(ps)
-		}
+	_ = s.fleet.withFleet(func(fleet.Manager) error {
+		s.fleet.rec.AdoptPreempted()
 		return nil
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"elpc/internal/service/wire"
 	"elpc/internal/sim"
 	"elpc/internal/telemetry"
+	"elpc/internal/wal"
 )
 
 // Wire limits, applied before any decoding work happens.
@@ -128,6 +130,13 @@ type Server struct {
 	// fleet. When it would exceed Options.IntakeBound, best-effort traffic is
 	// shed with 429 + Retry-After instead of queueing on the fleet lock.
 	intakeDepth atomic.Int64
+	// wal is the durable control-plane log (nil unless built with
+	// NewDurableServer and a DataDir); stopSnap/snapDone bracket the
+	// background snapshot loop, and closeWAL makes Close idempotent.
+	wal      *wal.Log
+	stopSnap chan struct{}
+	snapDone chan struct{}
+	closeWAL sync.Once
 }
 
 // NewServer builds a Server and its routes around a fresh Solver.
@@ -179,12 +188,24 @@ func (s *Server) Handler() http.Handler { return s.withTelemetry(s.mux) }
 func (s *Server) Solver() *Solver { return s.solver }
 
 // Close releases the server's background resources: the solver's
-// engine-pool goroutines and the fleet's churn reconciliation loop.
-// Handlers still work afterwards — solves just lose helper parallelism and
-// parked deployments wait for explicit capacity-raising events — so it is
-// safe to call once the listener is down.
+// engine-pool goroutines, the fleet's churn reconciliation loop, and (for a
+// durable server) the snapshot loop and the write-ahead log, after one
+// final snapshot so the next boot's replay is trivial. Handlers still work
+// afterwards — solves just lose helper parallelism, parked deployments wait
+// for explicit capacity-raising events, and mutations are no longer durably
+// logged — so it is safe to call once the listener is down.
 func (s *Server) Close() {
 	s.fleet.close()
+	if s.wal != nil {
+		s.closeWAL.Do(func() {
+			if s.stopSnap != nil {
+				close(s.stopSnap)
+				<-s.snapDone
+			}
+			s.maybeSnapshot(true)
+			_ = s.wal.Close()
+		})
+	}
 	s.solver.Close()
 }
 
@@ -204,7 +225,10 @@ func ListenAndServe(addr string, opt Options) error {
 // (DebugDump) to elpcd-dump-<unixtime>.json in the working directory — the
 // "what is it doing right now" escape hatch when the HTTP surface is wedged.
 func Run(ctx context.Context, addr string, opt Options, drain time.Duration) error {
-	s := NewServer(opt)
+	s, err := NewDurableServer(opt)
+	if err != nil {
+		return err
+	}
 	defer s.Close()
 	stopDump := s.dumpOnSIGQUIT()
 	defer stopDump()
@@ -267,10 +291,18 @@ func (s *Server) writeDump(dir string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("service: marshaling debug dump: %w", err)
 	}
+	// Write-then-rename so a reader (or a crash mid-write) never observes a
+	// half-written dump under the final name.
 	name := filepath.Join(dir, fmt.Sprintf("elpcd-dump-%d.json", time.Now().Unix()))
-	if err := os.WriteFile(name, payload, 0o644); err != nil {
+	tmp := name + ".tmp"
+	err = os.WriteFile(tmp, payload, 0o644)
+	if err == nil {
+		err = os.Rename(tmp, name)
+	}
+	if err != nil {
 		// The dump is a last-resort diagnostic: when the directory is not
 		// writable, losing it entirely is worse than spamming stderr.
+		_ = os.Remove(tmp)
 		fmt.Fprintln(os.Stderr, string(payload))
 		return "", fmt.Errorf("service: writing debug dump: %w", err)
 	}

@@ -14,6 +14,7 @@ import (
 	"elpc/internal/journal"
 	"elpc/internal/model"
 	"elpc/internal/telemetry"
+	"elpc/internal/wal"
 )
 
 // Op selects the planning operation a request performs.
@@ -73,6 +74,23 @@ type Options struct {
 	// negative bound sheds ALL best-effort traffic — the brownout drill
 	// mode tests and the CI metrics gate use to force deterministic sheds.
 	IntakeBound int
+	// DataDir, when non-empty, makes the control plane durable: every
+	// mutating fleet/churn transition is appended to a write-ahead log in
+	// this directory before it is acknowledged, compacted snapshots are
+	// written every SnapshotEvery records, and on boot the server recovers
+	// the pre-crash fleet state from the newest valid snapshot plus the log
+	// suffix. Empty (the default) keeps the control plane in-memory only.
+	DataDir string
+	// SnapshotEvery is the number of appended WAL records between compacted
+	// snapshots; <= 0 selects DefaultSnapshotEvery.
+	SnapshotEvery int
+	// SnapshotRetain is the number of snapshots (and their covered log
+	// segments) kept on disk; <= 0 selects wal.DefaultSnapshotRetain.
+	SnapshotRetain int
+	// WALSync forces an fsync before every acknowledgment instead of the
+	// default fsync-batched group commit (durable against power loss, at a
+	// large admission-latency cost; see docs/OPERATIONS.md).
+	WALSync bool
 }
 
 // Defaults for Options fields.
@@ -81,6 +99,7 @@ const (
 	DefaultCacheShards   = 16
 	DefaultFrontPoints   = 8
 	DefaultIntakeBound   = 64
+	DefaultSnapshotEvery = 1024
 )
 
 // Normalized returns o with every unset field replaced by its default, so
@@ -110,6 +129,12 @@ func (o Options) Normalized() Options {
 	}
 	if o.IntakeBound == 0 {
 		o.IntakeBound = DefaultIntakeBound
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if o.SnapshotRetain <= 0 {
+		o.SnapshotRetain = wal.DefaultSnapshotRetain
 	}
 	return o
 }
