@@ -17,8 +17,8 @@ import (
 // process-metrics histogram summaries (the suite drives the instrumented
 // core solvers directly, so the registry holds per-operation solve
 // latencies by the time the suite finishes).
-func buildBenchDoc(cfg runConfig, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, burst *harness.BurstScenarioResult, elapsed time.Duration) *benchfmt.Doc {
-	doc := benchfmt.Build(cfg.fig, results, fleet, churn, scale, burst, elapsed)
+func buildBenchDoc(cfg runConfig, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, burst *harness.BurstScenarioResult, warm *harness.WarmScenarioResult, elapsed time.Duration) *benchfmt.Doc {
+	doc := benchfmt.Build(cfg.fig, results, fleet, churn, scale, burst, warm, elapsed)
 	if cfg.telemetry {
 		doc.Telemetry = telemetry.Default().Summaries()
 	}

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, scale, burst, crash, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 4, 5, 6, ablation, mld, pareto, jitter, replicated, fleet, churn, scale, burst, crash, warm, or all")
 	out := flag.String("out", "", "directory to write artifacts into (optional)")
 	workers := flag.Int("workers", 0, "parallel workers for the case suite (0 = GOMAXPROCS)")
 	cases := flag.Int("cases", 20, "number of suite cases to run (1..20)")
@@ -166,6 +166,21 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// The warm scenario (the churn trace replayed warm and cold, end states
+	// checked byte-identical) feeds -fig warm and the JSON summary: the
+	// warm-hit ratio gates as a deterministic quality metric, the repair
+	// latencies as runtime.
+	var warmRes *harness.WarmScenarioResult
+	if fig == "all" || fig == "warm" || jsonPath != "" || cfg.compare != "" {
+		var err error
+		// Same case-2 network and tenant count as the churn scenario, so
+		// the warm/cold latency split is directly comparable to its row.
+		warmRes, err = harness.RunWarmScenario(gen.Suite20()[1], gen.DefaultChurnSpec(), 16, 2026)
+		if err != nil {
+			return err
+		}
+	}
+
 	// The crash scenario (WAL crash-injection sweep proving recovery lands
 	// on acknowledged states only) feeds -fig crash; a recovery divergence
 	// is an error, not a metric.
@@ -182,7 +197,7 @@ func run(cfg runConfig) error {
 
 	var doc *benchfmt.Doc
 	if jsonPath != "" || cfg.compare != "" {
-		doc = buildBenchDoc(cfg, results, fleetRes, churnRes, scaleRes, burstRes, suiteElapsed)
+		doc = buildBenchDoc(cfg, results, fleetRes, churnRes, scaleRes, burstRes, warmRes, suiteElapsed)
 	}
 	if jsonPath != "" {
 		if err := writeBenchJSON(jsonPath, doc); err != nil {
@@ -257,6 +272,11 @@ func run(cfg runConfig) error {
 			return err
 		}
 	}
+	if fig == "all" || fig == "warm" {
+		if err := emit("warm.md", harness.WarmScenarioTable(warmRes)); err != nil {
+			return err
+		}
+	}
 	if fig == "all" || fig == "ablation" {
 		rows, err := harness.RunReuseAblation(specs, workers)
 		if err != nil {
@@ -320,7 +340,7 @@ func run(cfg runConfig) error {
 		}
 	}
 	switch fig {
-	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn", "scale", "burst", "crash":
+	case "all", "2", "3", "4", "5", "6", "ablation", "mld", "replicated", "pareto", "jitter", "fleet", "churn", "scale", "burst", "crash", "warm":
 		return nil
 	default:
 		return fmt.Errorf("unknown figure %q", fig)

@@ -57,12 +57,12 @@ func TestRunFigures34(t *testing.T) {
 
 func TestRunSeriesAndAblations(t *testing.T) {
 	dir := t.TempDir()
-	for _, fig := range []string{"5", "6", "mld", "jitter", "pareto", "churn"} {
+	for _, fig := range []string{"5", "6", "mld", "jitter", "pareto", "churn", "warm"} {
 		if err := runFig(fig, dir, 0, 2, 1, ""); err != nil {
 			t.Fatalf("fig %s: %v", fig, err)
 		}
 	}
-	for _, f := range []string{"fig5.csv", "fig6.csv", "mld.md", "jitter.csv", "pareto_case1.csv", "churn.md"} {
+	for _, f := range []string{"fig5.csv", "fig6.csv", "mld.md", "jitter.csv", "pareto_case1.csv", "churn.md", "warm.md"} {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("%s missing: %v", f, err)
 		}

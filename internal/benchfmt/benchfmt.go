@@ -71,6 +71,10 @@ type Doc struct {
 	// replayed sequentially and per-burst through DeployBatch, comparing
 	// admission rates).
 	Burst *harness.BurstScenarioResult `json:"burst,omitempty"`
+	// Warm is the warm-start scenario (the same churn trace replayed warm
+	// and cold with the end states checked byte-identical, reporting the
+	// warm-hit ratio and the repair-latency speedup).
+	Warm *harness.WarmScenarioResult `json:"warm,omitempty"`
 	// SLO mirrors the churn scenario's compliance summary at top level so
 	// dashboards can read delivered-versus-promised health without digging
 	// into the scenario block. Informational: Compare does not gate it.
@@ -95,9 +99,9 @@ func toOutcome(o harness.Outcome) Outcome {
 	return out
 }
 
-// Build renders a suite run (plus the optional fleet, churn, scale, and
-// burst scenarios) as a Doc.
-func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, burst *harness.BurstScenarioResult, elapsed time.Duration) *Doc {
+// Build renders a suite run (plus the optional fleet, churn, scale, burst,
+// and warm scenarios) as a Doc.
+func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenarioResult, churn *harness.ChurnScenarioResult, scale *harness.ScaleScenarioResult, burst *harness.BurstScenarioResult, warm *harness.WarmScenarioResult, elapsed time.Duration) *Doc {
 	doc := &Doc{
 		Schema:     Schema,
 		Figure:     fig,
@@ -108,6 +112,7 @@ func Build(fig string, results []harness.CaseResult, fleet *harness.FleetScenari
 		Churn:      churn,
 		Scale:      scale,
 		Burst:      burst,
+		Warm:       warm,
 	}
 	if churn != nil {
 		slo := churn.SLO

@@ -251,6 +251,16 @@ func Compare(baseline, fresh *Doc, opt CompareOptions) *Report {
 		rep.Deltas = append(rep.Deltas, d)
 	}
 
+	if baseline.Warm != nil && fresh.Warm != nil {
+		// The warm-hit ratio is deterministic (solve outcomes do not depend
+		// on wall clock), so it gates as quality: a drop means the delta
+		// planner started invalidating grids it used to retain. The repair
+		// latencies and their speedup are machine-dependent.
+		add("warm hit_ratio", ClassQuality, baseline.Warm.HitRatio, fresh.Warm.HitRatio, false)
+		add("warm mean_repair_ms", ClassRuntime, baseline.Warm.WarmMeanRepairMs, fresh.Warm.WarmMeanRepairMs, true)
+		add("warm repair_speedup", ClassRatio, baseline.Warm.RepairSpeedup, fresh.Warm.RepairSpeedup, false)
+	}
+
 	add("suite_ms", ClassRuntime, baseline.SuiteMs, fresh.SuiteMs, true)
 	return rep
 }

@@ -18,3 +18,24 @@ var (
 	frontSeconds = telemetry.Default().Histogram(
 		`elpc_core_solve_seconds{op="front"}`, "", nil)
 )
+
+// Warm-start solve outcome counters (see WarmState): every solve through a
+// WarmState lands in exactly one outcome series, and the cell counters track
+// how much DP work retention actually saved.
+var (
+	warmRebuildTotal = telemetry.Default().Counter(
+		`elpc_solve_warm_total{outcome="rebuild"}`,
+		"Warm-start solves by outcome (rebuild/partial/hit/bypass)")
+	warmPartialTotal = telemetry.Default().Counter(
+		`elpc_solve_warm_total{outcome="partial"}`, "")
+	warmHitTotal = telemetry.Default().Counter(
+		`elpc_solve_warm_total{outcome="hit"}`, "")
+	warmBypassTotal = telemetry.Default().Counter(
+		`elpc_solve_warm_total{outcome="bypass"}`, "")
+	warmCellsRecomputed = telemetry.Default().Counter(
+		"elpc_solve_warm_cells_recomputed_total",
+		"DP cells recomputed by warm-start solves")
+	warmCellsReused = telemetry.Default().Counter(
+		"elpc_solve_warm_cells_reused_total",
+		"DP cells served from retained grids by warm-start solves")
+)

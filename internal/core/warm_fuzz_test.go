@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// FuzzWarmInvalidation drives the delta-invalidation planner with random
+// capacity-factor walks over random problems: after every warm solve, every
+// retained DP cell is cross-checked against a full recompute, so a stale
+// entry that invalidation failed to mark dirty fails the run. The solved
+// mappings and errors are also compared byte-for-byte against the cold path.
+//
+// The input encodes (instance seed, delta walk): each pair of bytes picks a
+// node or link (first byte, mod n+m) and its new capacity factor (second
+// byte, 0 = down, 255 = nominal).
+func FuzzWarmInvalidation(f *testing.F) {
+	f.Add(uint64(1), []byte(nil))
+	f.Add(uint64(2), []byte{0, 0})
+	f.Add(uint64(3), []byte{0, 0, 0, 255})
+	f.Add(uint64(4), []byte{3, 17, 9, 200, 3, 255, 12, 0, 12, 128})
+	f.Add(uint64(0xe1bc), []byte{1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6})
+
+	f.Fuzz(func(t *testing.T, seed uint64, deltas []byte) {
+		rng := gen.RNG(seed)
+		p, err := gen.RandomTinyProblem(rng, 6, 12)
+		if err != nil {
+			t.Skip()
+		}
+		rn := model.NewResidualNetwork(p.Net)
+		node, link := rn.CapacityFactors()
+		total := len(node) + len(link)
+
+		ws := NewWarmState()
+		runWarmColdStep(t, p, rn.Snapshot(), ws)
+
+		// Bound the walk so pathological inputs stay fast.
+		if len(deltas) > 64 {
+			deltas = deltas[:64]
+		}
+		for i := 0; i+1 < len(deltas); i += 2 {
+			target := int(deltas[i]) % total
+			factor := float64(deltas[i+1]) / 255
+			if target < len(node) {
+				node[target] = factor
+			} else {
+				link[target-len(node)] = factor
+			}
+			if err := rn.SetCapacityFactors(node, link); err != nil {
+				t.Fatalf("step %d: %v", i/2, err)
+			}
+			runWarmColdStep(t, p, rn.Snapshot(), ws)
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// mutateFactors applies one random capacity perturbation to the residual
+// view: a node or link factor set to a value in (0, 1], occasionally an
+// outright down (0) or full restore (1).
+func mutateFactors(rn *model.ResidualNetwork, rng interface {
+	IntN(int) int
+	Float64() float64
+}) {
+	node, link := rn.CapacityFactors()
+	pick := func() float64 {
+		switch rng.IntN(5) {
+		case 0:
+			return 0 // down
+		case 1:
+			return 1 // restored
+		default:
+			return 0.05 + 0.95*rng.Float64()
+		}
+	}
+	n := rng.IntN(len(node) + len(link))
+	if n < len(node) {
+		node[n] = pick()
+	} else {
+		link[n-len(node)] = pick()
+	}
+	if err := rn.SetCapacityFactors(node, link); err != nil {
+		panic(err)
+	}
+}
+
+// errString canonicalizes an error for byte-level comparison.
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// sameAssign reports whether two mappings are byte-identical assignments.
+func sameAssign(a, b *model.Mapping) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if len(a.Assign) != len(b.Assign) {
+		return false
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkMinDelayGrid cross-checks every retained cell of ws against a fresh
+// full rebuild on the same problem: no stale value may survive a warm solve.
+func checkMinDelayGrid(p *model.Problem, ws *WarmState) error {
+	if ws.Last().Outcome == WarmBypass {
+		return nil
+	}
+	fresh := NewWarmState()
+	_, _ = fresh.MinDelay(p) // infeasibility still fills the grid
+	n, k := p.Pipe.N(), p.Net.N()
+	for i := 0; i < n*k; i++ {
+		// Go's == treats +Inf as equal to +Inf, which matches the DP's own
+		// change detection.
+		if ws.md.val[i] != fresh.md.val[i] {
+			return fmt.Errorf("stale min-delay value at cell (%d,%d): warm %v, cold %v",
+				i/k, i%k, ws.md.val[i], fresh.md.val[i])
+		}
+		// Row 0 back-pointers are never written; compare rows 1..n-1.
+		if i >= k && ws.md.par[i] != fresh.md.par[i] {
+			return fmt.Errorf("stale min-delay parent at cell (%d,%d): warm %d, cold %d",
+				i/k, i%k, ws.md.par[i], fresh.md.par[i])
+		}
+	}
+	return nil
+}
+
+// checkFrameRateGrid cross-checks the retained beam grid (entries and
+// consumed-node sets) against a fresh full rebuild.
+func checkFrameRateGrid(p *model.Problem, ws *WarmState, opt FrameRateOptions) error {
+	if ws.Last().Outcome == WarmBypass {
+		return nil
+	}
+	fresh := NewWarmState()
+	_, _ = fresh.MaxFrameRate(p, opt)
+	n, k := p.Pipe.N(), p.Net.N()
+	for i := 0; i < n*k; i++ {
+		if !frEntriesEqual(ws.fr.cells[i], fresh.fr.cells[i]) {
+			return fmt.Errorf("stale frame-rate cell (%d,%d): warm %d entries, cold %d entries",
+				i/k, i%k, len(ws.fr.cells[i]), len(fresh.fr.cells[i]))
+		}
+	}
+	return nil
+}
+
+// runWarmColdStep solves the current snapshot through both paths for both
+// objectives and fails on any observable divergence.
+func runWarmColdStep(t *testing.T, base *model.Problem, snap *model.Network, ws *WarmState) {
+	t.Helper()
+	q := *base
+	q.Net = snap
+
+	wm, werr := ws.MinDelay(&q)
+	cm, cerr := MinDelay(&q)
+	if errString(werr) != errString(cerr) {
+		t.Fatalf("MinDelay error mismatch: warm %q, cold %q", errString(werr), errString(cerr))
+	}
+	if !sameAssign(wm, cm) {
+		t.Fatalf("MinDelay mapping mismatch: warm %v, cold %v", wm, cm)
+	}
+	if err := checkMinDelayGrid(&q, ws); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := FrameRateOptions{}
+	wf, werr := ws.MaxFrameRate(&q, opt)
+	cf, cerr := MaxFrameRateOpt(&q, opt)
+	if errString(werr) != errString(cerr) {
+		t.Fatalf("MaxFrameRate error mismatch: warm %q, cold %q", errString(werr), errString(cerr))
+	}
+	if !sameAssign(wf, cf) {
+		t.Fatalf("MaxFrameRate mapping mismatch: warm %v, cold %v", wf, cf)
+	}
+	if err := checkFrameRateGrid(&q, ws, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmEquivalenceRandomDeltas replays random capacity-factor walks on
+// random problems through warm and cold solvers side by side: mappings,
+// errors, and every retained grid cell must match a cold recompute exactly.
+func TestWarmEquivalenceRandomDeltas(t *testing.T) {
+	const instances = 25
+	const steps = 12
+	for inst := 0; inst < instances; inst++ {
+		rng := gen.RNG(0xe1bc<<16 | uint64(inst))
+		p, err := gen.RandomTinyProblem(rng, 6, 12)
+		if err != nil {
+			t.Fatalf("instance %d: %v", inst, err)
+		}
+		rn := model.NewResidualNetwork(p.Net)
+		ws := NewWarmState()
+		runWarmColdStep(t, p, rn.Snapshot(), ws)
+		for s := 0; s < steps; s++ {
+			mutateFactors(rn, rng)
+			runWarmColdStep(t, p, rn.Snapshot(), ws)
+		}
+	}
+}
+
+// TestWarmRepeatIsHit verifies that an unchanged snapshot is served from the
+// retained grids without recomputation.
+func TestWarmRepeatIsHit(t *testing.T) {
+	rng := gen.RNG(7)
+	p, err := gen.RandomTinyProblem(rng, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := model.NewResidualNetwork(p.Net)
+	snap := rn.Snapshot()
+	q := *p
+	q.Net = snap
+	ws := NewWarmState()
+	if _, err := ws.MinDelay(&q); err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.Last().Outcome; got != WarmRebuild {
+		t.Fatalf("first solve outcome = %v, want rebuild", got)
+	}
+	// Same snapshot object and a fresh snapshot of the unchanged view must
+	// both be hits.
+	if _, err := ws.MinDelay(&q); err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.Last(); got.Outcome != WarmHit || got.Recomputed != 0 {
+		t.Fatalf("repeat solve = %+v, want hit with 0 recomputed", got)
+	}
+	q2 := *p
+	q2.Net = rn.Snapshot()
+	if _, err := ws.MinDelay(&q2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ws.Last(); got.Outcome != WarmHit || got.Recomputed != 0 {
+		t.Fatalf("fresh-snapshot solve = %+v, want hit with 0 recomputed", got)
+	}
+}
+
+// TestWarmSignatureChangeRebuilds verifies that changing endpoints forces a
+// rebuild (and still matches cold).
+func TestWarmSignatureChangeRebuilds(t *testing.T) {
+	rng := gen.RNG(11)
+	p, err := gen.RandomTinyProblem(rng, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := model.NewResidualNetwork(p.Net)
+	ws := NewWarmState()
+	runWarmColdStep(t, p, rn.Snapshot(), ws)
+
+	q := *p
+	q.Src, q.Dst = p.Dst, p.Src
+	runWarmColdStep(t, &q, rn.Snapshot(), ws)
+	// The second problem has a different signature; its solves must have
+	// been rebuilds, not (stale) partial updates.
+	if got := ws.Last().Outcome; got != WarmRebuild {
+		t.Fatalf("post-signature-change outcome = %v, want rebuild", got)
+	}
+}
+
+// TestWarmResetKeepsCorrectness verifies Reset drops retained state (next
+// solve is a rebuild) without breaking equivalence.
+func TestWarmResetKeepsCorrectness(t *testing.T) {
+	rng := gen.RNG(13)
+	p, err := gen.RandomTinyProblem(rng, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := model.NewResidualNetwork(p.Net)
+	ws := NewWarmState()
+	runWarmColdStep(t, p, rn.Snapshot(), ws)
+	mutateFactors(rn, rng)
+	ws.Reset()
+	runWarmColdStep(t, p, rn.Snapshot(), ws)
+}

@@ -135,6 +135,12 @@ type Request struct {
 	// churn reconciler's requeue loop). It does not affect admission; it is
 	// recorded in the WAL so recovery drains the parked pool identically.
 	RequeueOf string
+
+	// warm carries the retained DP grids of a previously admitted deployment
+	// back into admission (parked and preempted entries keep their grids so a
+	// requeue solves warm). It never affects the solved result — a warm solve
+	// is byte-identical to a cold one — so it is invisible to callers.
+	warm *core.WarmState
 }
 
 // Deployment is one admitted pipeline: its mapping, the metrics it was
@@ -173,11 +179,20 @@ type Deployment struct {
 	cost        model.CostOptions
 	src, dst    model.NodeID
 	reservation model.Reservation
+
+	// warm retains the deployment's DP grids between solves, so repair and
+	// rebalance re-solves after churn recompute only the cells the capacity
+	// delta invalidated. Nil when warm-start is disabled or the deployment was
+	// recovered from the WAL (it re-warms on its first re-solve). Owned by the
+	// fleet lock; parallel proposal goroutines touch disjoint deployments.
+	warm *core.WarmState
 }
 
-// clone returns a caller-owned copy of the public view.
+// clone returns a caller-owned copy of the public view. The warm state stays
+// behind: it is single-threaded scratch owned by the fleet's copy.
 func (d *Deployment) clone() Deployment {
 	c := *d
+	c.warm = nil
 	c.Assignment = append([]model.NodeID(nil), d.Assignment...)
 	return c
 }
@@ -274,12 +289,28 @@ type Fleet struct {
 	// the owner drains them (TakePreempted) into the re-queue loop.
 	preemptedQ []ParkedDeployment
 
+	// resScratch is recomputeLocked's reusable reservation-header slice.
+	resScratch []model.Reservation
+
 	// solves counts every objective solve run on the fleet's behalf
 	// (admission, rebalance proposals, repair re-solves). Atomic because
 	// parallel proposal phases increment it from pool goroutines while the
 	// coordinating call holds mu. Tests use it to assert repair is
 	// incremental: an event touching k deployments costs exactly k solves.
 	solves atomic.Uint64
+
+	// warmOff disables warm-start incremental solving (SetWarmStart); the
+	// zero value keeps it on. Warm solves are byte-identical to cold ones —
+	// the differential equivalence suite runs the same trace both ways and
+	// asserts identical mappings and stats — so the toggle only trades CPU
+	// for retained-grid memory.
+	warmOff bool
+	// Warm solve outcome counters (see core.WarmOutcome), atomic for the
+	// same reason as solves.
+	warmRebuilds atomic.Uint64
+	warmPartials atomic.Uint64
+	warmHits     atomic.Uint64
+	warmBypasses atomic.Uint64
 
 	// lockWait is the per-shard Deploy lock-wait histogram, resolved lazily
 	// because idPrefix is assigned after construction (see lockWaitHist).
@@ -337,12 +368,14 @@ func (f *Fleet) record(ev journal.Event) {
 }
 
 // recomputeLocked rebuilds the residual loads as the exact ordered sum of
-// outstanding reservations. Caller holds f.mu.
+// outstanding reservations. Caller holds f.mu. The reservation-header
+// scratch is reused across calls (SetLoad retains nothing).
 func (f *Fleet) recomputeLocked() {
-	outstanding := make([]model.Reservation, 0, len(f.order))
+	outstanding := f.resScratch[:0]
 	for _, id := range f.order {
 		outstanding = append(outstanding, f.deps[id].reservation)
 	}
+	f.resScratch = outstanding
 	if err := f.residual.SetLoad(outstanding); err != nil {
 		// Reservations are built against f.base; shapes cannot mismatch.
 		panic(fmt.Sprintf("fleet: recompute: %v", err))
@@ -365,17 +398,32 @@ func (f *Fleet) reject(req Request, format string, args ...any) error {
 	return fmt.Errorf("fleet: %w: %s", ErrRejected, reason)
 }
 
+// warmPool recycles WarmStates between deployments: released deployments and
+// declined admissions return their (Reset) state here, so steady-state churn
+// never allocates fresh grids.
+var warmPool = sync.Pool{New: func() any { return core.NewWarmState() }}
+
 // solve runs the objective's solver against the residual snapshot and
-// evaluates the mapping on it.
-func solve(snap *model.Network, req Request, cost model.CostOptions) (*model.Mapping, float64, float64, error) {
+// evaluates the mapping on it. A non-nil ws solves through the warm state's
+// retained grids (byte-identical results, see core.WarmState); nil is the
+// cold path.
+func solve(snap *model.Network, req Request, cost model.CostOptions, ws *core.WarmState) (*model.Mapping, float64, float64, error) {
 	p := &model.Problem{Net: snap, Pipe: req.Pipeline, Src: req.Src, Dst: req.Dst, Cost: cost}
 	var m *model.Mapping
 	var err error
 	switch req.Objective {
 	case model.MinDelay:
-		m, err = core.MinDelay(p)
+		if ws != nil {
+			m, err = ws.MinDelay(p)
+		} else {
+			m, err = core.MinDelay(p)
+		}
 	case model.MaxFrameRate:
-		m, err = core.MaxFrameRate(p)
+		if ws != nil {
+			m, err = ws.MaxFrameRate(p, core.FrameRateOptions{})
+		} else {
+			m, err = core.MaxFrameRate(p)
+		}
 	default:
 		return nil, 0, 0, fmt.Errorf("fleet: unknown objective %v", req.Objective)
 	}
@@ -395,10 +443,25 @@ func solve(snap *model.Network, req Request, cost model.CostOptions) (*model.Map
 // bandwidths are scaled bit-identically to a full snapshot, so the returned
 // delay and rate match a full-network evaluation of the same mapping, and
 // the mapping comes back in global node IDs.
-func (f *Fleet) solveCounted(rn *model.ResidualNetwork, req Request, cost model.CostOptions) (*model.Mapping, float64, float64, error) {
+func (f *Fleet) solveCounted(rn *model.ResidualNetwork, req Request, cost model.CostOptions, ws *core.WarmState) (*model.Mapping, float64, float64, error) {
 	f.solves.Add(1)
+	if f.warmOff {
+		ws = nil
+	}
 	if f.region == nil {
-		return solve(rn.Snapshot(), req, cost)
+		var snap *model.Network
+		if ws != nil {
+			// Materialize into the warm state's free snapshot buffer: the
+			// grids retain at most one previous snapshot, so double
+			// buffering makes the per-solve snapshot allocation-free.
+			snap = rn.SnapshotInto(ws.SnapshotScratch())
+			ws.TrackSnapshot(snap)
+		} else {
+			snap = rn.Snapshot()
+		}
+		m, delay, rate, err := solve(snap, req, cost, ws)
+		f.noteWarm(ws)
+		return m, delay, rate, err
 	}
 	ls, ld := f.region.LocalNode[req.Src], f.region.LocalNode[req.Dst]
 	if ls < 0 || ld < 0 {
@@ -406,11 +469,110 @@ func (f *Fleet) solveCounted(rn *model.ResidualNetwork, req Request, cost model.
 	}
 	local := req
 	local.Src, local.Dst = model.NodeID(ls), model.NodeID(ld)
-	m, delay, rate, err := solve(rn.RegionSnapshot(f.region), local, cost)
+	var snap *model.Network
+	if ws != nil {
+		snap = rn.RegionSnapshotInto(f.region, ws.SnapshotScratch())
+		ws.TrackSnapshot(snap)
+	} else {
+		snap = rn.RegionSnapshot(f.region)
+	}
+	m, delay, rate, err := solve(snap, local, cost, ws)
+	f.noteWarm(ws)
 	if err != nil {
 		return nil, 0, 0, err
 	}
 	return f.region.ToGlobal(m), delay, rate, nil
+}
+
+// noteWarm folds the outcome of the warm solve that just ran into the
+// fleet's counters; a nil ws (cold solve) is a no-op.
+func (f *Fleet) noteWarm(ws *core.WarmState) {
+	if ws == nil {
+		return
+	}
+	switch ws.Last().Outcome {
+	case core.WarmRebuild:
+		f.warmRebuilds.Add(1)
+	case core.WarmPartial:
+		f.warmPartials.Add(1)
+	case core.WarmHit:
+		f.warmHits.Add(1)
+	case core.WarmBypass:
+		f.warmBypasses.Add(1)
+	}
+}
+
+// warmFor returns the deployment's warm state, lazily attaching a pooled one
+// when warm-start is enabled. Deployments recovered from the WAL and
+// coordinator-admitted cross-region deployments start without grids; they
+// re-warm on their first repair or rebalance re-solve.
+func (f *Fleet) warmFor(d *Deployment) *core.WarmState {
+	if f.warmOff {
+		return nil
+	}
+	if d.warm == nil {
+		d.warm = warmPool.Get().(*core.WarmState)
+	}
+	return d.warm
+}
+
+// recycleWarm resets and pools a deployment's warm state on release/eviction.
+func recycleWarm(ws *core.WarmState) {
+	if ws == nil {
+		return
+	}
+	ws.Reset()
+	warmPool.Put(ws)
+}
+
+// SetWarmStart toggles warm-start incremental solving (on by default).
+// Turning it off detaches nothing: retained grids stay with their
+// deployments, they are just bypassed until re-enabled.
+func (f *Fleet) SetWarmStart(on bool) {
+	f.mu.Lock()
+	f.warmOff = !on
+	f.mu.Unlock()
+}
+
+// WarmSolveStats snapshots the warm-start outcome counters.
+func (f *Fleet) WarmSolveStats() WarmSolveStats {
+	return WarmSolveStats{
+		Rebuilds: f.warmRebuilds.Load(),
+		Partials: f.warmPartials.Load(),
+		Hits:     f.warmHits.Load(),
+		Bypasses: f.warmBypasses.Load(),
+	}
+}
+
+// WarmSolveStats counts warm-start solves by outcome. It is reported
+// separately from Stats so a warm and a cold fleet replaying the same trace
+// produce byte-identical Stats — the invariant the differential equivalence
+// suite enforces.
+type WarmSolveStats struct {
+	// Rebuilds are solves that recomputed the full grid (first solve of a
+	// deployment, signature change, or structural network change).
+	Rebuilds uint64 `json:"rebuilds"`
+	// Partials recomputed only the cells a capacity delta invalidated.
+	Partials uint64 `json:"partials"`
+	// Hits served the retained grids unchanged.
+	Hits uint64 `json:"hits"`
+	// Bypasses delegated to the cold path (problem over the retention caps).
+	Bypasses uint64 `json:"bypasses"`
+}
+
+// Total is the number of solves that ran through a warm state.
+func (w WarmSolveStats) Total() uint64 {
+	return w.Rebuilds + w.Partials + w.Hits + w.Bypasses
+}
+
+// HitRatio is the fraction of warm solves that reused retained work (hits
+// plus partials); 0 when no warm solves ran.
+func (w WarmSolveStats) HitRatio() float64 {
+	t := w.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(w.Hits+w.Partials) / float64(t)
 }
 
 // SolveCount returns the number of objective solves the fleet has run
@@ -454,7 +616,22 @@ func (f *Fleet) validateRequest(req Request) error {
 // the preemption retry loop) decide whether a given attempt is final — and
 // (zero, "", err) on a structural or solver error. Caller holds f.mu.
 func (f *Fleet) tryAdmitLocked(req Request, cost model.CostOptions) (Deployment, string, error) {
-	m, delay, rate, err := f.solveCounted(f.residual, req, cost)
+	// Solve warm: a requeued request brings the parked deployment's grids
+	// back; a fresh request warms a pooled state so post-churn repairs of
+	// this deployment recompute only invalidated cells. Declined or failed
+	// admissions return a pool-acquired state (requeue-owned grids stay with
+	// the request — the reconciler re-parks it on failure).
+	ws := req.warm
+	retained := ws != nil
+	if ws == nil && !f.warmOff {
+		ws = warmPool.Get().(*core.WarmState)
+	}
+	defer func() {
+		if ws != nil && !retained {
+			recycleWarm(ws)
+		}
+	}()
+	m, delay, rate, err := f.solveCounted(f.residual, req, cost, ws)
 	if err != nil {
 		if errors.Is(err, model.ErrInfeasible) {
 			return Deployment{}, fmt.Sprintf("no feasible mapping on residual network: %v", err), nil
@@ -506,7 +683,9 @@ func (f *Fleet) tryAdmitLocked(req Request, cost model.CostOptions) (Deployment,
 		src:         req.Src,
 		dst:         req.Dst,
 		reservation: res,
+		warm:        ws,
 	}
+	retained = true
 	f.deps[d.ID] = d
 	f.order = append(f.order, d.ID)
 	f.recomputeLocked()
@@ -762,6 +941,8 @@ func (f *Fleet) releaseLocked(id string) error {
 		return fmt.Errorf("fleet: %w: %q", ErrNotFound, id)
 	}
 	delete(f.deps, id)
+	recycleWarm(d.warm)
+	d.warm = nil
 	for i, oid := range f.order {
 		if oid == id {
 			f.order = append(f.order[:i], f.order[i+1:]...)
@@ -965,7 +1146,9 @@ func (f *Fleet) proposeLocked(ids []string, out []proposal, start, end, width in
 			Objective: d.Objective,
 			SLO:       d.SLO,
 		}
-		m, _, _, err := f.solveCounted(rn, req, d.cost)
+		// Safe off the coordinating goroutine: each worker solves a distinct
+		// deployment, so the warm states never alias.
+		m, _, _, err := f.solveCounted(rn, req, d.cost, f.warmFor(d))
 		out[i] = proposal{m: m, err: err}
 	})
 }
@@ -1078,7 +1261,7 @@ func (f *Fleet) rebalanceLocked(opt RebalanceOptions) Report {
 				Objective: d.Objective,
 				SLO:       d.SLO,
 			}
-			m, _, _, err = f.solveCounted(f.residual, req, d.cost)
+			m, _, _, err = f.solveCounted(f.residual, req, d.cost, f.warmFor(d))
 		}
 		move := Move{ID: id}
 		restore := func(reason string) {

@@ -112,7 +112,9 @@ func placementTouches(base *model.Network, d *Deployment, nodes map[model.NodeID
 }
 
 // requestOf reconstructs the admission request of a live deployment so a
-// parked deployment can be re-queued later with identical parameters.
+// parked deployment can be re-queued later with identical parameters. The
+// warm state rides along: a parked or preempted deployment keeps its DP
+// grids, so the requeue admission solves warm.
 func requestOf(d *Deployment) Request {
 	cost := d.cost
 	return Request{
@@ -123,6 +125,7 @@ func requestOf(d *Deployment) Request {
 		Objective: d.Objective,
 		SLO:       d.SLO,
 		Cost:      &cost,
+		warm:      d.warm,
 	}
 }
 
@@ -338,7 +341,7 @@ func (f *Fleet) repairLocked(ids []string, opt RepairOptions) RepairReport {
 		if !ok {
 			var m *model.Mapping
 			var err error
-			m, _, _, err = f.solveCounted(f.residual, requestOf(d), d.cost)
+			m, _, _, err = f.solveCounted(f.residual, requestOf(d), d.cost, f.warmFor(d))
 			prop = proposal{m: m, err: err}
 		}
 

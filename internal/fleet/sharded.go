@@ -71,6 +71,12 @@ type Manager interface {
 	SLOReport() SLOReport
 	// SolveCount returns the number of objective solves run so far.
 	SolveCount() uint64
+	// SetWarmStart toggles warm-start incremental solving (on by default).
+	// Warm and cold solves are byte-identical; the toggle trades CPU for
+	// retained-grid memory.
+	SetWarmStart(bool)
+	// WarmSolveStats snapshots the warm-start solve outcome counters.
+	WarmSolveStats() WarmSolveStats
 }
 
 // Compile-time checks that both managers implement the shared surface.
@@ -257,6 +263,29 @@ func (s *ShardedFleet) SolveCount() uint64 {
 		n += sh.SolveCount()
 	}
 	return n
+}
+
+// SetWarmStart toggles warm-start solving on every shard. Coordinator
+// (cross-region) solves always run cold: their composed snapshots are
+// rebuilt per attempt and owned by no shard, so there is no stable residual
+// view to retain grids against.
+func (s *ShardedFleet) SetWarmStart(on bool) {
+	for _, sh := range s.shards {
+		sh.SetWarmStart(on)
+	}
+}
+
+// WarmSolveStats sums the warm-start outcome counters across shards.
+func (s *ShardedFleet) WarmSolveStats() WarmSolveStats {
+	var w WarmSolveStats
+	for _, sh := range s.shards {
+		ws := sh.WarmSolveStats()
+		w.Rebuilds += ws.Rebuilds
+		w.Partials += ws.Partials
+		w.Hits += ws.Hits
+		w.Bypasses += ws.Bypasses
+	}
+	return w
 }
 
 // lockShards acquires every shard's mutex in index order; unlockShards
@@ -510,7 +539,7 @@ func (s *ShardedFleet) deployCrossLocked(req Request, fallback bool, cost model.
 		comp := s.composedLocked()
 		s.unlockShards()
 		s.crossSolves.Add(1)
-		m, _, _, err := solve(comp.Snapshot(), req, cost)
+		m, _, _, err := solve(comp.Snapshot(), req, cost, nil)
 		if err != nil {
 			if errors.Is(err, model.ErrInfeasible) {
 				return Deployment{}, s.rejectCross(req, "no feasible mapping on composed residual network: %v", err)
@@ -1174,7 +1203,7 @@ func (s *ShardedFleet) repairCrossLocked(ids []string) RepairReport {
 			rep.Outcomes = append(rep.Outcomes, RepairOutcome{ID: id, Action: RepairParked, Reason: reason})
 		}
 		s.crossSolves.Add(1)
-		nm, _, _, err := solve(snap, requestOf(d), d.cost)
+		nm, _, _, err := solve(snap, requestOf(d), d.cost, nil)
 		if err != nil {
 			park(fmt.Sprintf("re-solve failed: %v", err))
 			continue

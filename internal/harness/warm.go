@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"elpc/internal/churn"
+	"elpc/internal/fleet"
+	"elpc/internal/gen"
+	"elpc/internal/model"
+)
+
+// WarmScenarioResult summarizes the warm-start scenario: the same populated
+// fleet and seeded churn trace replayed twice — once with warm-start
+// incremental solving on (retained DP grids, delta invalidation) and once
+// fully cold — with the final states checked for byte-identity. The hit
+// counters and ratio are deterministic quality metrics; the repair
+// latencies and their speedup are wall clock.
+type WarmScenarioResult struct {
+	Case    int    `json:"case"`
+	Network string `json:"network"` // "n10 l60"
+	// Deployments is the number admitted before the trace; Events the
+	// trace length.
+	Deployments int `json:"deployments"`
+	Events      int `json:"events"`
+	// Rebuilds/Partials/Hits/Bypasses are the warm replay's per-solve
+	// outcome counters (fleet.WarmSolveStats): a partial recomputed only
+	// the capacity-delta-invalidated grid cells, a hit recomputed none.
+	Rebuilds uint64 `json:"rebuilds"`
+	Partials uint64 `json:"partials"`
+	Hits     uint64 `json:"hits"`
+	Bypasses uint64 `json:"bypasses"`
+	// HitRatio is (Hits + Partials) / total warm-tracked solves: the
+	// fraction of solves that reused previous grids instead of rebuilding.
+	HitRatio float64 `json:"hit_ratio"`
+	// Cold/Warm repair latencies are per-event wall clock (machine-
+	// dependent); RepairSpeedup is ColdMeanRepairMs / WarmMeanRepairMs.
+	ColdMeanRepairMs float64 `json:"cold_mean_repair_ms"`
+	WarmMeanRepairMs float64 `json:"warm_mean_repair_ms"`
+	ColdMaxRepairMs  float64 `json:"cold_max_repair_ms"`
+	WarmMaxRepairMs  float64 `json:"warm_max_repair_ms"`
+	RepairSpeedup    float64 `json:"repair_speedup"`
+}
+
+// warmReplay is one replayed trace: the end-state fingerprint the two
+// replays are compared on, plus the reconciler's latency summary.
+type warmReplay struct {
+	deps       []fleet.Deployment
+	stats      fleet.Stats
+	admitted   int
+	churnStats churn.Stats
+	warm       fleet.WarmSolveStats
+}
+
+// runWarmReplay populates a fresh fleet on net with the standard tenant mix
+// and replays the trace through a reconciler, warm or cold.
+func runWarmReplay(net *model.Network, trace []gen.ChurnEvent, sessions int, seed uint64, warm bool) (*warmReplay, error) {
+	f, err := fleet.New(net)
+	if err != nil {
+		return nil, err
+	}
+	f.SetWarmStart(warm)
+
+	rng := gen.RNG(seed)
+	r := &warmReplay{}
+	for s := 0; s < sessions; s++ {
+		pl, err := gen.Pipeline(4+rng.IntN(4), gen.DefaultRanges(), rng)
+		if err != nil {
+			return nil, err
+		}
+		src := model.NodeID(rng.IntN(net.N()))
+		dst := model.NodeID(rng.IntN(net.N() - 1))
+		if dst >= src {
+			dst++
+		}
+		req := fleet.Request{
+			Tenant:   fmt.Sprintf("s%d", s),
+			Pipeline: pl,
+			Src:      src,
+			Dst:      dst,
+		}
+		if s%2 == 0 {
+			req.Objective = model.MaxFrameRate
+			req.SLO = fleet.SLO{MinRateFPS: 1 + 2*rng.Float64()}
+		} else {
+			req.Objective = model.MinDelay
+		}
+		if _, err := f.Deploy(req); err != nil {
+			continue // rejections just thin the population
+		}
+		r.admitted++
+	}
+
+	rec := churn.New(f, churn.Options{})
+	for i, ev := range trace {
+		if _, err := rec.Apply([]model.ChurnEvent{ev.Event}); err != nil {
+			return nil, fmt.Errorf("harness: warm scenario event %d (%s): %w", i, ev.Event, err)
+		}
+	}
+
+	r.deps = f.List()
+	sort.Slice(r.deps, func(i, j int) bool { return r.deps[i].ID < r.deps[j].ID })
+	r.stats = f.Stats()
+	r.churnStats = rec.Stats()
+	r.warm = f.WarmSolveStats()
+	return r, nil
+}
+
+// RunWarmScenario replays the same populated fleet and seeded churn trace
+// warm and cold, verifies the two end states are byte-identical (a
+// divergence is an error, not a metric — warm-start must never change a
+// placement decision), and reports the warm replay's hit counters along
+// with both replays' repair latencies.
+func RunWarmScenario(spec gen.CaseSpec, cs gen.ChurnSpec, sessions int, seed uint64) (*WarmScenarioResult, error) {
+	net, err := gen.Network(spec.Nodes, spec.Links, gen.DefaultRanges(), gen.RNG(spec.Seed))
+	if err != nil {
+		return nil, err
+	}
+	trace, err := gen.Churn(cs, net, gen.RNG(seed^0x9e3779b97f4a7c15))
+	if err != nil {
+		return nil, err
+	}
+
+	cold, err := runWarmReplay(net, trace, sessions, seed, false)
+	if err != nil {
+		return nil, err
+	}
+	warm, err := runWarmReplay(net, trace, sessions, seed, true)
+	if err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(cold.deps, warm.deps) || cold.stats != warm.stats {
+		return nil, fmt.Errorf("harness: warm scenario case %d: warm and cold replays diverged (%d vs %d deployments)",
+			spec.ID, len(cold.deps), len(warm.deps))
+	}
+
+	res := &WarmScenarioResult{
+		Case:             spec.ID,
+		Network:          fmt.Sprintf("n%d l%d", spec.Nodes, spec.Links),
+		Deployments:      warm.admitted,
+		Events:           len(trace),
+		Rebuilds:         warm.warm.Rebuilds,
+		Partials:         warm.warm.Partials,
+		Hits:             warm.warm.Hits,
+		Bypasses:         warm.warm.Bypasses,
+		HitRatio:         warm.warm.HitRatio(),
+		ColdMeanRepairMs: cold.churnStats.MeanRepairMs,
+		WarmMeanRepairMs: warm.churnStats.MeanRepairMs,
+		ColdMaxRepairMs:  cold.churnStats.MaxRepairMs,
+		WarmMaxRepairMs:  warm.churnStats.MaxRepairMs,
+	}
+	if warm.churnStats.MeanRepairMs > 0 {
+		res.RepairSpeedup = cold.churnStats.MeanRepairMs / warm.churnStats.MeanRepairMs
+	}
+	return res, nil
+}
+
+// WarmScenarioTable renders the scenario as a small Markdown block for the
+// pipebench artifacts.
+func WarmScenarioTable(r *WarmScenarioResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Warm-start scenario (case %d, %s)\n\n", r.Case, r.Network)
+	fmt.Fprintf(&b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| deployments before churn | %d |\n", r.Deployments)
+	fmt.Fprintf(&b, "| events | %d |\n", r.Events)
+	fmt.Fprintf(&b, "| warm solves: rebuild / partial / hit / bypass | %d / %d / %d / %d |\n",
+		r.Rebuilds, r.Partials, r.Hits, r.Bypasses)
+	fmt.Fprintf(&b, "| warm-hit ratio | %.3f |\n", r.HitRatio)
+	fmt.Fprintf(&b, "| mean repair latency (cold) | %.3f ms |\n", r.ColdMeanRepairMs)
+	fmt.Fprintf(&b, "| mean repair latency (warm) | %.3f ms |\n", r.WarmMeanRepairMs)
+	fmt.Fprintf(&b, "| repair speedup (warm vs cold) | %.2fx |\n", r.RepairSpeedup)
+	fmt.Fprintf(&b, "| warm == cold end state | yes (checked) |\n")
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"elpc/internal/gen"
+)
+
+func TestRunWarmScenario(t *testing.T) {
+	res, err := RunWarmScenario(gen.Suite20()[1], gen.DefaultChurnSpec(), 16, 2026)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 60 {
+		t.Errorf("events = %d, want 60", res.Events)
+	}
+	if res.Deployments == 0 {
+		t.Error("no deployments admitted before the trace")
+	}
+	// The warm replay must actually reuse grids: the churn trace perturbs
+	// capacities, so repair re-solves should land as partials (or hits),
+	// not all rebuilds.
+	if res.Partials+res.Hits == 0 {
+		t.Errorf("no grid reuse recorded: %+v", res)
+	}
+	if res.HitRatio <= 0.5 {
+		t.Errorf("warm-hit ratio %.3f, want > 0.5 on the pinned trace", res.HitRatio)
+	}
+	table := WarmScenarioTable(res)
+	for _, want := range []string{"warm-hit ratio", "repair speedup", "end state"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

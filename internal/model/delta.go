@@ -1,0 +1,52 @@
+package model
+
+// NetworkDelta lists what changed between two structurally identical
+// networks: the nodes whose power differs and the links whose bandwidth or
+// minimum delay differs. Warm-start solvers (internal/core.WarmState) use it
+// as the seed of delta invalidation — every DP cell whose inputs are
+// untouched by the delta keeps its previous, bit-identical value.
+type NetworkDelta struct {
+	// Nodes are the IDs of nodes whose Power changed, ascending.
+	Nodes []NodeID
+	// Links are the IDs of links whose BWMbps or MLDms changed, ascending.
+	Links []int
+}
+
+// Empty reports whether nothing changed.
+func (d NetworkDelta) Empty() bool { return len(d.Nodes) == 0 && len(d.Links) == 0 }
+
+// DiffNetworks compares two networks and returns the capacity delta from
+// prev to cur. ok is false when the networks differ structurally (node or
+// link counts, link endpoints) — in that case no delta describes the change
+// and warm state must be rebuilt from scratch. Comparison of float
+// attributes is exact (==): residual snapshots of an unchanged element
+// reproduce the same multiplication, so bit-equality is the right notion of
+// "unchanged" for a solver that promises byte-identical results.
+//
+// The scratch slices, when non-nil, are reused for the returned Nodes/Links
+// to keep the hot repair path allocation-free.
+func DiffNetworks(prev, cur *Network, nodeScratch []NodeID, linkScratch []int) (d NetworkDelta, ok bool) {
+	if prev == nil || cur == nil || len(prev.Nodes) != len(cur.Nodes) || len(prev.Links) != len(cur.Links) {
+		return NetworkDelta{}, false
+	}
+	d.Nodes = nodeScratch[:0]
+	d.Links = linkScratch[:0]
+	for i := range cur.Nodes {
+		if prev.Nodes[i].Power != cur.Nodes[i].Power {
+			d.Nodes = append(d.Nodes, NodeID(i))
+		}
+	}
+	// Snapshots of one residual view share a topology index; when the
+	// pointers differ, fall back to comparing endpoints link by link.
+	structural := prev.topo != cur.topo
+	for i := range cur.Links {
+		p, c := prev.Links[i], cur.Links[i]
+		if structural && (p.From != c.From || p.To != c.To) {
+			return NetworkDelta{}, false
+		}
+		if p.BWMbps != c.BWMbps || p.MLDms != c.MLDms {
+			d.Links = append(d.Links, i)
+		}
+	}
+	return d, true
+}

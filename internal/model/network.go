@@ -104,6 +104,17 @@ func NewNetwork(nodes []Node, links []Link) (*Network, error) {
 	return &Network{Nodes: nodes, Links: links, topo: topo}, nil
 }
 
+// sharedTopoNetwork builds a Network over a pre-validated node/link set,
+// reusing an existing topology index instead of rebuilding it edge by edge.
+// The caller must guarantee that links[i].From/To match edge i of topo —
+// residual snapshots qualify because scaling changes only Power and BWMbps.
+// Sharing the index also gives warm-start solvers a free structural identity
+// check: two snapshots of the same residual view satisfy
+// a.Topology() == b.Topology().
+func sharedTopoNetwork(nodes []Node, links []Link, topo *graph.Graph) *Network {
+	return &Network{Nodes: nodes, Links: links, topo: topo}
+}
+
 // N returns the number of nodes.
 func (n *Network) N() int { return len(n.Nodes) }
 

@@ -1,6 +1,10 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+
+	"elpc/internal/graph"
+)
 
 // This file defines the region partition of a Network that the sharded
 // fleet manager (internal/fleet.ShardedFleet) is built on: nodes are split
@@ -97,6 +101,13 @@ type RegionView struct {
 	// LocalNode maps global NodeID -> local index, or -1 for nodes outside
 	// the region.
 	LocalNode []int
+
+	// topo is the region sub-network's topology index, built once in View
+	// (local edge i corresponds to Links[i]). Every RegionSnapshot shares
+	// it, so regional snapshots carry a stable Topology() pointer — the
+	// structural identity warm-start solvers key on — and skip the graph
+	// rebuild entirely.
+	topo *graph.Graph
 }
 
 // View builds the index translation for region r of net.
@@ -115,6 +126,15 @@ func (p *Partition) View(net *Network, r int) *RegionView {
 	for i := range net.Links {
 		if p.LinkOwner[i] == r {
 			v.Links = append(v.Links, i)
+		}
+	}
+	v.topo = graph.New(len(v.Nodes))
+	for _, g := range v.Links {
+		l := net.Links[g]
+		if _, err := v.topo.AddEdge(v.LocalNode[l.From], v.LocalNode[l.To]); err != nil {
+			// The link set was validated when net was built and the view
+			// renumbers densely; this cannot fail.
+			panic(fmt.Sprintf("model: region %d view topology: %v", r, err))
 		}
 	}
 	return v
@@ -174,13 +194,28 @@ func (r *ResidualNetwork) RegionSnapshot(v *RegionView) *Network {
 		l.BWMbps = r.base.Links[gid].BWMbps * residualFraction(r.linkCap[gid], r.linkLoad[gid])
 		links[local] = l
 	}
-	sub, err := NewNetwork(nodes, links)
-	if err != nil {
-		// The base was validated, scaling preserves positivity, and the
-		// view renumbers densely; this cannot fail.
-		panic(fmt.Sprintf("model: region snapshot: %v", err))
+	// The view's cached sub-topology describes exactly these renumbered
+	// links; sharing it keeps regional snapshots O(region) with no graph
+	// rebuild and gives them a stable Topology() pointer.
+	return sharedTopoNetwork(nodes, links, v.topo)
+}
+
+// RegionSnapshotInto is RegionSnapshot materializing into buf when buf is a
+// previous regional snapshot of the same view (same shape and shared
+// sub-topology); a nil or mismatched buf falls back to a fresh
+// RegionSnapshot. Same ownership contract as SnapshotInto.
+func (r *ResidualNetwork) RegionSnapshotInto(v *RegionView, buf *Network) *Network {
+	if buf == nil || len(buf.Nodes) != len(v.Nodes) ||
+		len(buf.Links) != len(v.Links) || buf.topo != v.topo {
+		return r.RegionSnapshot(v)
 	}
-	return sub
+	for local, g := range v.Nodes {
+		buf.Nodes[local].Power = r.base.Nodes[g].Power * residualFraction(r.nodeCap[g], r.nodeLoad[g])
+	}
+	for local, gid := range v.Links {
+		buf.Links[local].BWMbps = r.base.Links[gid].BWMbps * residualFraction(r.linkCap[gid], r.linkLoad[gid])
+	}
+	return buf
 }
 
 // ToGlobal translates a mapping solved on the region sub-network back to

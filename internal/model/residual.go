@@ -272,6 +272,28 @@ func (r *ResidualNetwork) Snapshot() *Network {
 	return r.snapshotExcluding(nil)
 }
 
+// SnapshotInto is Snapshot materializing into buf's backing arrays when buf
+// is a previous snapshot of this view (same shape and topology), avoiding
+// the per-solve slice allocations on hot repair paths. The caller owns the
+// buffer and must not pass one a retained solver state still references —
+// internal/core.WarmState double-buffers its snapshots for exactly this.
+// A nil or mismatched buf falls back to a fresh Snapshot.
+func (r *ResidualNetwork) SnapshotInto(buf *Network) *Network {
+	if buf == nil || len(buf.Nodes) != len(r.base.Nodes) ||
+		len(buf.Links) != len(r.base.Links) || buf.topo != r.base.topo {
+		return r.snapshotExcluding(nil)
+	}
+	copy(buf.Nodes, r.base.Nodes)
+	for i := range buf.Nodes {
+		buf.Nodes[i].Power = r.base.Nodes[i].Power * residualFraction(r.nodeCap[i], r.nodeLoad[i])
+	}
+	copy(buf.Links, r.base.Links)
+	for i := range buf.Links {
+		buf.Links[i].BWMbps = r.base.Links[i].BWMbps * residualFraction(r.linkCap[i], r.linkLoad[i])
+	}
+	return buf
+}
+
 // SnapshotWithout materializes the residual view with the given reservation
 // subtracted from the outstanding load first — the network as one
 // deployment sees it when its own reservation is excluded. SLO evaluation
@@ -305,11 +327,8 @@ func (r *ResidualNetwork) snapshotExcluding(exclude *Reservation) *Network {
 		}
 		links[i].BWMbps = r.base.Links[i].BWMbps * residualFraction(r.linkCap[i], load)
 	}
-	snap, err := NewNetwork(nodes, links)
-	if err != nil {
-		// The base was validated and scaling preserves positivity; this
-		// cannot fail.
-		panic(fmt.Sprintf("model: residual snapshot: %v", err))
-	}
-	return snap
+	// The base was validated and scaling preserves positivity and endpoints,
+	// so the base topology index describes the snapshot exactly; reusing it
+	// skips the O(links) graph rebuild that used to dominate repair time.
+	return sharedTopoNetwork(nodes, links, r.base.topo)
 }

@@ -518,3 +518,24 @@ func (s *Server) fleetStats() *fleet.Stats {
 	}
 	return &st
 }
+
+// warmStatsWire is the /v1/stats warm block: the fleet's warm-start solve
+// outcome counters plus the derived hit ratio.
+type warmStatsWire struct {
+	fleet.WarmSolveStats
+	// HitRatio is (hits + partials) / total, 0 before any warm solve.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// fleetWarmStats snapshots the warm-start solve counters for /v1/stats
+// (nil when no network is installed).
+func (s *Server) fleetWarmStats() *warmStatsWire {
+	var st fleet.WarmSolveStats
+	if err := s.fleet.withFleet(func(f fleet.Manager) error {
+		st = f.WarmSolveStats()
+		return nil
+	}); err != nil {
+		return nil
+	}
+	return &warmStatsWire{WarmSolveStats: st, HitRatio: st.HitRatio()}
+}

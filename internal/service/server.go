@@ -50,6 +50,9 @@ type wireRequest struct {
 	Op            Op      `json:"op,omitempty"`
 	DelayBudgetMs float64 `json:"delay_budget_ms,omitempty"`
 	Points        int     `json:"points,omitempty"`
+	// AllowSimilar opts into similarity-tier cache adaptations (the result
+	// carries "approximate": true when one is served).
+	AllowSimilar bool `json:"allow_similar,omitempty"`
 
 	// Simulation parameters (/v1/simulate only).
 	Frames int     `json:"frames,omitempty"`
@@ -76,6 +79,7 @@ func (w *wireRequest) request(op Op) (Request, error) {
 		},
 		DelayBudgetMs: w.DelayBudgetMs,
 		Points:        w.Points,
+		AllowSimilar:  w.AllowSimilar,
 	}, nil
 }
 
@@ -102,6 +106,9 @@ type statsResponse struct {
 	// FleetShards breaks the fleet gauges down per region when the
 	// installed manager is sharded.
 	FleetShards *fleet.ShardedStats `json:"fleet_shards,omitempty"`
+	// Warm reports the warm-start solve outcome counters and the derived
+	// hit ratio (present once a fleet network is installed).
+	Warm *warmStatsWire `json:"warm,omitempty"`
 	// Journal reports the event journal's depth/capacity/drop gauges.
 	Journal journal.Stats `json:"journal"`
 	// SLO is the latest compliance evaluation (present once a fleet network
@@ -519,6 +526,7 @@ func (s *Server) statsResponse() statsResponse {
 		Fleet:       s.fleetStats(),
 		Churn:       s.churnStats(),
 		FleetShards: s.fleetShardStats(),
+		Warm:        s.fleetWarmStats(),
 		Journal:     s.journal.Stats(),
 		SLO:         s.sloSummary(),
 	}

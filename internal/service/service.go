@@ -150,6 +150,15 @@ type Request struct {
 	DelayBudgetMs float64
 	// Points is the OpFront sweep resolution; <= 0 uses Options.FrontPoints.
 	Points int
+	// AllowSimilar opts the request into the cache's similarity tier: on an
+	// exact-cache miss, a solution solved for the same structural problem
+	// (same topology, pipeline, endpoints, and cost options — different
+	// capacities) may be adapted and served without a DP solve, marked
+	// Result.Approximate. The adapted mapping is re-validated on the
+	// request's actual capacities first — it is never infeasible and never
+	// violates the delay budget — but it may be worse than what a fresh
+	// solve would find. OpFront never serves approximations.
+	AllowSimilar bool
 }
 
 // FrontPoint is one nondominated (delay, rate) point of a Pareto sweep.
@@ -179,6 +188,10 @@ type Result struct {
 	Front []FrontPoint `json:"front,omitempty"`
 	// Cached reports whether the solution came from the cache.
 	Cached bool `json:"cached"`
+	// Approximate reports that the mapping was adapted from the cache's
+	// similarity tier (Request.AllowSimilar): feasible and budget-respecting
+	// on this problem's capacities, but possibly not optimal for them.
+	Approximate bool `json:"approximate,omitempty"`
 	// SolveMs is the wall-clock solve time (0 for cache hits).
 	SolveMs float64 `json:"solve_ms"`
 }
